@@ -1,0 +1,54 @@
+//! Ablation — client-side dual variables versus server-side adaptivity.
+//!
+//! FedADMM's speedup could in principle come from two places: the dual
+//! variables guiding *local* training, or the tracking rule used by the
+//! *server*. This bench pits FedADMM against algorithms that only change the
+//! server side (FedAvgM, FedAdam, FedYogi) and against FedDyn (which has a
+//! dual-like client state but a different server rule), measuring the cost
+//! of one communication round under the non-IID setting. Accuracy
+//! comparisons over full runs live in `examples/server_optimizers.rs`; the
+//! Criterion numbers here confirm that none of the server-side variants add
+//! measurable per-round cost (they all touch O(d) state once per round).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedadmm_bench::smoke_simulation;
+use fedadmm_core::algorithms::{Algorithm, FedAdmm, FedAvg, FedDyn, FedOpt};
+use fedadmm_core::prelude::DataDistribution;
+
+fn suite() -> Vec<(&'static str, Box<dyn Algorithm>)> {
+    vec![
+        ("FedAvg", Box::new(FedAvg::new()) as Box<dyn Algorithm>),
+        ("FedAvgM", Box::new(FedOpt::avgm())),
+        ("FedAdam", Box::new(FedOpt::adam())),
+        ("FedYogi", Box::new(FedOpt::yogi())),
+        ("FedDyn", Box::new(FedDyn::new(0.3))),
+        ("FedADMM", Box::new(FedAdmm::paper_default())),
+    ]
+}
+
+fn rebuild(name: &str) -> Box<dyn Algorithm> {
+    match name {
+        "FedAvg" => Box::new(FedAvg::new()),
+        "FedAvgM" => Box::new(FedOpt::avgm()),
+        "FedAdam" => Box::new(FedOpt::adam()),
+        "FedYogi" => Box::new(FedOpt::yogi()),
+        "FedDyn" => Box::new(FedDyn::new(0.3)),
+        "FedADMM" => Box::new(FedAdmm::paper_default()),
+        other => panic!("unknown algorithm {other}"),
+    }
+}
+
+fn bench_server_opt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_server_opt_one_round_non_iid");
+    group.sample_size(10);
+    for (name, _) in suite() {
+        group.bench_function(name, |bench| {
+            let mut sim = smoke_simulation(rebuild(name), DataDistribution::NonIidShards, 3);
+            bench.iter(|| sim.run_round().unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_server_opt);
+criterion_main!(benches);

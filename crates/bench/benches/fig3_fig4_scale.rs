@@ -1,0 +1,51 @@
+//! Figures 3 and 4 — scaling with the client population.
+//!
+//! Regenerates the scaled-down convergence panels and rounds-to-target
+//! table, then benchmarks one FedADMM round at increasing population sizes
+//! (with the participation fraction fixed at C = 0.1, as in the paper).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedadmm_bench::print_report;
+use fedadmm_core::prelude::*;
+use fedadmm_data::synthetic::SyntheticDataset;
+use fedadmm_experiments::common::Scale;
+use fedadmm_experiments::fig3_fig4;
+use fedadmm_nn::models::ModelSpec;
+
+fn bench_fig3_fig4(c: &mut Criterion) {
+    let report = fig3_fig4::run(Scale::Smoke).expect("fig3/fig4 smoke run succeeds");
+    print_report(&report);
+
+    let mut group = c.benchmark_group("fig3_one_fedadmm_round_vs_population");
+    group.sample_size(10);
+    for &clients in &[10usize, 20, 40] {
+        let config = FedConfig {
+            num_clients: clients,
+            participation: Participation::Fraction(0.1),
+            local_epochs: 2,
+            system_heterogeneity: true,
+            batch_size: BatchSize::Size(10),
+            local_learning_rate: 0.1,
+            model: ModelSpec::Mlp { input_dim: 784, hidden_dim: 16, num_classes: 10 },
+            seed: 5,
+            eval_subset: 200,
+        };
+        let (train, test) = SyntheticDataset::Fmnist.generate(clients * 20, 200, 5);
+        let partition = DataDistribution::NonIidShards.partition(&train, clients, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(clients), &clients, |bench, _| {
+            let mut sim = Simulation::new(
+                config,
+                train.clone(),
+                test.clone(),
+                partition.clone(),
+                FedAdmm::paper_default(),
+            )
+            .unwrap();
+            bench.iter(|| sim.run_round().unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3_fig4);
+criterion_main!(benches);

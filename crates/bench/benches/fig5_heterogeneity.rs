@@ -1,0 +1,34 @@
+//! Figure 5 — adaptability to heterogeneous data.
+//!
+//! Regenerates the rounds-to-target comparison with fixed FedADMM
+//! hyperparameters, then benchmarks one FedADMM round under IID vs non-IID
+//! client data (same data volume; the cost difference is dominated by batch
+//! structure, the accuracy difference by the label skew).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedadmm_bench::{print_report, smoke_simulation};
+use fedadmm_core::algorithms::FedAdmm;
+use fedadmm_core::prelude::DataDistribution;
+use fedadmm_experiments::common::Scale;
+use fedadmm_experiments::fig5;
+
+fn bench_fig5(c: &mut Criterion) {
+    let report = fig5::run(Scale::Smoke).expect("fig5 smoke run succeeds");
+    print_report(&report);
+
+    let mut group = c.benchmark_group("fig5_fedadmm_round_by_distribution");
+    group.sample_size(10);
+    for (label, distribution) in
+        [("iid", DataDistribution::Iid), ("non_iid", DataDistribution::NonIidShards)]
+    {
+        group.bench_function(label, |bench| {
+            let mut sim =
+                smoke_simulation(Box::new(FedAdmm::paper_default()), distribution, 9);
+            bench.iter(|| sim.run_round().unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

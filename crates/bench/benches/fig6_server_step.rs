@@ -1,0 +1,43 @@
+//! Figure 6 — server gathering step size η.
+//!
+//! Regenerates the η sweep (including the mid-run decrease), then
+//! benchmarks one FedADMM round per η value; the cost is η-independent, so
+//! the timing acts as a regression check that the step-size rule stays off
+//! the hot path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedadmm_bench::{print_report, smoke_simulation};
+use fedadmm_core::algorithms::{FedAdmm, ServerStepSize};
+use fedadmm_core::prelude::DataDistribution;
+use fedadmm_experiments::common::Scale;
+use fedadmm_experiments::fig6;
+
+fn bench_fig6(c: &mut Criterion) {
+    let report = fig6::run(Scale::Smoke).expect("fig6 smoke run succeeds");
+    print_report(&report);
+
+    let mut group = c.benchmark_group("fig6_fedadmm_round_by_eta");
+    group.sample_size(10);
+    for &eta in &fig6::ETAS {
+        group.bench_with_input(BenchmarkId::from_parameter(eta), &eta, |bench, &eta| {
+            let mut sim = smoke_simulation(
+                Box::new(FedAdmm::new(0.01, ServerStepSize::Constant(eta))),
+                DataDistribution::NonIidShards,
+                11,
+            );
+            bench.iter(|| sim.run_round().unwrap());
+        });
+    }
+    group.bench_function("participation_ratio", |bench| {
+        let mut sim = smoke_simulation(
+            Box::new(FedAdmm::new(0.01, ServerStepSize::ParticipationRatio)),
+            DataDistribution::NonIidShards,
+            11,
+        );
+        bench.iter(|| sim.run_round().unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Figure 8 — warm-start vs global-model local initialisation.
+//!
+//! Regenerates the comparison, then benchmarks one FedADMM round under each
+//! initialisation (the costs are identical; the accuracy difference is what
+//! the experiment report shows).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedadmm_bench::{print_report, smoke_simulation};
+use fedadmm_core::algorithms::{FedAdmm, LocalInit, ServerStepSize};
+use fedadmm_core::prelude::DataDistribution;
+use fedadmm_experiments::common::Scale;
+use fedadmm_experiments::fig8;
+
+fn bench_fig8(c: &mut Criterion) {
+    let report = fig8::run(Scale::Smoke).expect("fig8 smoke run succeeds");
+    print_report(&report);
+
+    let mut group = c.benchmark_group("fig8_fedadmm_round_by_local_init");
+    group.sample_size(10);
+    for (label, init) in [
+        ("warm_start_local_model", LocalInit::LocalModel),
+        ("restart_from_global", LocalInit::GlobalModel),
+    ] {
+        group.bench_function(label, |bench| {
+            let algorithm =
+                FedAdmm::new(0.01, ServerStepSize::Constant(1.0)).with_local_init(init);
+            let mut sim =
+                smoke_simulation(Box::new(algorithm), DataDistribution::NonIidShards, 17);
+            bench.iter(|| sim.run_round().unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

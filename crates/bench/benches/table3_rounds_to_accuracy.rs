@@ -1,0 +1,50 @@
+//! Table III — rounds to a target accuracy for all five algorithms.
+//!
+//! Regenerates the table at smoke scale (printed before the timings), then
+//! benchmarks one communication round of each algorithm under the MNIST-like
+//! non-IID setting — the per-round cost whose product with the table's round
+//! counts is the total training cost the paper argues about.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedadmm_bench::{bench_suite, print_report, smoke_simulation};
+use fedadmm_core::prelude::DataDistribution;
+use fedadmm_experiments::common::Scale;
+use fedadmm_experiments::table3;
+
+fn bench_table3(c: &mut Criterion) {
+    let report = table3::run(Scale::Smoke).expect("table3 smoke run succeeds");
+    print_report(&report);
+
+    let mut group = c.benchmark_group("table3_one_round_non_iid");
+    group.sample_size(10);
+    for (name, algorithm) in bench_suite() {
+        group.bench_function(name, |bench| {
+            let mut sim = smoke_simulation(algorithm.clone_boxed(), DataDistribution::NonIidShards, 1);
+            bench.iter(|| sim.run_round().unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// Helper trait to clone boxed algorithms for repeated bench setup.
+trait CloneBoxed {
+    fn clone_boxed(&self) -> Box<dyn fedadmm_core::algorithms::Algorithm>;
+}
+
+impl CloneBoxed for Box<dyn fedadmm_core::algorithms::Algorithm> {
+    fn clone_boxed(&self) -> Box<dyn fedadmm_core::algorithms::Algorithm> {
+        use fedadmm_core::algorithms::*;
+        // Rebuild by name — the bench suite only contains the standard five.
+        match self.name() {
+            "FedSGD" => Box::new(FedSgd::new(0.1)),
+            "FedADMM" => Box::new(FedAdmm::paper_default()),
+            "FedAvg" => Box::new(FedAvg::new()),
+            "FedProx" => Box::new(FedProx::new(0.1)),
+            "SCAFFOLD" => Box::new(Scaffold::new()),
+            other => panic!("unknown algorithm {other}"),
+        }
+    }
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

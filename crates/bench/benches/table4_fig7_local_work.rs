@@ -1,0 +1,51 @@
+//! Table IV / Figure 7 — the effect of the local epoch budget E.
+//!
+//! Regenerates the rounds-to-target-vs-E table, then benchmarks one FedADMM
+//! round at E ∈ {1, 5, 10}: the per-round cost grows with E (the paper's
+//! trade-off between local computation and communication rounds).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedadmm_bench::print_report;
+use fedadmm_core::prelude::*;
+use fedadmm_data::synthetic::SyntheticDataset;
+use fedadmm_experiments::common::Scale;
+use fedadmm_experiments::table4_fig7;
+use fedadmm_nn::models::ModelSpec;
+
+fn bench_table4(c: &mut Criterion) {
+    let report = table4_fig7::run(Scale::Smoke).expect("table4 smoke run succeeds");
+    print_report(&report);
+
+    let mut group = c.benchmark_group("table4_fedadmm_round_by_local_epochs");
+    group.sample_size(10);
+    for &epochs in &table4_fig7::EPOCH_BUDGETS {
+        let config = FedConfig {
+            num_clients: 10,
+            participation: Participation::Fraction(0.2),
+            local_epochs: epochs,
+            system_heterogeneity: false,
+            batch_size: BatchSize::Size(10),
+            local_learning_rate: 0.1,
+            model: ModelSpec::Mlp { input_dim: 784, hidden_dim: 16, num_classes: 10 },
+            seed: 13,
+            eval_subset: 200,
+        };
+        let (train, test) = SyntheticDataset::Mnist.generate(300, 200, 13);
+        let partition = DataDistribution::Iid.partition(&train, 10, 13);
+        group.bench_with_input(BenchmarkId::from_parameter(epochs), &epochs, |bench, _| {
+            let mut sim = Simulation::new(
+                config,
+                train.clone(),
+                test.clone(),
+                partition.clone(),
+                FedAdmm::paper_default(),
+            )
+            .unwrap();
+            bench.iter(|| sim.run_round().unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

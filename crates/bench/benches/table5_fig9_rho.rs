@@ -1,0 +1,47 @@
+//! Table V / Figure 9 — sensitivity to the proximal coefficient ρ.
+//!
+//! Regenerates the FedProx-ρ sweep against fixed-ρ FedADMM and the dynamic
+//! ρ schedule, then benchmarks one round of FedProx and FedADMM across ρ
+//! values (cost is ρ-independent; the experiment report shows the accuracy
+//! story).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedadmm_bench::{print_report, smoke_simulation};
+use fedadmm_core::algorithms::{FedAdmm, FedProx, ServerStepSize};
+use fedadmm_core::prelude::DataDistribution;
+use fedadmm_experiments::common::Scale;
+use fedadmm_experiments::table5_fig9;
+
+fn bench_table5(c: &mut Criterion) {
+    let report = table5_fig9::run(Scale::Smoke).expect("table5 smoke run succeeds");
+    print_report(&report);
+
+    let mut group = c.benchmark_group("table5_one_round_by_rho");
+    group.sample_size(10);
+    for &rho in &table5_fig9::PROX_RHOS {
+        group.bench_with_input(
+            BenchmarkId::new("FedProx", rho),
+            &rho,
+            |bench, &rho| {
+                let mut sim = smoke_simulation(
+                    Box::new(FedProx::new(rho)),
+                    DataDistribution::NonIidShards,
+                    19,
+                );
+                bench.iter(|| sim.run_round().unwrap());
+            },
+        );
+    }
+    group.bench_function("FedADMM_rho_0.01", |bench| {
+        let mut sim = smoke_simulation(
+            Box::new(FedAdmm::new(0.01, ServerStepSize::Constant(1.0))),
+            DataDistribution::NonIidShards,
+            19,
+        );
+        bench.iter(|| sim.run_round().unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table5);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Table VI / Figure 10 — imbalanced client data volumes.
+//!
+//! Regenerates the partition statistics and the best-accuracy comparison,
+//! then benchmarks one round of FedADMM and FedAvg under the imbalanced
+//! partition (rounds touch clients with very different data volumes, so the
+//! per-round cost has higher variance than in the balanced settings).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedadmm_bench::print_report;
+use fedadmm_core::prelude::*;
+use fedadmm_data::synthetic::SyntheticDataset;
+use fedadmm_experiments::common::Scale;
+use fedadmm_experiments::table6_fig10;
+
+fn bench_table6(c: &mut Criterion) {
+    let report = table6_fig10::run(Scale::Smoke).expect("table6 smoke run succeeds");
+    print_report(&report);
+
+    let setting = table6_fig10::imbalanced_setting(SyntheticDataset::Fmnist, Scale::Smoke);
+    let mut group = c.benchmark_group("table6_one_round_imbalanced");
+    group.sample_size(10);
+    group.bench_function("FedADMM", |bench| {
+        let mut sim = setting
+            .build_simulation(Box::new(FedAdmm::paper_default()))
+            .expect("imbalanced setting is valid");
+        bench.iter(|| sim.run_round().unwrap());
+    });
+    group.bench_function("FedAvg", |bench| {
+        let mut sim = setting
+            .build_simulation(Box::new(FedAvg::new()))
+            .expect("imbalanced setting is valid");
+        bench.iter(|| sim.run_round().unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table6);
+criterion_main!(benches);

@@ -1,0 +1,186 @@
+//! FedAvg (McMahan et al., AISTATS 2017) — the de-facto standard FL
+//! baseline.
+//!
+//! Each selected client initialises its model at the current global model
+//! θ, runs `E` epochs of local SGD on its own data, and uploads the
+//! resulting model; the server averages the uploaded models. The paper's
+//! Table I quotes its round complexity as
+//! `O(1/ε² · (m−S)/(mS) + G/ε^{3/2} + B²/ε)`, which depends on the data
+//! dissimilarity bound `B` and gradient bound `G` — the dependence FedADMM
+//! removes.
+
+use super::{total_upload, Algorithm, ClientMessage, ServerOutcome};
+use crate::client::ClientState;
+use crate::param::ParamVector;
+use crate::trainer::{local_sgd, LocalEnv};
+use fedadmm_tensor::TensorResult;
+
+/// The FedAvg algorithm.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FedAvg {
+    /// Whether the server weights client models by their sample counts
+    /// (`α_i = n_i/n`) instead of uniformly (`α_i = 1`). The paper uses
+    /// uniform weights in its experiments.
+    pub weighted_by_samples: bool,
+}
+
+impl FedAvg {
+    /// Creates FedAvg with uniform client weights (the paper's choice).
+    pub fn new() -> Self {
+        FedAvg { weighted_by_samples: false }
+    }
+
+    /// Creates FedAvg with sample-count-weighted aggregation.
+    pub fn weighted() -> Self {
+        FedAvg { weighted_by_samples: true }
+    }
+}
+
+impl Algorithm for FedAvg {
+    fn name(&self) -> &'static str {
+        "FedAvg"
+    }
+
+    fn supports_variable_work(&self) -> bool {
+        // The paper fixes FedAvg's local epochs to E ("in order to compare
+        // against baselines in their principal description").
+        false
+    }
+
+    fn client_update(
+        &self,
+        client: &mut ClientState,
+        global: &ParamVector,
+        env: &LocalEnv<'_>,
+    ) -> TensorResult<ClientMessage> {
+        // Local training always starts from the downloaded global model.
+        let result = local_sgd(env, global.as_slice(), |_, _| {})?;
+        client.times_selected += 1;
+        Ok(ClientMessage {
+            client_id: client.id,
+            num_samples: client.num_samples(),
+            payload: vec![ParamVector::from_vec(result.params)],
+            epochs_run: env.epochs,
+            samples_processed: result.samples_processed,
+        })
+    }
+
+    fn server_update(
+        &mut self,
+        global: &mut ParamVector,
+        messages: &[ClientMessage],
+        _num_clients: usize,
+        _rng: &mut dyn rand::RngCore,
+    ) -> ServerOutcome {
+        if messages.is_empty() {
+            return ServerOutcome { upload_floats: 0 };
+        }
+        let weights: Vec<f32> = if self.weighted_by_samples {
+            let total: usize = messages.iter().map(|m| m.num_samples).sum();
+            messages
+                .iter()
+                .map(|m| m.num_samples as f32 / total.max(1) as f32)
+                .collect()
+        } else {
+            vec![1.0 / messages.len() as f32; messages.len()]
+        };
+        global.set_zero();
+        for (msg, w) in messages.iter().zip(weights.iter()) {
+            global.axpy(*w, &msg.payload[0]);
+        }
+        ServerOutcome { upload_floats: total_upload(messages) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::Fixture;
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn server_averages_models_uniformly() {
+        let mut alg = FedAvg::new();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut global = ParamVector::zeros(3);
+        let messages = vec![
+            ClientMessage {
+                client_id: 0,
+                num_samples: 1,
+                payload: vec![ParamVector::from_vec(vec![1.0, 2.0, 3.0])],
+                epochs_run: 1,
+                samples_processed: 1,
+            },
+            ClientMessage {
+                client_id: 1,
+                num_samples: 99,
+                payload: vec![ParamVector::from_vec(vec![3.0, 4.0, 5.0])],
+                epochs_run: 1,
+                samples_processed: 99,
+            },
+        ];
+        let outcome = alg.server_update(&mut global, &messages, 10, &mut rng);
+        assert_eq!(global.as_slice(), &[2.0, 3.0, 4.0]);
+        assert_eq!(outcome.upload_floats, 6);
+    }
+
+    #[test]
+    fn weighted_aggregation_respects_sample_counts() {
+        let mut alg = FedAvg::weighted();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut global = ParamVector::zeros(1);
+        let messages = vec![
+            ClientMessage {
+                client_id: 0,
+                num_samples: 3,
+                payload: vec![ParamVector::from_vec(vec![0.0])],
+                epochs_run: 1,
+                samples_processed: 3,
+            },
+            ClientMessage {
+                client_id: 1,
+                num_samples: 1,
+                payload: vec![ParamVector::from_vec(vec![4.0])],
+                epochs_run: 1,
+                samples_processed: 1,
+            },
+        ];
+        alg.server_update(&mut global, &messages, 2, &mut rng);
+        assert_eq!(global.as_slice(), &[1.0]);
+    }
+
+    #[test]
+    fn empty_round_leaves_global_unchanged() {
+        let mut alg = FedAvg::new();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut global = ParamVector::from_vec(vec![1.0, 2.0]);
+        let outcome = alg.server_update(&mut global, &[], 10, &mut rng);
+        assert_eq!(global.as_slice(), &[1.0, 2.0]);
+        assert_eq!(outcome.upload_floats, 0);
+    }
+
+    #[test]
+    fn client_update_trains_and_uploads_model() {
+        let fixture = Fixture::new(2, 40, 0);
+        let theta = ParamVector::zeros(fixture.dim());
+        let mut clients = fixture.clients(&theta);
+        let alg = FedAvg::new();
+        let env = fixture.env(0, 2, 1);
+        let msg = alg.client_update(&mut clients[0], &theta, &env).unwrap();
+        assert_eq!(msg.payload.len(), 1);
+        assert_eq!(msg.payload[0].len(), fixture.dim());
+        // Training must move the model away from the all-zero initialisation.
+        assert!(msg.payload[0].norm() > 0.0);
+        assert_eq!(clients[0].times_selected, 1);
+        assert_eq!(msg.upload_floats(), alg.upload_floats_per_client(fixture.dim()));
+    }
+
+    #[test]
+    fn metadata() {
+        let alg = FedAvg::new();
+        assert_eq!(alg.name(), "FedAvg");
+        assert!(!alg.supports_variable_work());
+        assert!(!alg.requires_full_participation());
+    }
+}

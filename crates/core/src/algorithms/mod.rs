@@ -1,0 +1,271 @@
+//! Federated optimization algorithms.
+//!
+//! [`FedAdmm`] is the paper's contribution (Algorithm 1). The baselines it
+//! is evaluated against are implemented with the same interface so that the
+//! simulation engine and experiment harness can treat them uniformly:
+//!
+//! | Algorithm    | Local objective                     | Upload per client | Notes |
+//! |--------------|-------------------------------------|------------------:|-------|
+//! | [`FedSgd`]   | exact gradient at θ                 | `d`               | one server GD step per round |
+//! | [`FedAvg`]   | `f_i(w)`                            | `d`               | fixed `E` local epochs |
+//! | [`FedProx`]  | `f_i(w) + (ρ/2)‖w−θ‖²`              | `d`               | variable epochs, ρ needs tuning |
+//! | [`Scaffold`] | `f_i(w)` with control variates      | `2d`              | doubles upload cost |
+//! | [`FedAdmm`]  | `f_i(w) + y_iᵀ(w−θ) + (ρ/2)‖w−θ‖²`  | `d`               | dual variables, tracking server update |
+//! | [`FedPd`]    | augmented Lagrangian                | `d` (on comm rounds) | full participation, probabilistic communication |
+//!
+//! Table I of the paper compares their round complexities; the
+//! per-algorithm module documentation quotes the relevant row.
+
+mod fedadmm;
+mod fedadmm_inexact;
+mod fedavg;
+mod feddyn;
+mod fedpd;
+mod fedprox;
+mod fedsgd;
+mod scaffold;
+mod server_opt;
+
+pub use fedadmm::{FedAdmm, LocalInit, ServerStepSize};
+pub use fedadmm_inexact::FedAdmmInexact;
+pub use fedavg::FedAvg;
+pub use feddyn::FedDyn;
+pub use fedpd::FedPd;
+pub use fedprox::FedProx;
+pub use fedsgd::FedSgd;
+pub use scaffold::Scaffold;
+pub use server_opt::{FedOpt, ServerOptimizer};
+
+use crate::client::ClientState;
+use crate::param::ParamVector;
+use crate::trainer::LocalEnv;
+use fedadmm_tensor::TensorResult;
+
+/// The message a selected client uploads to the server at the end of a
+/// round.
+#[derive(Debug, Clone)]
+pub struct ClientMessage {
+    /// Which client produced the message.
+    pub client_id: usize,
+    /// Number of samples held by the client (used by weighted aggregation).
+    pub num_samples: usize,
+    /// The uploaded vectors. Most algorithms upload a single vector in ℝ^d;
+    /// SCAFFOLD uploads two (`Δw` and `Δc`), which is exactly why its
+    /// communication cost per round is double (Section III-B).
+    pub payload: Vec<ParamVector>,
+    /// Local epochs actually run (computation accounting).
+    pub epochs_run: usize,
+    /// Samples processed during local training (computation accounting).
+    pub samples_processed: usize,
+}
+
+impl ClientMessage {
+    /// Number of floats this message uploads to the server.
+    pub fn upload_floats(&self) -> usize {
+        self.payload.iter().map(|p| p.len()).sum()
+    }
+}
+
+/// What the server did with the round's messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerOutcome {
+    /// Floats uploaded from clients to the server this round. For most
+    /// algorithms this is `Σ_i upload_floats(message_i)`; FedPD uploads
+    /// nothing on its non-communication rounds.
+    pub upload_floats: usize,
+}
+
+/// A federated optimization algorithm.
+///
+/// The simulation engine drives each round as:
+/// 1. select `S_t` (respecting [`Algorithm::requires_full_participation`]),
+/// 2. call [`Algorithm::client_update`] for every selected client (in
+///    parallel — the method takes `&self` so algorithm-global state is
+///    read-only during local training),
+/// 3. call [`Algorithm::server_update`] with the collected messages.
+pub trait Algorithm: Send + Sync {
+    /// Algorithm name as used in the paper's tables ("FedADMM", "FedAvg"…).
+    fn name(&self) -> &'static str;
+
+    /// Called once before the first round with the model dimension `d` and
+    /// the client population size `m`. Algorithms that keep server-side
+    /// state (SCAFFOLD's control variate) allocate it here.
+    fn init(&mut self, _dim: usize, _num_clients: usize) {}
+
+    /// Whether this algorithm requires every client to participate in every
+    /// round (true only for FedPD among the implemented methods).
+    fn requires_full_participation(&self) -> bool {
+        false
+    }
+
+    /// Whether this algorithm applies system heterogeneity (variable local
+    /// epochs) under the paper's protocol. FedAvg and SCAFFOLD run the fixed
+    /// maximum `E`; FedADMM, FedProx and FedPD tolerate variable work.
+    fn supports_variable_work(&self) -> bool {
+        true
+    }
+
+    /// Upload cost in floats per selected client and round, for a model of
+    /// dimension `d`.
+    fn upload_floats_per_client(&self, dim: usize) -> usize {
+        dim
+    }
+
+    /// Local update of one selected client: trains on the client's data
+    /// starting from (its view of) the global model `global`, mutates the
+    /// client's persistent state, and returns the upload message.
+    fn client_update(
+        &self,
+        client: &mut ClientState,
+        global: &ParamVector,
+        env: &LocalEnv<'_>,
+    ) -> TensorResult<ClientMessage>;
+
+    /// Server aggregation: consumes the round's messages and updates the
+    /// global model in place.
+    fn server_update(
+        &mut self,
+        global: &mut ParamVector,
+        messages: &[ClientMessage],
+        num_clients: usize,
+        rng: &mut dyn rand::RngCore,
+    ) -> ServerOutcome;
+}
+
+impl Algorithm for Box<dyn Algorithm> {
+    fn name(&self) -> &'static str {
+        self.as_ref().name()
+    }
+    fn init(&mut self, dim: usize, num_clients: usize) {
+        self.as_mut().init(dim, num_clients)
+    }
+    fn requires_full_participation(&self) -> bool {
+        self.as_ref().requires_full_participation()
+    }
+    fn supports_variable_work(&self) -> bool {
+        self.as_ref().supports_variable_work()
+    }
+    fn upload_floats_per_client(&self, dim: usize) -> usize {
+        self.as_ref().upload_floats_per_client(dim)
+    }
+    fn client_update(
+        &self,
+        client: &mut ClientState,
+        global: &ParamVector,
+        env: &LocalEnv<'_>,
+    ) -> TensorResult<ClientMessage> {
+        self.as_ref().client_update(client, global, env)
+    }
+    fn server_update(
+        &mut self,
+        global: &mut ParamVector,
+        messages: &[ClientMessage],
+        num_clients: usize,
+        rng: &mut dyn rand::RngCore,
+    ) -> ServerOutcome {
+        self.as_mut().server_update(global, messages, num_clients, rng)
+    }
+}
+
+/// Sums the payload upload sizes of a round's messages (shared by the
+/// simple algorithms' `server_update` implementations).
+pub(crate) fn total_upload(messages: &[ClientMessage]) -> usize {
+    messages.iter().map(|m| m.upload_floats()).sum()
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared fixtures for algorithm unit tests.
+
+    use crate::client::ClientState;
+    use crate::param::ParamVector;
+    use crate::trainer::LocalEnv;
+    use fedadmm_data::batching::BatchSize;
+    use fedadmm_data::synthetic::SyntheticDataset;
+    use fedadmm_data::Dataset;
+    use fedadmm_nn::models::ModelSpec;
+
+    /// A small, fast test fixture: a logistic model on a tiny synthetic
+    /// MNIST-like dataset split across a few clients.
+    pub struct Fixture {
+        /// The training dataset shared by all clients.
+        pub train: Dataset,
+        /// Held-out test dataset.
+        pub test: Dataset,
+        /// The model specification used by all clients.
+        pub model: ModelSpec,
+        /// Per-client index lists.
+        pub client_indices: Vec<Vec<usize>>,
+    }
+
+    impl Fixture {
+        /// Builds the fixture with `clients` clients and `per_client`
+        /// samples per client.
+        pub fn new(clients: usize, per_client: usize, seed: u64) -> Self {
+            let (train, test) = SyntheticDataset::Mnist.generate(clients * per_client, 50, seed);
+            let client_indices: Vec<Vec<usize>> = (0..clients)
+                .map(|c| (c * per_client..(c + 1) * per_client).collect())
+                .collect();
+            Fixture {
+                train,
+                test,
+                model: ModelSpec::Logistic { input_dim: 784, num_classes: 10 },
+                client_indices,
+            }
+        }
+
+        /// Model dimension `d`.
+        pub fn dim(&self) -> usize {
+            self.model.num_params()
+        }
+
+        /// Fresh per-client state, all starting from `theta`.
+        pub fn clients(&self, theta: &ParamVector) -> Vec<ClientState> {
+            self.client_indices
+                .iter()
+                .enumerate()
+                .map(|(i, idx)| ClientState::new(i, idx.clone(), theta))
+                .collect()
+        }
+
+        /// A `LocalEnv` for client `i`.
+        pub fn env<'a>(&'a self, client: usize, epochs: usize, seed: u64) -> LocalEnv<'a> {
+            LocalEnv {
+                dataset: &self.train,
+                indices: &self.client_indices[client],
+                model: self.model,
+                epochs,
+                batch_size: BatchSize::Size(16),
+                learning_rate: 0.1,
+                seed,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn client_message_upload_floats_counts_all_payloads() {
+        let msg = ClientMessage {
+            client_id: 0,
+            num_samples: 5,
+            payload: vec![ParamVector::zeros(10), ParamVector::zeros(10)],
+            epochs_run: 1,
+            samples_processed: 5,
+        };
+        assert_eq!(msg.upload_floats(), 20);
+        assert_eq!(total_upload(&[msg.clone(), msg]), 40);
+    }
+
+    #[test]
+    fn boxed_algorithm_delegates() {
+        let mut alg: Box<dyn Algorithm> = Box::new(FedAvg::new());
+        assert_eq!(alg.name(), "FedAvg");
+        assert_eq!(alg.upload_floats_per_client(100), 100);
+        assert!(!alg.requires_full_participation());
+        alg.init(10, 5);
+    }
+}

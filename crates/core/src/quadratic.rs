@@ -1,0 +1,785 @@
+//! A quadratic consensus substrate for verifying the paper's analysis.
+//!
+//! The convergence proof (Section VII) is stated for general smooth losses,
+//! but its quantities — the aggregated augmented Lagrangian `L`, the
+//! optimality gap `V_t` of equation (7), the lower bound of Lemma 3, and the
+//! Theorem 1 constants — are hard to check numerically against a neural
+//! network because `f*` and the smoothness constant `L` are unknown. This
+//! module instantiates problem (2) with *quadratic* local losses
+//!
+//! ```text
+//! f_i(w) = ½ wᵀ A_i w − b_iᵀ w,     A_i ≻ 0,
+//! ```
+//!
+//! for which everything is available in closed form:
+//!
+//! * the smoothness constant is `L = max_i λ_max(A_i)`;
+//! * the global optimum solves `(Σ A_i) w* = Σ b_i`;
+//! * the augmented-Lagrangian subproblem (3) has the exact minimiser
+//!   `(A_i + ρI) w = b_i − y_i + ρθ`, so the "exact local solve" regime of
+//!   randomized ADMM (and the `ε_i → 0` limit of FedADMM) can be simulated
+//!   without any optimisation error.
+//!
+//! [`QuadraticFedAdmm`] runs Algorithm 1 on such a problem with arbitrary
+//! participation, records `V_t`, the Lagrangian, the consensus violation and
+//! the KKT residual `‖Σ_i y_i‖`, and is used by the integration tests to
+//! verify Lemma 3, Theorem 1 and the stationarity conditions of Section
+//! III-A.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+// ---------------------------------------------------------------------------
+// Small dense f64 linear algebra (row-major), local to this module.
+// ---------------------------------------------------------------------------
+
+fn matvec(a: &[f64], x: &[f64], d: usize) -> Vec<f64> {
+    let mut y = vec![0.0; d];
+    for (i, yi) in y.iter_mut().enumerate() {
+        let row = &a[i * d..(i + 1) * d];
+        *yi = row.iter().zip(x.iter()).map(|(aij, xj)| aij * xj).sum();
+    }
+    y
+}
+
+/// Solves `A x = rhs` by Gaussian elimination with partial pivoting.
+/// Panics if the system is numerically singular (never the case for the SPD
+/// matrices generated here).
+fn solve(a: &[f64], rhs: &[f64], d: usize) -> Vec<f64> {
+    let mut m = a.to_vec();
+    let mut x = rhs.to_vec();
+    for col in 0..d {
+        // Pivot.
+        let mut pivot = col;
+        for row in (col + 1)..d {
+            if m[row * d + col].abs() > m[pivot * d + col].abs() {
+                pivot = row;
+            }
+        }
+        assert!(m[pivot * d + col].abs() > 1e-12, "singular matrix in quadratic substrate");
+        if pivot != col {
+            for k in 0..d {
+                m.swap(col * d + k, pivot * d + k);
+            }
+            x.swap(col, pivot);
+        }
+        // Eliminate.
+        let diag = m[col * d + col];
+        for row in (col + 1)..d {
+            let factor = m[row * d + col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..d {
+                m[row * d + k] -= factor * m[col * d + k];
+            }
+            x[row] -= factor * x[col];
+        }
+    }
+    // Back substitution.
+    for col in (0..d).rev() {
+        let mut sum = x[col];
+        for k in (col + 1)..d {
+            sum -= m[col * d + k] * x[k];
+        }
+        x[col] = sum / m[col * d + col];
+    }
+    x
+}
+
+fn norm(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+fn norm_sq(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum()
+}
+
+fn dot(x: &[f64], y: &[f64]) -> f64 {
+    x.iter().zip(y.iter()).map(|(a, b)| a * b).sum()
+}
+
+/// Builds a random `d × d` orthogonal matrix by modified Gram–Schmidt on a
+/// random Gaussian matrix.
+fn random_orthogonal(d: usize, rng: &mut SmallRng) -> Vec<f64> {
+    let mut q: Vec<Vec<f64>> = Vec::with_capacity(d);
+    for _ in 0..d {
+        let mut v: Vec<f64> = (0..d).map(|_| standard_normal(rng)).collect();
+        for prev in &q {
+            let proj = dot(&v, prev);
+            for (vi, pi) in v.iter_mut().zip(prev.iter()) {
+                *vi -= proj * pi;
+            }
+        }
+        let n = norm(&v);
+        // A random Gaussian vector is almost surely not in the span of the
+        // previous ones; renormalise (fall back to a canonical basis vector
+        // in the measure-zero degenerate case).
+        if n < 1e-9 {
+            v = vec![0.0; d];
+            v[q.len()] = 1.0;
+        } else {
+            for vi in v.iter_mut() {
+                *vi /= n;
+            }
+        }
+        q.push(v);
+    }
+    let mut flat = vec![0.0; d * d];
+    for (i, row) in q.iter().enumerate() {
+        flat[i * d..(i + 1) * d].copy_from_slice(row);
+    }
+    flat
+}
+
+fn standard_normal(rng: &mut SmallRng) -> f64 {
+    // Box–Muller; good enough for generating test problems.
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+// ---------------------------------------------------------------------------
+// Problem definition.
+// ---------------------------------------------------------------------------
+
+/// One client's quadratic loss `f_i(w) = ½ wᵀ A_i w − b_iᵀ w`.
+#[derive(Debug, Clone)]
+pub struct QuadraticClientLoss {
+    a: Vec<f64>,
+    b: Vec<f64>,
+    dim: usize,
+    eig_max: f64,
+}
+
+impl QuadraticClientLoss {
+    /// Builds the loss from an explicit SPD matrix (row-major, `dim × dim`)
+    /// and linear term.
+    pub fn new(a: Vec<f64>, b: Vec<f64>, eig_max: f64) -> Self {
+        let dim = b.len();
+        assert_eq!(a.len(), dim * dim, "A must be dim × dim");
+        assert!(eig_max > 0.0);
+        QuadraticClientLoss { a, b, dim, eig_max }
+    }
+
+    /// `f_i(w)`.
+    pub fn value(&self, w: &[f64]) -> f64 {
+        let aw = matvec(&self.a, w, self.dim);
+        0.5 * dot(w, &aw) - dot(&self.b, w)
+    }
+
+    /// `∇f_i(w) = A_i w − b_i`.
+    pub fn grad(&self, w: &[f64]) -> Vec<f64> {
+        let mut g = matvec(&self.a, w, self.dim);
+        for (gi, bi) in g.iter_mut().zip(self.b.iter()) {
+            *gi -= bi;
+        }
+        g
+    }
+
+    /// The exact minimiser of the augmented Lagrangian subproblem (3):
+    /// `argmin_w f_i(w) + yᵀ(w − θ) + (ρ/2)‖w − θ‖²`, i.e. the solution of
+    /// `(A_i + ρ I) w = b_i − y + ρ θ`.
+    pub fn admm_minimizer(&self, dual: &[f64], theta: &[f64], rho: f64) -> Vec<f64> {
+        let d = self.dim;
+        let mut m = self.a.clone();
+        for i in 0..d {
+            m[i * d + i] += rho;
+        }
+        let rhs: Vec<f64> = (0..d).map(|j| self.b[j] - dual[j] + rho * theta[j]).collect();
+        solve(&m, &rhs, d)
+    }
+
+    /// Smoothness constant of this client: `λ_max(A_i)`.
+    pub fn lipschitz(&self) -> f64 {
+        self.eig_max
+    }
+
+    /// Unconstrained local minimiser `A_i^{-1} b_i` (each client's own
+    /// optimum — the point local training drifts towards without the
+    /// proximal/dual safeguards).
+    pub fn local_optimum(&self) -> Vec<f64> {
+        solve(&self.a, &self.b, self.dim)
+    }
+}
+
+/// A federated quadratic consensus problem: `m` clients, each with its own
+/// SPD quadratic.
+#[derive(Debug, Clone)]
+pub struct QuadraticProblem {
+    clients: Vec<QuadraticClientLoss>,
+    dim: usize,
+}
+
+/// Configuration for [`QuadraticProblem::random`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuadraticConfig {
+    /// Number of clients `m`.
+    pub num_clients: usize,
+    /// Problem dimension `d`.
+    pub dim: usize,
+    /// Smallest eigenvalue of every `A_i`.
+    pub eig_min: f64,
+    /// Largest eigenvalue of every `A_i` (the smoothness constant `L`).
+    pub eig_max: f64,
+    /// Scale of the spread of the clients' linear terms `b_i`; larger values
+    /// put the local optima further apart (statistical heterogeneity).
+    pub heterogeneity: f64,
+}
+
+impl Default for QuadraticConfig {
+    fn default() -> Self {
+        QuadraticConfig { num_clients: 20, dim: 10, eig_min: 0.5, eig_max: 2.0, heterogeneity: 1.0 }
+    }
+}
+
+impl QuadraticProblem {
+    /// Builds a problem from explicit client losses.
+    pub fn new(clients: Vec<QuadraticClientLoss>) -> Self {
+        assert!(!clients.is_empty(), "a federated problem needs at least one client");
+        let dim = clients[0].dim;
+        assert!(clients.iter().all(|c| c.dim == dim), "all clients must share the dimension");
+        QuadraticProblem { clients, dim }
+    }
+
+    /// Generates a random problem: each `A_i = Qᵢ diag(λ) Qᵢᵀ` with
+    /// eigenvalues spread uniformly in `[eig_min, eig_max]`, and each
+    /// `b_i` Gaussian with standard deviation `heterogeneity`.
+    pub fn random(config: QuadraticConfig, seed: u64) -> Self {
+        assert!(config.eig_min > 0.0 && config.eig_max >= config.eig_min);
+        assert!(config.num_clients >= 1 && config.dim >= 1);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let d = config.dim;
+        let clients = (0..config.num_clients)
+            .map(|_| {
+                let q = random_orthogonal(d, &mut rng);
+                // Eigenvalues spread across the full [eig_min, eig_max]
+                // range, with the endpoints always present so that L is
+                // exactly eig_max.
+                let eigs: Vec<f64> = (0..d)
+                    .map(|j| {
+                        if d == 1 {
+                            config.eig_max
+                        } else {
+                            config.eig_min
+                                + (config.eig_max - config.eig_min) * j as f64 / (d - 1) as f64
+                        }
+                    })
+                    .collect();
+                // A = Qᵀ diag(eigs) Q  (rows of `q` are the eigenvectors).
+                let mut a = vec![0.0; d * d];
+                for (k, &lambda) in eigs.iter().enumerate() {
+                    let row = &q[k * d..(k + 1) * d];
+                    for i in 0..d {
+                        for j in 0..d {
+                            a[i * d + j] += lambda * row[i] * row[j];
+                        }
+                    }
+                }
+                let b: Vec<f64> =
+                    (0..d).map(|_| config.heterogeneity * standard_normal(&mut rng)).collect();
+                QuadraticClientLoss::new(a, b, config.eig_max)
+            })
+            .collect();
+        QuadraticProblem { clients, dim: d }
+    }
+
+    /// Number of clients `m`.
+    pub fn num_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Problem dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Access to the per-client losses.
+    pub fn clients(&self) -> &[QuadraticClientLoss] {
+        &self.clients
+    }
+
+    /// The smoothness constant `L = max_i λ_max(A_i)` of assumption 1.
+    pub fn lipschitz(&self) -> f64 {
+        self.clients.iter().map(|c| c.lipschitz()).fold(0.0, f64::max)
+    }
+
+    /// The global objective `Σ_i f_i(w)`.
+    pub fn objective(&self, w: &[f64]) -> f64 {
+        self.clients.iter().map(|c| c.value(w)).sum()
+    }
+
+    /// `‖Σ_i ∇f_i(w)‖` — the stationarity residual of problem (1).
+    pub fn stationarity_residual(&self, w: &[f64]) -> f64 {
+        let mut g = vec![0.0; self.dim];
+        for c in &self.clients {
+            for (gi, ci) in g.iter_mut().zip(c.grad(w).iter()) {
+                *gi += ci;
+            }
+        }
+        norm(&g)
+    }
+
+    /// The unique global optimum `w* = (Σ A_i)^{-1} Σ b_i`.
+    pub fn global_optimum(&self) -> Vec<f64> {
+        let d = self.dim;
+        let mut a_sum = vec![0.0; d * d];
+        let mut b_sum = vec![0.0; d];
+        for c in &self.clients {
+            for (s, v) in a_sum.iter_mut().zip(c.a.iter()) {
+                *s += v;
+            }
+            for (s, v) in b_sum.iter_mut().zip(c.b.iter()) {
+                *s += v;
+            }
+        }
+        solve(&a_sum, &b_sum, d)
+    }
+
+    /// The lower bound `f* = Σ_i f_i(w*)` of assumption 2 (tight for
+    /// quadratics).
+    pub fn f_star(&self) -> f64 {
+        self.objective(&self.global_optimum())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FedADMM on the quadratic problem.
+// ---------------------------------------------------------------------------
+
+/// Per-round diagnostics of a quadratic FedADMM run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuadraticRoundRecord {
+    /// Round index `t`.
+    pub round: usize,
+    /// The optimality gap `V_t` of equation (7).
+    pub optimality_gap: f64,
+    /// The aggregated augmented Lagrangian `L(w^t, y^t, θ^t)`.
+    pub lagrangian: f64,
+    /// Σ_i ‖w_i − θ‖² — the consensus violation.
+    pub consensus_sq: f64,
+    /// ‖Σ_i y_i‖ — the KKT residual (zero at a stationary point of (2)).
+    pub dual_sum_norm: f64,
+    /// ‖θ − w*‖ — distance of the global model to the true optimum.
+    pub dist_to_optimum: f64,
+    /// ‖Σ_i ∇f_i(θ)‖ — the stationarity residual of the original problem (1).
+    pub stationarity: f64,
+    /// Number of clients selected this round.
+    pub num_selected: usize,
+}
+
+/// FedADMM (Algorithm 1) specialised to the quadratic substrate, with exact
+/// or inexact local solves.
+#[derive(Debug, Clone)]
+pub struct QuadraticFedAdmm {
+    problem: QuadraticProblem,
+    /// Proximal coefficient ρ.
+    pub rho: f64,
+    /// Server step size η; `None` means the analysed choice η = |S_t|/m.
+    pub eta: Option<f64>,
+    /// Per-client inexactness `ε_i`: when positive, the exact minimiser is
+    /// perturbed so that `‖∇L_i‖² ≈ ε_i` (used to probe the ε_max floor of
+    /// Theorem 1). Zero gives exact solves.
+    pub epsilon: f64,
+    locals: Vec<Vec<f64>>,
+    duals: Vec<Vec<f64>>,
+    theta: Vec<f64>,
+    round: usize,
+}
+
+impl QuadraticFedAdmm {
+    /// Initialises Algorithm 1 on `problem` with `w_i^0 = θ^0 = 0` and
+    /// `y_i^0 = 0` (the paper's initialisation).
+    pub fn new(problem: QuadraticProblem, rho: f64) -> Self {
+        assert!(rho > 0.0, "FedADMM requires a positive proximal coefficient ρ");
+        let d = problem.dim();
+        let m = problem.num_clients();
+        QuadraticFedAdmm {
+            problem,
+            rho,
+            eta: None,
+            epsilon: 0.0,
+            locals: vec![vec![0.0; d]; m],
+            duals: vec![vec![0.0; d]; m],
+            theta: vec![0.0; d],
+            round: 0,
+        }
+    }
+
+    /// Uses a constant server step size instead of η = |S_t|/m.
+    pub fn with_eta(mut self, eta: f64) -> Self {
+        assert!(eta > 0.0);
+        self.eta = Some(eta);
+        self
+    }
+
+    /// Sets the local inexactness level `ε_i ≡ ε`.
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        assert!(epsilon >= 0.0);
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// The underlying problem.
+    pub fn problem(&self) -> &QuadraticProblem {
+        &self.problem
+    }
+
+    /// The current global model θ.
+    pub fn theta(&self) -> &[f64] {
+        &self.theta
+    }
+
+    /// The current dual variables.
+    pub fn duals(&self) -> &[Vec<f64>] {
+        &self.duals
+    }
+
+    /// The current local models.
+    pub fn locals(&self) -> &[Vec<f64>] {
+        &self.locals
+    }
+
+    /// The aggregated augmented Lagrangian `L(w, y, θ) = Σ_i L_i`.
+    pub fn lagrangian(&self) -> f64 {
+        let mut total = 0.0;
+        for i in 0..self.problem.num_clients() {
+            let w = &self.locals[i];
+            let diff: Vec<f64> = w.iter().zip(self.theta.iter()).map(|(a, b)| a - b).collect();
+            total += self.problem.clients()[i].value(w)
+                + dot(&self.duals[i], &diff)
+                + 0.5 * self.rho * norm_sq(&diff);
+        }
+        total
+    }
+
+    /// The optimality gap `V_t` of equation (7).
+    pub fn optimality_gap(&self) -> f64 {
+        let d = self.problem.dim();
+        // ∇_θ L = Σ_i (−y_i − ρ(w_i − θ)).
+        let mut grad_theta = vec![0.0; d];
+        let mut sum_grad_w = 0.0;
+        let mut consensus = 0.0;
+        for i in 0..self.problem.num_clients() {
+            let w = &self.locals[i];
+            let y = &self.duals[i];
+            let mut grad_w = self.problem.clients()[i].grad(w);
+            for j in 0..d {
+                let diff = w[j] - self.theta[j];
+                grad_w[j] += y[j] + self.rho * diff;
+                grad_theta[j] += -y[j] - self.rho * diff;
+                consensus += diff * diff;
+            }
+            sum_grad_w += norm_sq(&grad_w);
+        }
+        norm_sq(&grad_theta) + sum_grad_w + consensus
+    }
+
+    /// Runs one round with the given set of selected clients and returns the
+    /// diagnostics *after* the server update.
+    pub fn run_round_with(&mut self, selected: &[usize]) -> QuadraticRoundRecord {
+        assert!(!selected.is_empty(), "a round needs at least one selected client");
+        let d = self.problem.dim();
+        let m = self.problem.num_clients();
+        let mut delta_sum = vec![0.0; d];
+        for &i in selected {
+            assert!(i < m, "selected client {i} out of range");
+            let old_aug: Vec<f64> = (0..d)
+                .map(|j| self.locals[i][j] + self.duals[i][j] / self.rho)
+                .collect();
+            // Exact subproblem solve, optionally perturbed to inexactness ε.
+            let mut w_new =
+                self.problem.clients()[i].admm_minimizer(&self.duals[i], &self.theta, self.rho);
+            if self.epsilon > 0.0 {
+                // ∇L_i is (A_i + ρI)(w − w_exact); perturbing along e_0 by
+                // δ gives ‖∇L_i‖ ≤ (L + ρ)δ, so δ = √ε / (L + ρ) keeps
+                // ‖∇L_i‖² ≤ ε.
+                let delta =
+                    self.epsilon.sqrt() / (self.problem.clients()[i].lipschitz() + self.rho);
+                w_new[0] += delta;
+            }
+            // Dual update (line 20).
+            for j in 0..d {
+                self.duals[i][j] += self.rho * (w_new[j] - self.theta[j]);
+            }
+            self.locals[i] = w_new;
+            // Update message (equation 4).
+            for j in 0..d {
+                let new_aug = self.locals[i][j] + self.duals[i][j] / self.rho;
+                delta_sum[j] += new_aug - old_aug[j];
+            }
+        }
+        // Server tracking update (equation 5).
+        let eta = self.eta.unwrap_or(selected.len() as f64 / m as f64);
+        let scale = eta / selected.len() as f64;
+        for j in 0..d {
+            self.theta[j] += scale * delta_sum[j];
+        }
+
+        let record = self.record(selected.len());
+        self.round += 1;
+        record
+    }
+
+    /// Runs one round with `num_selected` clients chosen uniformly at random.
+    pub fn run_round(&mut self, num_selected: usize, rng: &mut SmallRng) -> QuadraticRoundRecord {
+        let m = self.problem.num_clients();
+        let k = num_selected.clamp(1, m);
+        let mut ids: Vec<usize> = (0..m).collect();
+        ids.shuffle(rng);
+        ids.truncate(k);
+        self.run_round_with(&ids)
+    }
+
+    /// Runs `rounds` rounds with uniform-random participation of
+    /// `num_selected` clients per round.
+    pub fn run(
+        &mut self,
+        rounds: usize,
+        num_selected: usize,
+        seed: u64,
+    ) -> Vec<QuadraticRoundRecord> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..rounds).map(|_| self.run_round(num_selected, &mut rng)).collect()
+    }
+
+    fn record(&self, num_selected: usize) -> QuadraticRoundRecord {
+        let w_star = self.problem.global_optimum();
+        let dist: f64 = self
+            .theta
+            .iter()
+            .zip(w_star.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        let mut dual_sum = vec![0.0; self.problem.dim()];
+        let mut consensus = 0.0;
+        for i in 0..self.problem.num_clients() {
+            for j in 0..self.problem.dim() {
+                dual_sum[j] += self.duals[i][j];
+                let diff = self.locals[i][j] - self.theta[j];
+                consensus += diff * diff;
+            }
+        }
+        QuadraticRoundRecord {
+            round: self.round,
+            optimality_gap: self.optimality_gap(),
+            lagrangian: self.lagrangian(),
+            consensus_sq: consensus,
+            dual_sum_norm: norm(&dual_sum),
+            dist_to_optimum: dist,
+            stationarity: self.problem.stationarity_residual(&self.theta),
+            num_selected,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_problem(seed: u64) -> QuadraticProblem {
+        QuadraticProblem::random(
+            QuadraticConfig { num_clients: 8, dim: 6, eig_min: 0.5, eig_max: 2.0, heterogeneity: 1.0 },
+            seed,
+        )
+    }
+
+    #[test]
+    fn generated_matrices_are_spd_with_prescribed_spectrum() {
+        let p = small_problem(0);
+        for c in p.clients() {
+            // Rayleigh quotients of random vectors must lie in [eig_min, eig_max].
+            let mut rng = SmallRng::seed_from_u64(1);
+            for _ in 0..20 {
+                let v: Vec<f64> = (0..p.dim()).map(|_| standard_normal(&mut rng)).collect();
+                let av = matvec(&c.a, &v, p.dim());
+                let rayleigh = dot(&v, &av) / norm_sq(&v);
+                assert!(rayleigh >= 0.5 - 1e-6 && rayleigh <= 2.0 + 1e-6, "rayleigh {rayleigh}");
+            }
+        }
+        assert!((p.lipschitz() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn global_optimum_is_stationary_for_the_sum() {
+        let p = small_problem(1);
+        let w_star = p.global_optimum();
+        assert!(p.stationarity_residual(&w_star) < 1e-8);
+        // And it minimises the sum: any perturbation increases the objective.
+        let f_star = p.objective(&w_star);
+        let mut perturbed = w_star.clone();
+        perturbed[0] += 0.1;
+        assert!(p.objective(&perturbed) > f_star);
+    }
+
+    #[test]
+    fn admm_minimizer_is_stationary_for_the_augmented_lagrangian() {
+        let p = small_problem(2);
+        let c = &p.clients()[0];
+        let theta = vec![0.3; p.dim()];
+        let dual = vec![-0.2; p.dim()];
+        let rho = 1.5;
+        let w = c.admm_minimizer(&dual, &theta, rho);
+        // ∇L_i(w) = A w − b + y + ρ(w − θ) must vanish.
+        let mut g = c.grad(&w);
+        for j in 0..p.dim() {
+            g[j] += dual[j] + rho * (w[j] - theta[j]);
+        }
+        assert!(norm(&g) < 1e-8, "gradient norm {}", norm(&g));
+    }
+
+    #[test]
+    fn local_optimum_differs_from_global_under_heterogeneity() {
+        let p = small_problem(3);
+        let w_star = p.global_optimum();
+        let local = p.clients()[0].local_optimum();
+        let dist: f64 =
+            w_star.iter().zip(local.iter()).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+        assert!(dist > 1e-3, "heterogeneous clients must have distinct optima");
+    }
+
+    #[test]
+    fn full_participation_exact_solves_converge_to_the_optimum() {
+        let p = small_problem(4);
+        let m = p.num_clients();
+        let rho = crate::theory::min_rho(p.lipschitz()) * 1.5;
+        let mut admm = QuadraticFedAdmm::new(p, rho);
+        let records = admm.run(200, m, 7);
+        let last = records.last().unwrap();
+        assert!(last.dist_to_optimum < 1e-4, "distance {}", last.dist_to_optimum);
+        assert!(last.optimality_gap < 1e-6, "V_t = {}", last.optimality_gap);
+        assert!(last.dual_sum_norm < 1e-4, "KKT residual {}", last.dual_sum_norm);
+    }
+
+    #[test]
+    fn partial_participation_also_converges() {
+        let p = small_problem(5);
+        let rho = crate::theory::min_rho(p.lipschitz()) * 1.5;
+        let mut admm = QuadraticFedAdmm::new(p, rho);
+        // 25% participation — the regime the paper targets.
+        let records = admm.run(600, 2, 11);
+        let last = records.last().unwrap();
+        assert!(
+            last.dist_to_optimum < 1e-2,
+            "distance after partial-participation run: {}",
+            last.dist_to_optimum
+        );
+        assert!(last.optimality_gap < records[0].optimality_gap);
+    }
+
+    #[test]
+    fn lagrangian_decreases_monotonically_under_full_participation() {
+        // Inequality (31) of the proof: with exact solves and full
+        // participation the expected (here: deterministic) decrement is
+        // non-negative once ρ > (1 + √5)L.
+        let p = small_problem(6);
+        let m = p.num_clients();
+        let rho = crate::theory::min_rho(p.lipschitz()) * 1.2;
+        let mut admm = QuadraticFedAdmm::new(p, rho);
+        let records = admm.run(50, m, 13);
+        for pair in records.windows(2) {
+            assert!(
+                pair[1].lagrangian <= pair[0].lagrangian + 1e-9,
+                "Lagrangian increased: {} -> {}",
+                pair[0].lagrangian,
+                pair[1].lagrangian
+            );
+        }
+    }
+
+    #[test]
+    fn lagrangian_is_lower_bounded_by_lemma_3() {
+        let p = small_problem(7);
+        let f_star = p.f_star();
+        let m = p.num_clients();
+        let rho = 2.0 * p.lipschitz() + 0.5; // ρ ≥ 2L as required by Lemma 3.
+        let mut admm = QuadraticFedAdmm::new(p, rho);
+        let records = admm.run(100, m / 2, 17);
+        for r in &records {
+            assert!(
+                r.lagrangian >= f_star - 1e-9,
+                "Lemma 3 violated: L = {} < f* = {}",
+                r.lagrangian,
+                f_star
+            );
+        }
+    }
+
+    #[test]
+    fn theorem1_bound_holds_for_exact_full_participation_runs() {
+        let p = small_problem(8);
+        let m = p.num_clients();
+        let l = p.lipschitz();
+        let rho = crate::theory::min_rho(l) * 1.5;
+        let f_star = p.f_star();
+        let constants = crate::theory::theorem1_constants(rho, l, 1.0).unwrap();
+
+        let mut admm = QuadraticFedAdmm::new(p, rho).with_eta(1.0);
+        // L⁰ with w = θ = 0 and y = 0 is Σ f_i(0) = 0.
+        let l0 = admm.lagrangian();
+        let t = 100;
+        let records = admm.run(t, m, 19);
+        // The bound is on the average of V_t over t = 0..T−1, i.e. the gap
+        // *before* each round; V_0 uses the initial state.
+        let mut vts = vec![QuadraticFedAdmm::new(small_problem(8), rho).optimality_gap()];
+        vts.extend(records.iter().take(t - 1).map(|r| r.optimality_gap));
+        let average: f64 = vts.iter().sum::<f64>() / (m as f64 * t as f64);
+        let bound =
+            crate::theory::theorem1_bound(&constants, l0 - f_star, 0.0, l, m, t);
+        assert!(
+            average <= bound,
+            "Theorem 1 violated: measured {average}, bound {bound}"
+        );
+    }
+
+    #[test]
+    fn inexact_solves_leave_a_floor_proportional_to_epsilon() {
+        let p = small_problem(9);
+        let m = p.num_clients();
+        let rho = crate::theory::min_rho(p.lipschitz()) * 1.5;
+        let exact = QuadraticFedAdmm::new(p.clone(), rho).run(150, m, 23);
+        let inexact = QuadraticFedAdmm::new(p, rho).with_epsilon(1e-2).run(150, m, 23);
+        let exact_v = exact.last().unwrap().optimality_gap;
+        let inexact_v = inexact.last().unwrap().optimality_gap;
+        assert!(exact_v < 1e-6);
+        assert!(inexact_v > exact_v, "inexact solves must not reach the exact fixed point");
+        // …but the run still converges to a neighbourhood (Theorem 1 floor).
+        assert!(inexact.last().unwrap().dist_to_optimum < 0.5);
+    }
+
+    #[test]
+    fn solver_rejects_degenerate_inputs() {
+        let p = small_problem(10);
+        let mut admm = QuadraticFedAdmm::new(p, 1.0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            admm.run_round_with(&[]);
+        }));
+        assert!(result.is_err(), "empty selection must be rejected");
+    }
+
+    #[test]
+    fn gaussian_elimination_solves_known_system() {
+        // [[2, 1], [1, 3]] x = [3, 5]  →  x = [0.8, 1.4]
+        let a = vec![2.0, 1.0, 1.0, 3.0];
+        let x = solve(&a, &[3.0, 5.0], 2);
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn orthogonal_matrix_has_orthonormal_rows() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let d = 7;
+        let q = random_orthogonal(d, &mut rng);
+        for i in 0..d {
+            for j in 0..d {
+                let rij = dot(&q[i * d..(i + 1) * d], &q[j * d..(j + 1) * d]);
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!((rij - expected).abs() < 1e-9, "row {i}·row {j} = {rij}");
+            }
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Hyperparameter schedules for mid-run adjustment of η and ρ.
+//!
+//! Two of the paper's experiments change a hyperparameter while training is
+//! in progress:
+//!
+//! * Figure 6 decreases the server gathering step size η at round 60 ("a
+//!   decrease of the step size serves to incorporate past information in a
+//!   finer fashion, thus improving the test accuracy");
+//! * Figure 9 increases ρ at a later stage ("a smaller value (0.01) at
+//!   initial stages of training allows efficient incorporation of local
+//!   data when the global model is not informed, while an increase of ρ at
+//!   later stages reduces discrepancies between client models and the
+//!   global model").
+//!
+//! [`Schedule`] expresses such piecewise/decaying schedules declaratively so
+//! experiments, examples and benches can share one implementation instead of
+//! hand-rolling `if round >= 60 { … }` logic.
+
+use serde::{Deserialize, Serialize};
+
+/// A scalar hyperparameter schedule over communication rounds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Schedule {
+    /// The same value every round.
+    Constant(f32),
+    /// Piecewise-constant: starts at `initial`, and at each `(round, value)`
+    /// boundary (sorted by round) switches to `value` from that round on.
+    /// This is the shape used by Figures 6 and 9.
+    Step {
+        /// Value before the first boundary.
+        initial: f32,
+        /// `(round, value)` change points.
+        boundaries: Vec<(usize, f32)>,
+    },
+    /// Multiplicative decay: `initial · factor^(round / every)`.
+    Decay {
+        /// Value at round 0.
+        initial: f32,
+        /// Multiplier applied every `every` rounds.
+        factor: f32,
+        /// Decay interval in rounds.
+        every: usize,
+    },
+}
+
+impl Schedule {
+    /// A Figure 6-style schedule: `initial` until `switch_round`, then
+    /// `later`.
+    pub fn step_at(initial: f32, switch_round: usize, later: f32) -> Self {
+        Schedule::Step { initial, boundaries: vec![(switch_round, later)] }
+    }
+
+    /// The value of the hyperparameter at `round`.
+    pub fn value_at(&self, round: usize) -> f32 {
+        match self {
+            Schedule::Constant(v) => *v,
+            Schedule::Step { initial, boundaries } => {
+                let mut value = *initial;
+                for &(boundary, v) in boundaries {
+                    if round >= boundary {
+                        value = v;
+                    } else {
+                        break;
+                    }
+                }
+                value
+            }
+            Schedule::Decay { initial, factor, every } => {
+                let k = (round / (*every).max(1)) as i32;
+                initial * factor.powi(k)
+            }
+        }
+    }
+
+    /// Whether the value changes between `round − 1` and `round` (used to
+    /// decide whether to push the new value into the algorithm).
+    pub fn changes_at(&self, round: usize) -> bool {
+        if round == 0 {
+            return true;
+        }
+        self.value_at(round) != self.value_at(round - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_schedule_never_changes_after_round_zero() {
+        let s = Schedule::Constant(1.0);
+        assert_eq!(s.value_at(0), 1.0);
+        assert_eq!(s.value_at(1000), 1.0);
+        assert!(s.changes_at(0));
+        assert!(!s.changes_at(5));
+    }
+
+    #[test]
+    fn step_schedule_matches_figure_6_protocol() {
+        // η = 1.0 for the first 60 rounds, then 0.5.
+        let s = Schedule::step_at(1.0, 60, 0.5);
+        assert_eq!(s.value_at(0), 1.0);
+        assert_eq!(s.value_at(59), 1.0);
+        assert_eq!(s.value_at(60), 0.5);
+        assert_eq!(s.value_at(200), 0.5);
+        assert!(s.changes_at(60));
+        assert!(!s.changes_at(61));
+        assert!(!s.changes_at(59));
+    }
+
+    #[test]
+    fn multi_boundary_step_applies_in_order() {
+        let s = Schedule::Step {
+            initial: 0.01,
+            boundaries: vec![(10, 0.1), (20, 1.0)],
+        };
+        assert_eq!(s.value_at(5), 0.01);
+        assert_eq!(s.value_at(15), 0.1);
+        assert_eq!(s.value_at(25), 1.0);
+    }
+
+    #[test]
+    fn decay_schedule_halves_every_interval() {
+        let s = Schedule::Decay { initial: 0.8, factor: 0.5, every: 10 };
+        assert_eq!(s.value_at(0), 0.8);
+        assert_eq!(s.value_at(9), 0.8);
+        assert!((s.value_at(10) - 0.4).abs() < 1e-7);
+        assert!((s.value_at(35) - 0.1).abs() < 1e-7);
+        assert!(s.changes_at(10));
+        assert!(!s.changes_at(11));
+    }
+
+    #[test]
+    fn decay_with_zero_interval_does_not_panic() {
+        let s = Schedule::Decay { initial: 1.0, factor: 0.9, every: 0 };
+        assert!(s.value_at(3) > 0.0);
+    }
+
+    #[test]
+    fn schedules_serialize_round_trip() {
+        let s = Schedule::step_at(1.0, 60, 0.5);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Schedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

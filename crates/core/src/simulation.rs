@@ -1,0 +1,473 @@
+//! The round-based federated simulation engine.
+//!
+//! [`Simulation`] owns everything a federated run needs — the training and
+//! test datasets, per-client state, the global model, the algorithm, the
+//! client-selection scheme and the system-heterogeneity model — and drives
+//! the canonical FL round of Figure 1/2 of the paper:
+//!
+//! 1. the server selects `S_t`,
+//! 2. selected clients download θ^t and run their local update
+//!    (in parallel across clients via rayon; each client's randomness is
+//!    derived from `(seed, round, client_id)` so results are independent of
+//!    the thread schedule),
+//! 3. clients upload their messages,
+//! 4. the server aggregates and the new global model is evaluated on the
+//!    held-out test set.
+
+use crate::algorithms::{Algorithm, ClientMessage};
+use crate::client::ClientState;
+use crate::config::FedConfig;
+use crate::heterogeneity::LocalWorkSchedule;
+use crate::metrics::{RoundRecord, RunHistory};
+use crate::param::ParamVector;
+use crate::selection::{ClientSelector, FullParticipation, UniformFraction};
+use crate::trainer::{evaluate, LocalEnv};
+use fedadmm_data::partition::Partition;
+use fedadmm_data::Dataset;
+use fedadmm_tensor::{TensorError, TensorResult};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// A federated training run in progress.
+pub struct Simulation<A: Algorithm> {
+    config: FedConfig,
+    train: Dataset,
+    test: Dataset,
+    clients: Vec<ClientState>,
+    global: ParamVector,
+    algorithm: A,
+    selector: Box<dyn ClientSelector>,
+    work_schedule: LocalWorkSchedule,
+    history: RunHistory,
+    round: usize,
+}
+
+impl<A: Algorithm> Simulation<A> {
+    /// Creates a simulation.
+    ///
+    /// The global model is randomly initialised from `config.seed` (the
+    /// paper: "We adopt random initialization for the global model in all
+    /// algorithms, zero initialization for dual variables…"); every client
+    /// starts with a copy of it and zero dual/control variates.
+    pub fn new(
+        config: FedConfig,
+        train: Dataset,
+        test: Dataset,
+        partition: Partition,
+        mut algorithm: A,
+    ) -> TensorResult<Self> {
+        if partition.num_clients() != config.num_clients {
+            return Err(TensorError::InvalidArgument(format!(
+                "partition has {} clients but the configuration expects {}",
+                partition.num_clients(),
+                config.num_clients
+            )));
+        }
+        if train.feature_dim() != config.model.input_dim() {
+            return Err(TensorError::InvalidArgument(format!(
+                "dataset features have dimension {} but the model expects {}",
+                train.feature_dim(),
+                config.model.input_dim()
+            )));
+        }
+        let mut init_rng = SmallRng::seed_from_u64(config.seed);
+        let net = config.model.build(&mut init_rng);
+        let global = ParamVector::from_vec(net.params_flat());
+        let clients: Vec<ClientState> = partition
+            .iter()
+            .enumerate()
+            .map(|(i, indices)| ClientState::new(i, indices.clone(), &global))
+            .collect();
+
+        algorithm.init(global.len(), config.num_clients);
+        let selector: Box<dyn ClientSelector> = if algorithm.requires_full_participation() {
+            Box::new(FullParticipation)
+        } else {
+            Box::new(UniformFraction::new(config.clients_per_round()))
+        };
+        let work_schedule = if algorithm.supports_variable_work() {
+            LocalWorkSchedule::from_config(config.local_epochs, config.system_heterogeneity)
+        } else {
+            LocalWorkSchedule::Fixed(config.local_epochs)
+        };
+        let history = RunHistory::new(algorithm.name(), format!("{} clients", config.num_clients));
+        Ok(Simulation {
+            config,
+            train,
+            test,
+            clients,
+            global,
+            algorithm,
+            selector,
+            work_schedule,
+            history,
+            round: 0,
+        })
+    }
+
+    /// Replaces the client-selection scheme (the default is uniform-random
+    /// `C·m` clients, or full participation for algorithms that require it).
+    pub fn with_selector(mut self, selector: Box<dyn ClientSelector>) -> Self {
+        self.selector = selector;
+        self
+    }
+
+    /// Replaces the local-work schedule (e.g. a deterministic per-client
+    /// schedule for ablations).
+    pub fn with_work_schedule(mut self, schedule: LocalWorkSchedule) -> Self {
+        self.work_schedule = schedule;
+        self
+    }
+
+    /// The configuration this simulation runs under.
+    pub fn config(&self) -> &FedConfig {
+        &self.config
+    }
+
+    /// Immutable access to the algorithm.
+    pub fn algorithm(&self) -> &A {
+        &self.algorithm
+    }
+
+    /// Mutable access to the algorithm — used by the experiments that adjust
+    /// η or ρ mid-run (Figures 6 and 9).
+    pub fn algorithm_mut(&mut self) -> &mut A {
+        &mut self.algorithm
+    }
+
+    /// The current global model θ.
+    pub fn global_model(&self) -> &ParamVector {
+        &self.global
+    }
+
+    /// Immutable access to the client states (for tests and diagnostics).
+    pub fn clients(&self) -> &[ClientState] {
+        &self.clients
+    }
+
+    /// The history recorded so far.
+    pub fn history(&self) -> &RunHistory {
+        &self.history
+    }
+
+    /// Number of rounds run so far.
+    pub fn rounds_completed(&self) -> usize {
+        self.round
+    }
+
+    /// Evaluates the current global model on the test set, returning
+    /// `(loss, accuracy)`.
+    pub fn evaluate_global(&self) -> TensorResult<(f32, f32)> {
+        evaluate(self.config.model, self.global.as_slice(), &self.test, self.config.eval_subset)
+    }
+
+    /// Runs a single communication round and returns its record.
+    pub fn run_round(&mut self) -> TensorResult<RoundRecord> {
+        let start = Instant::now();
+        let round = self.round;
+        let mut round_rng = SmallRng::seed_from_u64(
+            self.config.seed ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+
+        // 1. Client selection.
+        let selected: Vec<usize> = if self.algorithm.requires_full_participation() {
+            (0..self.config.num_clients).collect()
+        } else {
+            self.selector.select(self.config.num_clients, &mut round_rng)
+        };
+        let selected_set: HashSet<usize> = selected.iter().copied().collect();
+
+        // 2. Per-client epoch counts for this round (system heterogeneity).
+        let epochs: Vec<usize> = selected
+            .iter()
+            .map(|&c| self.work_schedule.epochs_for(c, &mut round_rng))
+            .collect();
+        let epochs_by_client: std::collections::HashMap<usize, usize> =
+            selected.iter().copied().zip(epochs.iter().copied()).collect();
+
+        // 3. Local updates, in parallel over the selected clients.
+        let algorithm = &self.algorithm;
+        let global = &self.global;
+        let train = &self.train;
+        let config = &self.config;
+        let base_seed = config.seed;
+        let mut results: Vec<(usize, TensorResult<ClientMessage>)> = self
+            .clients
+            .par_iter_mut()
+            .enumerate()
+            .filter(|(i, _)| selected_set.contains(i))
+            .map(|(i, client)| {
+                let epochs = epochs_by_client[&i];
+                let client_seed = base_seed
+                    ^ (round as u64).wrapping_mul(0x517C_C1B7_2722_0A95)
+                    ^ (i as u64).wrapping_mul(0x2545_F491_4F6C_DD1D);
+                // The env borrows a snapshot of the index list so that the
+                // client state can be handed to `client_update` mutably.
+                let indices = client.indices.clone();
+                let env = LocalEnv {
+                    dataset: train,
+                    indices: &indices,
+                    model: config.model,
+                    epochs,
+                    batch_size: config.batch_size,
+                    learning_rate: config.local_learning_rate,
+                    seed: client_seed,
+                };
+                (i, algorithm.client_update(client, global, &env))
+            })
+            .collect();
+        // Deterministic aggregation order regardless of the thread schedule.
+        results.sort_by_key(|(i, _)| *i);
+        let mut messages = Vec::with_capacity(results.len());
+        for (_, result) in results {
+            messages.push(result?);
+        }
+
+        // 4. Server aggregation.
+        let outcome = self.algorithm.server_update(
+            &mut self.global,
+            &messages,
+            self.config.num_clients,
+            &mut round_rng,
+        );
+
+        // 5. Evaluation and bookkeeping.
+        let (test_loss, test_accuracy) = self.evaluate_global()?;
+        let total_local_epochs: usize = messages.iter().map(|m| m.epochs_run).sum();
+        let samples_processed: usize = messages.iter().map(|m| m.samples_processed).sum();
+        let cumulative = self
+            .history
+            .records
+            .last()
+            .map(|r| r.cumulative_upload_floats)
+            .unwrap_or(0)
+            + outcome.upload_floats;
+        let record = RoundRecord {
+            round,
+            test_accuracy,
+            test_loss,
+            num_selected: selected.len(),
+            upload_floats: outcome.upload_floats,
+            cumulative_upload_floats: cumulative,
+            total_local_epochs,
+            samples_processed,
+            elapsed_ms: start.elapsed().as_millis() as u64,
+        };
+        self.history.push(record.clone());
+        self.round += 1;
+        Ok(record)
+    }
+
+    /// Runs `rounds` additional rounds and returns the records produced.
+    pub fn run_rounds(&mut self, rounds: usize) -> TensorResult<Vec<RoundRecord>> {
+        let mut records = Vec::with_capacity(rounds);
+        for _ in 0..rounds {
+            records.push(self.run_round()?);
+        }
+        Ok(records)
+    }
+
+    /// Runs until the test accuracy reaches `target` or `max_rounds` rounds
+    /// have been executed. Returns the 1-based round count at which the
+    /// target was reached, or `None` (after running `max_rounds` rounds).
+    pub fn run_until_accuracy(
+        &mut self,
+        target: f32,
+        max_rounds: usize,
+    ) -> TensorResult<Option<usize>> {
+        if let Some(r) = self.history.rounds_to_accuracy(target) {
+            return Ok(Some(r));
+        }
+        while self.round < max_rounds {
+            let record = self.run_round()?;
+            if record.test_accuracy >= target {
+                return Ok(Some(self.round));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Consumes the simulation and returns its history.
+    pub fn into_history(self) -> RunHistory {
+        self.history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{FedAdmm, FedAvg, FedProx, FedSgd, Scaffold, ServerStepSize};
+    use crate::config::{DataDistribution, Participation};
+    use fedadmm_data::batching::BatchSize;
+    use fedadmm_data::synthetic::SyntheticDataset;
+    use fedadmm_nn::models::ModelSpec;
+
+    fn small_config(num_clients: usize, seed: u64) -> FedConfig {
+        FedConfig {
+            num_clients,
+            participation: Participation::Fraction(0.3),
+            local_epochs: 2,
+            system_heterogeneity: false,
+            batch_size: BatchSize::Size(16),
+            local_learning_rate: 0.1,
+            model: ModelSpec::Logistic { input_dim: 784, num_classes: 10 },
+            seed,
+            eval_subset: usize::MAX,
+        }
+    }
+
+    fn make_sim<A: Algorithm>(
+        algorithm: A,
+        num_clients: usize,
+        samples: usize,
+        seed: u64,
+    ) -> Simulation<A> {
+        let config = small_config(num_clients, seed);
+        let (train, test) = SyntheticDataset::Mnist.generate(samples, 60, seed);
+        let partition = DataDistribution::Iid.partition(&train, num_clients, seed);
+        Simulation::new(config, train, test, partition, algorithm).unwrap()
+    }
+
+    #[test]
+    fn new_validates_partition_and_model() {
+        let config = small_config(10, 0);
+        let (train, test) = SyntheticDataset::Mnist.generate(100, 20, 0);
+        let bad_partition = DataDistribution::Iid.partition(&train, 5, 0);
+        assert!(Simulation::new(config, train.clone(), test.clone(), bad_partition, FedAvg::new())
+            .is_err());
+
+        let mut bad_model = small_config(10, 0);
+        bad_model.model = ModelSpec::Logistic { input_dim: 100, num_classes: 10 };
+        let partition = DataDistribution::Iid.partition(&train, 10, 0);
+        assert!(Simulation::new(bad_model, train, test, partition, FedAvg::new()).is_err());
+    }
+
+    #[test]
+    fn initial_state_matches_paper_initialisation() {
+        let sim = make_sim(FedAdmm::paper_default(), 6, 120, 3);
+        // Every client starts at the global model with zero dual variables.
+        for client in sim.clients() {
+            assert_eq!(client.local_model, *sim.global_model());
+            assert_eq!(client.dual.norm(), 0.0);
+            assert_eq!(client.control.norm(), 0.0);
+        }
+        assert_eq!(sim.rounds_completed(), 0);
+        assert!(sim.history().is_empty());
+    }
+
+    #[test]
+    fn run_round_records_metrics() {
+        let mut sim = make_sim(FedAvg::new(), 6, 120, 4);
+        let record = sim.run_round().unwrap();
+        assert_eq!(record.round, 0);
+        assert_eq!(record.num_selected, 2); // 30% of 6, rounded
+        assert!(record.test_accuracy >= 0.0 && record.test_accuracy <= 1.0);
+        assert!(record.upload_floats > 0);
+        assert_eq!(record.cumulative_upload_floats, record.upload_floats);
+        assert_eq!(sim.rounds_completed(), 1);
+        let record2 = sim.run_round().unwrap();
+        assert_eq!(
+            record2.cumulative_upload_floats,
+            record.upload_floats + record2.upload_floats
+        );
+    }
+
+    #[test]
+    fn simulation_is_deterministic_in_seed() {
+        let mut a = make_sim(FedAdmm::paper_default(), 6, 120, 5);
+        let mut b = make_sim(FedAdmm::paper_default(), 6, 120, 5);
+        let ra = a.run_rounds(3).unwrap();
+        let rb = b.run_rounds(3).unwrap();
+        for (x, y) in ra.iter().zip(rb.iter()) {
+            assert_eq!(x.test_accuracy, y.test_accuracy);
+            assert_eq!(x.num_selected, y.num_selected);
+        }
+        assert_eq!(a.global_model(), b.global_model());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = make_sim(FedAvg::new(), 6, 120, 6);
+        let mut b = make_sim(FedAvg::new(), 6, 120, 7);
+        a.run_rounds(2).unwrap();
+        b.run_rounds(2).unwrap();
+        assert_ne!(a.global_model(), b.global_model());
+    }
+
+    #[test]
+    fn fedadmm_improves_accuracy_over_rounds() {
+        // ρ = 0.3 is the substrate-calibrated constant (see the experiments
+        // crate); the paper's 0.01 is calibrated to its CNN/real-image
+        // gradient scale.
+        let mut sim = make_sim(FedAdmm::new(0.3, ServerStepSize::Constant(1.0)), 8, 400, 8);
+        let (_, acc0) = sim.evaluate_global().unwrap();
+        sim.run_rounds(10).unwrap();
+        let best = sim.history().best_accuracy();
+        assert!(best > acc0 + 0.15, "accuracy only improved from {acc0} to {best}");
+    }
+
+    #[test]
+    fn all_algorithms_run_one_round() {
+        // Smoke test: every algorithm completes a round and uploads the
+        // expected number of floats.
+        let d = ModelSpec::Logistic { input_dim: 784, num_classes: 10 }.num_params();
+        let mut sim = make_sim(FedAvg::new(), 5, 100, 9);
+        assert_eq!(sim.run_round().unwrap().upload_floats, d * 2);
+        let mut sim = make_sim(FedProx::new(0.1), 5, 100, 9);
+        assert_eq!(sim.run_round().unwrap().upload_floats, d * 2);
+        let mut sim = make_sim(FedSgd::new(0.1), 5, 100, 9);
+        assert_eq!(sim.run_round().unwrap().upload_floats, d * 2);
+        let mut sim = make_sim(Scaffold::new(), 5, 100, 9);
+        assert_eq!(sim.run_round().unwrap().upload_floats, 2 * d * 2);
+        let mut sim =
+            make_sim(FedAdmm::new(0.01, ServerStepSize::ParticipationRatio), 5, 100, 9);
+        assert_eq!(sim.run_round().unwrap().upload_floats, d * 2);
+    }
+
+    #[test]
+    fn run_until_accuracy_stops_early() {
+        let mut sim = make_sim(FedAdmm::new(0.3, ServerStepSize::Constant(1.0)), 8, 400, 10);
+        let rounds = sim.run_until_accuracy(0.35, 30).unwrap();
+        assert!(rounds.is_some(), "never reached 35% accuracy");
+        assert_eq!(rounds.unwrap(), sim.rounds_completed());
+        // An unreachable target exhausts the budget and returns None.
+        let mut sim2 = make_sim(FedSgd::new(0.01), 5, 100, 10);
+        assert_eq!(sim2.run_until_accuracy(0.999, 2).unwrap(), None);
+        assert_eq!(sim2.rounds_completed(), 2);
+    }
+
+    #[test]
+    fn algorithm_mut_allows_mid_run_adjustment() {
+        let mut sim = make_sim(FedAdmm::paper_default(), 6, 120, 11);
+        sim.run_rounds(2).unwrap();
+        sim.algorithm_mut().set_server_step(ServerStepSize::Constant(0.5));
+        sim.algorithm_mut().set_rho(0.1);
+        sim.run_rounds(2).unwrap();
+        assert_eq!(sim.history().len(), 4);
+        assert_eq!(sim.algorithm().rho, 0.1);
+    }
+
+    #[test]
+    fn boxed_algorithm_simulation_works() {
+        let alg: Box<dyn Algorithm> = Box::new(FedAdmm::paper_default());
+        let config = small_config(5, 12);
+        let (train, test) = SyntheticDataset::Mnist.generate(100, 30, 12);
+        let partition = DataDistribution::Iid.partition(&train, 5, 12);
+        let mut sim = Simulation::new(config, train, test, partition, alg).unwrap();
+        let record = sim.run_round().unwrap();
+        assert_eq!(record.num_selected, 2);
+        assert_eq!(sim.history().algorithm, "FedADMM");
+    }
+
+    #[test]
+    fn into_history_preserves_records() {
+        let mut sim = make_sim(FedAvg::new(), 5, 100, 13);
+        sim.run_rounds(2).unwrap();
+        let history = sim.into_history();
+        assert_eq!(history.len(), 2);
+        assert_eq!(history.algorithm, "FedAvg");
+    }
+}

@@ -1,0 +1,306 @@
+//! The shared local solver: mini-batch SGD with pluggable gradient
+//! corrections.
+//!
+//! Every algorithm in the paper runs the *same* local solver (SGD) on a
+//! different local objective:
+//!
+//! * FedAvg:   `∇f_i(w, b)`
+//! * FedProx:  `∇f_i(w, b) + ρ(w − θ)`
+//! * FedADMM:  `∇f_i(w, b) + y_i + ρ(w − θ)`  (Algorithm 1, line 17)
+//! * SCAFFOLD: `∇f_i(w, b) − c_i + c`
+//!
+//! [`local_sgd`] implements the common loop and takes the correction as a
+//! closure over the current parameters, so each algorithm contributes only
+//! its own term. [`full_gradient`] computes the exact local gradient
+//! (FedSGD), and [`evaluate`] measures loss/accuracy of a parameter vector
+//! on a dataset.
+
+use fedadmm_data::batching::{BatchIterator, BatchSize};
+use fedadmm_data::Dataset;
+use fedadmm_nn::loss::{accuracy, softmax_cross_entropy};
+use fedadmm_nn::models::ModelSpec;
+use fedadmm_nn::optimizer::Sgd;
+use fedadmm_tensor::TensorResult;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Everything a client needs to run local training for one round.
+#[derive(Debug, Clone, Copy)]
+pub struct LocalEnv<'a> {
+    /// The shared training set.
+    pub dataset: &'a Dataset,
+    /// Indices of the samples owned by this client.
+    pub indices: &'a [usize],
+    /// Model architecture.
+    pub model: ModelSpec,
+    /// Number of local epochs to run this round (`E_i`).
+    pub epochs: usize,
+    /// Local mini-batch size `B`.
+    pub batch_size: BatchSize,
+    /// Local SGD learning rate `η_i`.
+    pub learning_rate: f32,
+    /// Seed for batch shuffling (derived per client and round).
+    pub seed: u64,
+}
+
+/// Result of a local training pass.
+#[derive(Debug, Clone)]
+pub struct LocalSgdResult {
+    /// The parameters after local training (`w_i^{t+1}`).
+    pub params: Vec<f32>,
+    /// Number of mini-batch gradient steps taken.
+    pub steps: usize,
+    /// Number of training samples processed (epochs × local data size).
+    pub samples_processed: usize,
+    /// Mean training loss over all batches of the final epoch.
+    pub final_epoch_loss: f32,
+}
+
+/// Runs `env.epochs` epochs of mini-batch SGD starting from `init`.
+///
+/// For every batch `b` the update is
+/// `w ← w − η_i · (∇f_i(w, b) + correction(w))`, where `correction`
+/// receives the current parameters and *adds* its terms into the gradient
+/// buffer (second argument). Passing a no-op closure recovers FedAvg's
+/// local problem.
+pub fn local_sgd(
+    env: &LocalEnv<'_>,
+    init: &[f32],
+    mut correction: impl FnMut(&[f32], &mut [f32]),
+) -> TensorResult<LocalSgdResult> {
+    let mut model_rng = SmallRng::seed_from_u64(env.seed ^ 0xA5A5_5A5A);
+    let mut net = env.model.build(&mut model_rng);
+    let mut params = init.to_vec();
+    net.set_params_flat(&params)?;
+    let sgd = Sgd::new(env.learning_rate);
+
+    let mut batch_rng = SmallRng::seed_from_u64(env.seed);
+    let mut steps = 0usize;
+    let mut samples = 0usize;
+    let mut final_epoch_loss = 0.0f32;
+    for epoch in 0..env.epochs.max(1) {
+        let mut epoch_loss = 0.0f32;
+        let mut epoch_batches = 0usize;
+        for batch in BatchIterator::new(env.indices, env.batch_size, &mut batch_rng) {
+            let (x, labels) = env.dataset.gather(&batch)?;
+            let logits = net.forward(&x)?;
+            let (loss, grad) = softmax_cross_entropy(&logits, &labels)?;
+            net.zero_grads();
+            net.backward(&grad)?;
+            let mut grads = net.grads_flat();
+            correction(&params, &mut grads);
+            sgd.step(&mut params, &grads);
+            net.set_params_flat(&params)?;
+            steps += 1;
+            samples += batch.len();
+            epoch_loss += loss;
+            epoch_batches += 1;
+        }
+        if epoch + 1 == env.epochs.max(1) && epoch_batches > 0 {
+            final_epoch_loss = epoch_loss / epoch_batches as f32;
+        }
+    }
+    Ok(LocalSgdResult { params, steps, samples_processed: samples, final_epoch_loss })
+}
+
+/// Computes the exact (full-batch) local gradient `∇f_i(θ)` and loss at a
+/// fixed parameter vector — the quantity FedSGD uploads.
+pub fn full_gradient(env: &LocalEnv<'_>, at: &[f32]) -> TensorResult<(Vec<f32>, f32)> {
+    let mut model_rng = SmallRng::seed_from_u64(env.seed ^ 0xA5A5_5A5A);
+    let mut net = env.model.build(&mut model_rng);
+    net.set_params_flat(at)?;
+    let d = net.num_params();
+    if env.indices.is_empty() {
+        return Ok((vec![0.0; d], 0.0));
+    }
+    // Accumulate over chunks so that CNN activations for large local
+    // datasets do not blow up memory; the gradient of the mean loss is the
+    // sample-count-weighted mean of the chunk gradients.
+    let chunk = 256usize;
+    let mut grad_acc = vec![0.0f32; d];
+    let mut loss_acc = 0.0f32;
+    let mut total = 0usize;
+    for batch in env.indices.chunks(chunk) {
+        let (x, labels) = env.dataset.gather(batch)?;
+        let logits = net.forward(&x)?;
+        let (loss, grad) = softmax_cross_entropy(&logits, &labels)?;
+        net.zero_grads();
+        net.backward(&grad)?;
+        let g = net.grads_flat();
+        let w = batch.len() as f32;
+        for (acc, gi) in grad_acc.iter_mut().zip(g.iter()) {
+            *acc += gi * w;
+        }
+        loss_acc += loss * w;
+        total += batch.len();
+    }
+    let inv = 1.0 / total as f32;
+    for g in grad_acc.iter_mut() {
+        *g *= inv;
+    }
+    Ok((grad_acc, loss_acc * inv))
+}
+
+/// Evaluates a parameter vector on (a subset of) a dataset.
+///
+/// Returns `(mean_loss, accuracy)`. `max_samples` caps the number of
+/// evaluated samples (the first `max_samples` are used, which is unbiased
+/// because synthetic datasets interleave classes).
+pub fn evaluate(
+    model: ModelSpec,
+    params: &[f32],
+    dataset: &Dataset,
+    max_samples: usize,
+) -> TensorResult<(f32, f32)> {
+    let mut model_rng = SmallRng::seed_from_u64(0);
+    let mut net = model.build(&mut model_rng);
+    net.set_params_flat(params)?;
+    let n = dataset.len().min(max_samples);
+    if n == 0 {
+        return Ok((0.0, 0.0));
+    }
+    let mut loss_acc = 0.0f32;
+    let mut correct_acc = 0.0f32;
+    let chunk = 256usize;
+    let indices: Vec<usize> = (0..n).collect();
+    for batch in indices.chunks(chunk) {
+        let (x, labels) = dataset.gather(batch)?;
+        let logits = net.forward(&x)?;
+        let (loss, _) = softmax_cross_entropy(&logits, &labels)?;
+        let acc = accuracy(&logits, &labels)?;
+        let w = batch.len() as f32;
+        loss_acc += loss * w;
+        correct_acc += acc * w;
+    }
+    Ok((loss_acc / n as f32, correct_acc / n as f32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedadmm_data::synthetic::SyntheticDataset;
+    use fedadmm_tensor::vecops;
+
+    fn small_env<'a>(dataset: &'a Dataset, indices: &'a [usize]) -> LocalEnv<'a> {
+        LocalEnv {
+            dataset,
+            indices,
+            model: ModelSpec::Logistic { input_dim: dataset.feature_dim(), num_classes: 10 },
+            epochs: 3,
+            batch_size: BatchSize::Size(16),
+            learning_rate: 0.1,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn local_sgd_reduces_local_loss() {
+        let (train, _) = SyntheticDataset::Mnist.generate(120, 10, 0);
+        let indices: Vec<usize> = (0..120).collect();
+        let env = small_env(&train, &indices);
+        let d = env.model.num_params();
+        let init = vec![0.0f32; d];
+        let (_, loss_before) = full_gradient(&env, &init).unwrap();
+        let result = local_sgd(&env, &init, |_, _| {}).unwrap();
+        let (_, loss_after) = full_gradient(&env, &result.params).unwrap();
+        assert!(loss_after < loss_before, "{loss_after} !< {loss_before}");
+        assert_eq!(result.steps, 3 * (120usize.div_ceil(16)));
+        assert_eq!(result.samples_processed, 3 * 120);
+        assert!(result.final_epoch_loss.is_finite());
+    }
+
+    #[test]
+    fn local_sgd_is_deterministic_in_seed() {
+        let (train, _) = SyntheticDataset::Mnist.generate(60, 10, 1);
+        let indices: Vec<usize> = (0..60).collect();
+        let env = small_env(&train, &indices);
+        let init = vec![0.01f32; env.model.num_params()];
+        let a = local_sgd(&env, &init, |_, _| {}).unwrap();
+        let b = local_sgd(&env, &init, |_, _| {}).unwrap();
+        assert_eq!(a.params, b.params);
+        let env2 = LocalEnv { seed: 43, ..env };
+        let c = local_sgd(&env2, &init, |_, _| {}).unwrap();
+        assert_ne!(a.params, c.params);
+    }
+
+    #[test]
+    fn proximal_correction_keeps_iterates_closer_to_anchor() {
+        // With a strong proximal term the solution must stay closer to θ
+        // than the unconstrained local solution — the mechanism FedProx and
+        // FedADMM rely on to prevent client drift.
+        let (train, _) = SyntheticDataset::Mnist.generate(80, 10, 2);
+        let indices: Vec<usize> = (0..80).collect();
+        let env = small_env(&train, &indices);
+        let d = env.model.num_params();
+        let theta = vec![0.0f32; d];
+        let free = local_sgd(&env, &theta, |_, _| {}).unwrap();
+        let rho = 10.0f32;
+        let prox = local_sgd(&env, &theta, |w, g| {
+            for ((gi, &wi), &ti) in g.iter_mut().zip(w.iter()).zip(theta.iter()) {
+                *gi += rho * (wi - ti);
+            }
+        })
+        .unwrap();
+        let free_dist = vecops::dist(&free.params, &theta);
+        let prox_dist = vecops::dist(&prox.params, &theta);
+        assert!(prox_dist < free_dist, "{prox_dist} !< {free_dist}");
+    }
+
+    #[test]
+    fn full_gradient_matches_zero_at_minimum_direction() {
+        // The full gradient at a point must be a descent direction: taking a
+        // small step along -g must reduce the loss.
+        let (train, _) = SyntheticDataset::Mnist.generate(60, 10, 3);
+        let indices: Vec<usize> = (0..60).collect();
+        let env = small_env(&train, &indices);
+        let init = vec![0.0f32; env.model.num_params()];
+        let (g, loss0) = full_gradient(&env, &init).unwrap();
+        let mut stepped = init.clone();
+        vecops::axpy(-0.5, &g, &mut stepped);
+        let (_, loss1) = full_gradient(&env, &stepped).unwrap();
+        assert!(loss1 < loss0);
+    }
+
+    #[test]
+    fn full_gradient_empty_client_is_zero() {
+        let (train, _) = SyntheticDataset::Mnist.generate(20, 10, 4);
+        let env = small_env(&train, &[]);
+        let init = vec![0.1f32; env.model.num_params()];
+        let (g, loss) = full_gradient(&env, &init).unwrap();
+        assert!(g.iter().all(|&v| v == 0.0));
+        assert_eq!(loss, 0.0);
+    }
+
+    #[test]
+    fn evaluate_reports_chance_accuracy_for_zero_model() {
+        let (train, _) = SyntheticDataset::Mnist.generate(100, 10, 5);
+        let model = ModelSpec::Logistic { input_dim: 784, num_classes: 10 };
+        let params = vec![0.0f32; model.num_params()];
+        let (loss, acc) = evaluate(model, &params, &train, usize::MAX).unwrap();
+        assert!((loss - (10.0f32).ln()).abs() < 1e-3);
+        // Zero logits predict class 0 for everything; balanced labels → 10%.
+        assert!((acc - 0.1).abs() < 0.05);
+    }
+
+    #[test]
+    fn evaluate_respects_subset_cap() {
+        let (train, _) = SyntheticDataset::Mnist.generate(100, 10, 6);
+        let model = ModelSpec::Logistic { input_dim: 784, num_classes: 10 };
+        let params = vec![0.0f32; model.num_params()];
+        let full = evaluate(model, &params, &train, usize::MAX).unwrap();
+        let subset = evaluate(model, &params, &train, 30).unwrap();
+        assert!(full.0.is_finite() && subset.0.is_finite());
+    }
+
+    #[test]
+    fn training_then_evaluating_beats_chance() {
+        let (train, test) = SyntheticDataset::Mnist.generate(200, 100, 7);
+        let indices: Vec<usize> = (0..200).collect();
+        let mut env = small_env(&train, &indices);
+        env.epochs = 5;
+        let init = vec![0.0f32; env.model.num_params()];
+        let result = local_sgd(&env, &init, |_, _| {}).unwrap();
+        let (_, acc) = evaluate(env.model, &result.params, &test, usize::MAX).unwrap();
+        assert!(acc > 0.3, "accuracy only {acc} (chance level is 0.1)");
+    }
+}

@@ -1,0 +1,190 @@
+//! In-memory labelled dataset.
+
+use fedadmm_tensor::{Tensor, TensorError, TensorResult};
+use std::sync::Arc;
+
+/// A labelled classification dataset held in memory.
+///
+/// Features are stored as one contiguous row-major matrix
+/// (`num_samples × feature_dim`) so that mini-batches can be materialised
+/// with a simple gather. Datasets are cheap to clone: the storage is shared
+/// behind an [`Arc`], which matters because every simulated client holds a
+/// *view* (a list of indices) into the same training set.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    features: Arc<Vec<f32>>,
+    labels: Arc<Vec<usize>>,
+    feature_dim: usize,
+    num_classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset from a flat feature buffer and labels.
+    ///
+    /// `features.len()` must equal `labels.len() * feature_dim`, and every
+    /// label must be `< num_classes`.
+    pub fn new(
+        features: Vec<f32>,
+        labels: Vec<usize>,
+        feature_dim: usize,
+        num_classes: usize,
+    ) -> TensorResult<Self> {
+        if feature_dim == 0 {
+            return Err(TensorError::InvalidArgument("feature_dim must be positive".into()));
+        }
+        if features.len() != labels.len() * feature_dim {
+            return Err(TensorError::InvalidArgument(format!(
+                "feature buffer has {} values but {} samples × {} features were expected",
+                features.len(),
+                labels.len(),
+                feature_dim
+            )));
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= num_classes) {
+            return Err(TensorError::InvalidArgument(format!(
+                "label {bad} out of range for {num_classes} classes"
+            )));
+        }
+        Ok(Dataset {
+            features: Arc::new(features),
+            labels: Arc::new(labels),
+            feature_dim,
+            num_classes,
+        })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Dimensionality of each (flattened) sample.
+    pub fn feature_dim(&self) -> usize {
+        self.feature_dim
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// The label of sample `i`.
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// The feature row of sample `i`.
+    pub fn features_of(&self, i: usize) -> &[f32] {
+        &self.features[i * self.feature_dim..(i + 1) * self.feature_dim]
+    }
+
+    /// Gathers the samples at `indices` into a `[batch, feature_dim]` tensor
+    /// and a label vector — the form consumed by `fedadmm-nn` models.
+    pub fn gather(&self, indices: &[usize]) -> TensorResult<(Tensor, Vec<usize>)> {
+        let mut data = Vec::with_capacity(indices.len() * self.feature_dim);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            if i >= self.len() {
+                return Err(TensorError::IndexOutOfBounds {
+                    index: vec![i],
+                    shape: vec![self.len()],
+                });
+            }
+            data.extend_from_slice(self.features_of(i));
+            labels.push(self.labels[i]);
+        }
+        let x = Tensor::from_vec(data, &[indices.len(), self.feature_dim])?;
+        Ok((x, labels))
+    }
+
+    /// Gathers the whole dataset (used for full-batch evaluation).
+    pub fn gather_all(&self) -> TensorResult<(Tensor, Vec<usize>)> {
+        let indices: Vec<usize> = (0..self.len()).collect();
+        self.gather(&indices)
+    }
+
+    /// Per-class sample counts.
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.num_classes];
+        for &l in self.labels.iter() {
+            hist[l] += 1;
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        // 4 samples, 2 features each, 3 classes.
+        Dataset::new(
+            vec![0.0, 0.1, 1.0, 1.1, 2.0, 2.1, 3.0, 3.1],
+            vec![0, 1, 2, 0],
+            2,
+            3,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_inputs() {
+        assert!(Dataset::new(vec![1.0, 2.0], vec![0], 2, 1).is_ok());
+        assert!(Dataset::new(vec![1.0, 2.0, 3.0], vec![0], 2, 1).is_err());
+        assert!(Dataset::new(vec![1.0, 2.0], vec![5], 2, 3).is_err());
+        assert!(Dataset::new(vec![], vec![], 0, 1).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let d = toy();
+        assert_eq!(d.len(), 4);
+        assert!(!d.is_empty());
+        assert_eq!(d.feature_dim(), 2);
+        assert_eq!(d.num_classes(), 3);
+        assert_eq!(d.label(2), 2);
+        assert_eq!(d.features_of(1), &[1.0, 1.1]);
+        assert_eq!(d.class_histogram(), vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn gather_builds_batch() {
+        let d = toy();
+        let (x, labels) = d.gather(&[3, 0]).unwrap();
+        assert_eq!(x.dims(), &[2, 2]);
+        assert_eq!(x.data(), &[3.0, 3.1, 0.0, 0.1]);
+        assert_eq!(labels, vec![0, 0]);
+    }
+
+    #[test]
+    fn gather_rejects_out_of_bounds() {
+        let d = toy();
+        assert!(d.gather(&[4]).is_err());
+    }
+
+    #[test]
+    fn gather_all_covers_everything() {
+        let d = toy();
+        let (x, labels) = d.gather_all().unwrap();
+        assert_eq!(x.dims(), &[4, 2]);
+        assert_eq!(labels.len(), 4);
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let d = toy();
+        let d2 = d.clone();
+        assert!(Arc::ptr_eq(&d.features, &d2.features));
+    }
+}

@@ -1,0 +1,95 @@
+//! Figure 5 — adaptability to heterogeneous data without hyperparameter
+//! tuning.
+//!
+//! Setting: 200 clients, E = 10, B = 50, FMNIST (target 80%) and CIFAR-10
+//! (target 45%), IID and non-IID. FedADMM runs with *fixed* learning rate
+//! 0.1 and ρ = 0.01 while the baselines are tuned; the paper's point is
+//! that FedADMM still reaches the target in fewer rounds in every case —
+//! the dual variables adapt to the data distribution automatically.
+
+use crate::common::{format_rounds, render_table, table3_suite, ExperimentReport, Scale, Setting};
+use fedadmm_core::prelude::*;
+use fedadmm_data::synthetic::SyntheticDataset;
+use fedadmm_tensor::TensorResult;
+use serde_json::json;
+
+/// Builds the Figure 5 setting for one dataset/distribution at a scale.
+pub fn fig5_setting(
+    dataset: SyntheticDataset,
+    distribution: DataDistribution,
+    scale: Scale,
+) -> Setting {
+    let mut setting = Setting::for_dataset(dataset, distribution, 200, scale);
+    // The paper's Figure 5 protocol: E = 10, B = 50.
+    match scale {
+        Scale::Paper => {
+            setting.local_epochs = 10;
+            setting.batch_size = BatchSize::Size(50);
+        }
+        Scale::Scaled => {
+            setting.local_epochs = 10;
+            setting.batch_size = BatchSize::Size(16);
+        }
+        Scale::Smoke => {
+            setting.local_epochs = 3;
+            setting.batch_size = BatchSize::Size(10);
+        }
+    }
+    setting
+}
+
+/// Regenerates Figure 5.
+pub fn run(scale: Scale) -> TensorResult<ExperimentReport> {
+    let mut rows = Vec::new();
+    let mut data = Vec::new();
+    for dataset in [SyntheticDataset::Fmnist, SyntheticDataset::Cifar10] {
+        for distribution in [DataDistribution::Iid, DataDistribution::NonIidShards] {
+            let setting = fig5_setting(dataset, distribution, scale);
+            let mut per_alg = Vec::new();
+            for (name, algorithm) in table3_suite(&setting) {
+                let (rounds, history) = setting.run_to_target(algorithm)?;
+                per_alg.push((name.to_string(), rounds, history.best_accuracy()));
+            }
+            let mut row = vec![setting.label()];
+            for (_, rounds, _) in &per_alg {
+                row.push(format_rounds(*rounds, setting.max_rounds));
+            }
+            rows.push(row);
+            data.push(json!({
+                "label": setting.label(),
+                "target": setting.target_accuracy,
+                "results": per_alg
+                    .iter()
+                    .map(|(n, r, best)| json!({"algorithm": n, "rounds": r, "best_accuracy": best}))
+                    .collect::<Vec<_>>(),
+            }));
+        }
+    }
+    let rendered = render_table(
+        &["Setting", "FedSGD", "FedADMM", "FedAvg", "FedProx", "SCAFFOLD"],
+        &rows,
+    );
+    Ok(ExperimentReport {
+        name: "fig5".to_string(),
+        description:
+            "Adaptability to heterogeneous data with fixed FedADMM hyperparameters (Figure 5)"
+                .to_string(),
+        rendered,
+        data: json!(data),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setting_follows_figure5_protocol() {
+        let s = fig5_setting(SyntheticDataset::Fmnist, DataDistribution::NonIidShards, Scale::Paper);
+        assert_eq!(s.local_epochs, 10);
+        assert_eq!(s.batch_size, BatchSize::Size(50));
+        assert_eq!(s.num_clients, 200);
+        let s = fig5_setting(SyntheticDataset::Fmnist, DataDistribution::Iid, Scale::Smoke);
+        assert!(s.local_epochs <= 3);
+    }
+}

@@ -1,0 +1,46 @@
+//! # fedadmm-experiments
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! FedADMM paper's evaluation (Section V). One module per experiment:
+//!
+//! | Module           | Paper artefact | What it reports |
+//! |------------------|----------------|-----------------|
+//! | [`table2`]       | Table II       | model sizes and target accuracies |
+//! | [`table3`]       | Table III      | rounds to target accuracy + speedups over FedSGD + reduction over the best baseline |
+//! | [`fig3_fig4`]    | Figures 3 & 4  | convergence paths / rounds-to-target across client populations |
+//! | [`fig5`]         | Figure 5       | adaptability to heterogeneous data (fixed FedADMM hyperparameters) |
+//! | [`fig6`]         | Figure 6       | server step-size η sweep, including a mid-run decrease |
+//! | [`table4_fig7`]  | Table IV & Fig 7 | effect of the local epoch count `E` |
+//! | [`fig8`]         | Figure 8       | warm-start vs global-model local initialisation |
+//! | [`table5_fig9`]  | Table V & Fig 9 | ρ sensitivity of FedProx vs fixed-ρ FedADMM, and a dynamic ρ schedule |
+//! | [`table6_fig10`] | Table VI & Fig 10 | imbalanced client data volumes |
+//!
+//! Every experiment accepts a [`common::Scale`] so the same code serves the
+//! fast CI/bench configuration (`Scale::Smoke`), the default laptop-scale
+//! reproduction (`Scale::Scaled`) and the full paper-scale setting
+//! (`Scale::Paper`, which uses the real CNN architectures and 1,000-client
+//! populations — expect hours of CPU time).
+//!
+//! The `experiments` binary exposes each module as a sub-command:
+//!
+//! ```text
+//! experiments table3 --scale scaled
+//! experiments fig6   --scale smoke
+//! experiments all    --scale smoke
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod common;
+pub mod fig3_fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig8;
+pub mod table2;
+pub mod table3;
+pub mod table4_fig7;
+pub mod table5_fig9;
+pub mod table6_fig10;
+
+pub use common::{ExperimentReport, Scale};

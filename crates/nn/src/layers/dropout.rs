@@ -1,0 +1,184 @@
+//! Inverted dropout.
+//!
+//! Dropout is not part of the paper's two CNNs, but it is a standard
+//! regulariser a downstream user of this layer library will reach for when
+//! local datasets are tiny (exactly the federated regime: a non-IID client
+//! in the paper's 1,000-client setting holds only ~60 samples). The
+//! implementation uses *inverted* dropout — surviving activations are scaled
+//! by `1/(1−p)` at training time — so that evaluation is a plain identity
+//! and the federated evaluation path needs no mode switching.
+
+use super::Layer;
+use fedadmm_tensor::{Tensor, TensorError, TensorResult};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Inverted dropout with drop probability `p`.
+#[derive(Clone)]
+pub struct Dropout {
+    /// Probability of zeroing an activation during training.
+    p: f32,
+    /// Whether the layer is in training mode (`true` by default). In
+    /// evaluation mode the layer is the identity.
+    training: bool,
+    rng: SmallRng,
+    /// Scale mask of the last forward pass (0 for dropped units, `1/(1−p)`
+    /// for surviving ones).
+    mask: Option<Vec<f32>>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p` and its own
+    /// deterministic RNG stream derived from `seed`.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ p < 1`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+        Dropout { p, training: true, rng: SmallRng::seed_from_u64(seed), mask: None }
+    }
+
+    /// Drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+
+    /// Switches between training (dropout active) and evaluation (identity).
+    pub fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+
+    /// Whether dropout is currently applied.
+    pub fn is_training(&self) -> bool {
+        self.training
+    }
+}
+
+impl Layer for Dropout {
+    fn name(&self) -> &'static str {
+        "Dropout"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> TensorResult<Tensor> {
+        if !self.training || self.p == 0.0 {
+            self.mask = Some(vec![1.0; input.len()]);
+            return Ok(input.clone());
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask: Vec<f32> = (0..input.len())
+            .map(|_| if self.rng.gen::<f32>() < keep { scale } else { 0.0 })
+            .collect();
+        let mut out = input.clone();
+        for (o, &m) in out.data_mut().iter_mut().zip(mask.iter()) {
+            *o *= m;
+        }
+        self.mask = Some(mask);
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> TensorResult<Tensor> {
+        let mask = self.mask.as_ref().ok_or_else(|| {
+            TensorError::InvalidArgument("Dropout::backward called before forward".into())
+        })?;
+        if mask.len() != grad_output.len() {
+            return Err(TensorError::InvalidArgument(format!(
+                "Dropout mask has {} elements but grad_output has {}",
+                mask.len(),
+                grad_output.len()
+            )));
+        }
+        let mut out = grad_output.clone();
+        for (g, &m) in out.data_mut().iter_mut().zip(mask.iter()) {
+            *g *= m;
+        }
+        Ok(out)
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "dropout probability")]
+    fn invalid_probability_is_rejected() {
+        Dropout::new(1.0, 0);
+    }
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut d = Dropout::new(0.5, 0);
+        d.set_training(false);
+        assert!(!d.is_training());
+        let x = Tensor::from_vec(vec![1.0, -2.0, 3.0], &[3]).unwrap();
+        let y = d.forward(&x).unwrap();
+        assert_eq!(y.data(), x.data());
+        let g = Tensor::from_vec(vec![0.5, 0.5, 0.5], &[3]).unwrap();
+        assert_eq!(d.backward(&g).unwrap().data(), g.data());
+    }
+
+    #[test]
+    fn zero_probability_is_identity_even_in_training() {
+        let mut d = Dropout::new(0.0, 0);
+        let x = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        assert_eq!(d.forward(&x).unwrap().data(), x.data());
+    }
+
+    #[test]
+    fn training_mode_drops_and_rescales() {
+        let mut d = Dropout::new(0.5, 42);
+        let n = 10_000usize;
+        let x = Tensor::ones(&[n]);
+        let y = d.forward(&x).unwrap();
+        let dropped = y.data().iter().filter(|&&v| v == 0.0).count();
+        let kept: Vec<f32> = y.data().iter().copied().filter(|&v| v != 0.0).collect();
+        // Roughly half the units are dropped...
+        assert!((dropped as f64 / n as f64 - 0.5).abs() < 0.05);
+        // ...and the survivors carry the inverted scale 1/(1-p) = 2.
+        assert!(kept.iter().all(|&v| (v - 2.0).abs() < 1e-6));
+        // The expected sum is preserved (inverted dropout is unbiased).
+        let mean = y.data().iter().sum::<f32>() / n as f32;
+        assert!((mean - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn backward_reuses_forward_mask() {
+        let mut d = Dropout::new(0.5, 7);
+        let x = Tensor::ones(&[64]);
+        let y = d.forward(&x).unwrap();
+        let g = Tensor::ones(&[64]);
+        let gx = d.backward(&g).unwrap();
+        // The gradient must be zero exactly where the activation was dropped
+        // and scaled identically where it survived.
+        for (yo, go) in y.data().iter().zip(gx.data().iter()) {
+            assert_eq!(yo, go);
+        }
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut d = Dropout::new(0.3, 0);
+        assert!(d.backward(&Tensor::zeros(&[2])).is_err());
+    }
+
+    #[test]
+    fn backward_rejects_mismatched_shape() {
+        let mut d = Dropout::new(0.3, 0);
+        d.forward(&Tensor::zeros(&[4])).unwrap();
+        assert!(d.backward(&Tensor::zeros(&[5])).is_err());
+    }
+
+    #[test]
+    fn no_parameters_and_clonable() {
+        let d = Dropout::new(0.25, 3);
+        assert_eq!(d.num_params(), 0);
+        assert_eq!(d.probability(), 0.25);
+        let boxed = d.clone_layer();
+        assert_eq!(boxed.name(), "Dropout");
+    }
+}

@@ -1,0 +1,71 @@
+//! Flatten layer: collapses all non-batch dimensions.
+
+use super::Layer;
+use fedadmm_tensor::{Tensor, TensorError, TensorResult};
+
+/// Flattens `[batch, d1, d2, ...]` into `[batch, d1*d2*...]`.
+#[derive(Clone, Default)]
+pub struct Flatten {
+    cached_dims: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten { cached_dims: None }
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> &'static str {
+        "Flatten"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> TensorResult<Tensor> {
+        if input.rank() < 2 {
+            return Err(TensorError::RankMismatch { expected: 2, actual: input.rank() });
+        }
+        let batch = input.dims()[0];
+        let rest: usize = input.dims()[1..].iter().product();
+        self.cached_dims = Some(input.dims().to_vec());
+        input.reshape(&[batch, rest])
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> TensorResult<Tensor> {
+        let dims = self.cached_dims.as_ref().ok_or_else(|| {
+            TensorError::InvalidArgument("Flatten::backward called before forward".into())
+        })?;
+        grad_output.reshape(dims)
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_flattens_and_backward_restores() {
+        let mut f = Flatten::new();
+        let x = Tensor::zeros(&[2, 3, 4, 4]);
+        let y = f.forward(&x).unwrap();
+        assert_eq!(y.dims(), &[2, 48]);
+        let gx = f.backward(&Tensor::ones(&[2, 48])).unwrap();
+        assert_eq!(gx.dims(), &[2, 3, 4, 4]);
+    }
+
+    #[test]
+    fn rejects_rank1_input() {
+        let mut f = Flatten::new();
+        assert!(f.forward(&Tensor::zeros(&[5])).is_err());
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut f = Flatten::new();
+        assert!(f.backward(&Tensor::zeros(&[2, 2])).is_err());
+    }
+}

@@ -1,0 +1,217 @@
+//! Fully connected (dense) layer.
+
+use super::Layer;
+use fedadmm_tensor::{init, ops, Tensor, TensorError, TensorResult};
+use rand::Rng;
+
+/// A fully connected layer: `y = x·Wᵀ + b`.
+///
+/// * input:  `[batch, in_features]`
+/// * weight: `[out_features, in_features]`
+/// * bias:   `[out_features]`
+/// * output: `[batch, out_features]`
+#[derive(Clone)]
+pub struct Linear {
+    in_features: usize,
+    out_features: usize,
+    weight: Tensor,
+    bias: Tensor,
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a linear layer with Kaiming-uniform weights and zero bias.
+    pub fn new(in_features: usize, out_features: usize, rng: &mut impl Rng) -> Self {
+        Linear {
+            in_features,
+            out_features,
+            weight: init::kaiming_uniform(&[out_features, in_features], in_features, rng),
+            bias: Tensor::zeros(&[out_features]),
+            grad_weight: Tensor::zeros(&[out_features, in_features]),
+            grad_bias: Tensor::zeros(&[out_features]),
+            cached_input: None,
+        }
+    }
+
+    /// Number of input features.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Number of output features.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Immutable access to the weight matrix (used by tests).
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+}
+
+impl Layer for Linear {
+    fn name(&self) -> &'static str {
+        "Linear"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> TensorResult<Tensor> {
+        if input.rank() != 2 || input.dims()[1] != self.in_features {
+            return Err(TensorError::ShapeMismatch {
+                left: input.dims().to_vec(),
+                right: vec![0, self.in_features],
+            });
+        }
+        // y[batch, out] = x[batch, in] · Wᵀ[in, out]
+        let mut out = ops::matmul_a_bt(input, &self.weight)?;
+        let batch = input.dims()[0];
+        let bias = self.bias.data();
+        for b in 0..batch {
+            let row = &mut out.data_mut()[b * self.out_features..(b + 1) * self.out_features];
+            for (v, &bv) in row.iter_mut().zip(bias.iter()) {
+                *v += bv;
+            }
+        }
+        self.cached_input = Some(input.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> TensorResult<Tensor> {
+        let input = self.cached_input.as_ref().ok_or_else(|| {
+            TensorError::InvalidArgument("Linear::backward called before forward".into())
+        })?;
+        // dW[out, in] += gᵀ[out, batch] · x[batch, in]
+        let dw = ops::matmul_at_b(grad_output, input)?;
+        self.grad_weight.add_assign(&dw)?;
+        // db[out] += column sums of g
+        let batch = grad_output.dims()[0];
+        for b in 0..batch {
+            let row = &grad_output.data()[b * self.out_features..(b + 1) * self.out_features];
+            for (gb, &g) in self.grad_bias.data_mut().iter_mut().zip(row.iter()) {
+                *gb += g;
+            }
+        }
+        // dx[batch, in] = g[batch, out] · W[out, in]
+        ops::matmul(grad_output, &self.weight)
+    }
+
+    fn num_params(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+
+    fn write_params(&self, out: &mut Vec<f32>) {
+        out.extend_from_slice(self.weight.data());
+        out.extend_from_slice(self.bias.data());
+    }
+
+    fn read_params(&mut self, src: &[f32]) -> usize {
+        let nw = self.weight.len();
+        let nb = self.bias.len();
+        self.weight.data_mut().copy_from_slice(&src[..nw]);
+        self.bias.data_mut().copy_from_slice(&src[nw..nw + nb]);
+        nw + nb
+    }
+
+    fn write_grads(&self, out: &mut Vec<f32>) {
+        out.extend_from_slice(self.grad_weight.data());
+        out.extend_from_slice(self.grad_bias.data());
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_weight.map_in_place(|_| 0.0);
+        self.grad_bias.map_in_place(|_| 0.0);
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::gradcheck;
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn param_count() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let l = Linear::new(10, 4, &mut rng);
+        assert_eq!(l.num_params(), 44);
+    }
+
+    #[test]
+    fn forward_known_values() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut l = Linear::new(2, 2, &mut rng);
+        // W = [[1, 2], [3, 4]], b = [0.5, -0.5]
+        l.read_params(&[1.0, 2.0, 3.0, 4.0, 0.5, -0.5]);
+        let x = Tensor::from_vec(vec![1.0, 1.0, 2.0, 0.0], &[2, 2]).unwrap();
+        let y = l.forward(&x).unwrap();
+        assert_eq!(y.data(), &[3.5, 6.5, 2.5, 5.5]);
+    }
+
+    #[test]
+    fn forward_rejects_bad_shape() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut l = Linear::new(3, 2, &mut rng);
+        assert!(l.forward(&Tensor::zeros(&[2, 4])).is_err());
+        assert!(l.forward(&Tensor::zeros(&[6])).is_err());
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut l = Linear::new(3, 2, &mut rng);
+        assert!(l.backward(&Tensor::zeros(&[1, 2])).is_err());
+    }
+
+    #[test]
+    fn params_roundtrip() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let l = Linear::new(5, 3, &mut rng);
+        let mut buf = Vec::new();
+        l.write_params(&mut buf);
+        assert_eq!(buf.len(), l.num_params());
+        let mut l2 = Linear::new(5, 3, &mut rng);
+        let consumed = l2.read_params(&buf);
+        assert_eq!(consumed, buf.len());
+        let mut buf2 = Vec::new();
+        l2.write_params(&mut buf2);
+        assert_eq!(buf, buf2);
+    }
+
+    #[test]
+    fn gradients_match_finite_difference() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut l = Linear::new(6, 4, &mut rng);
+        let x = fedadmm_tensor::init::randn(&[3, 6], 0.0, 1.0, &mut rng);
+        gradcheck::check_param_gradients(&mut l, &x, &[0, 5, 13, 27], 5e-2);
+        gradcheck::check_input_gradients(&mut l, &x, &[0, 4, 11, 17], 5e-2);
+    }
+
+    #[test]
+    fn gradients_accumulate_until_zeroed() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut l = Linear::new(2, 2, &mut rng);
+        let x = Tensor::ones(&[1, 2]);
+        let go = Tensor::ones(&[1, 2]);
+        l.forward(&x).unwrap();
+        l.backward(&go).unwrap();
+        let mut g1 = Vec::new();
+        l.write_grads(&mut g1);
+        l.forward(&x).unwrap();
+        l.backward(&go).unwrap();
+        let mut g2 = Vec::new();
+        l.write_grads(&mut g2);
+        for (a, b) in g1.iter().zip(g2.iter()) {
+            assert!((2.0 * a - b).abs() < 1e-6);
+        }
+        l.zero_grads();
+        let mut g3 = Vec::new();
+        l.write_grads(&mut g3);
+        assert!(g3.iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,144 @@
+//! Layers with explicit forward/backward passes.
+//!
+//! Every layer owns its parameters and their gradient accumulators and
+//! caches whatever activations its backward pass needs. Layers expose their
+//! parameters through a *flat* serialisation protocol
+//! ([`Layer::write_params`] / [`Layer::read_params`]) because the federated
+//! algorithms in `fedadmm-core` treat model parameters as a single vector
+//! θ ∈ ℝ^d (Algorithm 1 of the paper works entirely on such vectors).
+
+mod activation;
+mod conv;
+mod dropout;
+mod flatten;
+mod linear;
+mod pool;
+mod relu;
+mod reshape;
+
+pub use activation::{Sigmoid, Tanh};
+pub use conv::Conv2d;
+pub use dropout::Dropout;
+pub use flatten::Flatten;
+pub use linear::Linear;
+pub use pool::MaxPool2d;
+pub use relu::Relu;
+pub use reshape::Reshape;
+
+use fedadmm_tensor::{Tensor, TensorResult};
+
+/// A differentiable layer.
+///
+/// The contract mirrors classic layer-based backprop:
+/// 1. `forward` consumes a batch and caches what the backward pass needs;
+/// 2. `backward` consumes the gradient of the loss with respect to the
+///    layer's output, *accumulates* gradients for the layer's own
+///    parameters, and returns the gradient with respect to the input.
+///
+/// `backward` must be called after `forward` on the same batch.
+pub trait Layer: Send {
+    /// Human-readable layer name (used in `Network` summaries).
+    fn name(&self) -> &'static str;
+
+    /// Forward pass over a batch.
+    fn forward(&mut self, input: &Tensor) -> TensorResult<Tensor>;
+
+    /// Backward pass: accumulates parameter gradients, returns `dL/d(input)`.
+    fn backward(&mut self, grad_output: &Tensor) -> TensorResult<Tensor>;
+
+    /// Number of trainable parameters in this layer.
+    fn num_params(&self) -> usize {
+        0
+    }
+
+    /// Appends this layer's parameters to `out` in a fixed order.
+    fn write_params(&self, _out: &mut Vec<f32>) {}
+
+    /// Reads this layer's parameters from the front of `src`, returning the
+    /// number of values consumed. The order matches [`Layer::write_params`].
+    fn read_params(&mut self, _src: &[f32]) -> usize {
+        0
+    }
+
+    /// Appends this layer's accumulated gradients to `out`, in the same
+    /// order as [`Layer::write_params`].
+    fn write_grads(&self, _out: &mut Vec<f32>) {}
+
+    /// Clears the accumulated parameter gradients.
+    fn zero_grads(&mut self) {}
+
+    /// Clones the layer behind a box (parameters are copied, caches are not
+    /// required to be preserved).
+    fn clone_layer(&self) -> Box<dyn Layer>;
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_layer()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod gradcheck {
+    //! Shared finite-difference gradient-check helper used by layer tests.
+
+    use super::Layer;
+    use fedadmm_tensor::Tensor;
+
+    /// Checks `dL/dparams` of `layer` against central finite differences,
+    /// where the scalar loss is `sum(layer.forward(input))`.
+    pub fn check_param_gradients(layer: &mut dyn Layer, input: &Tensor, indices: &[usize], tol: f32) {
+        let out = layer.forward(input).unwrap();
+        let grad_out = Tensor::ones(out.dims());
+        layer.zero_grads();
+        layer.backward(&grad_out).unwrap();
+        let mut grads = Vec::new();
+        layer.write_grads(&mut grads);
+        let mut params = Vec::new();
+        layer.write_params(&mut params);
+
+        let eps = 1e-2f32;
+        for &idx in indices {
+            let orig = params[idx];
+            params[idx] = orig + eps;
+            layer.read_params(&params);
+            let lp = layer.forward(input).unwrap().sum();
+            params[idx] = orig - eps;
+            layer.read_params(&params);
+            let lm = layer.forward(input).unwrap().sum();
+            params[idx] = orig;
+            layer.read_params(&params);
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = grads[idx];
+            assert!(
+                (numeric - analytic).abs() <= tol * (1.0 + analytic.abs()),
+                "param {idx}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    /// Checks `dL/dinput` of `layer` against central finite differences.
+    pub fn check_input_gradients(layer: &mut dyn Layer, input: &Tensor, indices: &[usize], tol: f32) {
+        let out = layer.forward(input).unwrap();
+        let grad_out = Tensor::ones(out.dims());
+        layer.zero_grads();
+        let grad_in = layer.backward(&grad_out).unwrap();
+
+        let eps = 1e-2f32;
+        let mut x = input.clone();
+        for &idx in indices {
+            let orig = x.data()[idx];
+            x.data_mut()[idx] = orig + eps;
+            let lp = layer.forward(&x).unwrap().sum();
+            x.data_mut()[idx] = orig - eps;
+            let lm = layer.forward(&x).unwrap().sum();
+            x.data_mut()[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = grad_in.data()[idx];
+            assert!(
+                (numeric - analytic).abs() <= tol * (1.0 + analytic.abs()),
+                "input {idx}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+}

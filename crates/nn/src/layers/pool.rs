@@ -1,0 +1,73 @@
+//! Max pooling layer (wraps the pooling kernels from `fedadmm-tensor`).
+
+use super::Layer;
+use fedadmm_tensor::{ops, Tensor, TensorError, TensorResult};
+
+/// 2-D max pooling. The paper's CNNs use 2×2 windows with stride 2.
+#[derive(Clone)]
+pub struct MaxPool2d {
+    size: usize,
+    stride: usize,
+    cached_argmax: Option<Vec<usize>>,
+    cached_input_dims: Option<Vec<usize>>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pooling layer with the given window size and stride.
+    pub fn new(size: usize, stride: usize) -> Self {
+        MaxPool2d { size, stride, cached_argmax: None, cached_input_dims: None }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> &'static str {
+        "MaxPool2d"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> TensorResult<Tensor> {
+        let result = ops::max_pool2d_forward(input, self.size, self.stride)?;
+        self.cached_argmax = Some(result.argmax);
+        self.cached_input_dims = Some(input.dims().to_vec());
+        Ok(result.output)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> TensorResult<Tensor> {
+        let argmax = self.cached_argmax.as_ref().ok_or_else(|| {
+            TensorError::InvalidArgument("MaxPool2d::backward called before forward".into())
+        })?;
+        let dims = self.cached_input_dims.as_ref().expect("dims cached with argmax");
+        ops::max_pool2d_backward(grad_output, argmax, dims)
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_backward_roundtrip() {
+        let mut p = MaxPool2d::new(2, 2);
+        let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]).unwrap();
+        let y = p.forward(&x).unwrap();
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        let g = Tensor::ones(&[1, 1, 2, 2]);
+        let gx = p.backward(&g).unwrap();
+        assert_eq!(gx.dims(), &[1, 1, 4, 4]);
+        assert_eq!(gx.sum(), 4.0);
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut p = MaxPool2d::new(2, 2);
+        assert!(p.backward(&Tensor::zeros(&[1, 1, 2, 2])).is_err());
+    }
+
+    #[test]
+    fn no_parameters() {
+        assert_eq!(MaxPool2d::new(2, 2).num_params(), 0);
+    }
+}

@@ -1,0 +1,100 @@
+//! ReLU activation layer.
+
+use super::Layer;
+use fedadmm_tensor::{Tensor, TensorError, TensorResult};
+
+/// Elementwise rectified linear unit: `y = max(x, 0)`.
+#[derive(Clone, Default)]
+pub struct Relu {
+    /// Mask of the positive inputs from the last forward pass.
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Relu { mask: None }
+    }
+}
+
+impl Layer for Relu {
+    fn name(&self) -> &'static str {
+        "ReLU"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> TensorResult<Tensor> {
+        let mask: Vec<bool> = input.data().iter().map(|&x| x > 0.0).collect();
+        let out = input.map(|x| if x > 0.0 { x } else { 0.0 });
+        self.mask = Some(mask);
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> TensorResult<Tensor> {
+        let mask = self.mask.as_ref().ok_or_else(|| {
+            TensorError::InvalidArgument("Relu::backward called before forward".into())
+        })?;
+        if mask.len() != grad_output.len() {
+            return Err(TensorError::InvalidArgument(format!(
+                "ReLU mask has {} elements but grad_output has {}",
+                mask.len(),
+                grad_output.len()
+            )));
+        }
+        let mut out = grad_output.clone();
+        for (g, &m) in out.data_mut().iter_mut().zip(mask.iter()) {
+            if !m {
+                *g = 0.0;
+            }
+        }
+        Ok(out)
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_clamps_negatives() {
+        let mut r = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0, -3.0], &[4]).unwrap();
+        let y = r.forward(&x).unwrap();
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let mut r = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.5, 2.0, -3.0], &[4]).unwrap();
+        r.forward(&x).unwrap();
+        let g = Tensor::from_vec(vec![1.0, 1.0, 1.0, 1.0], &[4]).unwrap();
+        let gx = r.backward(&g).unwrap();
+        assert_eq!(gx.data(), &[0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut r = Relu::new();
+        assert!(r.backward(&Tensor::zeros(&[2])).is_err());
+    }
+
+    #[test]
+    fn backward_rejects_mismatched_shape() {
+        let mut r = Relu::new();
+        r.forward(&Tensor::zeros(&[4])).unwrap();
+        assert!(r.backward(&Tensor::zeros(&[5])).is_err());
+    }
+
+    #[test]
+    fn no_parameters() {
+        let r = Relu::new();
+        assert_eq!(r.num_params(), 0);
+        let mut buf = Vec::new();
+        r.write_params(&mut buf);
+        assert!(buf.is_empty());
+    }
+}

@@ -1,0 +1,83 @@
+//! Reshape layer: reinterprets flattened inputs as images.
+//!
+//! The paper feeds *flattened* images (dimension 784 for MNIST/FMNIST,
+//! 3,072 for CIFAR-10) into models whose first layer is a convolution, so
+//! the CNN model builders prepend a `Reshape` from `[batch, c*h*w]` to
+//! `[batch, c, h, w]`.
+
+use super::Layer;
+use fedadmm_tensor::{Tensor, TensorError, TensorResult};
+
+/// Reshapes `[batch, prod(target)]` into `[batch, target...]`.
+#[derive(Clone)]
+pub struct Reshape {
+    target: Vec<usize>,
+    cached_dims: Option<Vec<usize>>,
+}
+
+impl Reshape {
+    /// Creates a reshape layer. `target` excludes the batch dimension.
+    pub fn new(target: &[usize]) -> Self {
+        Reshape { target: target.to_vec(), cached_dims: None }
+    }
+}
+
+impl Layer for Reshape {
+    fn name(&self) -> &'static str {
+        "Reshape"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> TensorResult<Tensor> {
+        if input.rank() < 1 {
+            return Err(TensorError::RankMismatch { expected: 2, actual: input.rank() });
+        }
+        let batch = input.dims()[0];
+        let expected: usize = self.target.iter().product();
+        let actual: usize = input.dims()[1..].iter().product();
+        if expected != actual {
+            return Err(TensorError::InvalidReshape { from: actual, to: expected });
+        }
+        self.cached_dims = Some(input.dims().to_vec());
+        let mut dims = vec![batch];
+        dims.extend_from_slice(&self.target);
+        input.reshape(&dims)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> TensorResult<Tensor> {
+        let dims = self.cached_dims.as_ref().ok_or_else(|| {
+            TensorError::InvalidArgument("Reshape::backward called before forward".into())
+        })?;
+        grad_output.reshape(dims)
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reshape_flat_mnist_to_image() {
+        let mut r = Reshape::new(&[1, 28, 28]);
+        let x = Tensor::zeros(&[4, 784]);
+        let y = r.forward(&x).unwrap();
+        assert_eq!(y.dims(), &[4, 1, 28, 28]);
+        let gx = r.backward(&Tensor::ones(&[4, 1, 28, 28])).unwrap();
+        assert_eq!(gx.dims(), &[4, 784]);
+    }
+
+    #[test]
+    fn rejects_wrong_element_count() {
+        let mut r = Reshape::new(&[3, 32, 32]);
+        assert!(r.forward(&Tensor::zeros(&[2, 784])).is_err());
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut r = Reshape::new(&[1, 2, 2]);
+        assert!(r.backward(&Tensor::zeros(&[1, 1, 2, 2])).is_err());
+    }
+}

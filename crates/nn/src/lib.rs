@@ -1,0 +1,49 @@
+//! # fedadmm-nn
+//!
+//! Neural-network training stack for the FedADMM reproduction: layers with
+//! explicit forward/backward passes, a [`Network`] container with *flat*
+//! parameter access (the federated algorithms operate on parameter vectors
+//! in ℝ^d), the softmax cross-entropy loss, plain SGD, and the paper's two
+//! CNN architectures ([`models::ModelSpec::Cnn1`], [`models::ModelSpec::Cnn2`])
+//! plus lighter models (MLP, multinomial logistic regression) used by the
+//! fast test/benchmark configurations.
+//!
+//! ## Example: one SGD step on a small model
+//!
+//! ```
+//! use fedadmm_nn::models::ModelSpec;
+//! use fedadmm_nn::loss::softmax_cross_entropy;
+//! use fedadmm_nn::optimizer::Sgd;
+//! use fedadmm_tensor::Tensor;
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = SmallRng::seed_from_u64(0);
+//! // The small MLP keeps the doctest fast; ModelSpec::Cnn1 builds the paper's
+//! // 1,663,370-parameter model with the same API.
+//! let spec = ModelSpec::Mlp { input_dim: 16, hidden_dim: 8, num_classes: 4 };
+//! let mut net = spec.build(&mut rng);
+//! let x = Tensor::zeros(&[2, 16]);
+//! let labels = [0usize, 3];
+//!
+//! let logits = net.forward(&x).unwrap();
+//! let (loss, grad) = softmax_cross_entropy(&logits, &labels).unwrap();
+//! net.backward(&grad).unwrap();
+//! let mut params = net.params_flat();
+//! Sgd::new(0.1).step(&mut params, &net.grads_flat());
+//! net.set_params_flat(&params).unwrap();
+//! assert!(loss > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod layers;
+pub mod loss;
+pub mod models;
+pub mod network;
+pub mod optimizer;
+
+pub use layers::Layer;
+pub use models::ModelSpec;
+pub use network::Network;

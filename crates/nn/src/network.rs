@@ -1,0 +1,228 @@
+//! A sequential network with flat parameter access.
+
+use crate::layers::Layer;
+use fedadmm_tensor::{Tensor, TensorError, TensorResult};
+
+/// A feed-forward network: an ordered sequence of [`Layer`]s.
+///
+/// The important design point for the federated algorithms is *flat
+/// parameter access*: the entire model is read and written as a single
+/// `Vec<f32>` of length `d = num_params()`, in a stable layer order. All of
+/// the FedADMM / FedAvg / FedProx / SCAFFOLD vector arithmetic happens on
+/// those flat vectors.
+#[derive(Clone)]
+pub struct Network {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Network {
+    /// Creates a network from an ordered list of layers.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Network { layers }
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total number of trainable parameters `d`.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(|l| l.num_params()).sum()
+    }
+
+    /// Human-readable summary: one `name(params)` entry per layer.
+    pub fn summary(&self) -> String {
+        self.layers
+            .iter()
+            .map(|l| format!("{}({})", l.name(), l.num_params()))
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    }
+
+    /// Forward pass through all layers.
+    pub fn forward(&mut self, input: &Tensor) -> TensorResult<Tensor> {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x)?;
+        }
+        Ok(x)
+    }
+
+    /// Backward pass through all layers (in reverse), accumulating parameter
+    /// gradients. Returns the gradient with respect to the network input.
+    pub fn backward(&mut self, grad_output: &Tensor) -> TensorResult<Tensor> {
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g)?;
+        }
+        Ok(g)
+    }
+
+    /// Returns all parameters as a single flat vector of length
+    /// [`Network::num_params`].
+    pub fn params_flat(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.num_params());
+        for layer in &self.layers {
+            layer.write_params(&mut out);
+        }
+        out
+    }
+
+    /// Overwrites all parameters from a flat vector.
+    ///
+    /// Returns an error if `src.len() != num_params()`.
+    pub fn set_params_flat(&mut self, src: &[f32]) -> TensorResult<()> {
+        if src.len() != self.num_params() {
+            return Err(TensorError::InvalidArgument(format!(
+                "set_params_flat: expected {} values, got {}",
+                self.num_params(),
+                src.len()
+            )));
+        }
+        let mut offset = 0usize;
+        for layer in &mut self.layers {
+            let consumed = layer.read_params(&src[offset..]);
+            offset += consumed;
+        }
+        debug_assert_eq!(offset, src.len());
+        Ok(())
+    }
+
+    /// Returns the accumulated parameter gradients as a flat vector, in the
+    /// same order as [`Network::params_flat`].
+    pub fn grads_flat(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.num_params());
+        for layer in &self.layers {
+            layer.write_grads(&mut out);
+        }
+        out
+    }
+
+    /// Clears all accumulated parameter gradients.
+    pub fn zero_grads(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grads();
+        }
+    }
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Network[{}]", self.summary())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Linear, Relu};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn small_net(seed: u64) -> Network {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        Network::new(vec![
+            Box::new(Linear::new(4, 8, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Linear::new(8, 3, &mut rng)),
+        ])
+    }
+
+    #[test]
+    fn num_params_sums_layers() {
+        let net = small_net(0);
+        assert_eq!(net.num_params(), 4 * 8 + 8 + 8 * 3 + 3);
+        assert_eq!(net.num_layers(), 3);
+    }
+
+    #[test]
+    fn summary_mentions_layers() {
+        let s = small_net(0).summary();
+        assert!(s.contains("Linear"));
+        assert!(s.contains("ReLU"));
+    }
+
+    #[test]
+    fn params_roundtrip() {
+        let net = small_net(1);
+        let p = net.params_flat();
+        assert_eq!(p.len(), net.num_params());
+        let mut net2 = small_net(2);
+        assert_ne!(net2.params_flat(), p);
+        net2.set_params_flat(&p).unwrap();
+        assert_eq!(net2.params_flat(), p);
+    }
+
+    #[test]
+    fn set_params_rejects_wrong_length() {
+        let mut net = small_net(0);
+        assert!(net.set_params_flat(&[0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn forward_backward_shapes() {
+        let mut net = small_net(3);
+        let x = Tensor::ones(&[5, 4]);
+        let y = net.forward(&x).unwrap();
+        assert_eq!(y.dims(), &[5, 3]);
+        let gx = net.backward(&Tensor::ones(&[5, 3])).unwrap();
+        assert_eq!(gx.dims(), &[5, 4]);
+        assert_eq!(net.grads_flat().len(), net.num_params());
+    }
+
+    #[test]
+    fn zero_grads_clears_accumulators() {
+        let mut net = small_net(4);
+        let x = Tensor::ones(&[2, 4]);
+        let y = net.forward(&x).unwrap();
+        net.backward(&Tensor::ones(y.dims())).unwrap();
+        assert!(net.grads_flat().iter().any(|&g| g != 0.0));
+        net.zero_grads();
+        assert!(net.grads_flat().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut net = small_net(5);
+        let clone = net.clone();
+        let p = net.params_flat();
+        let zeros = vec![0.0; net.num_params()];
+        net.set_params_flat(&zeros).unwrap();
+        assert_eq!(clone.params_flat(), p);
+        assert_ne!(net.params_flat(), p);
+    }
+
+    /// Whole-network finite-difference gradient check against the scalar
+    /// objective sum(forward(x)).
+    #[test]
+    fn network_gradients_match_finite_difference() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut net = small_net(11);
+        let x = fedadmm_tensor::init::randn(&[3, 4], 0.0, 1.0, &mut rng);
+        let y = net.forward(&x).unwrap();
+        net.zero_grads();
+        net.backward(&Tensor::ones(y.dims())).unwrap();
+        let grads = net.grads_flat();
+        let mut params = net.params_flat();
+
+        let eps = 1e-2f32;
+        for &idx in &[0usize, 10, 20, 40, 50] {
+            let orig = params[idx];
+            params[idx] = orig + eps;
+            net.set_params_flat(&params).unwrap();
+            let lp = net.forward(&x).unwrap().sum();
+            params[idx] = orig - eps;
+            net.set_params_flat(&params).unwrap();
+            let lm = net.forward(&x).unwrap().sum();
+            params[idx] = orig;
+            net.set_params_flat(&params).unwrap();
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = grads[idx];
+            assert!(
+                (numeric - analytic).abs() < 5e-2 * (1.0 + analytic.abs()),
+                "param {idx}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+}

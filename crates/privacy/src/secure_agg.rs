@@ -1,0 +1,261 @@
+//! Pairwise-mask secure aggregation.
+//!
+//! The FedADMM server update (equation 5) only needs the *sum* of the
+//! selected clients' messages `Σ_{i∈S_t} Δ_i`, never an individual `Δ_i`.
+//! Secure aggregation (Bonawitz et al., the protocol behind \[25\] in the
+//! paper's bibliography) exploits exactly this: every ordered pair of
+//! participants `(i, j)` with `i < j` derives a shared pseudo-random mask
+//! `m_{ij}` from a common seed; client `i` *adds* the mask to its update and
+//! client `j` *subtracts* it. Each masked update looks like noise to the
+//! server, but the masks cancel exactly in the sum.
+//!
+//! This module implements the cryptographic *functionality* (mask
+//! derivation, application, cancellation, and dropout recovery by mask
+//! reconstruction), not the key-agreement protocol itself — the simulation
+//! plays all parties, so Diffie–Hellman key exchange is out of scope and a
+//! shared seed table stands in for it.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Coordinates pairwise masking for one communication round.
+#[derive(Debug, Clone)]
+pub struct SecureAggregator {
+    round_seed: u64,
+    participants: Vec<usize>,
+    dim: usize,
+}
+
+impl SecureAggregator {
+    /// Sets up masking for a round with the given participants and model
+    /// dimension. `round_seed` stands in for the session keys agreed for
+    /// this round.
+    pub fn new(round_seed: u64, participants: &[usize], dim: usize) -> Self {
+        assert!(!participants.is_empty(), "secure aggregation needs at least one participant");
+        assert!(dim > 0, "the masked vectors must have positive dimension");
+        let mut sorted = participants.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(
+            sorted.len(),
+            participants.len(),
+            "participant ids must be distinct within a round"
+        );
+        SecureAggregator { round_seed, participants: sorted, dim }
+    }
+
+    /// The participants of this round, sorted.
+    pub fn participants(&self) -> &[usize] {
+        &self.participants
+    }
+
+    /// The pairwise mask shared by clients `a` and `b` (order-insensitive).
+    fn pair_mask(&self, a: usize, b: usize) -> Vec<f32> {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let seed = self
+            .round_seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((lo as u64) << 32)
+            .wrapping_add(hi as u64);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..self.dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+    }
+
+    /// The total mask client `client` applies to its update: the sum of
+    /// `+m_{client,j}` over higher-id partners and `−m_{j,client}` over
+    /// lower-id partners.
+    pub fn mask_for(&self, client: usize) -> Vec<f32> {
+        assert!(
+            self.participants.contains(&client),
+            "client {client} is not a participant of this round"
+        );
+        let mut mask = vec![0.0f32; self.dim];
+        for &other in &self.participants {
+            if other == client {
+                continue;
+            }
+            let pair = self.pair_mask(client, other);
+            let sign = if client < other { 1.0 } else { -1.0 };
+            for (m, p) in mask.iter_mut().zip(pair.iter()) {
+                *m += sign * p;
+            }
+        }
+        mask
+    }
+
+    /// Masks `update` in place on behalf of `client`.
+    pub fn apply_mask(&self, client: usize, update: &mut [f32]) {
+        assert_eq!(update.len(), self.dim, "update dimension mismatch");
+        let mask = self.mask_for(client);
+        for (u, m) in update.iter_mut().zip(mask.iter()) {
+            *u += m;
+        }
+    }
+
+    /// The correction the server must *add* to the aggregate when `dropped`
+    /// clients uploaded nothing: the masks they would have cancelled are
+    /// reconstructed from the surviving participants' shares.
+    ///
+    /// (In the real protocol the survivors reveal their shares of the
+    /// dropped clients' seeds; here the aggregator holds the seed table, so
+    /// reconstruction is direct.)
+    pub fn dropout_correction(&self, dropped: &[usize]) -> Vec<f32> {
+        let dropped_set: std::collections::HashSet<usize> = dropped.iter().copied().collect();
+        for d in dropped {
+            assert!(
+                self.participants.contains(d),
+                "dropped client {d} was not a participant of this round"
+            );
+        }
+        let mut correction = vec![0.0f32; self.dim];
+        for &survivor in self.participants.iter().filter(|p| !dropped_set.contains(p)) {
+            for &gone in &dropped_set {
+                // The survivor applied ±m_{survivor,gone}; the dropped client
+                // would have applied the opposite sign. Cancel the survivor's
+                // contribution by adding its negation.
+                let pair = self.pair_mask(survivor, gone);
+                let sign = if survivor < gone { 1.0 } else { -1.0 };
+                for (c, p) in correction.iter_mut().zip(pair.iter()) {
+                    *c -= sign * p;
+                }
+            }
+        }
+        correction
+    }
+
+    /// Convenience helper: masks every `(client, update)` pair and returns
+    /// the element-wise sum of the masked updates, i.e. what the server
+    /// computes. Equals the sum of the raw updates when every participant
+    /// reports back.
+    pub fn masked_sum(&self, updates: &[(usize, Vec<f32>)]) -> Vec<f32> {
+        let mut sum = vec![0.0f32; self.dim];
+        for (client, update) in updates {
+            let mut masked = update.clone();
+            self.apply_mask(*client, &mut masked);
+            for (s, v) in sum.iter_mut().zip(masked.iter()) {
+                *s += v;
+            }
+        }
+        sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn updates(clients: &[usize], dim: usize, scale: f32) -> Vec<(usize, Vec<f32>)> {
+        clients
+            .iter()
+            .map(|&c| {
+                let v: Vec<f32> = (0..dim).map(|j| scale * (c as f32 + 1.0) * (j as f32 + 1.0)).collect();
+                (c, v)
+            })
+            .collect()
+    }
+
+    fn raw_sum(updates: &[(usize, Vec<f32>)], dim: usize) -> Vec<f32> {
+        let mut sum = vec![0.0f32; dim];
+        for (_, u) in updates {
+            for (s, v) in sum.iter_mut().zip(u.iter()) {
+                *s += v;
+            }
+        }
+        sum
+    }
+
+    #[test]
+    fn masks_cancel_exactly_in_the_sum() {
+        let participants = [2usize, 5, 9, 11];
+        let dim = 64;
+        let agg = SecureAggregator::new(77, &participants, dim);
+        let ups = updates(&participants, dim, 0.1);
+        let masked = agg.masked_sum(&ups);
+        let raw = raw_sum(&ups, dim);
+        for (m, r) in masked.iter().zip(raw.iter()) {
+            assert!((m - r).abs() < 1e-3, "masked {m} vs raw {r}");
+        }
+    }
+
+    #[test]
+    fn individual_masked_updates_do_not_reveal_the_raw_update() {
+        let participants = [0usize, 1, 2];
+        let dim = 32;
+        let agg = SecureAggregator::new(3, &participants, dim);
+        let raw: Vec<f32> = vec![0.01; dim];
+        let mut masked = raw.clone();
+        agg.apply_mask(0, &mut masked);
+        // The mask is O(1) per coordinate while the update is 0.01 — the
+        // masked vector is dominated by the mask.
+        let dist: f32 =
+            masked.iter().zip(raw.iter()).map(|(a, b)| (a - b) * (a - b)).sum::<f32>().sqrt();
+        assert!(dist > 1.0, "masking changed the vector by only {dist}");
+    }
+
+    #[test]
+    fn single_participant_needs_no_mask() {
+        let agg = SecureAggregator::new(1, &[4], 8);
+        assert_eq!(agg.mask_for(4), vec![0.0; 8]);
+    }
+
+    #[test]
+    fn pair_masks_are_antisymmetric() {
+        let agg = SecureAggregator::new(9, &[0, 1], 16);
+        let m0 = agg.mask_for(0);
+        let m1 = agg.mask_for(1);
+        for (a, b) in m0.iter().zip(m1.iter()) {
+            assert!((a + b).abs() < 1e-7, "masks must cancel pairwise: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn dropout_correction_restores_the_surviving_sum() {
+        let participants = [1usize, 3, 6, 8, 10];
+        let dim = 48;
+        let agg = SecureAggregator::new(123, &participants, dim);
+        let ups = updates(&participants, dim, 0.05);
+        // Clients 6 and 10 fail after masking was set up: their updates never
+        // arrive. The server sums the surviving masked updates…
+        let dropped = [6usize, 10];
+        let surviving: Vec<(usize, Vec<f32>)> =
+            ups.iter().filter(|(c, _)| !dropped.contains(c)).cloned().collect();
+        let mut server_sum = agg.masked_sum(&surviving);
+        // …and applies the reconstruction correction.
+        let correction = agg.dropout_correction(&dropped);
+        for (s, c) in server_sum.iter_mut().zip(correction.iter()) {
+            *s += c;
+        }
+        let expected = raw_sum(&surviving, dim);
+        for (m, r) in server_sum.iter().zip(expected.iter()) {
+            assert!((m - r).abs() < 1e-3, "recovered {m} vs raw {r}");
+        }
+    }
+
+    #[test]
+    fn different_round_seeds_produce_different_masks() {
+        let a = SecureAggregator::new(1, &[0, 1], 8);
+        let b = SecureAggregator::new(2, &[0, 1], 8);
+        assert_ne!(a.mask_for(0), b.mask_for(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a participant")]
+    fn masking_for_a_non_participant_is_rejected() {
+        let agg = SecureAggregator::new(0, &[1, 2], 4);
+        agg.mask_for(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn duplicate_participants_are_rejected() {
+        SecureAggregator::new(0, &[1, 1, 2], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_dimension_is_rejected() {
+        let agg = SecureAggregator::new(0, &[0, 1], 4);
+        let mut update = vec![0.0; 3];
+        agg.apply_mask(0, &mut update);
+    }
+}

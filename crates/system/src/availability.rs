@@ -1,0 +1,274 @@
+//! Client availability over time and mid-round dropout.
+//!
+//! The paper lists "low device participation rate and unreliable
+//! connections" among the defining features of FL and stresses that
+//! FedADMM's analysis only needs every client to participate *infinitely
+//! often* (Remark 2) — there is no bounded-delay assumption. This module
+//! provides the availability processes used to exercise that claim:
+//!
+//! * [`AvailabilityModel`] decides which clients are reachable at the start
+//!   of a round (always-on, independent Bernoulli, or a two-state Markov
+//!   chain that produces bursty offline periods);
+//! * [`DropoutInjector`] models clients that accept a round but fail before
+//!   reporting back (battery death, connection loss), which is how the
+//!   failure-injection tests remove updates after local work has started.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which clients are reachable at the start of each round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AvailabilityModel {
+    /// Every client is always reachable.
+    AlwaysOn,
+    /// Each client is independently reachable with probability `p` each
+    /// round (memoryless availability).
+    Bernoulli {
+        /// Per-round availability probability.
+        p: f64,
+    },
+    /// A two-state Markov chain per client: an *online* client goes offline
+    /// with probability `p_fail`, an *offline* client recovers with
+    /// probability `p_recover`. Produces bursty, correlated unavailability —
+    /// the realistic "device lost connectivity for a while" pattern.
+    Markov {
+        /// Probability an online client goes offline at the next round.
+        p_fail: f64,
+        /// Probability an offline client comes back online.
+        p_recover: f64,
+    },
+}
+
+impl AvailabilityModel {
+    fn validate(&self) {
+        match *self {
+            AvailabilityModel::AlwaysOn => {}
+            AvailabilityModel::Bernoulli { p } => {
+                assert!((0.0..=1.0).contains(&p), "availability probability must lie in [0, 1]");
+                assert!(p > 0.0, "p = 0 would starve every client forever");
+            }
+            AvailabilityModel::Markov { p_fail, p_recover } => {
+                assert!((0.0..=1.0).contains(&p_fail), "p_fail must lie in [0, 1]");
+                assert!((0.0..=1.0).contains(&p_recover), "p_recover must lie in [0, 1]");
+                assert!(
+                    p_recover > 0.0,
+                    "p_recover = 0 would let clients go offline forever, violating the \
+                     infinitely-often participation requirement"
+                );
+            }
+        }
+    }
+
+    /// The long-run fraction of time a client is available under this model.
+    pub fn steady_state_availability(&self) -> f64 {
+        match *self {
+            AvailabilityModel::AlwaysOn => 1.0,
+            AvailabilityModel::Bernoulli { p } => p,
+            AvailabilityModel::Markov { p_fail, p_recover } => {
+                if p_fail + p_recover == 0.0 {
+                    1.0
+                } else {
+                    p_recover / (p_fail + p_recover)
+                }
+            }
+        }
+    }
+}
+
+/// Tracks the availability state of a fleet across rounds.
+#[derive(Debug, Clone)]
+pub struct AvailabilityState {
+    model: AvailabilityModel,
+    online: Vec<bool>,
+}
+
+impl AvailabilityState {
+    /// Creates the tracker with every client initially online.
+    pub fn new(model: AvailabilityModel, num_clients: usize) -> Self {
+        model.validate();
+        assert!(num_clients > 0, "need at least one client");
+        AvailabilityState { model, online: vec![true; num_clients] }
+    }
+
+    /// Number of clients tracked.
+    pub fn num_clients(&self) -> usize {
+        self.online.len()
+    }
+
+    /// Advances one round and returns the ids of the clients available this
+    /// round.
+    pub fn step(&mut self, rng: &mut impl Rng) -> Vec<usize> {
+        match self.model {
+            AvailabilityModel::AlwaysOn => (0..self.online.len()).collect(),
+            AvailabilityModel::Bernoulli { p } => (0..self.online.len())
+                .filter(|_| rng.gen_bool(p))
+                .collect(),
+            AvailabilityModel::Markov { p_fail, p_recover } => {
+                for state in self.online.iter_mut() {
+                    *state = if *state { !rng.gen_bool(p_fail) } else { rng.gen_bool(p_recover) };
+                }
+                self.online
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, &on)| on.then_some(i))
+                    .collect()
+            }
+        }
+    }
+
+    /// Whether client `i` was available after the most recent [`Self::step`].
+    pub fn is_online(&self, client: usize) -> bool {
+        matches!(self.model, AvailabilityModel::AlwaysOn) || self.online[client]
+    }
+
+    /// Intersects an availability draw with a proposed selection: only
+    /// clients that are both selected and available take part in the round.
+    pub fn filter_selection(selected: &[usize], available: &[usize]) -> Vec<usize> {
+        let set: std::collections::HashSet<usize> = available.iter().copied().collect();
+        selected.iter().copied().filter(|c| set.contains(c)).collect()
+    }
+}
+
+/// Mid-round failures: a client that started the round drops out before its
+/// update reaches the server.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DropoutInjector {
+    /// Probability that any individual participating client fails to report
+    /// back this round.
+    pub dropout_prob: f64,
+}
+
+impl DropoutInjector {
+    /// Creates the injector.
+    pub fn new(dropout_prob: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&dropout_prob),
+            "the dropout probability must lie in [0, 1)"
+        );
+        DropoutInjector { dropout_prob }
+    }
+
+    /// Partitions the participating clients into (survivors, dropped). At
+    /// least one client always survives so the round is never empty — the
+    /// same never-empty guarantee the selectors provide.
+    pub fn split(&self, participants: &[usize], rng: &mut impl Rng) -> (Vec<usize>, Vec<usize>) {
+        if participants.is_empty() {
+            return (vec![], vec![]);
+        }
+        let mut survivors = Vec::new();
+        let mut dropped = Vec::new();
+        for &c in participants {
+            if rng.gen_bool(self.dropout_prob) {
+                dropped.push(c);
+            } else {
+                survivors.push(c);
+            }
+        }
+        if survivors.is_empty() {
+            let rescued = dropped.remove(0);
+            survivors.push(rescued);
+        }
+        (survivors, dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn always_on_returns_everyone_every_round() {
+        let mut state = AvailabilityState::new(AvailabilityModel::AlwaysOn, 5);
+        let mut rng = SmallRng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(state.step(&mut rng), vec![0, 1, 2, 3, 4]);
+        }
+        assert!(state.is_online(3));
+        assert_eq!(AvailabilityModel::AlwaysOn.steady_state_availability(), 1.0);
+    }
+
+    #[test]
+    fn bernoulli_availability_matches_probability_on_average() {
+        let mut state = AvailabilityState::new(AvailabilityModel::Bernoulli { p: 0.3 }, 100);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut total = 0usize;
+        let rounds = 200;
+        for _ in 0..rounds {
+            total += state.step(&mut rng).len();
+        }
+        let rate = total as f64 / (rounds * 100) as f64;
+        assert!((rate - 0.3).abs() < 0.03, "empirical availability {rate}");
+    }
+
+    #[test]
+    fn markov_availability_is_bursty_but_recovers() {
+        let model = AvailabilityModel::Markov { p_fail: 0.1, p_recover: 0.3 };
+        assert!((model.steady_state_availability() - 0.75).abs() < 1e-12);
+        let mut state = AvailabilityState::new(model, 50);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut ever_available: HashSet<usize> = HashSet::new();
+        let mut total = 0usize;
+        let rounds = 400;
+        for _ in 0..rounds {
+            let online = state.step(&mut rng);
+            total += online.len();
+            ever_available.extend(online);
+        }
+        // Every client comes back eventually (infinitely-often participation).
+        assert_eq!(ever_available.len(), 50);
+        let rate = total as f64 / (rounds * 50) as f64;
+        assert!((rate - 0.75).abs() < 0.05, "empirical availability {rate}");
+    }
+
+    #[test]
+    fn filter_selection_intersects() {
+        let filtered = AvailabilityState::filter_selection(&[1, 3, 5, 7], &[0, 3, 7, 9]);
+        assert_eq!(filtered, vec![3, 7]);
+        assert!(AvailabilityState::filter_selection(&[1], &[]).is_empty());
+    }
+
+    #[test]
+    fn dropout_injector_splits_and_never_empties_the_round() {
+        let injector = DropoutInjector::new(0.9);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let (survivors, dropped) = injector.split(&[0, 1, 2, 3], &mut rng);
+            assert!(!survivors.is_empty());
+            assert_eq!(survivors.len() + dropped.len(), 4);
+            let all: HashSet<usize> = survivors.iter().chain(dropped.iter()).copied().collect();
+            assert_eq!(all.len(), 4);
+        }
+    }
+
+    #[test]
+    fn zero_dropout_keeps_everyone() {
+        let injector = DropoutInjector::new(0.0);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let (survivors, dropped) = injector.split(&[2, 4, 6], &mut rng);
+        assert_eq!(survivors, vec![2, 4, 6]);
+        assert!(dropped.is_empty());
+        let (s, d) = injector.split(&[], &mut rng);
+        assert!(s.is_empty() && d.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "starve")]
+    fn zero_bernoulli_availability_is_rejected() {
+        AvailabilityState::new(AvailabilityModel::Bernoulli { p: 0.0 }, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "infinitely-often")]
+    fn markov_without_recovery_is_rejected() {
+        AvailabilityState::new(AvailabilityModel::Markov { p_fail: 0.5, p_recover: 0.0 }, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in")]
+    fn dropout_probability_one_is_rejected() {
+        DropoutInjector::new(1.0);
+    }
+}

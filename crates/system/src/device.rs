@@ -1,0 +1,301 @@
+//! Per-client device profiles and fleet generators.
+//!
+//! The FL motivation of the paper is edge hardware: "the rapid increase of
+//! the computational power of personal devices such as smartphones surges
+//! pushing computation to the edge". Real fleets mix device generations, so
+//! compute throughput and network bandwidth span more than an order of
+//! magnitude — this is what produces stragglers in synchronous rounds.
+//! [`DeviceProfile`] captures one device; [`DevicePopulation`] generates a
+//! whole fleet, either from discrete tiers ([`DeviceClass`]) or from a
+//! log-normal throughput spread.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The hardware/network capabilities of one simulated client device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Training throughput: samples the device can process per second
+    /// (forward + backward + update for the model under study).
+    pub compute_samples_per_sec: f64,
+    /// Uplink bandwidth in megabits per second.
+    pub upload_mbps: f64,
+    /// Downlink bandwidth in megabits per second.
+    pub download_mbps: f64,
+    /// One-way network latency in milliseconds (paid once per transfer).
+    pub latency_ms: f64,
+}
+
+impl DeviceProfile {
+    /// Creates a profile, validating that every rate is positive.
+    pub fn new(
+        compute_samples_per_sec: f64,
+        upload_mbps: f64,
+        download_mbps: f64,
+        latency_ms: f64,
+    ) -> Self {
+        assert!(compute_samples_per_sec > 0.0, "compute throughput must be positive");
+        assert!(upload_mbps > 0.0 && download_mbps > 0.0, "bandwidths must be positive");
+        assert!(latency_ms >= 0.0, "latency cannot be negative");
+        DeviceProfile { compute_samples_per_sec, upload_mbps, download_mbps, latency_ms }
+    }
+
+    /// Seconds this device needs to process `samples` training samples.
+    pub fn compute_seconds(&self, samples: usize) -> f64 {
+        samples as f64 / self.compute_samples_per_sec
+    }
+
+    /// Seconds this device needs to upload `bytes` bytes (latency included).
+    pub fn upload_seconds(&self, bytes: usize) -> f64 {
+        self.latency_ms / 1e3 + bytes as f64 * 8.0 / (self.upload_mbps * 1e6)
+    }
+
+    /// Seconds this device needs to download `bytes` bytes (latency
+    /// included).
+    pub fn download_seconds(&self, bytes: usize) -> f64 {
+        self.latency_ms / 1e3 + bytes as f64 * 8.0 / (self.download_mbps * 1e6)
+    }
+}
+
+/// Discrete device tiers used to compose realistic fleets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceClass {
+    /// Recent flagship phone on Wi-Fi.
+    HighEnd,
+    /// Mid-range phone on LTE.
+    MidRange,
+    /// Old budget phone on congested LTE — the typical straggler.
+    LowEnd,
+    /// Always-powered edge gateway (e.g. hospital or smart-grid node).
+    EdgeGateway,
+}
+
+impl DeviceClass {
+    /// All tiers, from fastest to slowest compute.
+    pub fn all() -> [DeviceClass; 4] {
+        [DeviceClass::EdgeGateway, DeviceClass::HighEnd, DeviceClass::MidRange, DeviceClass::LowEnd]
+    }
+
+    /// The nominal profile of this tier. The absolute numbers are
+    /// order-of-magnitude realistic; what matters for the experiments is the
+    /// *ratio* between tiers (≈ 30× between `EdgeGateway` and `LowEnd`).
+    pub fn profile(&self) -> DeviceProfile {
+        match self {
+            DeviceClass::EdgeGateway => DeviceProfile::new(3000.0, 100.0, 200.0, 5.0),
+            DeviceClass::HighEnd => DeviceProfile::new(1200.0, 30.0, 80.0, 20.0),
+            DeviceClass::MidRange => DeviceProfile::new(400.0, 10.0, 30.0, 40.0),
+            DeviceClass::LowEnd => DeviceProfile::new(100.0, 2.0, 8.0, 80.0),
+        }
+    }
+}
+
+/// A fleet of device profiles, one per client.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DevicePopulation {
+    profiles: Vec<DeviceProfile>,
+}
+
+impl DevicePopulation {
+    /// Wraps an explicit list of profiles.
+    pub fn new(profiles: Vec<DeviceProfile>) -> Self {
+        assert!(!profiles.is_empty(), "a population needs at least one device");
+        DevicePopulation { profiles }
+    }
+
+    /// Every client gets the same profile (the homogeneous control case).
+    pub fn homogeneous(num_clients: usize, profile: DeviceProfile) -> Self {
+        assert!(num_clients > 0);
+        DevicePopulation { profiles: vec![profile; num_clients] }
+    }
+
+    /// Builds a fleet from `(class, fraction)` tiers; fractions are
+    /// normalised, clients are assigned tier-by-tier and shuffled.
+    pub fn tiered(num_clients: usize, tiers: &[(DeviceClass, f64)], seed: u64) -> Self {
+        assert!(num_clients > 0);
+        assert!(!tiers.is_empty(), "at least one tier is required");
+        let total: f64 = tiers.iter().map(|(_, f)| f.max(0.0)).sum();
+        assert!(total > 0.0, "tier fractions must sum to a positive value");
+        let mut profiles = Vec::with_capacity(num_clients);
+        for (class, fraction) in tiers {
+            let count = ((fraction.max(0.0) / total) * num_clients as f64).round() as usize;
+            for _ in 0..count {
+                profiles.push(class.profile());
+            }
+        }
+        // Rounding may leave the fleet short or long; pad with the last tier
+        // and truncate to the exact size.
+        while profiles.len() < num_clients {
+            profiles.push(tiers.last().unwrap().0.profile());
+        }
+        profiles.truncate(num_clients);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // Fisher–Yates shuffle so tier membership is not correlated with
+        // client id (client ids are also data-partition indices).
+        for i in (1..profiles.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            profiles.swap(i, j);
+        }
+        DevicePopulation { profiles }
+    }
+
+    /// Builds a fleet whose compute throughput is log-normally distributed
+    /// around `median_samples_per_sec` with multiplicative spread
+    /// `sigma` (a value of 1.0 gives roughly a 3–5× interquartile ratio);
+    /// bandwidth scales with the square root of the same draw.
+    pub fn lognormal(
+        num_clients: usize,
+        median_samples_per_sec: f64,
+        sigma: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(num_clients > 0);
+        assert!(median_samples_per_sec > 0.0 && sigma >= 0.0);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let profiles = (0..num_clients)
+            .map(|_| {
+                // Box–Muller standard normal.
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                let factor = (sigma * z).exp();
+                DeviceProfile::new(
+                    median_samples_per_sec * factor,
+                    10.0 * factor.sqrt(),
+                    30.0 * factor.sqrt(),
+                    30.0,
+                )
+            })
+            .collect();
+        DevicePopulation { profiles }
+    }
+
+    /// Number of devices in the fleet.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Whether the fleet is empty (never true for constructed populations).
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// The profile of client `i` (wraps around if `i ≥ len`, so a small
+    /// fleet description can serve a larger client population).
+    pub fn profile(&self, client: usize) -> &DeviceProfile {
+        &self.profiles[client % self.profiles.len()]
+    }
+
+    /// Iterates over all profiles.
+    pub fn iter(&self) -> impl Iterator<Item = &DeviceProfile> {
+        self.profiles.iter()
+    }
+
+    /// `(min, median, max)` compute throughput across the fleet — a quick
+    /// summary of how heterogeneous the fleet is.
+    pub fn compute_spread(&self) -> (f64, f64, f64) {
+        let mut speeds: Vec<f64> = self.profiles.iter().map(|p| p.compute_samples_per_sec).collect();
+        speeds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        (speeds[0], speeds[speeds.len() / 2], speeds[speeds.len() - 1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_time_accounting_is_dimensionally_consistent() {
+        let p = DeviceProfile::new(100.0, 8.0, 16.0, 50.0);
+        assert!((p.compute_seconds(200) - 2.0).abs() < 1e-12);
+        // 1 MB at 8 Mbit/s = 1 s, plus 50 ms latency.
+        assert!((p.upload_seconds(1_000_000) - 1.05).abs() < 1e-9);
+        // Same payload downloads twice as fast.
+        assert!((p.download_seconds(1_000_000) - 0.55).abs() < 1e-9);
+        // Zero-byte transfers still pay the latency.
+        assert!((p.upload_seconds(0) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_throughput_is_rejected() {
+        DeviceProfile::new(0.0, 1.0, 1.0, 0.0);
+    }
+
+    #[test]
+    fn device_classes_are_ordered_by_speed() {
+        let speeds: Vec<f64> =
+            DeviceClass::all().iter().map(|c| c.profile().compute_samples_per_sec).collect();
+        for pair in speeds.windows(2) {
+            assert!(pair[0] > pair[1], "classes must be listed fastest first: {speeds:?}");
+        }
+        // The fleet spans more than an order of magnitude — the regime where
+        // stragglers dominate synchronous rounds.
+        assert!(speeds[0] / speeds[speeds.len() - 1] >= 10.0);
+    }
+
+    #[test]
+    fn tiered_population_has_requested_size_and_mixture() {
+        let pop = DevicePopulation::tiered(
+            100,
+            &[(DeviceClass::HighEnd, 0.2), (DeviceClass::MidRange, 0.5), (DeviceClass::LowEnd, 0.3)],
+            7,
+        );
+        assert_eq!(pop.len(), 100);
+        let high = pop
+            .iter()
+            .filter(|p| p.compute_samples_per_sec == DeviceClass::HighEnd.profile().compute_samples_per_sec)
+            .count();
+        assert!((15..=25).contains(&high), "expected ≈20 high-end devices, got {high}");
+        let (min, _, max) = pop.compute_spread();
+        assert!(max > min);
+    }
+
+    #[test]
+    fn tiered_population_is_deterministic_in_seed() {
+        let tiers = [(DeviceClass::HighEnd, 0.5), (DeviceClass::LowEnd, 0.5)];
+        let a = DevicePopulation::tiered(20, &tiers, 3);
+        let b = DevicePopulation::tiered(20, &tiers, 3);
+        let c = DevicePopulation::tiered(20, &tiers, 4);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn lognormal_population_spreads_around_the_median() {
+        let pop = DevicePopulation::lognormal(500, 400.0, 1.0, 11);
+        assert_eq!(pop.len(), 500);
+        let (min, median, max) = pop.compute_spread();
+        assert!(min < 400.0 && max > 400.0);
+        assert!((median / 400.0) > 0.5 && (median / 400.0) < 2.0, "median {median}");
+        // σ = 1 must produce a genuinely heterogeneous fleet.
+        assert!(max / min > 10.0);
+    }
+
+    #[test]
+    fn homogeneous_population_has_zero_spread() {
+        let pop = DevicePopulation::homogeneous(10, DeviceClass::MidRange.profile());
+        let (min, median, max) = pop.compute_spread();
+        assert_eq!(min, max);
+        assert_eq!(min, median);
+    }
+
+    #[test]
+    fn profile_lookup_wraps_around() {
+        let pop = DevicePopulation::new(vec![
+            DeviceClass::HighEnd.profile(),
+            DeviceClass::LowEnd.profile(),
+        ]);
+        assert_eq!(pop.profile(0), pop.profile(2));
+        assert_eq!(pop.profile(1), pop.profile(3));
+        assert!(!pop.is_empty());
+    }
+
+    #[test]
+    fn population_serializes_round_trip() {
+        let pop = DevicePopulation::tiered(5, &[(DeviceClass::HighEnd, 1.0)], 0);
+        let json = serde_json::to_string(&pop).unwrap();
+        let back: DevicePopulation = serde_json::from_str(&json).unwrap();
+        assert_eq!(pop, back);
+    }
+}

@@ -1,0 +1,46 @@
+//! # fedadmm-system
+//!
+//! Device, network and wall-clock models for simulating *system
+//! heterogeneity* — the second kind of heterogeneity the FedADMM paper
+//! addresses ("heterogeneity in … computational resources", the "straggler
+//! problem in a heterogeneous network", Section I).
+//!
+//! The paper's experiments model system heterogeneity purely through the
+//! local epoch count (each FedADMM/FedProx client draws `E_i` uniformly from
+//! `{1..E}`), because its evaluation metric is *communication rounds*. This
+//! crate supplies the substrate needed to go one step further and ask the
+//! wall-clock question the paper's motivation raises: when devices differ in
+//! compute speed and network bandwidth, how long does a synchronous round
+//! actually take, and how much of FedADMM's tolerance for variable work
+//! translates into time saved waiting for stragglers?
+//!
+//! * [`device`] — per-client device profiles (compute throughput, uplink /
+//!   downlink bandwidth) and population generators (tiered fleets,
+//!   log-normal speed spreads);
+//! * [`network`] — message-size and transfer-time accounting (the paper's
+//!   upload costs `d` vs `2d` floats, converted to bytes and seconds);
+//! * [`timing`] — synchronous-round timing: per-client download + compute +
+//!   upload, the round time as the maximum over selected clients, deadlines
+//!   that drop stragglers, and cumulative wall-clock traces;
+//! * [`availability`] — client availability over rounds (always-on,
+//!   Bernoulli, two-state Markov) and mid-round dropout injection.
+//!
+//! The crate is deliberately independent of the training stack: it consumes
+//! plain numbers (samples processed, floats uploaded) so that it can replay
+//! the output of `fedadmm-core` simulations or purely synthetic workloads.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod availability;
+pub mod device;
+pub mod network;
+pub mod timing;
+
+/// Convenient re-exports of the most commonly used types.
+pub mod prelude {
+    pub use crate::availability::{AvailabilityModel, AvailabilityState, DropoutInjector};
+    pub use crate::device::{DeviceClass, DevicePopulation, DeviceProfile};
+    pub use crate::network::NetworkModel;
+    pub use crate::timing::{ClientRoundWork, RoundTiming, StragglerPolicy, WallClockTrace};
+}

@@ -1,0 +1,124 @@
+//! Message-size and transfer accounting.
+//!
+//! The paper's central efficiency claim is stated in *floats uploaded per
+//! round*: FedADMM uploads one `d`-vector per selected client (identical to
+//! FedAvg/FedProx), SCAFFOLD uploads two. [`NetworkModel`] converts float
+//! counts into bytes and transfer times, including per-message protocol
+//! overhead, so that wall-clock experiments can express the same comparison
+//! in seconds on a concrete link.
+
+use crate::device::DeviceProfile;
+use serde::{Deserialize, Serialize};
+
+/// Bytes used by one model parameter on the wire (f32).
+pub const BYTES_PER_FLOAT: usize = 4;
+
+/// A simple network cost model shared by all clients of a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// Fixed protocol overhead added to every message, in bytes (framing,
+    /// TLS, client metadata…).
+    pub per_message_overhead_bytes: usize,
+    /// Multiplicative overhead on the payload (serialization framing,
+    /// retransmissions). `1.0` means the payload travels as-is.
+    pub payload_expansion: f64,
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        NetworkModel { per_message_overhead_bytes: 1024, payload_expansion: 1.0 }
+    }
+}
+
+impl NetworkModel {
+    /// A model with no overhead at all — useful for unit tests and for
+    /// reporting the paper's idealised float counts.
+    pub fn ideal() -> Self {
+        NetworkModel { per_message_overhead_bytes: 0, payload_expansion: 1.0 }
+    }
+
+    /// Bytes on the wire for a message carrying `floats` model parameters.
+    pub fn message_bytes(&self, floats: usize) -> usize {
+        assert!(self.payload_expansion >= 1.0, "payload expansion cannot shrink the payload");
+        let payload = (floats * BYTES_PER_FLOAT) as f64 * self.payload_expansion;
+        self.per_message_overhead_bytes + payload.ceil() as usize
+    }
+
+    /// Seconds for `device` to upload a message of `floats` parameters.
+    pub fn upload_seconds(&self, device: &DeviceProfile, floats: usize) -> f64 {
+        device.upload_seconds(self.message_bytes(floats))
+    }
+
+    /// Seconds for `device` to download a message of `floats` parameters.
+    pub fn download_seconds(&self, device: &DeviceProfile, floats: usize) -> f64 {
+        device.download_seconds(self.message_bytes(floats))
+    }
+
+    /// Total bytes uploaded by a round in which each entry of
+    /// `floats_per_client` is one client's upload size.
+    pub fn round_upload_bytes(&self, floats_per_client: &[usize]) -> usize {
+        floats_per_client.iter().map(|&f| self.message_bytes(f)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceClass;
+
+    #[test]
+    fn ideal_model_counts_exactly_four_bytes_per_float() {
+        let net = NetworkModel::ideal();
+        assert_eq!(net.message_bytes(0), 0);
+        assert_eq!(net.message_bytes(1_663_370), 1_663_370 * 4);
+    }
+
+    #[test]
+    fn default_model_adds_fixed_overhead() {
+        let net = NetworkModel::default();
+        assert_eq!(net.message_bytes(0), 1024);
+        assert_eq!(net.message_bytes(100), 1024 + 400);
+    }
+
+    #[test]
+    fn payload_expansion_inflates_the_payload_only() {
+        let net = NetworkModel { per_message_overhead_bytes: 10, payload_expansion: 1.5 };
+        assert_eq!(net.message_bytes(100), 10 + 600);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot shrink")]
+    fn shrinking_expansion_is_rejected() {
+        let net = NetworkModel { per_message_overhead_bytes: 0, payload_expansion: 0.5 };
+        net.message_bytes(10);
+    }
+
+    #[test]
+    fn scaffold_upload_takes_twice_as_long_as_fedadmm() {
+        // The communication-cost comparison of Section III-B expressed in
+        // seconds: SCAFFOLD's 2d-float message takes ~2× the time of the
+        // d-float FedADMM/FedAvg/FedProx message on the same link.
+        let net = NetworkModel::ideal();
+        let device = DeviceClass::MidRange.profile();
+        let d = 1_105_098; // CNN 2 of Table II.
+        let fedadmm = net.upload_seconds(&device, d);
+        let scaffold = net.upload_seconds(&device, 2 * d);
+        let ratio = (scaffold - device.latency_ms / 1e3) / (fedadmm - device.latency_ms / 1e3);
+        assert!((ratio - 2.0).abs() < 1e-9);
+        assert!(scaffold > fedadmm);
+    }
+
+    #[test]
+    fn round_upload_bytes_sums_all_clients() {
+        let net = NetworkModel::ideal();
+        assert_eq!(net.round_upload_bytes(&[10, 20, 30]), 60 * 4);
+        assert_eq!(net.round_upload_bytes(&[]), 0);
+    }
+
+    #[test]
+    fn faster_downlink_downloads_faster_than_uplink() {
+        let net = NetworkModel::default();
+        let device = DeviceClass::LowEnd.profile();
+        assert!(net.download_seconds(&device, 100_000) < net.upload_seconds(&device, 100_000));
+    }
+}

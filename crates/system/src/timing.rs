@@ -1,0 +1,364 @@
+//! Synchronous-round wall-clock timing and straggler handling.
+//!
+//! In the canonical FL round of Figure 1, the server waits for every
+//! selected client before aggregating, so the round time is the *maximum*
+//! over selected clients of download + local-training + upload time. This is
+//! exactly why the paper calls out "the straggler problem (where the server
+//! has to wait for the slowest client before proceeding to the next round)"
+//! when arguing against full-participation methods such as FedPD.
+//!
+//! [`RoundTiming`] computes that maximum from per-client work descriptions
+//! and device profiles; [`StragglerPolicy`] optionally imposes a deadline
+//! after which slow clients are dropped (their update is lost, trading
+//! statistical efficiency for time); [`WallClockTrace`] accumulates the
+//! simulated clock over a whole run so that accuracy-vs-time curves can be
+//! produced next to the paper's accuracy-vs-rounds curves.
+
+use crate::device::DevicePopulation;
+use crate::network::NetworkModel;
+use serde::{Deserialize, Serialize};
+
+/// The work one selected client performs in one round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClientRoundWork {
+    /// Which client (indexes into the [`DevicePopulation`]).
+    pub client_id: usize,
+    /// Training samples the client processes locally this round
+    /// (epochs × local dataset size).
+    pub samples_processed: usize,
+    /// Floats the client downloads at the start of the round (the global
+    /// model: `d` for every algorithm).
+    pub download_floats: usize,
+    /// Floats the client uploads at the end of the round (`d` for
+    /// FedADMM/FedAvg/FedProx, `2d` for SCAFFOLD).
+    pub upload_floats: usize,
+}
+
+/// How the server treats slow clients.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum StragglerPolicy {
+    /// Wait for every selected client (the synchronous protocol of the
+    /// paper's experiments).
+    WaitForAll,
+    /// Drop any client that has not finished within `seconds`; the round
+    /// completes at `min(deadline, slowest surviving client)`.
+    Deadline {
+        /// The per-round deadline in seconds.
+        seconds: f64,
+    },
+}
+
+/// The timing outcome of one synchronous round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundTiming {
+    /// Seconds the round takes (the server-side wait).
+    pub round_seconds: f64,
+    /// Per-client completion times, in the order of the work descriptors.
+    pub client_seconds: Vec<f64>,
+    /// Clients that finished within the deadline (all of them under
+    /// [`StragglerPolicy::WaitForAll`]).
+    pub completed: Vec<usize>,
+    /// Clients dropped by the deadline.
+    pub dropped: Vec<usize>,
+    /// Total bytes uploaded by the clients that completed.
+    pub upload_bytes: usize,
+}
+
+impl RoundTiming {
+    /// Computes the timing of one round.
+    pub fn compute(
+        work: &[ClientRoundWork],
+        devices: &DevicePopulation,
+        network: &NetworkModel,
+        policy: StragglerPolicy,
+    ) -> Self {
+        assert!(!work.is_empty(), "a round needs at least one selected client");
+        let client_seconds: Vec<f64> = work
+            .iter()
+            .map(|w| {
+                let device = devices.profile(w.client_id);
+                network.download_seconds(device, w.download_floats)
+                    + device.compute_seconds(w.samples_processed)
+                    + network.upload_seconds(device, w.upload_floats)
+            })
+            .collect();
+        let (completed, dropped): (Vec<usize>, Vec<usize>) = match policy {
+            StragglerPolicy::WaitForAll => (work.iter().map(|w| w.client_id).collect(), vec![]),
+            StragglerPolicy::Deadline { seconds } => {
+                assert!(seconds > 0.0, "the deadline must be positive");
+                let mut done = Vec::new();
+                let mut late = Vec::new();
+                for (w, &t) in work.iter().zip(client_seconds.iter()) {
+                    if t <= seconds {
+                        done.push(w.client_id);
+                    } else {
+                        late.push(w.client_id);
+                    }
+                }
+                (done, late)
+            }
+        };
+        let round_seconds = match policy {
+            StragglerPolicy::WaitForAll => {
+                client_seconds.iter().copied().fold(0.0f64, f64::max)
+            }
+            StragglerPolicy::Deadline { seconds } => {
+                let slowest_survivor = work
+                    .iter()
+                    .zip(client_seconds.iter())
+                    .filter(|(w, _)| completed.contains(&w.client_id))
+                    .map(|(_, &t)| t)
+                    .fold(0.0f64, f64::max);
+                if dropped.is_empty() {
+                    slowest_survivor
+                } else {
+                    // The server still waits until the deadline before
+                    // declaring the stragglers lost.
+                    seconds
+                }
+            }
+        };
+        let upload_bytes = network.round_upload_bytes(
+            &work
+                .iter()
+                .filter(|w| completed.contains(&w.client_id))
+                .map(|w| w.upload_floats)
+                .collect::<Vec<_>>(),
+        );
+        RoundTiming { round_seconds, client_seconds, completed, dropped, upload_bytes }
+    }
+
+    /// Fraction of selected clients that completed the round.
+    pub fn completion_rate(&self) -> f64 {
+        let total = self.completed.len() + self.dropped.len();
+        if total == 0 {
+            0.0
+        } else {
+            self.completed.len() as f64 / total as f64
+        }
+    }
+
+    /// The straggler gap: slowest ÷ fastest client time in this round. A
+    /// value near 1 means a homogeneous round; large values mean the server
+    /// spends most of the round waiting.
+    pub fn straggler_ratio(&self) -> f64 {
+        let min = self.client_seconds.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = self.client_seconds.iter().copied().fold(0.0f64, f64::max);
+        if min > 0.0 {
+            max / min
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Accumulates round timings into a cumulative wall-clock trace.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WallClockTrace {
+    cumulative_seconds: Vec<f64>,
+    cumulative_upload_bytes: Vec<usize>,
+    dropped_per_round: Vec<usize>,
+}
+
+impl WallClockTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        WallClockTrace::default()
+    }
+
+    /// Appends one round's timing.
+    pub fn push(&mut self, timing: &RoundTiming) {
+        let prev_s = self.cumulative_seconds.last().copied().unwrap_or(0.0);
+        let prev_b = self.cumulative_upload_bytes.last().copied().unwrap_or(0);
+        self.cumulative_seconds.push(prev_s + timing.round_seconds);
+        self.cumulative_upload_bytes.push(prev_b + timing.upload_bytes);
+        self.dropped_per_round.push(timing.dropped.len());
+    }
+
+    /// Number of rounds recorded.
+    pub fn len(&self) -> usize {
+        self.cumulative_seconds.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cumulative_seconds.is_empty()
+    }
+
+    /// Total simulated seconds so far.
+    pub fn total_seconds(&self) -> f64 {
+        self.cumulative_seconds.last().copied().unwrap_or(0.0)
+    }
+
+    /// Total uploaded bytes so far.
+    pub fn total_upload_bytes(&self) -> usize {
+        self.cumulative_upload_bytes.last().copied().unwrap_or(0)
+    }
+
+    /// Total number of dropped client updates so far.
+    pub fn total_dropped(&self) -> usize {
+        self.dropped_per_round.iter().sum()
+    }
+
+    /// The cumulative seconds after each round (for accuracy-vs-time plots).
+    pub fn seconds_series(&self) -> &[f64] {
+        &self.cumulative_seconds
+    }
+
+    /// Simulated seconds at which round `r` (0-based) completed.
+    pub fn seconds_at(&self, round: usize) -> Option<f64> {
+        self.cumulative_seconds.get(round).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{DeviceClass, DevicePopulation, DeviceProfile};
+
+    fn uniform_work(clients: &[usize], samples: usize, d: usize) -> Vec<ClientRoundWork> {
+        clients
+            .iter()
+            .map(|&c| ClientRoundWork {
+                client_id: c,
+                samples_processed: samples,
+                download_floats: d,
+                upload_floats: d,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_time_is_the_slowest_client() {
+        // One fast and one slow device doing the same work.
+        let devices = DevicePopulation::new(vec![
+            DeviceProfile::new(1000.0, 100.0, 100.0, 0.0),
+            DeviceProfile::new(100.0, 100.0, 100.0, 0.0),
+        ]);
+        let net = NetworkModel::ideal();
+        let work = uniform_work(&[0, 1], 1000, 0);
+        let timing = RoundTiming::compute(&work, &devices, &net, StragglerPolicy::WaitForAll);
+        assert!((timing.client_seconds[0] - 1.0).abs() < 1e-9);
+        assert!((timing.client_seconds[1] - 10.0).abs() < 1e-9);
+        assert!((timing.round_seconds - 10.0).abs() < 1e-9);
+        assert_eq!(timing.completed, vec![0, 1]);
+        assert!(timing.dropped.is_empty());
+        assert_eq!(timing.completion_rate(), 1.0);
+        assert!((timing.straggler_ratio() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deadline_drops_stragglers_and_caps_round_time() {
+        let devices = DevicePopulation::new(vec![
+            DeviceProfile::new(1000.0, 100.0, 100.0, 0.0),
+            DeviceProfile::new(10.0, 100.0, 100.0, 0.0),
+        ]);
+        let net = NetworkModel::ideal();
+        let work = uniform_work(&[0, 1], 1000, 0);
+        let timing = RoundTiming::compute(
+            &work,
+            &devices,
+            &net,
+            StragglerPolicy::Deadline { seconds: 5.0 },
+        );
+        assert_eq!(timing.completed, vec![0]);
+        assert_eq!(timing.dropped, vec![1]);
+        assert!((timing.round_seconds - 5.0).abs() < 1e-9);
+        assert_eq!(timing.completion_rate(), 0.5);
+    }
+
+    #[test]
+    fn deadline_with_no_stragglers_ends_at_the_slowest_survivor() {
+        let devices = DevicePopulation::homogeneous(4, DeviceProfile::new(100.0, 100.0, 100.0, 0.0));
+        let net = NetworkModel::ideal();
+        let work = uniform_work(&[0, 1, 2, 3], 100, 0);
+        let timing = RoundTiming::compute(
+            &work,
+            &devices,
+            &net,
+            StragglerPolicy::Deadline { seconds: 100.0 },
+        );
+        assert!(timing.dropped.is_empty());
+        assert!((timing.round_seconds - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn upload_bytes_only_count_completed_clients() {
+        let devices = DevicePopulation::new(vec![
+            DeviceProfile::new(1000.0, 100.0, 100.0, 0.0),
+            DeviceProfile::new(1.0, 100.0, 100.0, 0.0),
+        ]);
+        let net = NetworkModel::ideal();
+        let d = 1000usize;
+        let work = uniform_work(&[0, 1], 100, d);
+        let all = RoundTiming::compute(&work, &devices, &net, StragglerPolicy::WaitForAll);
+        assert_eq!(all.upload_bytes, 2 * d * 4);
+        let dropped = RoundTiming::compute(
+            &work,
+            &devices,
+            &net,
+            StragglerPolicy::Deadline { seconds: 1.0 },
+        );
+        assert_eq!(dropped.upload_bytes, d * 4);
+    }
+
+    #[test]
+    fn variable_work_shrinks_the_straggler_gap() {
+        // The FedADMM/FedProx protocol lets a slow device do less work
+        // (fewer epochs). Halving the slow client's samples must reduce the
+        // round time accordingly — the wall-clock benefit of tolerating
+        // variable work.
+        let devices = DevicePopulation::new(vec![
+            DeviceClass::HighEnd.profile(),
+            DeviceClass::LowEnd.profile(),
+        ]);
+        let net = NetworkModel::default();
+        let d = 100_000;
+        let fixed = uniform_work(&[0, 1], 2000, d);
+        let mut variable = fixed.clone();
+        variable[1].samples_processed = 200; // slow device runs 1 epoch instead of 10.
+        let t_fixed = RoundTiming::compute(&fixed, &devices, &net, StragglerPolicy::WaitForAll);
+        let t_variable =
+            RoundTiming::compute(&variable, &devices, &net, StragglerPolicy::WaitForAll);
+        assert!(t_variable.round_seconds < t_fixed.round_seconds * 0.5);
+    }
+
+    #[test]
+    fn wall_clock_trace_accumulates() {
+        let devices = DevicePopulation::homogeneous(2, DeviceProfile::new(100.0, 8.0, 8.0, 0.0));
+        let net = NetworkModel::ideal();
+        let work = uniform_work(&[0, 1], 100, 1000);
+        let timing = RoundTiming::compute(&work, &devices, &net, StragglerPolicy::WaitForAll);
+        let mut trace = WallClockTrace::new();
+        assert!(trace.is_empty());
+        trace.push(&timing);
+        trace.push(&timing);
+        assert_eq!(trace.len(), 2);
+        assert!((trace.total_seconds() - 2.0 * timing.round_seconds).abs() < 1e-9);
+        assert_eq!(trace.total_upload_bytes(), 2 * timing.upload_bytes);
+        assert_eq!(trace.total_dropped(), 0);
+        assert_eq!(trace.seconds_series().len(), 2);
+        assert!(trace.seconds_at(1).unwrap() > trace.seconds_at(0).unwrap());
+        assert_eq!(trace.seconds_at(2), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one selected client")]
+    fn empty_round_is_rejected() {
+        let devices = DevicePopulation::homogeneous(1, DeviceClass::HighEnd.profile());
+        RoundTiming::compute(&[], &devices, &NetworkModel::ideal(), StragglerPolicy::WaitForAll);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline must be positive")]
+    fn non_positive_deadline_is_rejected() {
+        let devices = DevicePopulation::homogeneous(1, DeviceClass::HighEnd.profile());
+        let work = uniform_work(&[0], 10, 10);
+        RoundTiming::compute(
+            &work,
+            &devices,
+            &NetworkModel::ideal(),
+            StragglerPolicy::Deadline { seconds: 0.0 },
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! Error types for tensor operations.
+//!
+//! Every fallible operation in this crate returns [`TensorResult`]. The
+//! error enum is deliberately small and carries enough context (the shapes
+//! or indices involved) to make shape bugs in higher layers easy to track
+//! down without a debugger.
+
+use std::fmt;
+
+/// Result alias used throughout the tensor crate.
+pub type TensorResult<T> = Result<T, TensorError>;
+
+/// Errors produced by tensor construction and tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The provided data length does not match the number of elements
+    /// implied by the requested shape.
+    DataShapeMismatch {
+        /// Length of the data buffer provided by the caller.
+        data_len: usize,
+        /// Number of elements implied by the shape.
+        shape_len: usize,
+    },
+    /// Two tensors participating in an elementwise operation have
+    /// incompatible shapes.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        left: Vec<usize>,
+        /// Shape of the right-hand operand.
+        right: Vec<usize>,
+    },
+    /// The tensor does not have the rank required by the operation.
+    RankMismatch {
+        /// Rank expected by the operation.
+        expected: usize,
+        /// Rank of the tensor that was actually supplied.
+        actual: usize,
+    },
+    /// Inner dimensions of a matrix multiplication do not agree.
+    MatmulDimMismatch {
+        /// `(rows, cols)` of the left operand.
+        left: (usize, usize),
+        /// `(rows, cols)` of the right operand.
+        right: (usize, usize),
+    },
+    /// A multi-dimensional index is out of bounds for the tensor shape.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: Vec<usize>,
+        /// The tensor's shape.
+        shape: Vec<usize>,
+    },
+    /// A reshape was requested to a shape with a different element count.
+    InvalidReshape {
+        /// Element count of the source tensor.
+        from: usize,
+        /// Element count implied by the requested shape.
+        to: usize,
+    },
+    /// An operation-specific invariant was violated (message explains).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::DataShapeMismatch { data_len, shape_len } => write!(
+                f,
+                "data length {data_len} does not match shape element count {shape_len}"
+            ),
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch: {left:?} vs {right:?}")
+            }
+            TensorError::RankMismatch { expected, actual } => {
+                write!(f, "rank mismatch: expected rank {expected}, got {actual}")
+            }
+            TensorError::MatmulDimMismatch { left, right } => write!(
+                f,
+                "matmul dimension mismatch: ({}x{}) * ({}x{})",
+                left.0, left.1, right.0, right.1
+            ),
+            TensorError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+            TensorError::InvalidReshape { from, to } => {
+                write!(f, "cannot reshape tensor with {from} elements into shape with {to} elements")
+            }
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_data_shape_mismatch() {
+        let e = TensorError::DataShapeMismatch { data_len: 3, shape_len: 4 };
+        assert!(e.to_string().contains("3"));
+        assert!(e.to_string().contains("4"));
+    }
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = TensorError::ShapeMismatch { left: vec![2, 3], right: vec![3, 2] };
+        let s = e.to_string();
+        assert!(s.contains("[2, 3]"));
+        assert!(s.contains("[3, 2]"));
+    }
+
+    #[test]
+    fn display_matmul_mismatch() {
+        let e = TensorError::MatmulDimMismatch { left: (2, 3), right: (4, 5) };
+        assert!(e.to_string().contains("2x3"));
+    }
+
+    #[test]
+    fn display_invalid_argument() {
+        let e = TensorError::InvalidArgument("bad".into());
+        assert!(e.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&TensorError::InvalidArgument("x".into()));
+    }
+}

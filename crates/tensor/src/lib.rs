@@ -1,0 +1,46 @@
+//! # fedadmm-tensor
+//!
+//! A small, dependency-light dense tensor library used as the numerical
+//! substrate of the FedADMM reproduction. It provides exactly what the
+//! paper's models need and nothing more:
+//!
+//! * row-major `f32` tensors with arbitrary rank ([`Tensor`]),
+//!   shape/stride bookkeeping ([`Shape`]) and checked indexing,
+//! * elementwise arithmetic, scalar ops, reductions, and in-place BLAS-1
+//!   style helpers (`axpy`, `scale`, dot products, norms),
+//! * batched matrix multiplication ([`ops::matmul`]),
+//! * 2-D convolution with 'same' padding via im2col ([`ops::conv2d`]) and
+//!   its input/weight gradients,
+//! * 2×2 max pooling with argmax bookkeeping for the backward pass
+//!   ([`ops::max_pool2d`]),
+//! * random initialisation helpers used by the network layers ([`init`]).
+//!
+//! The library intentionally avoids external BLAS so that the whole
+//! reproduction builds offline from vendored crates only; the inner matmul
+//! kernel is cache-blocked and parallelised with rayon which is plenty for
+//! the paper's CNN 1 / CNN 2 models at simulation scale.
+//!
+//! ## Example
+//!
+//! ```
+//! use fedadmm_tensor::{Tensor, ops};
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+//! let b = Tensor::eye(2);
+//! let c = ops::matmul(&a, &b).unwrap();
+//! assert_eq!(c.data(), a.data());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod error;
+pub mod init;
+pub mod ops;
+pub mod shape;
+pub mod tensor;
+pub mod vecops;
+
+pub use error::{TensorError, TensorResult};
+pub use shape::Shape;
+pub use tensor::Tensor;

@@ -1,0 +1,477 @@
+//! Batched 2-D convolution (forward and backward) via im2col.
+//!
+//! The paper's two CNN architectures use 5×5 convolutions with 'same'
+//! padding (input spatial size preserved), stride 1. The kernels here are
+//! general over kernel size, stride and padding, but only what the models
+//! need is heavily exercised.
+//!
+//! Layout conventions (all row-major, contiguous):
+//! * input:   `[batch, in_channels, height, width]`
+//! * weight:  `[out_channels, in_channels, kernel_h, kernel_w]`
+//! * bias:    `[out_channels]`
+//! * output:  `[batch, out_channels, out_h, out_w]`
+
+use crate::error::{TensorError, TensorResult};
+use crate::ops::matmul::matmul_into;
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Gradients produced by [`conv2d_backward`].
+#[derive(Debug, Clone)]
+pub struct Conv2dGrads {
+    /// Gradient with respect to the input, same shape as the input.
+    pub grad_input: Tensor,
+    /// Gradient with respect to the kernel weights, same shape as the weights.
+    pub grad_weight: Tensor,
+    /// Gradient with respect to the bias, shape `[out_channels]`.
+    pub grad_bias: Tensor,
+}
+
+/// Computes the output spatial size of a convolution.
+pub fn conv2d_output_size(input: usize, kernel: usize, stride: usize, padding: usize) -> usize {
+    (input + 2 * padding - kernel) / stride + 1
+}
+
+/// Validates shapes shared by the forward and backward passes.
+fn check_shapes(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+) -> TensorResult<(usize, usize, usize, usize, usize, usize, usize)> {
+    if input.rank() != 4 {
+        return Err(TensorError::RankMismatch { expected: 4, actual: input.rank() });
+    }
+    if weight.rank() != 4 {
+        return Err(TensorError::RankMismatch { expected: 4, actual: weight.rank() });
+    }
+    let [batch, in_c, h, w] = [input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]];
+    let [out_c, w_in_c, kh, kw] =
+        [weight.dims()[0], weight.dims()[1], weight.dims()[2], weight.dims()[3]];
+    if in_c != w_in_c {
+        return Err(TensorError::ShapeMismatch {
+            left: input.dims().to_vec(),
+            right: weight.dims().to_vec(),
+        });
+    }
+    if bias.len() != out_c {
+        return Err(TensorError::ShapeMismatch {
+            left: vec![out_c],
+            right: bias.dims().to_vec(),
+        });
+    }
+    Ok((batch, in_c, h, w, out_c, kh, kw))
+}
+
+/// Unrolls one padded input sample into the im2col matrix.
+///
+/// The resulting matrix has shape `[in_c*kh*kw, out_h*out_w]` stored
+/// row-major in `col`.
+#[allow(clippy::too_many_arguments)]
+fn im2col(
+    sample: &[f32],
+    col: &mut [f32],
+    in_c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    padding: usize,
+    out_h: usize,
+    out_w: usize,
+) {
+    let out_hw = out_h * out_w;
+    for c in 0..in_c {
+        let channel = &sample[c * h * w..(c + 1) * h * w];
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row_idx = (c * kh + ki) * kw + kj;
+                let col_row = &mut col[row_idx * out_hw..(row_idx + 1) * out_hw];
+                for oy in 0..out_h {
+                    let iy = (oy * stride + ki) as isize - padding as isize;
+                    let base = oy * out_w;
+                    if iy < 0 || iy >= h as isize {
+                        for v in &mut col_row[base..base + out_w] {
+                            *v = 0.0;
+                        }
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..out_w {
+                        let ix = (ox * stride + kj) as isize - padding as isize;
+                        col_row[base + ox] = if ix < 0 || ix >= w as isize {
+                            0.0
+                        } else {
+                            channel[iy * w + ix as usize]
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Scatters an im2col matrix back into a (padded) input gradient sample.
+#[allow(clippy::too_many_arguments)]
+fn col2im(
+    col: &[f32],
+    sample_grad: &mut [f32],
+    in_c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    padding: usize,
+    out_h: usize,
+    out_w: usize,
+) {
+    let out_hw = out_h * out_w;
+    for c in 0..in_c {
+        let channel = &mut sample_grad[c * h * w..(c + 1) * h * w];
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row_idx = (c * kh + ki) * kw + kj;
+                let col_row = &col[row_idx * out_hw..(row_idx + 1) * out_hw];
+                for oy in 0..out_h {
+                    let iy = (oy * stride + ki) as isize - padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..out_w {
+                        let ix = (ox * stride + kj) as isize - padding as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        channel[iy * w + ix as usize] += col_row[oy * out_w + ox];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Forward pass of a batched 2-D convolution.
+pub fn conv2d_forward(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    stride: usize,
+    padding: usize,
+) -> TensorResult<Tensor> {
+    let (batch, in_c, h, w, out_c, kh, kw) = check_shapes(input, weight, bias)?;
+    if stride == 0 {
+        return Err(TensorError::InvalidArgument("stride must be positive".into()));
+    }
+    let out_h = conv2d_output_size(h, kh, stride, padding);
+    let out_w = conv2d_output_size(w, kw, stride, padding);
+    let out_hw = out_h * out_w;
+    let col_rows = in_c * kh * kw;
+
+    let input_data = input.data();
+    let weight_data = weight.data();
+    let bias_data = bias.data();
+    let sample_in = in_c * h * w;
+    let sample_out = out_c * out_hw;
+
+    let mut output = vec![0.0f32; batch * sample_out];
+    let process_sample = |b: usize, out_sample: &mut [f32]| {
+        let mut col = vec![0.0f32; col_rows * out_hw];
+        let sample = &input_data[b * sample_in..(b + 1) * sample_in];
+        im2col(sample, &mut col, in_c, h, w, kh, kw, stride, padding, out_h, out_w);
+        // out_sample[out_c × out_hw] = weight[out_c × col_rows] · col[col_rows × out_hw]
+        matmul_into(weight_data, &col, out_sample, out_c, col_rows, out_hw);
+        for oc in 0..out_c {
+            let bias_v = bias_data[oc];
+            for v in &mut out_sample[oc * out_hw..(oc + 1) * out_hw] {
+                *v += bias_v;
+            }
+        }
+    };
+    if batch > 1 {
+        output
+            .par_chunks_mut(sample_out)
+            .enumerate()
+            .for_each(|(b, chunk)| process_sample(b, chunk));
+    } else {
+        process_sample(0, &mut output);
+    }
+    Tensor::from_vec(output, &[batch, out_c, out_h, out_w])
+}
+
+/// Backward pass of a batched 2-D convolution.
+///
+/// `grad_output` must have the shape produced by [`conv2d_forward`] for the
+/// same `(input, weight, stride, padding)`.
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_output: &Tensor,
+    stride: usize,
+    padding: usize,
+) -> TensorResult<Conv2dGrads> {
+    let bias_placeholder = Tensor::zeros(&[weight.dims()[0]]);
+    let (batch, in_c, h, w, out_c, kh, kw) = check_shapes(input, weight, &bias_placeholder)?;
+    let out_h = conv2d_output_size(h, kh, stride, padding);
+    let out_w = conv2d_output_size(w, kw, stride, padding);
+    let out_hw = out_h * out_w;
+    if grad_output.dims() != [batch, out_c, out_h, out_w] {
+        return Err(TensorError::ShapeMismatch {
+            left: vec![batch, out_c, out_h, out_w],
+            right: grad_output.dims().to_vec(),
+        });
+    }
+    let col_rows = in_c * kh * kw;
+    let input_data = input.data();
+    let weight_data = weight.data();
+    let grad_out_data = grad_output.data();
+    let sample_in = in_c * h * w;
+    let sample_out = out_c * out_hw;
+
+    // Per-sample partial results folded together at the end. Each sample's
+    // contribution is independent, so this parallelises cleanly.
+    struct Partial {
+        grad_weight: Vec<f32>,
+        grad_bias: Vec<f32>,
+        grad_input: Vec<f32>,
+        index: usize,
+    }
+
+    let compute_sample = |b: usize| -> Partial {
+        let mut col = vec![0.0f32; col_rows * out_hw];
+        let sample = &input_data[b * sample_in..(b + 1) * sample_in];
+        im2col(sample, &mut col, in_c, h, w, kh, kw, stride, padding, out_h, out_w);
+        let go = &grad_out_data[b * sample_out..(b + 1) * sample_out];
+
+        // grad_weight[out_c × col_rows] += go[out_c × out_hw] · colᵀ[out_hw × col_rows]
+        let mut gw = vec![0.0f32; out_c * col_rows];
+        for oc in 0..out_c {
+            let go_row = &go[oc * out_hw..(oc + 1) * out_hw];
+            let gw_row = &mut gw[oc * col_rows..(oc + 1) * col_rows];
+            for (r, gw_v) in gw_row.iter_mut().enumerate() {
+                let col_row = &col[r * out_hw..(r + 1) * out_hw];
+                let mut acc = 0.0f32;
+                for (a, c) in go_row.iter().zip(col_row.iter()) {
+                    acc += a * c;
+                }
+                *gw_v = acc;
+            }
+        }
+
+        // grad_bias[oc] += sum of go over spatial positions
+        let mut gb = vec![0.0f32; out_c];
+        for oc in 0..out_c {
+            gb[oc] = go[oc * out_hw..(oc + 1) * out_hw].iter().sum();
+        }
+
+        // grad_col[col_rows × out_hw] = weightᵀ[col_rows × out_c] · go[out_c × out_hw]
+        let mut grad_col = vec![0.0f32; col_rows * out_hw];
+        for oc in 0..out_c {
+            let w_row = &weight_data[oc * col_rows..(oc + 1) * col_rows];
+            let go_row = &go[oc * out_hw..(oc + 1) * out_hw];
+            for (r, &w_v) in w_row.iter().enumerate() {
+                if w_v == 0.0 {
+                    continue;
+                }
+                let gc_row = &mut grad_col[r * out_hw..(r + 1) * out_hw];
+                for (g, &go_v) in gc_row.iter_mut().zip(go_row.iter()) {
+                    *g += w_v * go_v;
+                }
+            }
+        }
+        let mut gi = vec![0.0f32; sample_in];
+        col2im(&grad_col, &mut gi, in_c, h, w, kh, kw, stride, padding, out_h, out_w);
+        Partial { grad_weight: gw, grad_bias: gb, grad_input: gi, index: b }
+    };
+
+    let partials: Vec<Partial> = if batch > 1 {
+        (0..batch).into_par_iter().map(compute_sample).collect()
+    } else {
+        (0..batch).map(compute_sample).collect()
+    };
+
+    let mut grad_weight = vec![0.0f32; out_c * col_rows];
+    let mut grad_bias = vec![0.0f32; out_c];
+    let mut grad_input = vec![0.0f32; batch * sample_in];
+    for p in partials {
+        for (a, b) in grad_weight.iter_mut().zip(p.grad_weight.iter()) {
+            *a += b;
+        }
+        for (a, b) in grad_bias.iter_mut().zip(p.grad_bias.iter()) {
+            *a += b;
+        }
+        grad_input[p.index * sample_in..(p.index + 1) * sample_in].copy_from_slice(&p.grad_input);
+    }
+
+    Ok(Conv2dGrads {
+        grad_input: Tensor::from_vec(grad_input, input.dims())?,
+        grad_weight: Tensor::from_vec(grad_weight, weight.dims())?,
+        grad_bias: Tensor::from_vec(grad_bias, &[out_c])?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_size_same_padding() {
+        // 5x5 kernel with padding 2 preserves the spatial size (the paper's CNNs).
+        assert_eq!(conv2d_output_size(28, 5, 1, 2), 28);
+        assert_eq!(conv2d_output_size(32, 5, 1, 2), 32);
+        assert_eq!(conv2d_output_size(28, 5, 1, 0), 24);
+        assert_eq!(conv2d_output_size(4, 2, 2, 0), 2);
+    }
+
+    #[test]
+    fn identity_kernel_preserves_input() {
+        // A 1x1 kernel with weight 1 and no padding copies the input.
+        let input = Tensor::from_vec((0..9).map(|x| x as f32).collect(), &[1, 1, 3, 3]).unwrap();
+        let weight = Tensor::ones(&[1, 1, 1, 1]);
+        let bias = Tensor::zeros(&[1]);
+        let out = conv2d_forward(&input, &weight, &bias, 1, 0).unwrap();
+        assert_eq!(out.data(), input.data());
+    }
+
+    #[test]
+    fn known_3x3_convolution() {
+        // Input 1x1x3x3 = [[1,2,3],[4,5,6],[7,8,9]], kernel 2x2 all-ones, no padding.
+        let input =
+            Tensor::from_vec(vec![1., 2., 3., 4., 5., 6., 7., 8., 9.], &[1, 1, 3, 3]).unwrap();
+        let weight = Tensor::ones(&[1, 1, 2, 2]);
+        let bias = Tensor::zeros(&[1]);
+        let out = conv2d_forward(&input, &weight, &bias, 1, 0).unwrap();
+        assert_eq!(out.dims(), &[1, 1, 2, 2]);
+        assert_eq!(out.data(), &[12.0, 16.0, 24.0, 28.0]);
+    }
+
+    #[test]
+    fn bias_added_per_channel() {
+        let input = Tensor::zeros(&[1, 1, 3, 3]);
+        let weight = Tensor::zeros(&[2, 1, 3, 3]);
+        let bias = Tensor::from_vec(vec![1.5, -2.0], &[2]).unwrap();
+        let out = conv2d_forward(&input, &weight, &bias, 1, 1).unwrap();
+        assert_eq!(out.dims(), &[1, 2, 3, 3]);
+        for &v in &out.data()[0..9] {
+            assert_eq!(v, 1.5);
+        }
+        for &v in &out.data()[9..18] {
+            assert_eq!(v, -2.0);
+        }
+    }
+
+    #[test]
+    fn padding_preserves_shape_for_5x5() {
+        let input = Tensor::ones(&[2, 1, 8, 8]);
+        let weight = Tensor::ones(&[3, 1, 5, 5]);
+        let bias = Tensor::zeros(&[3]);
+        let out = conv2d_forward(&input, &weight, &bias, 1, 2).unwrap();
+        assert_eq!(out.dims(), &[2, 3, 8, 8]);
+        // Centre pixels see the full 5x5 window of ones: value 25.
+        assert_eq!(out.get(&[0, 0, 4, 4]).unwrap(), 25.0);
+        // The corner sees only a 3x3 window.
+        assert_eq!(out.get(&[0, 0, 0, 0]).unwrap(), 9.0);
+    }
+
+    #[test]
+    fn backward_shapes() {
+        let input = Tensor::ones(&[2, 3, 6, 6]);
+        let weight = Tensor::ones(&[4, 3, 5, 5]);
+        let bias = Tensor::zeros(&[4]);
+        let out = conv2d_forward(&input, &weight, &bias, 1, 2).unwrap();
+        let grads = conv2d_backward(&input, &weight, &out, 1, 2).unwrap();
+        assert_eq!(grads.grad_input.dims(), input.dims());
+        assert_eq!(grads.grad_weight.dims(), weight.dims());
+        assert_eq!(grads.grad_bias.dims(), &[4]);
+    }
+
+    #[test]
+    fn backward_bias_is_sum_of_grad_output() {
+        let input = Tensor::ones(&[1, 1, 3, 3]);
+        let weight = Tensor::ones(&[2, 1, 1, 1]);
+        let grad_out = Tensor::ones(&[1, 2, 3, 3]);
+        let grads = conv2d_backward(&input, &weight, &grad_out, 1, 0).unwrap();
+        assert_eq!(grads.grad_bias.data(), &[9.0, 9.0]);
+    }
+
+    /// Finite-difference gradient check of the convolution weights.
+    #[test]
+    fn backward_weight_matches_finite_difference() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(42);
+        let input = crate::init::randn(&[2, 2, 5, 5], 0.0, 1.0, &mut rng);
+        let mut weight = crate::init::randn(&[3, 2, 3, 3], 0.0, 0.5, &mut rng);
+        let bias = crate::init::randn(&[3], 0.0, 0.5, &mut rng);
+
+        // Scalar objective: sum of outputs.
+        let loss = |w: &Tensor| -> f32 {
+            conv2d_forward(&input, w, &bias, 1, 1).unwrap().sum()
+        };
+        let out = conv2d_forward(&input, &weight, &bias, 1, 1).unwrap();
+        let grad_out = Tensor::ones(out.dims());
+        let grads = conv2d_backward(&input, &weight, &grad_out, 1, 1).unwrap();
+
+        let eps = 1e-2f32;
+        for &idx in &[0usize, 7, 23, 50] {
+            let orig = weight.data()[idx];
+            weight.data_mut()[idx] = orig + eps;
+            let lp = loss(&weight);
+            weight.data_mut()[idx] = orig - eps;
+            let lm = loss(&weight);
+            weight.data_mut()[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = grads.grad_weight.data()[idx];
+            assert!(
+                (numeric - analytic).abs() < 2e-1 * (1.0 + analytic.abs()),
+                "idx {idx}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    /// Finite-difference gradient check of the convolution input.
+    #[test]
+    fn backward_input_matches_finite_difference() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut input = crate::init::randn(&[1, 2, 4, 4], 0.0, 1.0, &mut rng);
+        let weight = crate::init::randn(&[2, 2, 3, 3], 0.0, 0.5, &mut rng);
+        let bias = Tensor::zeros(&[2]);
+
+        let loss =
+            |x: &Tensor| -> f32 { conv2d_forward(x, &weight, &bias, 1, 1).unwrap().sum() };
+        let out = conv2d_forward(&input, &weight, &bias, 1, 1).unwrap();
+        let grad_out = Tensor::ones(out.dims());
+        let grads = conv2d_backward(&input, &weight, &grad_out, 1, 1).unwrap();
+
+        let eps = 1e-2f32;
+        for &idx in &[0usize, 5, 16, 31] {
+            let orig = input.data()[idx];
+            input.data_mut()[idx] = orig + eps;
+            let lp = loss(&input);
+            input.data_mut()[idx] = orig - eps;
+            let lm = loss(&input);
+            input.data_mut()[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = grads.grad_input.data()[idx];
+            assert!(
+                (numeric - analytic).abs() < 2e-1 * (1.0 + analytic.abs()),
+                "idx {idx}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let input = Tensor::zeros(&[1, 2, 4, 4]);
+        let weight = Tensor::zeros(&[2, 3, 3, 3]); // channel mismatch
+        let bias = Tensor::zeros(&[2]);
+        assert!(conv2d_forward(&input, &weight, &bias, 1, 1).is_err());
+        let weight_ok = Tensor::zeros(&[2, 2, 3, 3]);
+        let bias_bad = Tensor::zeros(&[3]);
+        assert!(conv2d_forward(&input, &weight_ok, &bias_bad, 1, 1).is_err());
+        assert!(conv2d_forward(&input, &weight_ok, &bias, 0, 1).is_err());
+    }
+}

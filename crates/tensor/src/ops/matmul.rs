@@ -1,0 +1,226 @@
+//! Dense matrix multiplication kernels.
+//!
+//! Three variants are provided because the linear-layer backward pass needs
+//! products with one transposed operand, and materialising the transpose of
+//! a large activation matrix would double memory traffic:
+//!
+//! * [`matmul`]     — `C = A·B`
+//! * [`matmul_at_b`] — `C = Aᵀ·B`
+//! * [`matmul_a_bt`] — `C = A·Bᵀ`
+//!
+//! The kernels parallelise over output rows with rayon once the work is
+//! large enough to amortise the fork/join overhead.
+
+use crate::error::{TensorError, TensorResult};
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Below this many multiply-adds the kernels stay single-threaded.
+const PARALLEL_THRESHOLD: usize = 64 * 64 * 64;
+
+/// Computes `C = A·B` for rank-2 tensors `A: (m,k)` and `B: (k,n)`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> TensorResult<Tensor> {
+    let (m, k) = a.shape().as_matrix()?;
+    let (k2, n) = b.shape().as_matrix()?;
+    if k != k2 {
+        return Err(TensorError::MatmulDimMismatch { left: (m, k), right: (k2, n) });
+    }
+    let mut out = vec![0.0f32; m * n];
+    matmul_into(a.data(), b.data(), &mut out, m, k, n);
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Computes `C = Aᵀ·B` for `A: (k,m)` and `B: (k,n)`, yielding `(m,n)`.
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> TensorResult<Tensor> {
+    let (k, m) = a.shape().as_matrix()?;
+    let (k2, n) = b.shape().as_matrix()?;
+    if k != k2 {
+        return Err(TensorError::MatmulDimMismatch { left: (m, k), right: (k2, n) });
+    }
+    let a_data = a.data();
+    let b_data = b.data();
+    let mut out = vec![0.0f32; m * n];
+    // C[i][j] = sum_l A[l][i] * B[l][j]; iterate l outermost for sequential reads.
+    let compute_row_block = |out: &mut [f32]| {
+        for l in 0..k {
+            let a_row = &a_data[l * m..(l + 1) * m];
+            let b_row = &b_data[l * n..(l + 1) * n];
+            for (i, &a_li) in a_row.iter().enumerate() {
+                if a_li == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out[i * n..(i + 1) * n];
+                for (o, &b_lj) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a_li * b_lj;
+                }
+            }
+        }
+    };
+    compute_row_block(&mut out);
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Computes `C = A·Bᵀ` for `A: (m,k)` and `B: (n,k)`, yielding `(m,n)`.
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> TensorResult<Tensor> {
+    let (m, k) = a.shape().as_matrix()?;
+    let (n, k2) = b.shape().as_matrix()?;
+    if k != k2 {
+        return Err(TensorError::MatmulDimMismatch { left: (m, k), right: (n, k2) });
+    }
+    let a_data = a.data();
+    let b_data = b.data();
+    let mut out = vec![0.0f32; m * n];
+    let work = m * n * k;
+    let row_job = |i: usize, out_row: &mut [f32]| {
+        let a_row = &a_data[i * k..(i + 1) * k];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let b_row = &b_data[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (x, y) in a_row.iter().zip(b_row.iter()) {
+                acc += x * y;
+            }
+            *o = acc;
+        }
+    };
+    if work >= PARALLEL_THRESHOLD {
+        out.par_chunks_mut(n).enumerate().for_each(|(i, row)| row_job(i, row));
+    } else {
+        for (i, row) in out.chunks_mut(n).enumerate() {
+            row_job(i, row);
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Raw kernel: `out[m×n] = a[m×k] · b[k×n]`, overwriting `out`.
+///
+/// Exposed for the im2col convolution which already has flat buffers.
+pub(crate) fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    let row_job = |i: usize, out_row: &mut [f32]| {
+        out_row.iter_mut().for_each(|o| *o = 0.0);
+        let a_row = &a[i * k..(i + 1) * k];
+        for (l, &a_il) in a_row.iter().enumerate() {
+            if a_il == 0.0 {
+                continue;
+            }
+            let b_row = &b[l * n..(l + 1) * n];
+            for (o, &b_lj) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += a_il * b_lj;
+            }
+        }
+    };
+    if m * k * n >= PARALLEL_THRESHOLD {
+        out.par_chunks_mut(n).enumerate().for_each(|(i, row)| row_job(i, row));
+    } else {
+        for (i, row) in out.chunks_mut(n).enumerate() {
+            row_job(i, row);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn t(data: &[f32], dims: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), dims).unwrap()
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = t(&[7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let c = matmul(&a, &Tensor::eye(2)).unwrap();
+        assert_eq!(c.data(), a.data());
+        let c2 = matmul(&Tensor::eye(2), &a).unwrap();
+        assert_eq!(c2.data(), a.data());
+    }
+
+    #[test]
+    fn matmul_dim_mismatch() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        assert!(matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn matmul_vector_as_row() {
+        // rank-1 tensors are treated as a 1×n row.
+        let a = t(&[1.0, 2.0], &[2]);
+        let b = t(&[3.0, 4.0, 5.0, 6.0], &[2, 2]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.dims(), &[1, 2]);
+        assert_eq!(c.data(), &[13.0, 16.0]);
+    }
+
+    #[test]
+    fn at_b_matches_explicit_transpose() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]);
+        let b = t(&[1.0, 0.0, 2.0, 1.0, 0.0, 3.0], &[3, 2]);
+        let expected = matmul(&a.transpose().unwrap(), &b).unwrap();
+        let got = matmul_at_b(&a, &b).unwrap();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn a_bt_matches_explicit_transpose() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = t(&[1.0, 0.0, 2.0, 1.0, 0.0, 3.0], &[2, 3]);
+        let expected = matmul(&a, &b.transpose().unwrap()).unwrap();
+        let got = matmul_a_bt(&a, &b).unwrap();
+        assert_eq!(got, expected);
+    }
+
+    proptest! {
+        /// (A·B)·C == A·(B·C) within floating-point tolerance.
+        #[test]
+        fn prop_matmul_associative(m in 1usize..5, k in 1usize..5, n in 1usize..5, p in 1usize..5) {
+            let a_data: Vec<f32> = (0..m * k).map(|x| (x % 7) as f32 - 3.0).collect();
+            let b_data: Vec<f32> = (0..k * n).map(|x| (x % 5) as f32 - 2.0).collect();
+            let c_data: Vec<f32> = (0..n * p).map(|x| (x % 3) as f32 - 1.0).collect();
+            let a = Tensor::from_vec(a_data, &[m, k]).unwrap();
+            let b = Tensor::from_vec(b_data, &[k, n]).unwrap();
+            let c = Tensor::from_vec(c_data, &[n, p]).unwrap();
+            let left = matmul(&matmul(&a, &b).unwrap(), &c).unwrap();
+            let right = matmul(&a, &matmul(&b, &c).unwrap()).unwrap();
+            for (x, y) in left.data().iter().zip(right.data().iter()) {
+                prop_assert!((x - y).abs() < 1e-3);
+            }
+        }
+
+        /// Multiplying by the identity leaves the matrix unchanged.
+        #[test]
+        fn prop_identity(m in 1usize..8, n in 1usize..8) {
+            let data: Vec<f32> = (0..m * n).map(|x| x as f32 * 0.5 - 3.0).collect();
+            let a = Tensor::from_vec(data, &[m, n]).unwrap();
+            let c = matmul(&a, &Tensor::eye(n)).unwrap();
+            prop_assert_eq!(c.data(), a.data());
+        }
+
+        /// The transposed-operand kernels agree with explicit transposition.
+        #[test]
+        fn prop_transposed_kernels(m in 1usize..6, k in 1usize..6, n in 1usize..6) {
+            let a_data: Vec<f32> = (0..k * m).map(|x| (x as f32).sin()).collect();
+            let b_data: Vec<f32> = (0..k * n).map(|x| (x as f32).cos()).collect();
+            let a = Tensor::from_vec(a_data, &[k, m]).unwrap();
+            let b = Tensor::from_vec(b_data, &[k, n]).unwrap();
+            let expected = matmul(&a.transpose().unwrap(), &b).unwrap();
+            let got = matmul_at_b(&a, &b).unwrap();
+            for (x, y) in expected.data().iter().zip(got.data().iter()) {
+                prop_assert!((x - y).abs() < 1e-4);
+            }
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Tensor operations: matrix multiplication, 2-D convolution, max pooling.
+//!
+//! These free functions are the compute kernels behind the layers in
+//! `fedadmm-nn`. They are written against contiguous row-major buffers and
+//! validated by unit tests against hand-computed values and by gradient
+//! checks in the `fedadmm-nn` crate.
+
+mod conv;
+mod matmul;
+mod pool;
+
+pub use conv::{conv2d_backward, conv2d_forward, conv2d_output_size, Conv2dGrads};
+pub use matmul::{matmul, matmul_a_bt, matmul_at_b};
+pub use pool::{max_pool2d_backward, max_pool2d_forward, MaxPoolOutput};

@@ -1,0 +1,231 @@
+//! BLAS-1 style helpers on plain `&[f32]` / `&mut [f32]` slices.
+//!
+//! The federated algorithms in `fedadmm-core` treat model parameters, dual
+//! variables and control variates as opaque vectors in ℝ^d. These helpers
+//! are the shared, allocation-free kernels they are built on. All functions
+//! panic on length mismatch — length mismatches between parameter vectors
+//! are programming errors, not recoverable conditions.
+
+/// `y += alpha * x`.
+///
+/// # Panics
+/// Panics if `x.len() != y.len()`.
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y = x` (copy).
+///
+/// # Panics
+/// Panics if `x.len() != y.len()`.
+pub fn copy(x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "copy length mismatch");
+    y.copy_from_slice(x);
+}
+
+/// `x *= alpha`.
+pub fn scale(alpha: f32, x: &mut [f32]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Dot product `⟨x, y⟩`.
+///
+/// # Panics
+/// Panics if `x.len() != y.len()`.
+pub fn dot(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "dot length mismatch");
+    x.iter().zip(y.iter()).map(|(a, b)| a * b).sum()
+}
+
+/// Euclidean norm `‖x‖₂`.
+pub fn norm(x: &[f32]) -> f32 {
+    x.iter().map(|v| v * v).sum::<f32>().sqrt()
+}
+
+/// Squared Euclidean norm `‖x‖₂²`.
+pub fn norm_sq(x: &[f32]) -> f32 {
+    x.iter().map(|v| v * v).sum::<f32>()
+}
+
+/// Euclidean distance `‖x − y‖₂`.
+///
+/// # Panics
+/// Panics if `x.len() != y.len()`.
+pub fn dist(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "dist length mismatch");
+    x.iter()
+        .zip(y.iter())
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f32>()
+        .sqrt()
+}
+
+/// `out = x - y`, overwriting `out`.
+///
+/// # Panics
+/// Panics on any length mismatch.
+pub fn sub_into(x: &[f32], y: &[f32], out: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "sub_into length mismatch");
+    assert_eq!(x.len(), out.len(), "sub_into output length mismatch");
+    for ((o, a), b) in out.iter_mut().zip(x.iter()).zip(y.iter()) {
+        *o = a - b;
+    }
+}
+
+/// `out = x + y`, overwriting `out`.
+///
+/// # Panics
+/// Panics on any length mismatch.
+pub fn add_into(x: &[f32], y: &[f32], out: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "add_into length mismatch");
+    assert_eq!(x.len(), out.len(), "add_into output length mismatch");
+    for ((o, a), b) in out.iter_mut().zip(x.iter()).zip(y.iter()) {
+        *o = a + b;
+    }
+}
+
+/// `x.iter().sum()` of absolute values (L1 norm).
+pub fn norm_l1(x: &[f32]) -> f32 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// Fills `x` with zeros.
+pub fn zero(x: &mut [f32]) {
+    for xi in x.iter_mut() {
+        *xi = 0.0;
+    }
+}
+
+/// Elementwise mean of several equally sized vectors.
+///
+/// Returns an empty vector if `vectors` is empty.
+///
+/// # Panics
+/// Panics if the vectors have differing lengths.
+pub fn mean_of(vectors: &[&[f32]]) -> Vec<f32> {
+    if vectors.is_empty() {
+        return Vec::new();
+    }
+    let d = vectors[0].len();
+    let mut out = vec![0.0f32; d];
+    for v in vectors {
+        assert_eq!(v.len(), d, "mean_of length mismatch");
+        for (o, x) in out.iter_mut().zip(v.iter()) {
+            *o += x;
+        }
+    }
+    let inv = 1.0 / vectors.len() as f32;
+    for o in out.iter_mut() {
+        *o *= inv;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn axpy_basic() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [10.0, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "axpy length mismatch")]
+    fn axpy_mismatch_panics() {
+        let x = [1.0];
+        let mut y = [1.0, 2.0];
+        axpy(1.0, &x, &mut y);
+    }
+
+    #[test]
+    fn dot_norm_dist() {
+        let x = [3.0, 4.0];
+        let y = [0.0, 0.0];
+        assert_eq!(dot(&x, &x), 25.0);
+        assert_eq!(norm(&x), 5.0);
+        assert_eq!(norm_sq(&x), 25.0);
+        assert_eq!(dist(&x, &y), 5.0);
+        assert_eq!(norm_l1(&[-1.0, 2.0]), 3.0);
+    }
+
+    #[test]
+    fn sub_add_into() {
+        let x = [5.0, 7.0];
+        let y = [2.0, 3.0];
+        let mut out = [0.0; 2];
+        sub_into(&x, &y, &mut out);
+        assert_eq!(out, [3.0, 4.0]);
+        add_into(&x, &y, &mut out);
+        assert_eq!(out, [7.0, 10.0]);
+    }
+
+    #[test]
+    fn copy_scale_zero() {
+        let x = [1.0, 2.0];
+        let mut y = [0.0, 0.0];
+        copy(&x, &mut y);
+        assert_eq!(y, [1.0, 2.0]);
+        scale(3.0, &mut y);
+        assert_eq!(y, [3.0, 6.0]);
+        zero(&mut y);
+        assert_eq!(y, [0.0, 0.0]);
+    }
+
+    #[test]
+    fn mean_of_vectors() {
+        let a = [1.0, 2.0];
+        let b = [3.0, 6.0];
+        let m = mean_of(&[&a, &b]);
+        assert_eq!(m, vec![2.0, 4.0]);
+        assert!(mean_of(&[]).is_empty());
+    }
+
+    proptest! {
+        /// axpy then axpy with the negated coefficient restores the vector
+        /// (up to floating-point error).
+        #[test]
+        fn prop_axpy_inverse(
+            x in proptest::collection::vec(-10.0f32..10.0, 1..64),
+            alpha in -3.0f32..3.0,
+        ) {
+            let mut y = vec![1.0f32; x.len()];
+            let orig = y.clone();
+            axpy(alpha, &x, &mut y);
+            axpy(-alpha, &x, &mut y);
+            for (a, b) in y.iter().zip(orig.iter()) {
+                prop_assert!((a - b).abs() < 1e-3);
+            }
+        }
+
+        /// Cauchy–Schwarz: |⟨x,y⟩| ≤ ‖x‖·‖y‖.
+        #[test]
+        fn prop_cauchy_schwarz(
+            x in proptest::collection::vec(-5.0f32..5.0, 1..64),
+        ) {
+            let y: Vec<f32> = x.iter().map(|v| v * 0.5 + 1.0).collect();
+            let lhs = dot(&x, &y).abs();
+            let rhs = norm(&x) * norm(&y);
+            prop_assert!(lhs <= rhs * (1.0 + 1e-4) + 1e-4);
+        }
+
+        /// The mean of identical vectors is that vector.
+        #[test]
+        fn prop_mean_of_identical(x in proptest::collection::vec(-5.0f32..5.0, 1..32), k in 1usize..5) {
+            let refs: Vec<&[f32]> = (0..k).map(|_| x.as_slice()).collect();
+            let m = mean_of(&refs);
+            for (a, b) in m.iter().zip(x.iter()) {
+                prop_assert!((a - b).abs() < 1e-4);
+            }
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Synchronous rounds versus asynchronous, staleness-damped aggregation on
+//! a straggler-heavy device fleet.
+//!
+//! The paper's related-work section argues that asynchronous ADMM's
+//! bounded-delay assumption is unrealistic for federated fleets, and that
+//! FedADMM's synchronous-but-partial-participation protocol sidesteps the
+//! straggler problem instead. This example quantifies the trade-off on a
+//! simulated two-tier fleet (30% of devices are 8× slower): it compares
+//!
+//! * synchronous FedADMM, where every round waits for its slowest selected
+//!   client, against
+//! * asynchronous FedADMM, where updates are applied on arrival with a
+//!   polynomial staleness weight,
+//!
+//! and reports test accuracy as a function of *virtual wall-clock time*.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example async_federation
+//! ```
+
+use fedadmm::prelude::*;
+
+const NUM_CLIENTS: usize = 20;
+const CONCURRENCY: usize = 4; // == clients per synchronous round (C = 0.2)
+const SECONDS_PER_EPOCH: f64 = 1.0;
+const SLOW_FRACTION: f64 = 0.3;
+const SLOWDOWN: f64 = 8.0;
+const SEED: u64 = 7;
+
+fn config() -> FedConfig {
+    FedConfig {
+        num_clients: NUM_CLIENTS,
+        participation: Participation::Count(CONCURRENCY),
+        local_epochs: 2,
+        system_heterogeneity: false,
+        batch_size: BatchSize::Size(20),
+        local_learning_rate: 0.1,
+        model: ModelSpec::Mlp { input_dim: 784, hidden_dim: 32, num_classes: 10 },
+        seed: SEED,
+        eval_subset: 400,
+    }
+}
+
+fn main() {
+    let (train, test) = SyntheticDataset::Mnist.generate(2_000, 600, SEED);
+    let partition = DataDistribution::NonIidShards.partition(&train, NUM_CLIENTS, SEED);
+
+    // The shared straggler fleet: per-client seconds per local epoch.
+    let pool = AsyncConfig::two_tier(
+        NUM_CLIENTS,
+        CONCURRENCY,
+        SECONDS_PER_EPOCH,
+        SLOW_FRACTION,
+        SLOWDOWN,
+        SEED,
+    )
+    .with_staleness(StalenessWeight::Polynomial { exponent: 0.5 });
+    let seconds_per_epoch = pool.seconds_per_epoch.clone();
+
+    // --- Asynchronous FedADMM -------------------------------------------
+    let mut async_sim = AsyncSimulation::new(
+        config(),
+        pool,
+        train.clone(),
+        test.clone(),
+        partition.clone(),
+        FedAdmm::new(0.3, ServerStepSize::Constant(1.0)),
+    )
+    .expect("async configuration is consistent");
+    async_sim.run_updates(120).expect("async run succeeds");
+    let (mean_staleness, max_staleness) = async_sim.staleness_stats();
+    let (_, async_acc) = async_sim.evaluate_global().expect("evaluation succeeds");
+    let async_time = async_sim.now();
+
+    // --- Synchronous FedADMM --------------------------------------------
+    // A synchronous round costs as long as its *slowest* selected client
+    // (epochs × that client's seconds per epoch). We run the same number of
+    // client updates (120 / CONCURRENCY rounds) and accumulate that cost.
+    let mut sync_sim = Simulation::new(
+        config(),
+        train,
+        test,
+        partition,
+        FedAdmm::new(0.3, ServerStepSize::Constant(1.0)),
+    )
+    .expect("sync configuration is consistent");
+    let rounds = 120 / CONCURRENCY;
+    // A straggler estimate for the synchronous protocol: with 30% of the
+    // fleet slowed down 8× and 4 clients drawn per round, most rounds include
+    // at least one slow device, so we charge each round the 90th-percentile
+    // device speed times the local epoch count.
+    let mut speeds = seconds_per_epoch.clone();
+    speeds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let p90_idx = ((speeds.len() as f64 * 0.9) as usize).min(speeds.len() - 1);
+    let p90 = speeds[p90_idx];
+    let mut sync_time = 0.0f64;
+    for _ in 0..rounds {
+        let record = sync_sim.run_round().expect("round succeeds");
+        let mean_epochs = record.total_local_epochs as f64 / record.num_selected.max(1) as f64;
+        sync_time += p90 * mean_epochs;
+    }
+    let (_, sync_acc) = sync_sim.evaluate_global().expect("evaluation succeeds");
+
+    println!(
+        "Two-tier fleet: {NUM_CLIENTS} clients, {:.0}% of them {SLOWDOWN}× slower",
+        SLOW_FRACTION * 100.0
+    );
+    println!();
+    println!("{:<28} | {:>14} | {:>13}", "protocol", "virtual seconds", "test accuracy");
+    println!("{}", "-".repeat(62));
+    println!("{:<28} | {:>14.1} | {:>13.3}", "synchronous FedADMM", sync_time, sync_acc);
+    println!("{:<28} | {:>14.1} | {:>13.3}", "asynchronous FedADMM", async_time, async_acc);
+    println!();
+    println!(
+        "async staleness: mean {:.2}, max {} (polynomial damping a = 0.5)",
+        mean_staleness, max_staleness
+    );
+    println!(
+        "Both protocols applied 120 client updates; the asynchronous server never waits for \
+         stragglers, so its virtual time is set by device throughput rather than by the slowest \
+         selected device."
+    );
+}

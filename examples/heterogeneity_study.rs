@@ -1,0 +1,74 @@
+//! Heterogeneity study: the paper's central comparison on one machine.
+//!
+//! Reproduces the *shape* of Table III / Figure 5 at laptop scale: under
+//! label-skewed (non-IID) client data and heterogeneous local work, FedADMM
+//! reaches a target accuracy in fewer communication rounds than FedSGD,
+//! FedAvg, FedProx and SCAFFOLD, while uploading no more per round than
+//! FedAvg/FedProx (and half of SCAFFOLD).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example heterogeneity_study
+//! ```
+
+use fedadmm::prelude::*;
+
+fn run_one(
+    name: &str,
+    algorithm: Box<dyn Algorithm>,
+    distribution: DataDistribution,
+    target: f32,
+) -> (String, Option<usize>, usize, f32) {
+    let config = FedConfig {
+        num_clients: 100,
+        participation: Participation::Fraction(0.1),
+        local_epochs: 5,
+        system_heterogeneity: true,
+        batch_size: BatchSize::Size(16),
+        local_learning_rate: 0.1,
+        model: ModelSpec::Mlp { input_dim: 784, hidden_dim: 32, num_classes: 10 },
+        seed: 7,
+        eval_subset: usize::MAX,
+    };
+    let (train, test) = SyntheticDataset::Fmnist.generate(10_000, 400, config.seed);
+    let partition = distribution.partition(&train, config.num_clients, config.seed);
+    let mut sim = Simulation::new(config, train, test, partition, algorithm)
+        .expect("configuration is consistent");
+    let rounds = sim.run_until_accuracy(target, 30).expect("rounds run");
+    let history = sim.into_history();
+    (name.to_string(), rounds, history.total_upload_floats(), history.best_accuracy())
+}
+
+fn main() {
+    let target = 0.60;
+    println!(
+        "target accuracy: {:.0}%  (synthetic FMNIST stand-in, 100 clients, 10% participation)",
+        target * 100.0
+    );
+    for distribution in [DataDistribution::Iid, DataDistribution::NonIidShards] {
+        println!("\n=== {} data ===", distribution.label());
+        println!("{:<10} {:>16} {:>22} {:>10}", "method", "rounds to target", "uploaded floats", "best acc");
+        let suite: Vec<(&str, Box<dyn Algorithm>)> = vec![
+            ("FedSGD", Box::new(FedSgd::new(0.1))),
+            ("FedADMM", Box::new(FedAdmm::new(0.3, ServerStepSize::Constant(1.0)))),
+            ("FedAvg", Box::new(FedAvg::new())),
+            ("FedProx", Box::new(FedProx::new(0.1))),
+            ("SCAFFOLD", Box::new(Scaffold::new())),
+        ];
+        for (name, algorithm) in suite {
+            let (name, rounds, upload, best) = run_one(name, algorithm, distribution, target);
+            println!(
+                "{:<10} {:>16} {:>22} {:>10.3}",
+                name,
+                rounds.map(|r| r.to_string()).unwrap_or_else(|| "30+".to_string()),
+                upload,
+                best
+            );
+        }
+    }
+    println!(
+        "\nNote: SCAFFOLD uploads two vectors per selected client, which is why its\n\
+         communication column is roughly double the others for the same round count."
+    );
+}

@@ -1,0 +1,111 @@
+//! Privacy-preserving FedADMM: update clipping, Gaussian noise, secure
+//! aggregation, and a zCDP privacy accountant.
+//!
+//! The paper notes (footnote 1) that standard privacy-preserving methods
+//! compose with FedADMM. This example demonstrates both ingredients on a
+//! non-IID run:
+//!
+//! 1. each client's upload is clipped and noised by [`GaussianMechanism`]
+//!    (via the [`PrivateAlgorithm`] wrapper), and the cumulative (ε, δ)
+//!    guarantee is tracked by [`PrivacyAccountant`];
+//! 2. the uploads of one round are additionally passed through the
+//!    pairwise-mask [`SecureAggregator`], showing that the server learns
+//!    only the sum it needs for equation (5), bit-for-bit.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example privacy_preserving
+//! ```
+
+use fedadmm::prelude::*;
+
+fn main() {
+    let config = FedConfig {
+        num_clients: 50,
+        participation: Participation::Fraction(0.2),
+        local_epochs: 3,
+        system_heterogeneity: true,
+        batch_size: BatchSize::Size(16),
+        local_learning_rate: 0.1,
+        model: ModelSpec::Mlp { input_dim: 784, hidden_dim: 32, num_classes: 10 },
+        seed: 13,
+        eval_subset: usize::MAX,
+    };
+    let (train, test) = SyntheticDataset::Mnist.generate(5_000, 500, config.seed);
+    let partition =
+        DataDistribution::NonIidShards.partition(&train, config.num_clients, config.seed);
+
+    // --- 1. Differentially private FedADMM -------------------------------
+    let mechanism = GaussianMechanism::new(20.0, 2e-3);
+    let algorithm =
+        PrivateAlgorithm::new(FedAdmm::new(0.3, ServerStepSize::Constant(1.0)), mechanism);
+    let mut accountant = PrivacyAccountant::new(
+        mechanism.noise_multiplier as f64,
+        config.clients_per_round() as f64 / config.num_clients as f64,
+        1e-5,
+    );
+    let mut sim = Simulation::new(config, train, test, partition, algorithm)
+        .expect("configuration is consistent");
+
+    println!("round | accuracy | ε spent (δ = 1e-5)");
+    for round in 1..=30 {
+        let record = sim.run_round().expect("round succeeds");
+        accountant.step(1);
+        if round % 5 == 0 {
+            println!(
+                "{:5} | {:8.3} | {:7.3}",
+                round,
+                record.test_accuracy,
+                accountant.spent().epsilon
+            );
+        }
+    }
+    println!(
+        "\nbest accuracy {:.3} under clipping C = {} and noise multiplier σ = {}.",
+        sim.history().best_accuracy(),
+        mechanism.clip_norm,
+        mechanism.noise_multiplier,
+    );
+    println!(
+        "At this toy scale (50 clients, σ = {}) the formal guarantee is weak — ε grows fast \
+         because the per-round zCDP cost is q²/(2σ²). The accountant is most useful for planning \
+         production-scale deployments: with m = 10,000 clients, q = 0.01 and σ = 1.0, a \
+         1,000-round run costs ε = {:.2} at δ = 1e-5.",
+        mechanism.noise_multiplier,
+        PrivacyAccountant::new(1.0, 0.01, 1e-5).forecast(1000).epsilon
+    );
+
+    // --- 2. Secure aggregation of one round's uploads --------------------
+    // Simulate five clients' update vectors and aggregate them under
+    // pairwise masking; the server's sum matches the plain sum exactly even
+    // though each individual masked upload is unintelligible.
+    let participants = [3usize, 11, 19, 27, 42];
+    let dim = 256;
+    let aggregator = SecureAggregator::new(0xFEED_5EED, &participants, dim);
+    let updates: Vec<(usize, Vec<f32>)> = participants
+        .iter()
+        .map(|&c| (c, (0..dim).map(|j| ((c + j) as f32 * 0.01).sin() * 0.05).collect()))
+        .collect();
+    let masked_sum = aggregator.masked_sum(&updates);
+    let plain_sum: Vec<f32> = (0..dim)
+        .map(|j| updates.iter().map(|(_, u)| u[j]).sum())
+        .collect();
+    let max_err = masked_sum
+        .iter()
+        .zip(plain_sum.iter())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    let mut one_masked = updates[0].1.clone();
+    aggregator.apply_mask(participants[0], &mut one_masked);
+    let distortion: f32 = one_masked
+        .iter()
+        .zip(updates[0].1.iter())
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f32>()
+        .sqrt();
+
+    println!("\nsecure aggregation over {} clients, d = {dim}:", participants.len());
+    println!("  max |masked sum − plain sum|   = {max_err:.2e} (masks cancel exactly)");
+    println!("  ‖masked upload − raw upload‖   = {distortion:.2} (individual uploads are hidden)");
+}

@@ -1,0 +1,129 @@
+//! Wall-clock view of system heterogeneity: how much time FedADMM's
+//! tolerance for variable local work saves on a heterogeneous device fleet.
+//!
+//! The paper measures communication *rounds*; this example uses the
+//! `fedadmm-system` substrate to ask the complementary wall-clock question.
+//! The same federated run is replayed under two protocols on a tiered device
+//! fleet (edge gateways down to low-end phones):
+//!
+//! * **fixed work** — every selected client runs the full `E` epochs
+//!   (FedAvg/SCAFFOLD in the paper's protocol), so the round waits for the
+//!   slowest device doing the most work;
+//! * **variable work** — each client runs `E_i ~ Uniform{1..E}` epochs
+//!   (FedADMM/FedProx), so slow devices do proportionally less.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example wall_clock_stragglers
+//! ```
+
+use fedadmm::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let num_clients = 100;
+    let clients_per_round = 10;
+    let local_dataset_size = 600; // samples per client (MNIST / 100 clients)
+    let max_epochs = 5;
+    let model_dim = 1_663_370; // CNN 1 of Table II
+    let rounds = 50;
+
+    // A realistic mixed fleet: a few edge gateways, mostly mid-range phones,
+    // and a tail of slow devices.
+    let devices = DevicePopulation::tiered(
+        num_clients,
+        &[
+            (DeviceClass::EdgeGateway, 0.05),
+            (DeviceClass::HighEnd, 0.25),
+            (DeviceClass::MidRange, 0.5),
+            (DeviceClass::LowEnd, 0.2),
+        ],
+        42,
+    );
+    let (min, median, max) = devices.compute_spread();
+    println!("fleet compute spread: min {min:.0}, median {median:.0}, max {max:.0} samples/s");
+    let network = NetworkModel::default();
+
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut fixed_trace = WallClockTrace::new();
+    let mut variable_trace = WallClockTrace::new();
+    let mut deadline_trace = WallClockTrace::new();
+
+    for _ in 0..rounds {
+        // Select the round's clients (uniformly, like the paper).
+        let mut ids: Vec<usize> = (0..num_clients).collect();
+        for i in (1..ids.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            ids.swap(i, j);
+        }
+        ids.truncate(clients_per_round);
+
+        // Fixed work: everyone runs E epochs.
+        let fixed_work: Vec<ClientRoundWork> = ids
+            .iter()
+            .map(|&c| ClientRoundWork {
+                client_id: c,
+                samples_processed: max_epochs * local_dataset_size,
+                download_floats: model_dim,
+                upload_floats: model_dim,
+            })
+            .collect();
+        // Variable work: E_i ~ Uniform{1..E} (the paper's system-heterogeneity
+        // protocol for FedADMM / FedProx).
+        let variable_work: Vec<ClientRoundWork> = ids
+            .iter()
+            .map(|&c| ClientRoundWork {
+                client_id: c,
+                samples_processed: rng.gen_range(1..=max_epochs) * local_dataset_size,
+                download_floats: model_dim,
+                upload_floats: model_dim,
+            })
+            .collect();
+
+        fixed_trace.push(&RoundTiming::compute(
+            &fixed_work,
+            &devices,
+            &network,
+            StragglerPolicy::WaitForAll,
+        ));
+        variable_trace.push(&RoundTiming::compute(
+            &variable_work,
+            &devices,
+            &network,
+            StragglerPolicy::WaitForAll,
+        ));
+        // A third protocol: fixed work but with a 30-second deadline that
+        // drops stragglers (losing their updates).
+        deadline_trace.push(&RoundTiming::compute(
+            &fixed_work,
+            &devices,
+            &network,
+            StragglerPolicy::Deadline { seconds: 30.0 },
+        ));
+    }
+
+    println!("\nprotocol             | total time | mean round | upload (GB) | dropped updates");
+    let report = |name: &str, trace: &WallClockTrace| {
+        println!(
+            "{:<20} | {:>9.1}s | {:>9.1}s | {:>11.2} | {:>15}",
+            name,
+            trace.total_seconds(),
+            trace.total_seconds() / trace.len() as f64,
+            trace.total_upload_bytes() as f64 / 1e9,
+            trace.total_dropped()
+        );
+    };
+    report("fixed E (FedAvg)", &fixed_trace);
+    report("variable E (FedADMM)", &variable_trace);
+    report("fixed E + deadline", &deadline_trace);
+
+    println!(
+        "\nVariable local work cuts the synchronous-round time by {:.0}% without dropping a \
+         single update; the deadline protocol is faster still but discards {} client updates, \
+         which costs statistical efficiency instead.",
+        100.0 * (1.0 - variable_trace.total_seconds() / fixed_trace.total_seconds()),
+        deadline_trace.total_dropped()
+    );
+}

@@ -1,0 +1,160 @@
+//! Integration tests for the extension algorithms (FedDyn and the FedOpt
+//! server-optimizer family) running inside the full simulation engine.
+//!
+//! These algorithms are not part of the paper's evaluation, but they share
+//! FedADMM's interface and communication protocol, so every invariant the
+//! engine guarantees for the paper's methods must hold for them too:
+//! identical per-round upload cost, determinism under a fixed seed, and
+//! learning progress on the synthetic substrate.
+
+use fedadmm::prelude::*;
+
+fn config(num_clients: usize, seed: u64) -> FedConfig {
+    FedConfig {
+        num_clients,
+        participation: Participation::Fraction(0.3),
+        local_epochs: 2,
+        system_heterogeneity: false,
+        batch_size: BatchSize::Size(16),
+        local_learning_rate: 0.1,
+        model: ModelSpec::Logistic { input_dim: 784, num_classes: 10 },
+        seed,
+        eval_subset: usize::MAX,
+    }
+}
+
+fn simulation<A: Algorithm>(
+    algorithm: A,
+    num_clients: usize,
+    samples: usize,
+    distribution: DataDistribution,
+    seed: u64,
+) -> Simulation<A> {
+    let cfg = config(num_clients, seed);
+    let (train, test) = SyntheticDataset::Mnist.generate(samples, 200, seed);
+    let partition = distribution.partition(&train, num_clients, seed);
+    Simulation::new(cfg, train, test, partition, algorithm).unwrap()
+}
+
+#[test]
+fn feddyn_learns_on_iid_data() {
+    let mut sim = simulation(FedDyn::new(0.3), 8, 400, DataDistribution::Iid, 1);
+    let (_, acc0) = sim.evaluate_global().unwrap();
+    sim.run_rounds(10).unwrap();
+    let best = sim.history().best_accuracy();
+    assert!(best > acc0 + 0.15, "FedDyn accuracy only moved {acc0} → {best}");
+}
+
+#[test]
+fn feddyn_upload_cost_matches_fedadmm() {
+    // Both upload exactly one d-vector per selected client per round.
+    let d = ModelSpec::Logistic { input_dim: 784, num_classes: 10 }.num_params();
+    let mut dyn_sim = simulation(FedDyn::new(0.3), 6, 120, DataDistribution::Iid, 2);
+    let mut admm_sim = simulation(
+        FedAdmm::new(0.3, ServerStepSize::Constant(1.0)),
+        6,
+        120,
+        DataDistribution::Iid,
+        2,
+    );
+    let r_dyn = dyn_sim.run_round().unwrap();
+    let r_admm = admm_sim.run_round().unwrap();
+    assert_eq!(r_dyn.upload_floats, r_dyn.num_selected * d);
+    assert_eq!(r_dyn.upload_floats, r_admm.upload_floats);
+}
+
+#[test]
+fn fedopt_family_learns_and_reports_correct_names() {
+    for (alg, expected) in [
+        (FedOpt::avgm(), "FedAvgM"),
+        (FedOpt::adam(), "FedAdam"),
+        (FedOpt::yogi(), "FedYogi"),
+    ] {
+        let mut sim = simulation(alg, 6, 300, DataDistribution::Iid, 3);
+        assert_eq!(sim.history().algorithm, expected);
+        let (_, acc0) = sim.evaluate_global().unwrap();
+        sim.run_rounds(8).unwrap();
+        let best = sim.history().best_accuracy();
+        assert!(best > acc0 + 0.1, "{expected} accuracy only moved {acc0} → {best}");
+    }
+}
+
+#[test]
+fn fedopt_sgd_with_unit_lr_tracks_fedavg() {
+    // FedOpt(SGD, lr = 1) is algebraically FedAvg; over a full simulated run
+    // (same seeds, same selection) the two global models must coincide.
+    let mut a = simulation(
+        FedOpt::new(ServerOptimizer::Sgd { lr: 1.0 }),
+        6,
+        240,
+        DataDistribution::NonIidShards,
+        4,
+    );
+    let mut b = simulation(FedAvg::new(), 6, 240, DataDistribution::NonIidShards, 4);
+    a.run_rounds(4).unwrap();
+    b.run_rounds(4).unwrap();
+    let dist = a.global_model().dist(b.global_model());
+    assert!(dist < 1e-4, "FedOpt(SGD,1) deviates from FedAvg by {dist}");
+}
+
+#[test]
+fn extension_algorithms_are_deterministic_in_seed() {
+    let mut a = simulation(FedOpt::adam(), 6, 180, DataDistribution::NonIidShards, 5);
+    let mut b = simulation(FedOpt::adam(), 6, 180, DataDistribution::NonIidShards, 5);
+    a.run_rounds(3).unwrap();
+    b.run_rounds(3).unwrap();
+    assert_eq!(a.global_model(), b.global_model());
+
+    let mut c = simulation(FedDyn::new(0.3), 6, 180, DataDistribution::NonIidShards, 6);
+    let mut d = simulation(FedDyn::new(0.3), 6, 180, DataDistribution::NonIidShards, 6);
+    c.run_rounds(3).unwrap();
+    d.run_rounds(3).unwrap();
+    assert_eq!(c.global_model(), d.global_model());
+}
+
+#[test]
+fn boxed_extension_algorithms_compose_with_the_engine() {
+    // The Box<dyn Algorithm> path used by the experiment harness must accept
+    // the extension algorithms as well.
+    let algorithms: Vec<Box<dyn Algorithm>> = vec![
+        Box::new(FedDyn::new(0.3)),
+        Box::new(FedOpt::avgm()),
+        Box::new(FedOpt::adagrad()),
+    ];
+    for alg in algorithms {
+        let name = alg.name();
+        let mut sim = simulation(alg, 5, 100, DataDistribution::Iid, 7);
+        let record = sim.run_round().unwrap();
+        assert!(record.upload_floats > 0, "{name} uploaded nothing");
+        assert_eq!(sim.history().algorithm, name);
+    }
+}
+
+#[test]
+fn quantity_skew_partition_drives_a_full_run() {
+    // The new quantity-skew partitioner composes with the engine: highly
+    // imbalanced client volumes, every client still owns data, and FedADMM
+    // still learns.
+    use fedadmm::data::partition;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    let cfg = config(10, 8);
+    let (train, test) = SyntheticDataset::Mnist.generate(600, 200, 8);
+    let mut rng = SmallRng::seed_from_u64(8);
+    let partition = partition::quantity_skew(&train, 10, 1.5, &mut rng);
+    assert!(partition.volume_imbalance() > 5.0);
+    assert!(partition.sizes().iter().all(|&s| s > 0));
+
+    let mut sim = Simulation::new(
+        cfg,
+        train,
+        test,
+        partition,
+        FedAdmm::new(0.3, ServerStepSize::Constant(1.0)),
+    )
+    .unwrap();
+    let (_, acc0) = sim.evaluate_global().unwrap();
+    sim.run_rounds(10).unwrap();
+    assert!(sim.history().best_accuracy() > acc0 + 0.1);
+}

@@ -1,0 +1,161 @@
+//! Integration tests for the paper's structural claims — the statements in
+//! Sections III and IV that can be checked mechanically (as opposed to the
+//! empirical comparisons, which live in the experiments crate and benches).
+
+use fedadmm::core::algorithms::{Algorithm, FedAdmm, FedAvg, FedProx, Scaffold, ServerStepSize};
+use fedadmm::core::client::ClientState;
+use fedadmm::core::param::ParamVector;
+use fedadmm::core::trainer::{evaluate, LocalEnv};
+use fedadmm::prelude::*;
+
+fn tiny_env<'a>(
+    train: &'a Dataset,
+    indices: &'a [usize],
+    model: ModelSpec,
+    epochs: usize,
+    seed: u64,
+) -> LocalEnv<'a> {
+    LocalEnv {
+        dataset: train,
+        indices,
+        model,
+        epochs,
+        batch_size: BatchSize::Size(16),
+        learning_rate: 0.1,
+        seed,
+    }
+}
+
+/// Section III-B: "By setting y_i ≡ 0 … we recover the local training
+/// problem of FedProx. If additionally ρ is set to 0, one recovers the local
+/// training problem of FedAvg."
+#[test]
+fn fedadmm_generalizes_fedprox_and_fedavg() {
+    let (train, _) = SyntheticDataset::Mnist.generate(64, 10, 0);
+    let model = ModelSpec::Logistic { input_dim: 784, num_classes: 10 };
+    let indices: Vec<usize> = (0..64).collect();
+    let theta = ParamVector::zeros(model.num_params());
+    let env = tiny_env(&train, &indices, model, 2, 99);
+
+    // FedADMM with a fresh client (zero dual) and global-model init, vs
+    // FedProx with the same ρ: identical local trajectories.
+    let rho = 0.25;
+    let admm = FedAdmm::new(rho, ServerStepSize::Constant(1.0))
+        .with_local_init(fedadmm::core::algorithms::LocalInit::GlobalModel);
+    let mut admm_client = ClientState::new(0, indices.clone(), &theta);
+    admm.client_update(&mut admm_client, &theta, &env).unwrap();
+
+    let prox = FedProx::new(rho);
+    let mut prox_client = ClientState::new(0, indices.clone(), &theta);
+    let prox_msg = prox.client_update(&mut prox_client, &theta, &env).unwrap();
+    assert!(admm_client.local_model.dist(&prox_msg.payload[0]) < 1e-5);
+
+    // FedProx with ρ = 0 vs FedAvg: identical local trajectories.
+    let prox0 = FedProx::new(0.0);
+    let mut prox0_client = ClientState::new(0, indices.clone(), &theta);
+    let prox0_msg = prox0.client_update(&mut prox0_client, &theta, &env).unwrap();
+    let avg = FedAvg::new();
+    let mut avg_client = ClientState::new(0, indices.clone(), &theta);
+    let avg_msg = avg.client_update(&mut avg_client, &theta, &env).unwrap();
+    assert_eq!(prox0_msg.payload[0], avg_msg.payload[0]);
+}
+
+/// KKT structure (Section III-A): at any point, the dual update maintains
+/// y_i^{t+1} = y_i^t + ρ(w_i^{t+1} − θ^t); summed over a full-participation
+/// round starting from the consensus point, Σ_i y_i tracks ρ Σ_i (w_i − θ).
+#[test]
+fn dual_variables_track_model_discrepancy() {
+    let (train, _) = SyntheticDataset::Mnist.generate(120, 10, 1);
+    let model = ModelSpec::Logistic { input_dim: 784, num_classes: 10 };
+    let theta = ParamVector::zeros(model.num_params());
+    let rho = 0.1;
+    let admm = FedAdmm::new(rho, ServerStepSize::Constant(1.0));
+    let mut clients: Vec<ClientState> = (0..3)
+        .map(|i| {
+            let indices: Vec<usize> = (i * 40..(i + 1) * 40).collect();
+            ClientState::new(i, indices, &theta)
+        })
+        .collect();
+    for (i, client) in clients.iter_mut().enumerate() {
+        let indices = client.indices.clone();
+        let env = tiny_env(&train, &indices, model, 1, 10 + i as u64);
+        admm.client_update(client, &theta, &env).unwrap();
+        // Per-client identity y_i = ρ (w_i − θ) after the first update.
+        let mut expected = client.local_model.sub(&theta);
+        expected.scale(rho);
+        assert!(client.dual.dist(&expected) < 1e-4);
+    }
+}
+
+/// The abstract's communication claim: FedADMM's upload per client per round
+/// equals FedAvg's and FedProx's (d floats), while SCAFFOLD uploads 2d.
+#[test]
+fn upload_costs_match_paper_table() {
+    let d = 12_345;
+    assert_eq!(FedAdmm::paper_default().upload_floats_per_client(d), d);
+    assert_eq!(FedAvg::new().upload_floats_per_client(d), d);
+    assert_eq!(FedProx::new(0.1).upload_floats_per_client(d), d);
+    assert_eq!(Scaffold::new().upload_floats_per_client(d), 2 * d);
+}
+
+/// Remark after equation (5): with η = 1 and zero-initialised duals, the
+/// server state after one full-participation FedADMM round equals
+/// mean_i(w_i + y_i/ρ) — i.e. the tracking update reproduces the virtual
+/// average of the augmented models (θ^{t+1} = (1/m) Σ u_i^{t+1}, as used in
+/// the proof of Lemma 2).
+#[test]
+fn tracking_update_equals_mean_augmented_model_under_full_participation() {
+    let (train, _) = SyntheticDataset::Mnist.generate(90, 10, 2);
+    let model = ModelSpec::Logistic { input_dim: 784, num_classes: 10 };
+    let d = model.num_params();
+    let theta0 = ParamVector::zeros(d);
+    let rho = 0.05;
+    let mut algorithm = FedAdmm::new(rho, ServerStepSize::Constant(1.0));
+    let mut clients: Vec<ClientState> = (0..3)
+        .map(|i| ClientState::new(i, (i * 30..(i + 1) * 30).collect(), &theta0))
+        .collect();
+    let mut messages = Vec::new();
+    for (i, client) in clients.iter_mut().enumerate() {
+        let indices = client.indices.clone();
+        let env = tiny_env(&train, &indices, model, 2, 20 + i as u64);
+        messages.push(algorithm.client_update(client, &theta0, &env).unwrap());
+    }
+    let mut theta = theta0.clone();
+    let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+    algorithm.server_update(&mut theta, &messages, 3, &mut rng);
+
+    let mut mean_augmented = ParamVector::zeros(d);
+    for client in &clients {
+        mean_augmented.axpy(1.0 / 3.0, &client.augmented_model(rho));
+    }
+    assert!(
+        theta.dist(&mean_augmented) < 1e-3,
+        "tracking update deviates from the mean augmented model by {}",
+        theta.dist(&mean_augmented)
+    );
+}
+
+/// The evaluation helper and the simulation agree on what "accuracy of the
+/// global model" means.
+#[test]
+fn simulation_accuracy_matches_direct_evaluation() {
+    let config = FedConfig {
+        num_clients: 8,
+        participation: Participation::Fraction(0.25),
+        local_epochs: 2,
+        system_heterogeneity: false,
+        batch_size: BatchSize::Size(16),
+        local_learning_rate: 0.1,
+        model: ModelSpec::Logistic { input_dim: 784, num_classes: 10 },
+        seed: 3,
+        eval_subset: usize::MAX,
+    };
+    let (train, test) = SyntheticDataset::Mnist.generate(240, 120, 3);
+    let partition = DataDistribution::Iid.partition(&train, 8, 3);
+    let mut sim =
+        Simulation::new(config, train, test.clone(), partition, FedAdmm::paper_default()).unwrap();
+    let record = sim.run_round().unwrap();
+    let (_, direct_acc) =
+        evaluate(config.model, sim.global_model().as_slice(), &test, usize::MAX).unwrap();
+    assert!((record.test_accuracy - direct_acc).abs() < 1e-6);
+}

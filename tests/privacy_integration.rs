@@ -1,0 +1,200 @@
+//! Integration tests for the privacy extensions (DP + secure aggregation)
+//! composed with the full federated simulation.
+
+use fedadmm::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn config(num_clients: usize, seed: u64) -> FedConfig {
+    FedConfig {
+        num_clients,
+        participation: Participation::Fraction(0.25),
+        local_epochs: 2,
+        system_heterogeneity: true,
+        batch_size: BatchSize::Size(16),
+        local_learning_rate: 0.1,
+        model: ModelSpec::Logistic { input_dim: 784, num_classes: 10 },
+        seed,
+        eval_subset: usize::MAX,
+    }
+}
+
+fn private_simulation(
+    mechanism: GaussianMechanism,
+    seed: u64,
+) -> Simulation<PrivateAlgorithm<FedAdmm>> {
+    let cfg = config(16, seed);
+    let (train, test) = SyntheticDataset::Mnist.generate(1600, 200, seed);
+    let partition = DataDistribution::NonIidShards.partition(&train, 16, seed);
+    Simulation::new(
+        cfg,
+        train,
+        test,
+        partition,
+        PrivateAlgorithm::new(FedAdmm::new(0.3, ServerStepSize::Constant(1.0)), mechanism),
+    )
+    .unwrap()
+}
+
+#[test]
+fn dp_fedadmm_learns_under_moderate_noise_and_tracks_its_budget() {
+    let mechanism = GaussianMechanism::new(20.0, 1e-3);
+    let mut sim = private_simulation(mechanism, 1);
+    let mut accountant = PrivacyAccountant::new(1e-3, 0.25, 1e-5);
+    let (_, acc0) = sim.evaluate_global().unwrap();
+    for _ in 0..20 {
+        sim.run_round().unwrap();
+        accountant.step(1);
+    }
+    assert!(
+        sim.history().best_accuracy() > acc0 + 0.3,
+        "DP run failed to learn: {} → {}",
+        acc0,
+        sim.history().best_accuracy()
+    );
+    let spent = accountant.spent();
+    assert_eq!(spent.rounds, 20);
+    assert!(spent.rho_zcdp > 0.0 && spent.epsilon > 0.0);
+    // More rounds can only cost more privacy.
+    assert!(accountant.forecast(10).epsilon > spent.epsilon);
+}
+
+#[test]
+fn stronger_noise_costs_accuracy_but_never_breaks_the_run() {
+    let gentle = {
+        let mut sim = private_simulation(GaussianMechanism::new(20.0, 1e-3), 2);
+        sim.run_rounds(15).unwrap();
+        sim.history().best_accuracy()
+    };
+    let harsh = {
+        let mut sim = private_simulation(GaussianMechanism::new(20.0, 5e-2), 2);
+        sim.run_rounds(15).unwrap();
+        let history = sim.history();
+        assert!(history.accuracy_series().iter().all(|a| a.is_finite()));
+        history.best_accuracy()
+    };
+    assert!(
+        gentle > harsh,
+        "more noise must not help: gentle {gentle} vs harsh {harsh}"
+    );
+}
+
+#[test]
+fn clipping_alone_preserves_learning_when_the_threshold_is_loose() {
+    // A loose clipping norm should have virtually no effect on the
+    // trajectory compared with the unwrapped algorithm.
+    let cfg = config(16, 3);
+    let (train, test) = SyntheticDataset::Mnist.generate(1600, 200, 3);
+    let partition = DataDistribution::NonIidShards.partition(&train, 16, 3);
+    let mut plain = Simulation::new(
+        cfg,
+        train.clone(),
+        test.clone(),
+        partition.clone(),
+        FedAdmm::new(0.3, ServerStepSize::Constant(1.0)),
+    )
+    .unwrap();
+    let mut clipped = Simulation::new(
+        cfg,
+        train,
+        test,
+        partition,
+        PrivateAlgorithm::new(
+            FedAdmm::new(0.3, ServerStepSize::Constant(1.0)),
+            GaussianMechanism::new(1e4, 0.0),
+        ),
+    )
+    .unwrap();
+    plain.run_rounds(8).unwrap();
+    clipped.run_rounds(8).unwrap();
+    assert!(plain.global_model().dist(clipped.global_model()) < 1e-4);
+    assert!((plain.history().final_accuracy() - clipped.history().final_accuracy()).abs() < 1e-6);
+}
+
+#[test]
+fn secure_aggregation_recovers_the_exact_fedadmm_server_update() {
+    // Simulate the server-side of equation (5) under pairwise masking: the
+    // sum of masked Δ_i equals the sum of raw Δ_i, so the resulting global
+    // model is bit-for-bit comparable (up to f32 rounding).
+    let participants = [0usize, 4, 7, 9, 13, 21];
+    let dim = 2_000;
+    let mut rng = SmallRng::seed_from_u64(5);
+    let deltas: Vec<(usize, Vec<f32>)> = participants
+        .iter()
+        .map(|&c| (c, (0..dim).map(|_| rng.gen_range(-0.05f32..0.05)).collect()))
+        .collect();
+
+    let eta = 1.0f32;
+    let mut theta_plain = vec![0.2f32; dim];
+    let mut raw_sum = vec![0.0f32; dim];
+    for (_, d) in &deltas {
+        for (s, v) in raw_sum.iter_mut().zip(d.iter()) {
+            *s += v;
+        }
+    }
+    for (t, s) in theta_plain.iter_mut().zip(raw_sum.iter()) {
+        *t += eta / participants.len() as f32 * s;
+    }
+
+    let aggregator = SecureAggregator::new(0xABCD, &participants, dim);
+    let masked_sum = aggregator.masked_sum(&deltas);
+    let mut theta_masked = vec![0.2f32; dim];
+    for (t, s) in theta_masked.iter_mut().zip(masked_sum.iter()) {
+        *t += eta / participants.len() as f32 * s;
+    }
+
+    let max_err = theta_plain
+        .iter()
+        .zip(theta_masked.iter())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    assert!(max_err < 1e-5, "secure aggregation changed the server update by {max_err}");
+}
+
+#[test]
+fn secure_aggregation_survives_dropouts_via_mask_reconstruction() {
+    let participants = [1usize, 2, 3, 4, 5, 6, 7, 8];
+    let dim = 500;
+    let aggregator = SecureAggregator::new(99, &participants, dim);
+    let mut rng = SmallRng::seed_from_u64(11);
+    let deltas: Vec<(usize, Vec<f32>)> = participants
+        .iter()
+        .map(|&c| (c, (0..dim).map(|_| rng.gen_range(-0.1f32..0.1)).collect()))
+        .collect();
+    // Three clients upload their masked messages and then disappear before
+    // the unmasking round; the server corrects with the reconstructed masks
+    // of the *dropped* clients applied to the survivors' sum.
+    let dropped = [2usize, 5, 8];
+    let survivors: Vec<(usize, Vec<f32>)> =
+        deltas.iter().filter(|(c, _)| !dropped.contains(c)).cloned().collect();
+    let mut server_sum = aggregator.masked_sum(&survivors);
+    let correction = aggregator.dropout_correction(&dropped);
+    for (s, c) in server_sum.iter_mut().zip(correction.iter()) {
+        *s += c;
+    }
+    let mut expected = vec![0.0f32; dim];
+    for (_, d) in &survivors {
+        for (e, v) in expected.iter_mut().zip(d.iter()) {
+            *e += v;
+        }
+    }
+    let max_err = server_sum
+        .iter()
+        .zip(expected.iter())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    assert!(max_err < 1e-4, "dropout recovery failed, error {max_err}");
+}
+
+#[test]
+fn accountant_matches_hand_computed_zcdp_composition() {
+    // q = 0.25, σ = 1e-3 → ρ per round = q²/(2σ²) is enormous; use a
+    // realistic deployment instead: σ = 1.2, q = 0.01, T = 500.
+    let acc = PrivacyAccountant::new(1.2, 0.01, 1e-5);
+    let spent = acc.forecast(500);
+    let rho = 0.01f64 * 0.01 / (2.0 * 1.2 * 1.2) * 500.0;
+    assert!((spent.rho_zcdp - rho).abs() < 1e-12);
+    let eps = rho + 2.0 * (rho * (1.0f64 / 1e-5).ln()).sqrt();
+    assert!((spent.epsilon - eps).abs() < 1e-12);
+    assert!(spent.epsilon < 1.0, "a realistic deployment stays under ε = 1: {}", spent.epsilon);
+}

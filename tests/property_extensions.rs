@@ -1,0 +1,293 @@
+//! Property-based tests (proptest) for the extension crates and the new
+//! core modules: invariants that must hold for *arbitrary* inputs, not just
+//! the hand-picked cases of the unit tests.
+
+use fedadmm::core::quadratic::{QuadraticConfig, QuadraticProblem};
+use fedadmm::core::schedule::Schedule;
+use fedadmm::core::theory::{min_rho, theorem1_constants};
+use fedadmm::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    // ------------------------------------------------------------------
+    // Differential privacy mechanism.
+    // ------------------------------------------------------------------
+
+    /// Clipping never increases the norm, never changes the direction, and
+    /// is idempotent.
+    #[test]
+    fn clipping_is_a_contraction_and_idempotent(
+        values in proptest::collection::vec(-50.0f32..50.0, 1..64),
+        clip in 0.1f32..20.0,
+    ) {
+        let mech = GaussianMechanism::new(clip, 0.0);
+        let mut clipped = values.clone();
+        mech.clip(&mut clipped);
+        let norm = |v: &[f32]| v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        prop_assert!(norm(&clipped) <= clip * 1.0001);
+        prop_assert!(norm(&clipped) <= norm(&values) * 1.0001);
+        // Idempotent: clipping twice changes nothing further.
+        let mut twice = clipped.clone();
+        mech.clip(&mut twice);
+        for (a, b) in clipped.iter().zip(twice.iter()) {
+            prop_assert!((a - b).abs() <= 1e-6);
+        }
+        // Direction preserved: the sign pattern never flips.
+        for (orig, new) in values.iter().zip(clipped.iter()) {
+            prop_assert!(orig.signum() == new.signum() || *new == 0.0 || *orig == 0.0);
+        }
+    }
+
+    /// The zCDP accountant is additive: accounting T₁ then T₂ rounds equals
+    /// accounting T₁ + T₂ rounds in one go.
+    #[test]
+    fn privacy_accounting_is_additive(
+        sigma in 0.3f64..5.0,
+        q in 0.001f64..1.0,
+        t1 in 1usize..500,
+        t2 in 1usize..500,
+    ) {
+        let mut split = PrivacyAccountant::new(sigma, q, 1e-5);
+        split.step(t1);
+        split.step(t2);
+        let mut joint = PrivacyAccountant::new(sigma, q, 1e-5);
+        joint.step(t1 + t2);
+        prop_assert!((split.spent().rho_zcdp - joint.spent().rho_zcdp).abs() < 1e-12);
+        prop_assert!((split.spent().epsilon - joint.spent().epsilon).abs() < 1e-9);
+    }
+
+    // ------------------------------------------------------------------
+    // Secure aggregation.
+    // ------------------------------------------------------------------
+
+    /// For any set of participants and updates, the masks cancel in the sum.
+    #[test]
+    fn secure_aggregation_masks_always_cancel(
+        seed in any::<u64>(),
+        num_participants in 1usize..8,
+        dim in 1usize..32,
+        scale in 0.01f32..1.0,
+    ) {
+        let participants: Vec<usize> = (0..num_participants).map(|i| i * 3 + 1).collect();
+        let agg = SecureAggregator::new(seed, &participants, dim);
+        let updates: Vec<(usize, Vec<f32>)> = participants
+            .iter()
+            .map(|&c| (c, (0..dim).map(|j| scale * ((c + j) as f32).sin()).collect()))
+            .collect();
+        let masked = agg.masked_sum(&updates);
+        let mut raw = vec![0.0f32; dim];
+        for (_, u) in &updates {
+            for (r, v) in raw.iter_mut().zip(u.iter()) {
+                *r += v;
+            }
+        }
+        for (m, r) in masked.iter().zip(raw.iter()) {
+            // Masks are O(num_participants); allow generous f32 cancellation error.
+            prop_assert!((m - r).abs() < 1e-3 * (num_participants as f32).max(1.0));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Hyperparameter schedules.
+    // ------------------------------------------------------------------
+
+    /// A step schedule always evaluates to one of its declared values, and
+    /// is piecewise constant between boundaries.
+    #[test]
+    fn step_schedule_only_takes_declared_values(
+        initial in 0.001f32..10.0,
+        b1 in 1usize..50,
+        gap in 1usize..50,
+        v1 in 0.001f32..10.0,
+        v2 in 0.001f32..10.0,
+        probe in 0usize..200,
+    ) {
+        let b2 = b1 + gap;
+        let s = Schedule::Step { initial, boundaries: vec![(b1, v1), (b2, v2)] };
+        let value = s.value_at(probe);
+        prop_assert!(value == initial || value == v1 || value == v2);
+        let expected = if probe >= b2 { v2 } else if probe >= b1 { v1 } else { initial };
+        prop_assert_eq!(value, expected);
+    }
+
+    /// Decay schedules are non-increasing when the factor is ≤ 1.
+    #[test]
+    fn decay_schedule_is_monotone_non_increasing(
+        initial in 0.01f32..10.0,
+        factor in 0.1f32..1.0,
+        every in 1usize..20,
+        t in 0usize..100,
+    ) {
+        let s = Schedule::Decay { initial, factor, every };
+        prop_assert!(s.value_at(t + 1) <= s.value_at(t) + 1e-9);
+        prop_assert!(s.value_at(t) <= initial);
+        // Deep decays may underflow f32 to exactly 0, but never go negative.
+        prop_assert!(s.value_at(t) >= 0.0);
+    }
+
+    // ------------------------------------------------------------------
+    // Theory module.
+    // ------------------------------------------------------------------
+
+    /// Whenever ρ exceeds the admissibility threshold, the Theorem 1
+    /// constants exist and are positive, and c1 grows with p_min.
+    #[test]
+    fn theorem_constants_are_positive_above_threshold(
+        l in 0.05f64..20.0,
+        margin in 1.01f64..10.0,
+        p_min in 0.01f64..1.0,
+    ) {
+        let rho = min_rho(l) * margin;
+        let c = theorem1_constants(rho, l, p_min);
+        prop_assert!(c.is_some());
+        let c = c.unwrap();
+        prop_assert!(c.c1 > 0.0 && c.c2 > 0.0 && c.c3 > 0.0);
+        let larger = theorem1_constants(rho, l, (p_min * 1.5).min(1.0)).unwrap();
+        prop_assert!(larger.c1 >= c.c1);
+    }
+
+    // ------------------------------------------------------------------
+    // Quadratic substrate.
+    // ------------------------------------------------------------------
+
+    /// The closed-form ADMM minimiser really is a stationary point of the
+    /// augmented Lagrangian, for arbitrary duals, anchors and ρ.
+    #[test]
+    fn quadratic_admm_minimizer_is_stationary(
+        seed in any::<u64>(),
+        rho in 0.1f64..10.0,
+        anchor in -2.0f64..2.0,
+        dual_scale in -1.0f64..1.0,
+    ) {
+        let p = QuadraticProblem::random(
+            QuadraticConfig { num_clients: 1, dim: 4, eig_min: 0.5, eig_max: 2.0, heterogeneity: 1.0 },
+            seed,
+        );
+        let c = &p.clients()[0];
+        let theta = vec![anchor; 4];
+        let dual = vec![dual_scale; 4];
+        let w = c.admm_minimizer(&dual, &theta, rho);
+        let mut g = c.grad(&w);
+        for j in 0..4 {
+            g[j] += dual[j] + rho * (w[j] - theta[j]);
+        }
+        let gnorm: f64 = g.iter().map(|v| v * v).sum::<f64>().sqrt();
+        prop_assert!(gnorm < 1e-7, "residual {}", gnorm);
+    }
+
+    /// The global optimum of a random quadratic problem is stationary for
+    /// the sum of the client losses.
+    #[test]
+    fn quadratic_global_optimum_is_stationary(
+        seed in any::<u64>(),
+        clients in 2usize..10,
+        heterogeneity in 0.1f64..3.0,
+    ) {
+        let p = QuadraticProblem::random(
+            QuadraticConfig { num_clients: clients, dim: 5, eig_min: 0.5, eig_max: 2.0, heterogeneity },
+            seed,
+        );
+        let w_star = p.global_optimum();
+        prop_assert!(p.stationarity_residual(&w_star) < 1e-7);
+    }
+
+    // ------------------------------------------------------------------
+    // System models.
+    // ------------------------------------------------------------------
+
+    /// Round time is monotone: doing more work, or uploading more, can never
+    /// make the synchronous round finish earlier.
+    #[test]
+    fn round_time_is_monotone_in_work_and_payload(
+        samples in 1usize..5000,
+        extra_samples in 0usize..5000,
+        floats in 0usize..2_000_000,
+        extra_floats in 0usize..2_000_000,
+    ) {
+        let devices = DevicePopulation::tiered(
+            4,
+            &[(DeviceClass::HighEnd, 0.5), (DeviceClass::LowEnd, 0.5)],
+            1,
+        );
+        let network = NetworkModel::default();
+        let work = |s: usize, f: usize| {
+            vec![
+                ClientRoundWork { client_id: 0, samples_processed: s, download_floats: f, upload_floats: f },
+                ClientRoundWork { client_id: 3, samples_processed: s, download_floats: f, upload_floats: f },
+            ]
+        };
+        let base = RoundTiming::compute(&work(samples, floats), &devices, &network, StragglerPolicy::WaitForAll);
+        let heavier = RoundTiming::compute(
+            &work(samples + extra_samples, floats + extra_floats),
+            &devices,
+            &network,
+            StragglerPolicy::WaitForAll,
+        );
+        prop_assert!(heavier.round_seconds >= base.round_seconds - 1e-12);
+    }
+
+    /// A deadline never *increases* the round time relative to waiting for
+    /// all clients, and completion plus drops always partition the round.
+    #[test]
+    fn deadline_policy_never_slows_a_round_down(
+        samples in 1usize..3000,
+        deadline in 0.5f64..500.0,
+    ) {
+        let devices = DevicePopulation::tiered(
+            6,
+            &[(DeviceClass::EdgeGateway, 0.3), (DeviceClass::MidRange, 0.4), (DeviceClass::LowEnd, 0.3)],
+            5,
+        );
+        let network = NetworkModel::default();
+        let work: Vec<ClientRoundWork> = (0..6)
+            .map(|c| ClientRoundWork {
+                client_id: c,
+                samples_processed: samples,
+                download_floats: 100_000,
+                upload_floats: 100_000,
+            })
+            .collect();
+        let wait = RoundTiming::compute(&work, &devices, &network, StragglerPolicy::WaitForAll);
+        let capped = RoundTiming::compute(
+            &work,
+            &devices,
+            &network,
+            StragglerPolicy::Deadline { seconds: deadline },
+        );
+        prop_assert!(capped.round_seconds <= wait.round_seconds + 1e-9);
+        prop_assert_eq!(capped.completed.len() + capped.dropped.len(), 6);
+        prop_assert!(capped.upload_bytes <= wait.upload_bytes);
+    }
+
+    // ------------------------------------------------------------------
+    // Drift diagnostics.
+    // ------------------------------------------------------------------
+
+    /// Mean drift is never above max drift, and the KKT residual obeys the
+    /// triangle inequality against the individual dual norms.
+    #[test]
+    fn drift_report_aggregates_are_consistent(
+        dims in 1usize..16,
+        num_clients in 1usize..10,
+        scale in 0.0f32..5.0,
+    ) {
+        let global = ParamVector::zeros(dims);
+        let clients: Vec<_> = (0..num_clients)
+            .map(|i| {
+                let mut c = fedadmm::core::client::ClientState::new(i, vec![0], &global);
+                let v: Vec<f32> = (0..dims).map(|j| scale * ((i + j) as f32).cos()).collect();
+                c.local_model = ParamVector::from_vec(v.clone());
+                c.dual = ParamVector::from_vec(v.iter().map(|x| -x).collect());
+                c
+            })
+            .collect();
+        let report = DriftReport::compute(&clients, &global);
+        prop_assert!(report.mean_model_drift <= report.max_model_drift + 1e-6);
+        prop_assert!(report.mean_dual_norm <= report.max_dual_norm + 1e-6);
+        let sum_of_norms: f32 = clients.iter().map(|c| c.dual.norm()).sum();
+        prop_assert!(report.dual_sum_norm <= sum_of_norms + 1e-4);
+        prop_assert_eq!(report.num_clients, num_clients);
+    }
+}

@@ -1,0 +1,211 @@
+//! Integration tests for the system-heterogeneity substrate composed with
+//! the federated simulation: wall-clock accounting, straggler policies and
+//! availability-driven participation.
+
+use fedadmm::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const MODEL_DIM: usize = 7_850; // logistic model on 784 features, 10 classes
+
+fn tiered_fleet(num_clients: usize) -> DevicePopulation {
+    DevicePopulation::tiered(
+        num_clients,
+        &[
+            (DeviceClass::HighEnd, 0.3),
+            (DeviceClass::MidRange, 0.4),
+            (DeviceClass::LowEnd, 0.3),
+        ],
+        17,
+    )
+}
+
+/// Replays a finished simulation's history as wall-clock time: every round,
+/// each selected client downloads the model, processes its recorded share of
+/// the samples, and uploads its message.
+fn replay_wall_clock(
+    history: &RunHistory,
+    devices: &DevicePopulation,
+    policy: StragglerPolicy,
+) -> WallClockTrace {
+    let network = NetworkModel::default();
+    let mut trace = WallClockTrace::new();
+    let mut rng = SmallRng::seed_from_u64(3);
+    for record in &history.records {
+        // The history stores per-round totals; spread them uniformly over the
+        // selected clients and draw which concrete devices took part.
+        let per_client_samples = record.samples_processed / record.num_selected.max(1);
+        let per_client_upload = record.upload_floats / record.num_selected.max(1);
+        let mut ids: Vec<usize> = (0..devices.len()).collect();
+        use rand::seq::SliceRandom;
+        ids.shuffle(&mut rng);
+        ids.truncate(record.num_selected.max(1));
+        let work: Vec<ClientRoundWork> = ids
+            .iter()
+            .map(|&c| ClientRoundWork {
+                client_id: c,
+                samples_processed: per_client_samples,
+                download_floats: MODEL_DIM,
+                upload_floats: per_client_upload,
+            })
+            .collect();
+        trace.push(&RoundTiming::compute(&work, devices, &network, policy));
+    }
+    trace
+}
+
+fn run_history(system_heterogeneity: bool, seed: u64) -> RunHistory {
+    let config = FedConfig {
+        num_clients: 20,
+        participation: Participation::Fraction(0.25),
+        local_epochs: 5,
+        system_heterogeneity,
+        batch_size: BatchSize::Size(16),
+        local_learning_rate: 0.1,
+        model: ModelSpec::Logistic { input_dim: 784, num_classes: 10 },
+        seed,
+        eval_subset: 100,
+    };
+    let (train, test) = SyntheticDataset::Mnist.generate(2000, 200, seed);
+    let partition = DataDistribution::NonIidShards.partition(&train, 20, seed);
+    let mut sim = Simulation::new(
+        config,
+        train,
+        test,
+        partition,
+        FedAdmm::new(0.3, ServerStepSize::Constant(1.0)),
+    )
+    .unwrap();
+    sim.run_rounds(10).unwrap();
+    sim.into_history()
+}
+
+#[test]
+fn variable_local_work_reduces_both_computation_and_wall_clock() {
+    let fixed = run_history(false, 1);
+    let variable = run_history(true, 1);
+    // The paper: FedADMM with system heterogeneity performs ~50% of the
+    // local computation of the fixed-E protocol (E[U{1..E}] = (E+1)/2).
+    let fixed_epochs = fixed.total_local_epochs() as f64;
+    let variable_epochs = variable.total_local_epochs() as f64;
+    assert!(
+        variable_epochs < 0.8 * fixed_epochs,
+        "variable work should cut local computation: {variable_epochs} vs {fixed_epochs}"
+    );
+    // Upload cost per round is identical (same number of d-vectors).
+    assert_eq!(fixed.total_upload_floats(), variable.total_upload_floats());
+
+    // And on a heterogeneous fleet the saved computation translates into
+    // shorter synchronous rounds.
+    let devices = tiered_fleet(20);
+    let t_fixed = replay_wall_clock(&fixed, &devices, StragglerPolicy::WaitForAll);
+    let t_variable = replay_wall_clock(&variable, &devices, StragglerPolicy::WaitForAll);
+    assert!(
+        t_variable.total_seconds() < t_fixed.total_seconds(),
+        "variable work should be faster in wall-clock: {} vs {}",
+        t_variable.total_seconds(),
+        t_fixed.total_seconds()
+    );
+}
+
+#[test]
+fn deadline_policy_trades_dropped_updates_for_time() {
+    let history = run_history(false, 2);
+    let devices = tiered_fleet(20);
+    let wait = replay_wall_clock(&history, &devices, StragglerPolicy::WaitForAll);
+    // A deadline tight enough to cut off the slow tier.
+    let deadline = replay_wall_clock(
+        &history,
+        &devices,
+        StragglerPolicy::Deadline { seconds: wait.total_seconds() / (2.0 * wait.len() as f64) },
+    );
+    assert!(deadline.total_seconds() < wait.total_seconds());
+    assert!(deadline.total_dropped() > 0, "such a tight deadline must drop someone");
+    assert_eq!(wait.total_dropped(), 0);
+    assert!(deadline.total_upload_bytes() < wait.total_upload_bytes());
+}
+
+#[test]
+fn scaffold_pays_double_upload_time_on_the_same_fleet() {
+    // Upload-cost comparison of Section III-B in seconds: replaying the same
+    // round with 2d-float uploads takes strictly longer on every policy.
+    let devices = tiered_fleet(10);
+    let network = NetworkModel::ideal();
+    let ids: Vec<usize> = (0..10).collect();
+    let make_work = |upload: usize| -> Vec<ClientRoundWork> {
+        ids.iter()
+            .map(|&c| ClientRoundWork {
+                client_id: c,
+                samples_processed: 500,
+                download_floats: MODEL_DIM,
+                upload_floats: upload,
+            })
+            .collect()
+    };
+    let fedadmm =
+        RoundTiming::compute(&make_work(MODEL_DIM), &devices, &network, StragglerPolicy::WaitForAll);
+    let scaffold = RoundTiming::compute(
+        &make_work(2 * MODEL_DIM),
+        &devices,
+        &network,
+        StragglerPolicy::WaitForAll,
+    );
+    assert!(scaffold.round_seconds > fedadmm.round_seconds);
+    assert_eq!(scaffold.upload_bytes, 2 * fedadmm.upload_bytes);
+}
+
+#[test]
+fn availability_driven_participation_composes_with_the_simulation() {
+    // Drive client selection from a Markov availability process: selected =
+    // available ∩ (uniform sample). The run must still improve and every
+    // client must eventually participate.
+    let m = 16;
+    let config = FedConfig {
+        num_clients: m,
+        participation: Participation::Fraction(0.5),
+        local_epochs: 2,
+        system_heterogeneity: true,
+        batch_size: BatchSize::Size(16),
+        local_learning_rate: 0.1,
+        model: ModelSpec::Logistic { input_dim: 784, num_classes: 10 },
+        seed: 9,
+        eval_subset: usize::MAX,
+    };
+    let (train, test) = SyntheticDataset::Mnist.generate(1600, 200, 9);
+    let partition = DataDistribution::NonIidShards.partition(&train, m, 9);
+    let mut sim = Simulation::new(
+        config,
+        train,
+        test,
+        partition,
+        FedAdmm::new(0.3, ServerStepSize::Constant(1.0)),
+    )
+    .unwrap();
+
+    let mut availability =
+        AvailabilityState::new(AvailabilityModel::Markov { p_fail: 0.3, p_recover: 0.4 }, m);
+    let mut avail_rng = SmallRng::seed_from_u64(77);
+    let (_, acc0) = sim.evaluate_global().unwrap();
+    for _ in 0..30 {
+        let available = availability.step(&mut avail_rng);
+        // Clients unavailable this round get probability 0; at least one
+        // available client is always selected.
+        let mut probs = vec![0.0f64; m];
+        for &a in &available {
+            probs[a] = 0.6;
+        }
+        if available.is_empty() {
+            probs[0] = 1.0;
+        }
+        sim = sim.with_selector(Box::new(fedadmm::core::selection::FixedProbabilities::new(probs)));
+        sim.run_round().unwrap();
+    }
+    let report = DriftReport::compute(sim.clients(), sim.global_model());
+    assert!(report.clients_ever_selected >= m - 2, "bursty availability still covers the fleet");
+    assert!(
+        sim.history().best_accuracy() > acc0 + 0.3,
+        "availability-driven run failed to learn: {} → {}",
+        acc0,
+        sim.history().best_accuracy()
+    );
+}
