@@ -19,7 +19,10 @@ const RHO: f32 = 0.3;
 const TARGET: f32 = 0.6;
 const BUDGET: usize = 40;
 
-fn variants() -> Vec<(&'static str, fn() -> Box<dyn Algorithm>)> {
+/// A named factory for one ablation variant.
+type Variant = (&'static str, fn() -> Box<dyn Algorithm>);
+
+fn variants() -> Vec<Variant> {
     vec![
         ("fedadmm_warm_start", || {
             Box::new(FedAdmm::new(RHO, ServerStepSize::Constant(1.0))) as Box<dyn Algorithm>
@@ -41,11 +44,15 @@ fn bench_ablation(c: &mut Criterion) {
     println!("{:<26} | rounds to target | best accuracy", "variant");
     for (label, make) in variants() {
         let mut sim = smoke_simulation(make(), DataDistribution::NonIidShards, 97);
-        let rounds = sim.run_until_accuracy(TARGET, BUDGET).expect("run succeeds");
+        let rounds = sim
+            .run_until_accuracy(TARGET, BUDGET)
+            .expect("run succeeds");
         println!(
             "{:<26} | {:>16} | {:>13.3}",
             label,
-            rounds.map(|r| r.to_string()).unwrap_or_else(|| format!("{BUDGET}+")),
+            rounds
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| format!("{BUDGET}+")),
             sim.history().best_accuracy()
         );
     }

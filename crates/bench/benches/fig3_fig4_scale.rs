@@ -26,23 +26,32 @@ fn bench_fig3_fig4(c: &mut Criterion) {
             system_heterogeneity: true,
             batch_size: BatchSize::Size(10),
             local_learning_rate: 0.1,
-            model: ModelSpec::Mlp { input_dim: 784, hidden_dim: 16, num_classes: 10 },
+            model: ModelSpec::Mlp {
+                input_dim: 784,
+                hidden_dim: 16,
+                num_classes: 10,
+            },
             seed: 5,
             eval_subset: 200,
         };
         let (train, test) = SyntheticDataset::Fmnist.generate(clients * 20, 200, 5);
         let partition = DataDistribution::NonIidShards.partition(&train, clients, 5);
-        group.bench_with_input(BenchmarkId::from_parameter(clients), &clients, |bench, _| {
-            let mut sim = Simulation::new(
-                config,
-                train.clone(),
-                test.clone(),
-                partition.clone(),
-                FedAdmm::paper_default(),
-            )
-            .unwrap();
-            bench.iter(|| sim.run_round().unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(clients),
+            &clients,
+            |bench, _| {
+                let mut sim = RoundEngine::new(
+                    config,
+                    train.clone(),
+                    test.clone(),
+                    partition.clone(),
+                    FedAdmm::paper_default(),
+                    SyncRounds,
+                )
+                .unwrap();
+                bench.iter(|| sim.run_round().unwrap());
+            },
+        );
     }
     group.finish();
 }

@@ -18,12 +18,12 @@ fn bench_fig5(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("fig5_fedadmm_round_by_distribution");
     group.sample_size(10);
-    for (label, distribution) in
-        [("iid", DataDistribution::Iid), ("non_iid", DataDistribution::NonIidShards)]
-    {
+    for (label, distribution) in [
+        ("iid", DataDistribution::Iid),
+        ("non_iid", DataDistribution::NonIidShards),
+    ] {
         group.bench_function(label, |bench| {
-            let mut sim =
-                smoke_simulation(Box::new(FedAdmm::paper_default()), distribution, 9);
+            let mut sim = smoke_simulation(Box::new(FedAdmm::paper_default()), distribution, 9);
             bench.iter(|| sim.run_round().unwrap());
         });
     }

@@ -22,10 +22,8 @@ fn bench_fig8(c: &mut Criterion) {
         ("restart_from_global", LocalInit::GlobalModel),
     ] {
         group.bench_function(label, |bench| {
-            let algorithm =
-                FedAdmm::new(0.01, ServerStepSize::Constant(1.0)).with_local_init(init);
-            let mut sim =
-                smoke_simulation(Box::new(algorithm), DataDistribution::NonIidShards, 17);
+            let algorithm = FedAdmm::new(0.01, ServerStepSize::Constant(1.0)).with_local_init(init);
+            let mut sim = smoke_simulation(Box::new(algorithm), DataDistribution::NonIidShards, 17);
             bench.iter(|| sim.run_round().unwrap());
         });
     }

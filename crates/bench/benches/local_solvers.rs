@@ -32,7 +32,10 @@ impl Workbench {
         Workbench {
             train,
             indices: (0..200).collect(),
-            model: ModelSpec::Logistic { input_dim: 784, num_classes: 10 },
+            model: ModelSpec::Logistic {
+                input_dim: 784,
+                num_classes: 10,
+            },
         }
     }
 
@@ -69,12 +72,29 @@ fn bench_local_solvers(c: &mut Criterion) {
     });
 
     let solvers: Vec<(&str, LocalSolver)> = vec![
-        ("gradient_descent_10_steps", LocalSolver::GradientDescent { steps: 10, learning_rate: 0.5 }),
+        (
+            "gradient_descent_10_steps",
+            LocalSolver::GradientDescent {
+                steps: 10,
+                learning_rate: 0.5,
+            },
+        ),
         (
             "gd_to_tolerance_eps_0.05",
-            LocalSolver::ToTolerance { epsilon: 0.05, learning_rate: 0.5, max_steps: 200 },
+            LocalSolver::ToTolerance {
+                epsilon: 0.05,
+                learning_rate: 0.5,
+                max_steps: 200,
+            },
         ),
-        ("lbfgs_memory_10", LocalSolver::Lbfgs { memory: 10, max_iters: 25, epsilon: 0.05 }),
+        (
+            "lbfgs_memory_10",
+            LocalSolver::Lbfgs {
+                memory: 10,
+                max_iters: 25,
+                epsilon: 0.05,
+            },
+        ),
     ];
     for (label, solver) in solvers {
         group.bench_function(label, |b| {

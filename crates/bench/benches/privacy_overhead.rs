@@ -30,8 +30,14 @@ fn bench_privacy(c: &mut Criterion) {
     let configs: Vec<(&str, Option<GaussianMechanism>)> = vec![
         ("no privacy", None),
         ("clip C=20, σ=0", Some(GaussianMechanism::new(20.0, 0.0))),
-        ("clip C=20, σ=1e-3", Some(GaussianMechanism::new(20.0, 1e-3))),
-        ("clip C=20, σ=5e-3", Some(GaussianMechanism::new(20.0, 5e-3))),
+        (
+            "clip C=20, σ=1e-3",
+            Some(GaussianMechanism::new(20.0, 1e-3)),
+        ),
+        (
+            "clip C=20, σ=5e-3",
+            Some(GaussianMechanism::new(20.0, 5e-3)),
+        ),
     ];
     for (label, mechanism) in &configs {
         let algorithm: Box<dyn Algorithm> = match mechanism {
@@ -42,11 +48,15 @@ fn bench_privacy(c: &mut Criterion) {
             )),
         };
         let mut sim = smoke_simulation(algorithm, DataDistribution::NonIidShards, 23);
-        let rounds = sim.run_until_accuracy(TARGET, BUDGET).expect("run succeeds");
+        let rounds = sim
+            .run_until_accuracy(TARGET, BUDGET)
+            .expect("run succeeds");
         println!(
             "{:<26} | {:>16} | {:>13.3}",
             label,
-            rounds.map(|r| r.to_string()).unwrap_or_else(|| format!("{BUDGET}+")),
+            rounds
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| format!("{BUDGET}+")),
             sim.history().best_accuracy()
         );
     }

@@ -19,7 +19,8 @@ fn bench_table3(c: &mut Criterion) {
     group.sample_size(10);
     for (name, algorithm) in bench_suite() {
         group.bench_function(name, |bench| {
-            let mut sim = smoke_simulation(algorithm.clone_boxed(), DataDistribution::NonIidShards, 1);
+            let mut sim =
+                smoke_simulation(algorithm.clone_boxed(), DataDistribution::NonIidShards, 1);
             bench.iter(|| sim.run_round().unwrap());
         });
     }

@@ -26,19 +26,24 @@ fn bench_table4(c: &mut Criterion) {
             system_heterogeneity: false,
             batch_size: BatchSize::Size(10),
             local_learning_rate: 0.1,
-            model: ModelSpec::Mlp { input_dim: 784, hidden_dim: 16, num_classes: 10 },
+            model: ModelSpec::Mlp {
+                input_dim: 784,
+                hidden_dim: 16,
+                num_classes: 10,
+            },
             seed: 13,
             eval_subset: 200,
         };
         let (train, test) = SyntheticDataset::Mnist.generate(300, 200, 13);
         let partition = DataDistribution::Iid.partition(&train, 10, 13);
         group.bench_with_input(BenchmarkId::from_parameter(epochs), &epochs, |bench, _| {
-            let mut sim = Simulation::new(
+            let mut sim = RoundEngine::new(
                 config,
                 train.clone(),
                 test.clone(),
                 partition.clone(),
                 FedAdmm::paper_default(),
+                SyncRounds,
             )
             .unwrap();
             bench.iter(|| sim.run_round().unwrap());

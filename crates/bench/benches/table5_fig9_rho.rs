@@ -19,18 +19,14 @@ fn bench_table5(c: &mut Criterion) {
     let mut group = c.benchmark_group("table5_one_round_by_rho");
     group.sample_size(10);
     for &rho in &table5_fig9::PROX_RHOS {
-        group.bench_with_input(
-            BenchmarkId::new("FedProx", rho),
-            &rho,
-            |bench, &rho| {
-                let mut sim = smoke_simulation(
-                    Box::new(FedProx::new(rho)),
-                    DataDistribution::NonIidShards,
-                    19,
-                );
-                bench.iter(|| sim.run_round().unwrap());
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("FedProx", rho), &rho, |bench, &rho| {
+            let mut sim = smoke_simulation(
+                Box::new(FedProx::new(rho)),
+                DataDistribution::NonIidShards,
+                19,
+            );
+            bench.iter(|| sim.run_round().unwrap());
+        });
     }
     group.bench_function("FedADMM_rho_0.01", |bench| {
         let mut sim = smoke_simulation(

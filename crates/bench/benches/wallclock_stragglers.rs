@@ -1,15 +1,28 @@
 //! Wall-clock ablation: fixed vs variable local work on a heterogeneous
-//! device fleet, and the timing-model cost itself.
+//! device fleet, the timing-model cost itself, and the straggler tax of
+//! synchronous rounds versus the unified engine's `SemiAsync` deadline
+//! scheduler.
 //!
 //! Complements the rounds-based tables of the paper with the
 //! `fedadmm-system` wall-clock view: the report compares the simulated time
 //! of 50 synchronous rounds under fixed-`E` (FedAvg/SCAFFOLD protocol) and
 //! variable-`E_i` (FedADMM/FedProx protocol) local work on a tiered fleet,
-//! plus a deadline policy that drops stragglers. The Criterion group times
-//! the `RoundTiming` computation for paper-scale rounds (1,000 clients,
-//! 100 selected), showing the system model adds negligible simulation cost.
+//! plus a deadline policy that drops stragglers. A second report runs real
+//! training through `RoundEngine` with the `SyncRounds` and `SemiAsync`
+//! schedulers on the same two-tier fleet, showing the virtual-time gap the
+//! deadline protocol closes. The Criterion groups time the `RoundTiming`
+//! computation for paper-scale rounds (1,000 clients, 100 selected) and
+//! one `SemiAsync` engine round.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedadmm_core::engine::scheduler::derive_round_seed;
+use fedadmm_core::engine::{RoundEngine, SemiAsync, SemiAsyncConfig, StalenessWeight, SyncRounds};
+use fedadmm_core::prelude::{
+    BatchSize, DataDistribution, FedAdmm, FedConfig, Participation, ServerStepSize,
+};
+use fedadmm_core::selection::{ClientSelector, UniformFraction};
+use fedadmm_data::synthetic::SyntheticDataset;
+use fedadmm_nn::models::ModelSpec;
 use fedadmm_system::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -31,11 +44,7 @@ fn fleet(num_clients: usize) -> DevicePopulation {
     )
 }
 
-fn round_work(
-    selected: &[usize],
-    variable: bool,
-    rng: &mut SmallRng,
-) -> Vec<ClientRoundWork> {
+fn round_work(selected: &[usize], variable: bool, rng: &mut SmallRng) -> Vec<ClientRoundWork> {
     selected
         .iter()
         .map(|&c| ClientRoundWork {
@@ -67,7 +76,12 @@ fn report() {
         ids.truncate(10);
         let fixed_work = round_work(&ids, false, &mut rng);
         let variable_work = round_work(&ids, true, &mut rng);
-        fixed.push(&RoundTiming::compute(&fixed_work, &devices, &network, StragglerPolicy::WaitForAll));
+        fixed.push(&RoundTiming::compute(
+            &fixed_work,
+            &devices,
+            &network,
+            StragglerPolicy::WaitForAll,
+        ));
         variable.push(&RoundTiming::compute(
             &variable_work,
             &devices,
@@ -82,7 +96,10 @@ fn report() {
         ));
     }
     println!("\n[wall clock @ 100 clients, 50 rounds, CNN 1]");
-    println!("fixed E (FedAvg/SCAFFOLD) : {:>8.0}s total, 0 updates dropped", fixed.total_seconds());
+    println!(
+        "fixed E (FedAvg/SCAFFOLD) : {:>8.0}s total, 0 updates dropped",
+        fixed.total_seconds()
+    );
     println!(
         "variable E (FedADMM/Prox)  : {:>8.0}s total, 0 updates dropped ({:.0}% faster)",
         variable.total_seconds(),
@@ -95,8 +112,117 @@ fn report() {
     );
 }
 
+/// A small two-tier training setup shared by the engine-level comparison
+/// and the `SemiAsync` round benchmark.
+fn engine_setup() -> (FedConfig, SemiAsyncConfig) {
+    let num_clients = 16;
+    let config = FedConfig {
+        num_clients,
+        participation: Participation::Count(4),
+        local_epochs: 2,
+        system_heterogeneity: false,
+        batch_size: BatchSize::Size(16),
+        local_learning_rate: 0.1,
+        model: ModelSpec::Mlp {
+            input_dim: 784,
+            hidden_dim: 16,
+            num_classes: 10,
+        },
+        seed: 13,
+        eval_subset: 200,
+    };
+    // 25% of the fleet is 8× slower; the deadline admits the fast tier.
+    let fleet = SemiAsyncConfig::two_tier(num_clients, 1.0, 0.25, 8.0, 2.5)
+        .with_staleness(StalenessWeight::Polynomial { exponent: 0.5 });
+    (config, fleet)
+}
+
+fn semi_async_report() {
+    let (config, fleet) = engine_setup();
+    let (train, test) = SyntheticDataset::Mnist.generate(320, 200, 13);
+    let partition = DataDistribution::NonIidShards.partition(&train, config.num_clients, 13);
+    let rounds = 12;
+
+    // Synchronous: every round costs the slowest selected client's time.
+    let mut sync = RoundEngine::new(
+        config,
+        train.clone(),
+        test.clone(),
+        partition.clone(),
+        FedAdmm::new(0.3, ServerStepSize::Constant(1.0)),
+        SyncRounds,
+    )
+    .expect("sync engine builds");
+    let mut sync_virtual = 0.0f64;
+    // Replay the engine's selection stream (same seed derivation as
+    // SyncRounds) so each round is priced by its actually-selected
+    // slowest client, not the fleet-wide maximum.
+    let selector = UniformFraction::new(config.clients_per_round());
+    for round in 0..rounds {
+        let mut selection_rng =
+            SmallRng::seed_from_u64(derive_round_seed(config.seed, round as u64));
+        let selected = selector.select(config.num_clients, &mut selection_rng);
+        let record = sync.run_round().expect("sync round succeeds");
+        let per_epoch = selected
+            .iter()
+            .map(|&c| fleet.seconds_per_epoch[c])
+            .fold(0.0f64, f64::max);
+        sync_virtual +=
+            per_epoch * (record.total_local_epochs as f64 / record.num_selected.max(1) as f64);
+    }
+    let (_, sync_acc) = sync.evaluate_global().expect("sync eval succeeds");
+
+    // Semi-async: rounds end at the deadline; stragglers carry forward.
+    let mut semi = RoundEngine::new(
+        engine_setup().0,
+        train,
+        test,
+        partition,
+        FedAdmm::new(0.3, ServerStepSize::Constant(1.0)),
+        SemiAsync::new(fleet),
+    )
+    .expect("semi-async engine builds");
+    semi.run_rounds(rounds).expect("semi-async rounds succeed");
+    let (_, semi_acc) = semi.evaluate_global().expect("semi eval succeeds");
+    let (mean_staleness, max_staleness) = semi.staleness_stats();
+
+    println!("\n[straggler tax @ 16 clients, {rounds} rounds, 25% of devices 8x slower]");
+    println!(
+        "synchronous (wait-for-all) : {:>7.1}s virtual, accuracy {:.3}",
+        sync_virtual, sync_acc
+    );
+    println!(
+        "semi-async  (2.5s deadline): {:>7.1}s virtual, accuracy {:.3} \
+         (staleness mean {:.2}, max {})",
+        semi.now(),
+        semi_acc,
+        mean_staleness,
+        max_staleness
+    );
+}
+
 fn bench_wallclock(c: &mut Criterion) {
     report();
+    semi_async_report();
+
+    let mut engine_group = c.benchmark_group("semi_async_engine_round");
+    engine_group.sample_size(10);
+    engine_group.bench_function("fedadmm_16c_deadline", |b| {
+        let (config, fleet) = engine_setup();
+        let (train, test) = SyntheticDataset::Mnist.generate(320, 200, 13);
+        let partition = DataDistribution::NonIidShards.partition(&train, config.num_clients, 13);
+        let mut engine = RoundEngine::new(
+            config,
+            train,
+            test,
+            partition,
+            FedAdmm::new(0.3, ServerStepSize::Constant(1.0)),
+            SemiAsync::new(fleet),
+        )
+        .expect("semi-async engine builds");
+        b.iter(|| engine.run_round().expect("round succeeds"));
+    });
+    engine_group.finish();
 
     let mut group = c.benchmark_group("round_timing_model");
     for &(num_clients, selected) in &[(100usize, 10usize), (1000, 100)] {

@@ -19,20 +19,25 @@ use fedadmm_nn::models::ModelSpec;
 /// Prints an experiment report produced by the experiments crate, prefixed
 /// so it is easy to find in `cargo bench` output.
 pub fn print_report(report: &fedadmm_experiments::common::ExperimentReport) {
-    println!("\n[reproduction @ smoke scale] {} — {}", report.name, report.description);
+    println!(
+        "\n[reproduction @ smoke scale] {} — {}",
+        report.name, report.description
+    );
     println!("{}", report.rendered);
 }
 
-/// A small simulation used as the unit of work in round benchmarks.
+/// A small synchronous engine used as the unit of work in round benchmarks.
 pub fn smoke_simulation(
     algorithm: Box<dyn Algorithm>,
     distribution: DataDistribution,
     seed: u64,
-) -> Simulation<Box<dyn Algorithm>> {
+) -> SyncEngine<Box<dyn Algorithm>> {
     let setting = Setting::for_dataset(SyntheticDataset::Mnist, distribution, 100, Scale::Smoke);
     let mut setting = setting;
     setting.seed = seed;
-    setting.build_simulation(algorithm).expect("smoke setting is valid")
+    setting
+        .build_simulation(algorithm)
+        .expect("smoke setting is valid")
 }
 
 /// The standard algorithm line-up used by the round benchmarks.
@@ -48,7 +53,11 @@ pub fn bench_suite() -> Vec<(&'static str, Box<dyn Algorithm>)> {
 
 /// A tiny MLP spec shared by micro-benchmarks.
 pub fn small_mlp() -> ModelSpec {
-    ModelSpec::Mlp { input_dim: 784, hidden_dim: 32, num_classes: 10 }
+    ModelSpec::Mlp {
+        input_dim: 784,
+        hidden_dim: 32,
+        num_classes: 10,
+    }
 }
 
 #[cfg(test)]
@@ -69,6 +78,9 @@ mod tests {
     #[test]
     fn bench_suite_is_the_paper_lineup() {
         let names: Vec<&str> = bench_suite().iter().map(|(n, _)| *n).collect();
-        assert_eq!(names, vec!["FedSGD", "FedADMM", "FedAvg", "FedProx", "SCAFFOLD"]);
+        assert_eq!(
+            names,
+            vec!["FedSGD", "FedADMM", "FedAvg", "FedProx", "SCAFFOLD"]
+        );
     }
 }

@@ -89,8 +89,15 @@ impl FedAdmm {
     /// Creates FedADMM with the given ρ and server step size, using the
     /// paper's default warm-start initialisation.
     pub fn new(rho: f32, server_step: ServerStepSize) -> Self {
-        assert!(rho > 0.0, "FedADMM requires a positive proximal coefficient ρ");
-        FedAdmm { rho, server_step, local_init: LocalInit::LocalModel }
+        assert!(
+            rho > 0.0,
+            "FedADMM requires a positive proximal coefficient ρ"
+        );
+        FedAdmm {
+            rho,
+            server_step,
+            local_init: LocalInit::LocalModel,
+        }
     }
 
     /// The paper's default configuration: ρ = 0.01, η = 1, warm start.
@@ -109,7 +116,10 @@ impl FedAdmm {
     /// # Panics
     /// Panics if `rho <= 0`.
     pub fn set_rho(&mut self, rho: f32) {
-        assert!(rho > 0.0, "FedADMM requires a positive proximal coefficient ρ");
+        assert!(
+            rho > 0.0,
+            "FedADMM requires a positive proximal coefficient ρ"
+        );
         self.rho = rho;
     }
 
@@ -144,8 +154,11 @@ impl Algorithm for FedAdmm {
         };
         let dual = client.dual.as_slice().to_vec();
         let result = local_sgd(env, init, |w, g| {
-            for (((gi, &wi), &ti), &yi) in
-                g.iter_mut().zip(w.iter()).zip(theta.iter()).zip(dual.iter())
+            for (((gi, &wi), &ti), &yi) in g
+                .iter_mut()
+                .zip(w.iter())
+                .zip(theta.iter())
+                .zip(dual.iter())
             {
                 *gi += yi + rho * (wi - ti);
             }
@@ -182,13 +195,18 @@ impl Algorithm for FedAdmm {
         if messages.is_empty() {
             return ServerOutcome { upload_floats: 0 };
         }
-        // Tracking update (eq. 5): θ ← θ + (η / |S_t|) Σ Δ_i.
+        // Tracking update (eq. 5): θ ← θ + (η / |S_t|) Σ Δ_i, folded into θ
+        // in a single fused pass over ℝ^d.
         let eta = self.server_step.resolve(messages.len(), num_clients);
         let scale = eta / messages.len() as f32;
-        for msg in messages {
-            global.axpy(scale, &msg.payload[0]);
+        let terms: Vec<(f32, &ParamVector)> = messages
+            .iter()
+            .map(|msg| (scale, &msg.payload[0]))
+            .collect();
+        global.accumulate(&terms);
+        ServerOutcome {
+            upload_floats: total_upload(messages),
         }
-        ServerOutcome { upload_floats: total_upload(messages) }
     }
 }
 

@@ -40,8 +40,16 @@ pub struct FedAdmmInexact {
 impl FedAdmmInexact {
     /// Creates the algorithm with the given ρ, server step size, and solver.
     pub fn new(rho: f32, server_step: ServerStepSize, solver: LocalSolver) -> Self {
-        assert!(rho > 0.0, "FedADMM requires a positive proximal coefficient ρ");
-        FedAdmmInexact { rho, server_step, local_init: LocalInit::LocalModel, solver }
+        assert!(
+            rho > 0.0,
+            "FedADMM requires a positive proximal coefficient ρ"
+        );
+        FedAdmmInexact {
+            rho,
+            server_step,
+            local_init: LocalInit::LocalModel,
+            solver,
+        }
     }
 
     /// A convenient default: backtracking gradient descent until
@@ -50,7 +58,11 @@ impl FedAdmmInexact {
         FedAdmmInexact::new(
             rho,
             ServerStepSize::Constant(1.0),
-            LocalSolver::ToTolerance { epsilon, learning_rate, max_steps: 2000 },
+            LocalSolver::ToTolerance {
+                epsilon,
+                learning_rate,
+                max_steps: 2000,
+            },
         )
     }
 
@@ -116,12 +128,17 @@ impl Algorithm for FedAdmmInexact {
         if messages.is_empty() {
             return ServerOutcome { upload_floats: 0 };
         }
+        // Same eq.-5 tracking update as exact FedADMM: one fused pass.
         let eta = self.server_step.resolve(messages.len(), num_clients);
         let scale = eta / messages.len() as f32;
-        for msg in messages {
-            global.axpy(scale, &msg.payload[0]);
+        let terms: Vec<(f32, &ParamVector)> = messages
+            .iter()
+            .map(|msg| (scale, &msg.payload[0]))
+            .collect();
+        global.accumulate(&terms);
+        ServerOutcome {
+            upload_floats: total_upload(messages),
         }
-        ServerOutcome { upload_floats: total_upload(messages) }
     }
 }
 
@@ -169,8 +186,13 @@ mod tests {
         let zero_dual = vec![0.0f32; fixture.dim()];
         let objective =
             crate::solver::AugmentedObjective::new(&env, theta.as_slice(), Some(&zero_dual), rho);
-        let gns = objective.grad_norm_sq(clients[0].local_model.as_slice()).unwrap();
-        assert!(gns <= epsilon * 1.01, "criterion (6) violated: {gns} > {epsilon}");
+        let gns = objective
+            .grad_norm_sq(clients[0].local_model.as_slice())
+            .unwrap();
+        assert!(
+            gns <= epsilon * 1.01,
+            "criterion (6) violated: {gns} > {epsilon}"
+        );
     }
 
     #[test]
@@ -181,7 +203,11 @@ mod tests {
         let alg = FedAdmmInexact::new(
             0.5,
             ServerStepSize::Constant(1.0),
-            LocalSolver::Lbfgs { memory: 5, max_iters: 30, epsilon: 1e-3 },
+            LocalSolver::Lbfgs {
+                memory: 5,
+                max_iters: 30,
+                epsilon: 1e-3,
+            },
         );
         let env = fixture.env(0, 1, 7);
         let msg = alg.client_update(&mut clients[0], &theta, &env).unwrap();
@@ -212,8 +238,8 @@ mod tests {
     fn global_init_and_warm_start_are_both_supported() {
         let fixture = Fixture::new(1, 30, 24);
         let theta = ParamVector::zeros(fixture.dim());
-        let alg = FedAdmmInexact::to_tolerance(0.5, 1e-2, 0.2)
-            .with_local_init(LocalInit::GlobalModel);
+        let alg =
+            FedAdmmInexact::to_tolerance(0.5, 1e-2, 0.2).with_local_init(LocalInit::GlobalModel);
         assert_eq!(alg.local_init, LocalInit::GlobalModel);
         let mut clients = fixture.clients(&theta);
         let env = fixture.env(0, 1, 8);
@@ -226,7 +252,10 @@ mod tests {
         FedAdmmInexact::new(
             0.0,
             ServerStepSize::Constant(1.0),
-            LocalSolver::GradientDescent { steps: 1, learning_rate: 0.1 },
+            LocalSolver::GradientDescent {
+                steps: 1,
+                learning_rate: 0.1,
+            },
         );
     }
 }

@@ -27,12 +27,16 @@ pub struct FedAvg {
 impl FedAvg {
     /// Creates FedAvg with uniform client weights (the paper's choice).
     pub fn new() -> Self {
-        FedAvg { weighted_by_samples: false }
+        FedAvg {
+            weighted_by_samples: false,
+        }
     }
 
     /// Creates FedAvg with sample-count-weighted aggregation.
     pub fn weighted() -> Self {
-        FedAvg { weighted_by_samples: true }
+        FedAvg {
+            weighted_by_samples: true,
+        }
     }
 }
 
@@ -84,11 +88,17 @@ impl Algorithm for FedAvg {
         } else {
             vec![1.0 / messages.len() as f32; messages.len()]
         };
-        global.set_zero();
-        for (msg, w) in messages.iter().zip(weights.iter()) {
-            global.axpy(*w, &msg.payload[0]);
+        // θ is *replaced* by the weighted average of the uploaded models —
+        // one fused pass, no zeroing sweep.
+        let terms: Vec<(f32, &ParamVector)> = weights
+            .iter()
+            .zip(messages.iter())
+            .map(|(w, msg)| (*w, &msg.payload[0]))
+            .collect();
+        global.assign_weighted_sum(&terms);
+        ServerOutcome {
+            upload_floats: total_upload(messages),
         }
-        ServerOutcome { upload_floats: total_upload(messages) }
     }
 }
 
@@ -173,7 +183,10 @@ mod tests {
         // Training must move the model away from the all-zero initialisation.
         assert!(msg.payload[0].norm() > 0.0);
         assert_eq!(clients[0].times_selected, 1);
-        assert_eq!(msg.upload_floats(), alg.upload_floats_per_client(fixture.dim()));
+        assert_eq!(
+            msg.upload_floats(),
+            alg.upload_floats_per_client(fixture.dim())
+        );
     }
 
     #[test]

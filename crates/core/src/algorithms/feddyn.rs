@@ -46,8 +46,15 @@ impl FedDyn {
     /// # Panics
     /// Panics if `alpha <= 0`.
     pub fn new(alpha: f32) -> Self {
-        assert!(alpha > 0.0, "FedDyn requires a positive regularization coefficient α");
-        FedDyn { alpha, server_h: ParamVector::zeros(0), num_clients: 0 }
+        assert!(
+            alpha > 0.0,
+            "FedDyn requires a positive regularization coefficient α"
+        );
+        FedDyn {
+            alpha,
+            server_h: ParamVector::zeros(0),
+            num_clients: 0,
+        }
     }
 
     /// The server correction state `h` (for tests and diagnostics).
@@ -78,7 +85,8 @@ impl Algorithm for FedDyn {
         //   ∇R_i(w) = ∇f_i(w, b) − h_i + α(w − θ).
         let h = client.dual.as_slice().to_vec();
         let result = local_sgd(env, theta, |w, g| {
-            for (((gi, &wi), &ti), &hi) in g.iter_mut().zip(w.iter()).zip(theta.iter()).zip(h.iter())
+            for (((gi, &wi), &ti), &hi) in
+                g.iter_mut().zip(w.iter()).zip(theta.iter()).zip(h.iter())
             {
                 *gi += alpha * (wi - ti) - hi;
             }
@@ -113,7 +121,11 @@ impl Algorithm for FedDyn {
         if messages.is_empty() {
             return ServerOutcome { upload_floats: 0 };
         }
-        let m = if self.num_clients > 0 { self.num_clients } else { num_clients.max(1) };
+        let m = if self.num_clients > 0 {
+            self.num_clients
+        } else {
+            num_clients.max(1)
+        };
         if self.server_h.len() != global.len() {
             self.server_h = ParamVector::zeros(global.len());
         }
@@ -132,7 +144,9 @@ impl Algorithm for FedDyn {
         // θ ← w̄ − (1/α) h.
         global.copy_from(&w_bar);
         global.axpy(-1.0 / self.alpha, &self.server_h);
-        ServerOutcome { upload_floats: total_upload(messages) }
+        ServerOutcome {
+            upload_floats: total_upload(messages),
+        }
     }
 }
 
@@ -256,28 +270,20 @@ mod tests {
         alg.init(fixture.dim(), 2);
         let mut clients = fixture.clients(&theta);
         let mut rng = SmallRng::seed_from_u64(5);
-        let before = crate::trainer::evaluate(
-            fixture.model,
-            theta.as_slice(),
-            &fixture.train,
-            usize::MAX,
-        )
-        .unwrap();
+        let before =
+            crate::trainer::evaluate(fixture.model, theta.as_slice(), &fixture.train, usize::MAX)
+                .unwrap();
         for round in 0..4 {
             let mut messages = Vec::new();
-            for c in 0..2 {
+            for (c, client) in clients.iter_mut().enumerate().take(2) {
                 let env = fixture.env(c, 2, 200 + round);
-                messages.push(alg.client_update(&mut clients[c], &theta, &env).unwrap());
+                messages.push(alg.client_update(client, &theta, &env).unwrap());
             }
             alg.server_update(&mut theta, &messages, 2, &mut rng);
         }
-        let after = crate::trainer::evaluate(
-            fixture.model,
-            theta.as_slice(),
-            &fixture.train,
-            usize::MAX,
-        )
-        .unwrap();
+        let after =
+            crate::trainer::evaluate(fixture.model, theta.as_slice(), &fixture.train, usize::MAX)
+                .unwrap();
         assert!(after.1 > before.1, "accuracy {} !> {}", after.1, before.1);
     }
 }

@@ -40,12 +40,18 @@ impl FedPd {
     /// # Panics
     /// Panics if `rho <= 0` or the probability is outside `(0, 1]`.
     pub fn new(rho: f32, communication_probability: f64) -> Self {
-        assert!(rho > 0.0, "FedPD requires a positive proximal coefficient ρ");
+        assert!(
+            rho > 0.0,
+            "FedPD requires a positive proximal coefficient ρ"
+        );
         assert!(
             communication_probability > 0.0 && communication_probability <= 1.0,
             "communication probability must lie in (0, 1]"
         );
-        FedPd { rho, communication_probability }
+        FedPd {
+            rho,
+            communication_probability,
+        }
     }
 }
 
@@ -70,8 +76,11 @@ impl Algorithm for FedPd {
         // Same local problem as FedADMM: minimise the augmented Lagrangian,
         // warm-started from the stored local model.
         let result = local_sgd(env, client.local_model.as_slice(), |w, g| {
-            for (((gi, &wi), &ti), &yi) in
-                g.iter_mut().zip(w.iter()).zip(theta.iter()).zip(dual.iter())
+            for (((gi, &wi), &ti), &yi) in g
+                .iter_mut()
+                .zip(w.iter())
+                .zip(theta.iter())
+                .zip(dual.iter())
             {
                 *gi += yi + rho * (wi - ti);
             }
@@ -112,12 +121,15 @@ impl Algorithm for FedPd {
         if !rng.gen_bool(self.communication_probability) {
             return ServerOutcome { upload_floats: 0 };
         }
+        // θ is replaced by the uniform average of the uploaded models —
+        // one fused pass, no zeroing sweep.
         let w = 1.0 / messages.len() as f32;
-        global.set_zero();
-        for msg in messages {
-            global.axpy(w, &msg.payload[0]);
+        let terms: Vec<(f32, &ParamVector)> =
+            messages.iter().map(|msg| (w, &msg.payload[0])).collect();
+        global.assign_weighted_sum(&terms);
+        ServerOutcome {
+            upload_floats: messages.iter().map(|m| m.upload_floats()).sum(),
         }
-        ServerOutcome { upload_floats: messages.iter().map(|m| m.upload_floats()).sum() }
     }
 }
 
@@ -153,7 +165,8 @@ mod tests {
         let mut silent = 0usize;
         for _ in 0..200 {
             let mut global = ParamVector::zeros(2);
-            let outcome = alg.server_update(&mut global, &[message.clone()], 1, &mut rng);
+            let outcome =
+                alg.server_update(&mut global, std::slice::from_ref(&message), 1, &mut rng);
             if outcome.upload_floats > 0 {
                 communicated += 1;
                 assert_eq!(global.as_slice(), &[2.0, 4.0]);
@@ -163,7 +176,10 @@ mod tests {
             }
         }
         // Both branches must occur with p = 0.5 over 200 trials.
-        assert!(communicated > 50 && silent > 50, "{communicated} vs {silent}");
+        assert!(
+            communicated > 50 && silent > 50,
+            "{communicated} vs {silent}"
+        );
     }
 
     #[test]

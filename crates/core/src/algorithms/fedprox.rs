@@ -74,12 +74,14 @@ impl Algorithm for FedProx {
         if messages.is_empty() {
             return ServerOutcome { upload_floats: 0 };
         }
+        // θ ← (1/|S|) Σ w_i in a single fused pass (no zeroing sweep).
         let w = 1.0 / messages.len() as f32;
-        global.set_zero();
-        for msg in messages {
-            global.axpy(w, &msg.payload[0]);
+        let terms: Vec<(f32, &ParamVector)> =
+            messages.iter().map(|msg| (w, &msg.payload[0])).collect();
+        global.assign_weighted_sum(&terms);
+        ServerOutcome {
+            upload_floats: total_upload(messages),
         }
-        ServerOutcome { upload_floats: total_upload(messages) }
     }
 }
 

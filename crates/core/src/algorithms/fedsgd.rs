@@ -24,7 +24,9 @@ impl FedSgd {
     /// Creates FedSGD with the given server step size (the experiments use
     /// the same value as the clients' local SGD learning rate).
     pub fn new(server_learning_rate: f32) -> Self {
-        FedSgd { server_learning_rate }
+        FedSgd {
+            server_learning_rate,
+        }
     }
 }
 
@@ -71,7 +73,9 @@ impl Algorithm for FedSgd {
         for msg in messages {
             global.axpy(step, &msg.payload[0]);
         }
-        ServerOutcome { upload_floats: total_upload(messages) }
+        ServerOutcome {
+            upload_floats: total_upload(messages),
+        }
     }
 }
 
@@ -94,9 +98,9 @@ mod tests {
             evaluate(fixture.model, global.as_slice(), &fixture.test, usize::MAX).unwrap();
 
         let mut messages = Vec::new();
-        for i in 0..4 {
+        for (i, client) in clients.iter_mut().enumerate().take(4) {
             let env = fixture.env(i, 1, 100 + i as u64);
-            messages.push(alg.client_update(&mut clients[i], &global, &env).unwrap());
+            messages.push(alg.client_update(client, &global, &env).unwrap());
         }
         let mut rng = SmallRng::seed_from_u64(0);
         alg.server_update(&mut global, &messages, 4, &mut rng);

@@ -163,7 +163,8 @@ impl Algorithm for Box<dyn Algorithm> {
         num_clients: usize,
         rng: &mut dyn rand::RngCore,
     ) -> ServerOutcome {
-        self.as_mut().server_update(global, messages, num_clients, rng)
+        self.as_mut()
+            .server_update(global, messages, num_clients, rng)
     }
 }
 
@@ -209,7 +210,10 @@ pub(crate) mod testutil {
             Fixture {
                 train,
                 test,
-                model: ModelSpec::Logistic { input_dim: 784, num_classes: 10 },
+                model: ModelSpec::Logistic {
+                    input_dim: 784,
+                    num_classes: 10,
+                },
                 client_indices,
             }
         }

@@ -84,8 +84,10 @@ impl Algorithm for Scaffold {
 
         // Local steps use the drift-corrected gradient g − c_i + c.
         let result = local_sgd(env, theta, |_w, g| {
-            for ((gi, &cg), &cl) in
-                g.iter_mut().zip(c_global.as_slice().iter()).zip(c_local.as_slice().iter())
+            for ((gi, &cg), &cl) in g
+                .iter_mut()
+                .zip(c_global.as_slice().iter())
+                .zip(c_local.as_slice().iter())
             {
                 *gi += cg - cl;
             }
@@ -132,21 +134,27 @@ impl Algorithm for Scaffold {
             return ServerOutcome { upload_floats: 0 };
         }
         let s = messages.len() as f32;
-        // θ ← θ + (η_g/|S|) Σ Δw
+        // θ ← θ + (η_g/|S|) Σ Δw — one fused pass over ℝ^d.
         let model_scale = self.server_learning_rate / s;
-        for msg in messages {
-            global.axpy(model_scale, &msg.payload[0]);
-        }
-        // c ← c + (1/m) Σ Δc
+        let model_terms: Vec<(f32, &ParamVector)> = messages
+            .iter()
+            .map(|msg| (model_scale, &msg.payload[0]))
+            .collect();
+        global.accumulate(&model_terms);
+        // c ← c + (1/m) Σ Δc — likewise fused.
         let m = num_clients.max(self.num_clients).max(1) as f32;
         let mut control = self.control.write();
         if control.len() != global.len() {
             *control = ParamVector::zeros(global.len());
         }
-        for msg in messages {
-            control.axpy(1.0 / m, &msg.payload[1]);
+        let control_terms: Vec<(f32, &ParamVector)> = messages
+            .iter()
+            .map(|msg| (1.0 / m, &msg.payload[1]))
+            .collect();
+        control.accumulate(&control_terms);
+        ServerOutcome {
+            upload_floats: total_upload(messages),
         }
-        ServerOutcome { upload_floats: total_upload(messages) }
     }
 }
 
@@ -223,7 +231,9 @@ mod tests {
         let mut scaffold = Scaffold::new();
         scaffold.init(fixture.dim(), 1);
         let mut c_scaffold = fixture.clients(&theta);
-        let m_scaffold = scaffold.client_update(&mut c_scaffold[0], &theta, &env).unwrap();
+        let m_scaffold = scaffold
+            .client_update(&mut c_scaffold[0], &theta, &env)
+            .unwrap();
         let avg = super::super::FedAvg::new();
         let mut c_avg = fixture.clients(&theta);
         let m_avg = avg.client_update(&mut c_avg[0], &theta, &env).unwrap();

@@ -85,17 +85,30 @@ impl ServerOptimizer {
 
     /// The FedAdam default of the FedOpt paper.
     pub fn adam_default() -> Self {
-        ServerOptimizer::Adam { lr: 0.05, beta1: 0.9, beta2: 0.99, eps: 1e-3 }
+        ServerOptimizer::Adam {
+            lr: 0.05,
+            beta1: 0.9,
+            beta2: 0.99,
+            eps: 1e-3,
+        }
     }
 
     /// The FedYogi default of the FedOpt paper.
     pub fn yogi_default() -> Self {
-        ServerOptimizer::Yogi { lr: 0.05, beta1: 0.9, beta2: 0.99, eps: 1e-3 }
+        ServerOptimizer::Yogi {
+            lr: 0.05,
+            beta1: 0.9,
+            beta2: 0.99,
+            eps: 1e-3,
+        }
     }
 
     /// The FedAdagrad default of the FedOpt paper.
     pub fn adagrad_default() -> Self {
-        ServerOptimizer::Adagrad { lr: 0.05, eps: 1e-3 }
+        ServerOptimizer::Adagrad {
+            lr: 0.05,
+            eps: 1e-3,
+        }
     }
 
     /// Human-readable name of the resulting federated algorithm.
@@ -155,7 +168,12 @@ impl ServerOptState {
                     *gi += lr * di / (vi.sqrt() + eps);
                 }
             }
-            ServerOptimizer::Adam { lr, beta1, beta2, eps } => {
+            ServerOptimizer::Adam {
+                lr,
+                beta1,
+                beta2,
+                eps,
+            } => {
                 let t = self.steps as f32;
                 let bc1 = 1.0 - beta1.powf(t);
                 let bc2 = 1.0 - beta2.powf(t);
@@ -173,7 +191,12 @@ impl ServerOptState {
                     *gi += lr * m_hat / (v_hat.sqrt() + eps);
                 }
             }
-            ServerOptimizer::Yogi { lr, beta1, beta2, eps } => {
+            ServerOptimizer::Yogi {
+                lr,
+                beta1,
+                beta2,
+                eps,
+            } => {
                 let t = self.steps as f32;
                 let bc1 = 1.0 - beta1.powf(t);
                 for (((mi, vi), gi), &di) in self
@@ -205,7 +228,10 @@ pub struct FedOpt {
 impl FedOpt {
     /// Creates a FedOpt instance with the given server optimizer.
     pub fn new(optimizer: ServerOptimizer) -> Self {
-        FedOpt { optimizer, state: ServerOptState::default() }
+        FedOpt {
+            optimizer,
+            state: ServerOptState::default(),
+        }
     }
 
     /// FedAvgM with the FedOpt-paper defaults.
@@ -275,14 +301,17 @@ impl Algorithm for FedOpt {
         if messages.is_empty() {
             return ServerOutcome { upload_floats: 0 };
         }
-        // Pseudo-gradient: the uniform average of the uploaded deltas.
+        // Pseudo-gradient: the uniform average of the uploaded deltas,
+        // computed with one fused pass.
         let mut avg = ParamVector::zeros(global.len());
         let w = 1.0 / messages.len() as f32;
-        for msg in messages {
-            avg.axpy(w, &msg.payload[0]);
-        }
+        let terms: Vec<(f32, &ParamVector)> =
+            messages.iter().map(|msg| (w, &msg.payload[0])).collect();
+        avg.assign_weighted_sum(&terms);
         self.state.apply(self.optimizer, global, &avg);
-        ServerOutcome { upload_floats: total_upload(messages) }
+        ServerOutcome {
+            upload_floats: total_upload(messages),
+        }
     }
 }
 
@@ -310,7 +339,10 @@ mod tests {
         assert_eq!(FedOpt::adam().name(), "FedAdam");
         assert_eq!(FedOpt::yogi().name(), "FedYogi");
         assert_eq!(FedOpt::adagrad().name(), "FedAdagrad");
-        assert_eq!(FedOpt::new(ServerOptimizer::Sgd { lr: 1.0 }).name(), "FedOpt(SGD)");
+        assert_eq!(
+            FedOpt::new(ServerOptimizer::Sgd { lr: 1.0 }).name(),
+            "FedOpt(SGD)"
+        );
     }
 
     #[test]
@@ -333,10 +365,16 @@ mod tests {
 
         let mut opt_alg = FedOpt::new(ServerOptimizer::Sgd { lr: 1.0 });
         opt_alg.init(3, 10);
-        let delta1: Vec<f32> =
-            w1.iter().zip(theta.as_slice()).map(|(w, t)| w - t).collect();
-        let delta2: Vec<f32> =
-            w2.iter().zip(theta.as_slice()).map(|(w, t)| w - t).collect();
+        let delta1: Vec<f32> = w1
+            .iter()
+            .zip(theta.as_slice())
+            .map(|(w, t)| w - t)
+            .collect();
+        let delta2: Vec<f32> = w2
+            .iter()
+            .zip(theta.as_slice())
+            .map(|(w, t)| w - t)
+            .collect();
         let mut theta_opt = theta.clone();
         opt_alg.server_update(
             &mut theta_opt,
@@ -364,8 +402,12 @@ mod tests {
     fn adam_first_step_is_lr_scaled_sign() {
         // On the first step, m̂ = Δ and v̂ = Δ², so the update is
         // lr·Δ/(|Δ|+ε) ≈ lr·sign(Δ) for |Δ| ≫ ε.
-        let mut alg =
-            FedOpt::new(ServerOptimizer::Adam { lr: 0.1, beta1: 0.9, beta2: 0.99, eps: 1e-8 });
+        let mut alg = FedOpt::new(ServerOptimizer::Adam {
+            lr: 0.1,
+            beta1: 0.9,
+            beta2: 0.99,
+            eps: 1e-8,
+        });
         alg.init(2, 4);
         let mut rng = SmallRng::seed_from_u64(0);
         let mut theta = ParamVector::zeros(2);
@@ -391,8 +433,12 @@ mod tests {
 
     #[test]
     fn yogi_second_moment_stays_nonnegative() {
-        let mut alg =
-            FedOpt::new(ServerOptimizer::Yogi { lr: 0.1, beta1: 0.9, beta2: 0.99, eps: 1e-3 });
+        let mut alg = FedOpt::new(ServerOptimizer::Yogi {
+            lr: 0.1,
+            beta1: 0.9,
+            beta2: 0.99,
+            eps: 1e-3,
+        });
         alg.init(1, 4);
         let mut rng = SmallRng::seed_from_u64(0);
         let mut theta = ParamVector::zeros(1);
@@ -445,28 +491,20 @@ mod tests {
         alg.init(fixture.dim(), 2);
         let mut clients = fixture.clients(&theta);
         let mut rng = SmallRng::seed_from_u64(3);
-        let initial = crate::trainer::evaluate(
-            fixture.model,
-            theta.as_slice(),
-            &fixture.train,
-            usize::MAX,
-        )
-        .unwrap();
+        let initial =
+            crate::trainer::evaluate(fixture.model, theta.as_slice(), &fixture.train, usize::MAX)
+                .unwrap();
         for round in 0..3 {
             let mut messages = Vec::new();
-            for c in 0..2 {
+            for (c, client) in clients.iter_mut().enumerate().take(2) {
                 let env = fixture.env(c, 2, 100 + round);
-                messages.push(alg.client_update(&mut clients[c], &theta, &env).unwrap());
+                messages.push(alg.client_update(client, &theta, &env).unwrap());
             }
             alg.server_update(&mut theta, &messages, 2, &mut rng);
         }
-        let trained = crate::trainer::evaluate(
-            fixture.model,
-            theta.as_slice(),
-            &fixture.train,
-            usize::MAX,
-        )
-        .unwrap();
+        let trained =
+            crate::trainer::evaluate(fixture.model, theta.as_slice(), &fixture.train, usize::MAX)
+                .unwrap();
         assert!(trained.0 < initial.0, "loss {} !< {}", trained.0, initial.0);
     }
 }

@@ -1,445 +1,120 @@
-//! Event-driven asynchronous federated simulation.
+//! The legacy asynchronous simulation API — now a thin wrapper.
+//!
+//! [`AsyncSimulation`] predates the unified [`engine`](crate::engine)
+//! subsystem; it survives as a deprecated facade over
+//! [`RoundEngine`](crate::engine::RoundEngine) +
+//! [`BufferedAsync`](crate::engine::BufferedAsync) (buffer size 1: every
+//! arriving update is applied immediately, staleness-weighted) so existing
+//! call sites keep compiling. New code should construct the engine
+//! directly; the deadline-driven middle ground between synchronous rounds
+//! and this fully asynchronous schedule is
+//! [`SemiAsync`](crate::engine::SemiAsync).
 //!
 //! Section II of the paper contrasts FedADMM with *asynchronous ADMM*
-//! methods, whose bounded-delay assumption ("each user needs to be active at
-//! least once every some number of rounds") it argues "may never be
-//! satisfied in FL settings". This module provides the substrate to study
-//! that trade-off empirically: instead of the synchronous rounds of
-//! [`crate::simulation::Simulation`] — where the server waits for every
-//! selected client before aggregating — the [`AsyncSimulation`] applies each
-//! client's update the moment it arrives, weighted down by its *staleness*
-//! (how many server updates happened since the client downloaded its model
-//! snapshot).
-//!
-//! The simulation is event-driven over virtual time:
-//!
-//! 1. `max_concurrency` clients are dispatched with the current model and a
-//!    completion time `now + epochs · seconds_per_epoch[i]`;
-//! 2. the earliest completion is popped, its message is scaled by the
-//!    staleness weight and applied through the wrapped [`Algorithm`]'s
-//!    `server_update` (with a single-message batch);
-//! 3. a new client is dispatched immediately, keeping the device pool busy.
-//!
-//! Because any [`Algorithm`] can be wrapped, the harness can compare
-//! synchronous FedADMM against an asynchronous, staleness-damped FedADMM —
-//! the "future work" direction the related-work discussion points at —
-//! as well as asynchronous FedAvg.
+//! methods, whose bounded-delay assumption ("each user needs to be active
+//! at least once every some number of rounds") it argues "may never be
+//! satisfied in FL settings". This schedule is the substrate to study that
+//! trade-off empirically; see the module docs of
+//! [`engine::buffered`](crate::engine::buffered).
 
 use crate::algorithms::Algorithm;
 use crate::client::ClientState;
 use crate::config::FedConfig;
+use crate::engine::{BufferedAsync, RoundEngine};
 use crate::metrics::RunHistory;
 use crate::param::ParamVector;
-use crate::trainer::{evaluate, LocalEnv};
 use fedadmm_data::partition::Partition;
 use fedadmm_data::Dataset;
 use fedadmm_tensor::{TensorError, TensorResult};
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
-/// How an update's weight decays with its staleness τ (the number of server
-/// updates applied since the client downloaded its model snapshot).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub enum StalenessWeight {
-    /// No damping: every update is applied at full weight (vanilla
-    /// asynchronous aggregation).
-    Constant,
-    /// Polynomial damping `s(τ) = (1 + τ)^{-a}` (the common choice in
-    /// asynchronous FL; `a = 0.5` is a typical value).
-    Polynomial {
-        /// Damping exponent `a ≥ 0`.
-        exponent: f32,
-    },
-    /// Hard cutoff: updates staler than the bound are dropped entirely —
-    /// the *bounded delay* assumption of asynchronous ADMM made literal.
-    BoundedDelay {
-        /// Maximum tolerated staleness.
-        max_staleness: usize,
-    },
-}
+pub use crate::engine::{AsyncConfig, AsyncRecord, StalenessWeight};
 
-impl StalenessWeight {
-    /// The multiplicative weight applied to an update of staleness `tau`.
-    pub fn weight(&self, tau: usize) -> f32 {
-        match *self {
-            StalenessWeight::Constant => 1.0,
-            StalenessWeight::Polynomial { exponent } => {
-                (1.0 + tau as f32).powf(-exponent.max(0.0))
-            }
-            StalenessWeight::BoundedDelay { max_staleness } => {
-                if tau > max_staleness {
-                    0.0
-                } else {
-                    1.0
-                }
-            }
-        }
-    }
-}
-
-/// Configuration of an asynchronous run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct AsyncConfig {
-    /// How many clients compute concurrently (the size of the device pool
-    /// the server keeps busy). Plays the role of `|S_t|` in the synchronous
-    /// protocol.
-    pub max_concurrency: usize,
-    /// Per-client virtual seconds needed to run *one* local epoch. Length
-    /// must equal the client population; heterogeneous values make fast
-    /// devices contribute many low-staleness updates while stragglers
-    /// contribute few, stale ones.
-    pub seconds_per_epoch: Vec<f64>,
-    /// Staleness weighting applied to arriving updates.
-    pub staleness: StalenessWeight,
-    /// Evaluate the global model every this many applied updates (evaluation
-    /// is the expensive part of the simulation).
-    pub eval_every: usize,
-}
-
-impl AsyncConfig {
-    /// A homogeneous pool: every client needs `seconds_per_epoch` virtual
-    /// seconds per epoch.
-    pub fn homogeneous(num_clients: usize, concurrency: usize, seconds_per_epoch: f64) -> Self {
-        AsyncConfig {
-            max_concurrency: concurrency,
-            seconds_per_epoch: vec![seconds_per_epoch; num_clients],
-            staleness: StalenessWeight::Polynomial { exponent: 0.5 },
-            eval_every: 10,
-        }
-    }
-
-    /// A two-tier pool: a `slow_fraction` of clients is `slowdown`× slower
-    /// than the rest (a simple straggler model).
-    pub fn two_tier(
-        num_clients: usize,
-        concurrency: usize,
-        base_seconds: f64,
-        slow_fraction: f64,
-        slowdown: f64,
-        seed: u64,
-    ) -> Self {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let seconds = (0..num_clients)
-            .map(|_| {
-                if rng.gen_bool(slow_fraction.clamp(0.0, 1.0)) {
-                    base_seconds * slowdown
-                } else {
-                    base_seconds
-                }
-            })
-            .collect();
-        AsyncConfig {
-            max_concurrency: concurrency,
-            seconds_per_epoch: seconds,
-            staleness: StalenessWeight::Polynomial { exponent: 0.5 },
-            eval_every: 10,
-        }
-    }
-
-    /// Sets the staleness weighting.
-    pub fn with_staleness(mut self, staleness: StalenessWeight) -> Self {
-        self.staleness = staleness;
-        self
-    }
-}
-
-/// One applied (or dropped) asynchronous update.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct AsyncRecord {
-    /// Sequence number of the event (0-based, in application order).
-    pub event: usize,
-    /// Virtual time at which the update arrived at the server.
-    pub sim_time: f64,
-    /// The client that produced the update.
-    pub client_id: usize,
-    /// Staleness τ of the update (server updates since its snapshot).
-    pub staleness: usize,
-    /// The weight the update was applied with (0 means it was dropped).
-    pub weight: f32,
-    /// Test accuracy after applying the update (`None` between evaluation
-    /// points, to keep the simulation affordable).
-    pub test_accuracy: Option<f32>,
-    /// Cumulative floats uploaded to the server so far.
-    pub cumulative_upload_floats: usize,
-}
-
-/// A client currently computing, keyed by its completion time.
-struct InFlight {
-    finish_time: f64,
-    client_id: usize,
-    /// Server version (number of applied updates) when the snapshot was taken.
-    snapshot_version: usize,
-    /// The model snapshot the client downloaded.
-    snapshot: ParamVector,
-    /// Local epochs this dispatch will run.
-    epochs: usize,
-}
-
-impl PartialEq for InFlight {
-    fn eq(&self, other: &Self) -> bool {
-        self.finish_time == other.finish_time && self.client_id == other.client_id
-    }
-}
-impl Eq for InFlight {}
-impl PartialOrd for InFlight {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for InFlight {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; reverse so the earliest finish pops first.
-        other
-            .finish_time
-            .partial_cmp(&self.finish_time)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| other.client_id.cmp(&self.client_id))
-    }
-}
-
-/// An asynchronous federated training run in progress.
+/// An asynchronous federated training run in progress (legacy API).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `engine::RoundEngine` with the `engine::BufferedAsync` scheduler"
+)]
 pub struct AsyncSimulation<A: Algorithm> {
-    config: FedConfig,
-    async_config: AsyncConfig,
-    train: Dataset,
-    test: Dataset,
-    clients: Vec<ClientState>,
-    global: ParamVector,
-    algorithm: A,
-    in_flight: BinaryHeap<InFlight>,
-    busy: Vec<bool>,
-    rng: SmallRng,
-    /// Number of updates applied by the server so far (the "version").
-    version: usize,
-    now: f64,
-    records: Vec<AsyncRecord>,
-    cumulative_upload: usize,
-    dispatched: usize,
+    engine: RoundEngine<A, BufferedAsync>,
 }
 
+#[allow(deprecated)]
 impl<A: Algorithm> AsyncSimulation<A> {
     /// Creates an asynchronous simulation.
     ///
     /// `config` supplies the model, learning rate, batch size and maximum
-    /// local epoch count exactly as for the synchronous engine; `async_config`
-    /// supplies the device pool and the staleness policy.
+    /// local epoch count exactly as for the synchronous engine;
+    /// `async_config` supplies the device pool and the staleness policy.
     pub fn new(
         config: FedConfig,
         async_config: AsyncConfig,
         train: Dataset,
         test: Dataset,
         partition: Partition,
-        mut algorithm: A,
+        algorithm: A,
     ) -> TensorResult<Self> {
-        if partition.num_clients() != config.num_clients {
-            return Err(TensorError::InvalidArgument(format!(
-                "partition has {} clients but the configuration expects {}",
-                partition.num_clients(),
-                config.num_clients
-            )));
-        }
-        if async_config.seconds_per_epoch.len() != config.num_clients {
-            return Err(TensorError::InvalidArgument(format!(
-                "seconds_per_epoch has {} entries but there are {} clients",
-                async_config.seconds_per_epoch.len(),
-                config.num_clients
-            )));
-        }
-        if async_config.max_concurrency == 0 {
-            return Err(TensorError::InvalidArgument(
-                "max_concurrency must be at least 1".to_string(),
-            ));
-        }
-        let mut init_rng = SmallRng::seed_from_u64(config.seed);
-        let net = config.model.build(&mut init_rng);
-        let global = ParamVector::from_vec(net.params_flat());
-        let clients: Vec<ClientState> = partition
-            .iter()
-            .enumerate()
-            .map(|(i, indices)| ClientState::new(i, indices.clone(), &global))
-            .collect();
-        algorithm.init(global.len(), config.num_clients);
-        let rng = SmallRng::seed_from_u64(config.seed ^ 0xA517_C0DE);
-        let busy = vec![false; config.num_clients];
-        let mut sim = AsyncSimulation {
-            config,
-            async_config,
-            train,
-            test,
-            clients,
-            global,
-            algorithm,
-            in_flight: BinaryHeap::new(),
-            busy,
-            rng,
-            version: 0,
-            now: 0.0,
-            records: Vec::new(),
-            cumulative_upload: 0,
-            dispatched: 0,
-        };
-        sim.fill_pool();
-        Ok(sim)
+        let scheduler = BufferedAsync::new(async_config.with_aggregate_after(1));
+        Ok(AsyncSimulation {
+            engine: RoundEngine::new(config, train, test, partition, algorithm, scheduler)?,
+        })
     }
 
     /// The current virtual time.
     pub fn now(&self) -> f64 {
-        self.now
+        self.engine.now()
     }
 
     /// Number of updates applied so far.
     pub fn updates_applied(&self) -> usize {
-        self.version
+        self.engine.scheduler().updates_applied()
     }
 
     /// The current global model.
     pub fn global_model(&self) -> &ParamVector {
-        &self.global
+        self.engine.global_model()
     }
 
     /// The per-update records collected so far.
     pub fn records(&self) -> &[AsyncRecord] {
-        &self.records
+        self.engine.events()
     }
 
     /// Immutable access to the client states.
     pub fn clients(&self) -> &[ClientState] {
-        &self.clients
+        self.engine.clients()
     }
 
     /// Evaluates the global model on the test set: `(loss, accuracy)`.
     pub fn evaluate_global(&self) -> TensorResult<(f32, f32)> {
-        evaluate(self.config.model, self.global.as_slice(), &self.test, self.config.eval_subset)
+        self.engine.evaluate_global()
     }
 
     /// Observed staleness distribution of applied updates: `(mean, max)`.
     pub fn staleness_stats(&self) -> (f64, usize) {
-        if self.records.is_empty() {
-            return (0.0, 0);
-        }
-        let sum: usize = self.records.iter().map(|r| r.staleness).sum();
-        let max = self.records.iter().map(|r| r.staleness).max().unwrap_or(0);
-        (sum as f64 / self.records.len() as f64, max)
+        self.engine.staleness_stats()
     }
 
-    fn idle_clients(&self) -> Vec<usize> {
-        self.busy
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &b)| if b { None } else { Some(i) })
-            .collect()
-    }
-
-    /// Dispatches idle clients until the pool holds `max_concurrency` jobs.
-    fn fill_pool(&mut self) {
-        while self.in_flight.len() < self.async_config.max_concurrency {
-            let idle = self.idle_clients();
-            if idle.is_empty() {
-                break;
-            }
-            let &client_id = idle.choose(&mut self.rng).expect("idle list is non-empty");
-            let epochs = if self.config.system_heterogeneity && self.config.local_epochs > 1 {
-                self.rng.gen_range(1..=self.config.local_epochs)
-            } else {
-                self.config.local_epochs
-            };
-            let duration =
-                self.async_config.seconds_per_epoch[client_id] * epochs.max(1) as f64;
-            self.busy[client_id] = true;
-            self.in_flight.push(InFlight {
-                finish_time: self.now + duration,
-                client_id,
-                snapshot_version: self.version,
-                snapshot: self.global.clone(),
-                epochs,
-            });
-            self.dispatched += 1;
-        }
-    }
-
-    /// Advances the simulation by one arriving update and returns its record.
+    /// Advances the simulation by one arriving update and returns its
+    /// record.
     ///
-    /// Returns an error if no client is in flight (which can only happen for
-    /// an empty population).
+    /// Returns an error if no client is in flight (which can only happen
+    /// for an empty population).
     pub fn step(&mut self) -> TensorResult<AsyncRecord> {
-        let job = self.in_flight.pop().ok_or_else(|| {
-            TensorError::InvalidArgument("no client is in flight".to_string())
-        })?;
-        self.now = job.finish_time;
-        self.busy[job.client_id] = false;
-
-        // Run the client's local update against its (possibly stale) snapshot.
-        let seed = self.config.seed
-            ^ (self.dispatched as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            ^ (job.client_id as u64).wrapping_mul(0x2545_F491_4F6C_DD1D);
-        let indices = self.clients[job.client_id].indices.clone();
-        let env = LocalEnv {
-            dataset: &self.train,
-            indices: &indices,
-            model: self.config.model,
-            epochs: job.epochs,
-            batch_size: self.config.batch_size,
-            learning_rate: self.config.local_learning_rate,
-            seed,
-        };
-        let message = self
-            .algorithm
-            .client_update(&mut self.clients[job.client_id], &job.snapshot, &env)?;
-
-        let staleness = self.version - job.snapshot_version;
-        let weight = self.async_config.staleness.weight(staleness);
-        let upload = message.upload_floats();
-        self.cumulative_upload += upload;
-
-        if weight > 0.0 {
-            // Scale the payload by the staleness weight and apply it as a
-            // single-message "round" of the wrapped algorithm.
-            let mut scaled = message;
-            for p in scaled.payload.iter_mut() {
-                p.scale(weight);
-            }
-            self.algorithm.server_update(
-                &mut self.global,
-                std::slice::from_ref(&scaled),
-                self.config.num_clients,
-                &mut self.rng,
-            );
-            self.version += 1;
-        }
-
-        let event = self.records.len();
-        let test_accuracy = if weight > 0.0 && self.version % self.async_config.eval_every == 0 {
-            Some(self.evaluate_global()?.1)
-        } else {
-            None
-        };
-        let record = AsyncRecord {
-            event,
-            sim_time: self.now,
-            client_id: job.client_id,
-            staleness,
-            weight,
-            test_accuracy,
-            cumulative_upload_floats: self.cumulative_upload,
-        };
-        self.records.push(record.clone());
-        self.fill_pool();
-        Ok(record)
+        let report = self.engine.step()?;
+        report.events.into_iter().next_back().ok_or_else(|| {
+            TensorError::InvalidArgument("scheduler tick produced no event".to_string())
+        })
     }
 
     /// Runs until `updates` updates have been *applied* (dropped updates do
     /// not count) and returns all records produced.
     pub fn run_updates(&mut self, updates: usize) -> TensorResult<Vec<AsyncRecord>> {
-        let target = self.version + updates;
+        let target = self.updates_applied() + updates;
         let mut produced = Vec::new();
         // Guard against policies that drop everything: cap total events.
         let max_events = updates.saturating_mul(20).max(64);
         let mut events = 0usize;
-        while self.version < target && events < max_events {
+        while self.updates_applied() < target && events < max_events {
             produced.push(self.step()?);
             events += 1;
         }
@@ -450,9 +125,10 @@ impl<A: Algorithm> AsyncSimulation<A> {
     pub fn run_until_time(&mut self, deadline: f64) -> TensorResult<Vec<AsyncRecord>> {
         let mut produced = Vec::new();
         while self
-            .in_flight
-            .peek()
-            .map(|j| j.finish_time <= deadline)
+            .engine
+            .scheduler()
+            .next_arrival()
+            .map(|t| t <= deadline)
             .unwrap_or(false)
         {
             produced.push(self.step()?);
@@ -460,37 +136,20 @@ impl<A: Algorithm> AsyncSimulation<A> {
         Ok(produced)
     }
 
-    /// Converts the applied-update records into a [`RunHistory`] (one record
-    /// per evaluation point), so asynchronous runs can be compared against
-    /// synchronous histories with the existing reporting utilities.
+    /// The evaluation-point history of the run (one record per evaluation
+    /// point), so asynchronous runs can be compared against synchronous
+    /// histories with the existing reporting utilities.
     pub fn to_history(&self) -> RunHistory {
-        let mut history = RunHistory::new(
-            self.algorithm.name(),
-            format!("async, {} concurrent", self.async_config.max_concurrency),
-        );
-        let mut round = 0usize;
-        for r in &self.records {
-            if let Some(acc) = r.test_accuracy {
-                history.push(crate::metrics::RoundRecord {
-                    round,
-                    test_accuracy: acc,
-                    // Loss is not tracked at async evaluation points; record 0
-                    // so the history stays JSON-serialisable.
-                    test_loss: 0.0,
-                    num_selected: 1,
-                    upload_floats: 0,
-                    cumulative_upload_floats: r.cumulative_upload_floats,
-                    total_local_epochs: 0,
-                    samples_processed: 0,
-                    elapsed_ms: (r.sim_time * 1000.0) as u64,
-                });
-                round += 1;
-            }
-        }
-        history
+        self.engine.history().clone()
+    }
+
+    /// The unified engine backing this wrapper.
+    pub fn into_engine(self) -> RoundEngine<A, BufferedAsync> {
+        self.engine
     }
 }
 
+#[allow(deprecated)]
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -508,7 +167,10 @@ mod tests {
             system_heterogeneity: false,
             batch_size: BatchSize::Size(16),
             local_learning_rate: 0.1,
-            model: ModelSpec::Logistic { input_dim: 784, num_classes: 10 },
+            model: ModelSpec::Logistic {
+                input_dim: 784,
+                num_classes: 10,
+            },
             seed,
             eval_subset: usize::MAX,
         }
@@ -557,10 +219,15 @@ mod tests {
         // Zero concurrency.
         let mut zero = AsyncConfig::homogeneous(4, 2, 1.0);
         zero.max_concurrency = 0;
-        assert!(
-            AsyncSimulation::new(small_config(4, 0), zero, train, test, partition, FedAvg::new())
-                .is_err()
-        );
+        assert!(AsyncSimulation::new(
+            small_config(4, 0),
+            zero,
+            train,
+            test,
+            partition,
+            FedAvg::new()
+        )
+        .is_err());
     }
 
     #[test]
@@ -590,8 +257,7 @@ mod tests {
     fn concurrent_pool_produces_stale_updates() {
         // With many concurrent clients every snapshot but the first is taken
         // before the preceding updates are applied, so staleness > 0 appears.
-        let cfg = AsyncConfig::homogeneous(8, 4, 1.0)
-            .with_staleness(StalenessWeight::Constant);
+        let cfg = AsyncConfig::homogeneous(8, 4, 1.0).with_staleness(StalenessWeight::Constant);
         let mut sim = make_async(FedAvg::new(), 8, cfg, 2);
         sim.run_updates(12).unwrap();
         let (_, max) = sim.staleness_stats();
@@ -608,7 +274,10 @@ mod tests {
             sim.step().unwrap();
         }
         let dropped = sim.records().iter().filter(|r| r.weight == 0.0).count();
-        assert!(dropped > 0, "the straggler tier should produce dropped (stale) updates");
+        assert!(
+            dropped > 0,
+            "the straggler tier should produce dropped (stale) updates"
+        );
         // Applied updates still counted correctly.
         let applied = sim.records().iter().filter(|r| r.weight > 0.0).count();
         assert_eq!(applied, sim.updates_applied());
@@ -621,12 +290,16 @@ mod tests {
             seconds_per_epoch: vec![1.0, 1.0, 2.0, 2.0, 4.0, 4.0],
             staleness: StalenessWeight::Polynomial { exponent: 0.5 },
             eval_every: 5,
+            aggregate_after: 1,
         };
         let mut sim = make_async(FedAdmm::new(0.3, ServerStepSize::Constant(1.0)), 6, cfg, 4);
         let (_, acc0) = sim.evaluate_global().unwrap();
         sim.run_updates(40).unwrap();
         let (_, acc1) = sim.evaluate_global().unwrap();
-        assert!(acc1 > acc0 + 0.1, "async FedADMM only moved accuracy {acc0} → {acc1}");
+        assert!(
+            acc1 > acc0 + 0.1,
+            "async FedADMM only moved accuracy {acc0} → {acc1}"
+        );
         // The history conversion exposes the evaluation points.
         let history = sim.to_history();
         assert!(!history.is_empty());

@@ -62,7 +62,10 @@ impl QuantizedVector {
 
     /// Decodes back to `f32` coordinates.
     pub fn dequantize(&self) -> Vec<f32> {
-        self.codes.iter().map(|&k| self.min + k as f32 * self.step).collect()
+        self.codes
+            .iter()
+            .map(|&k| self.min + k as f32 * self.step)
+            .collect()
     }
 }
 
@@ -72,7 +75,10 @@ impl Quantizer {
     /// # Panics
     /// Panics unless `1 ≤ bits ≤ 16`.
     pub fn new(bits: u8, stochastic: bool) -> Self {
-        assert!((1..=16).contains(&bits), "supported quantization widths are 1–16 bits");
+        assert!(
+            (1..=16).contains(&bits),
+            "supported quantization widths are 1–16 bits"
+        );
         Quantizer { bits, stochastic }
     }
 
@@ -98,14 +104,24 @@ impl Quantizer {
                 let code = if self.stochastic {
                     let floor = exact.floor();
                     let frac = exact - floor;
-                    floor + if rng.gen_range(0.0f32..1.0) < frac { 1.0 } else { 0.0 }
+                    floor
+                        + if rng.gen_range(0.0f32..1.0) < frac {
+                            1.0
+                        } else {
+                            0.0
+                        }
                 } else {
                     exact.round()
                 };
                 code.clamp(0.0, levels - 1.0) as u16
             })
             .collect();
-        QuantizedVector { min, step, codes, bits: self.bits }
+        QuantizedVector {
+            min,
+            step,
+            codes,
+            bits: self.bits,
+        }
     }
 
     /// Worst-case absolute error per coordinate for a vector whose values
@@ -211,7 +227,7 @@ mod tests {
     use super::*;
     use crate::algorithms::{FedAdmm, ServerStepSize};
     use crate::config::{DataDistribution, FedConfig, Participation};
-    use crate::simulation::Simulation;
+    use crate::engine::{RoundEngine, SyncRounds};
     use fedadmm_data::batching::BatchSize;
     use fedadmm_data::synthetic::SyntheticDataset;
     use fedadmm_nn::models::ModelSpec;
@@ -225,7 +241,12 @@ mod tests {
         let range = 6.0f32;
         let bound = q.max_error(range) * 1.001;
         for (a, b) in values.iter().zip(decoded.iter()) {
-            assert!((a - b).abs() <= bound, "error {} exceeds {}", (a - b).abs(), bound);
+            assert!(
+                (a - b).abs() <= bound,
+                "error {} exceeds {}",
+                (a - b).abs(),
+                bound
+            );
         }
     }
 
@@ -251,17 +272,20 @@ mod tests {
             sum += decoded[2] as f64;
         }
         let mean = sum / n as f64;
-        assert!((mean - value as f64).abs() < 0.01, "stochastic rounding is biased: {mean}");
+        assert!(
+            (mean - value as f64).abs() < 0.01,
+            "stochastic rounding is biased: {mean}"
+        );
     }
 
     #[test]
     fn wire_bytes_account_for_bit_width() {
         let q = Quantizer::new(4, false);
-        let encoded = q.quantize(&vec![0.0f32; 1000], 0);
+        let encoded = q.quantize(&[0.0f32; 1000], 0);
         // 4 bits × 1000 = 500 bytes of codes + 8 bytes of affine parameters.
         assert_eq!(encoded.wire_bytes(), 508);
         let q1 = Quantizer::new(1, false);
-        assert_eq!(q1.quantize(&vec![0.0f32; 7], 0).wire_bytes(), 1 + 8);
+        assert_eq!(q1.quantize(&[0.0f32; 7], 0).wire_bytes(), 1 + 8);
     }
 
     #[test]
@@ -288,7 +312,10 @@ mod tests {
             system_heterogeneity: false,
             batch_size: BatchSize::Size(16),
             local_learning_rate: 0.1,
-            model: ModelSpec::Logistic { input_dim: 784, num_classes: 10 },
+            model: ModelSpec::Logistic {
+                input_dim: 784,
+                num_classes: 10,
+            },
             seed: 4,
             eval_subset: usize::MAX,
         };
@@ -300,8 +327,12 @@ mod tests {
         );
         assert_eq!(algorithm.inner().name(), "FedADMM");
         let d = config.model.num_params();
-        assert!(algorithm.compressed_bytes(d) < 4 * d / 3, "8-bit codes should be ~4× smaller");
-        let mut sim = Simulation::new(config, train, test, partition, algorithm).unwrap();
+        assert!(
+            algorithm.compressed_bytes(d) < 4 * d / 3,
+            "8-bit codes should be ~4× smaller"
+        );
+        let mut sim =
+            RoundEngine::new(config, train, test, partition, algorithm, SyncRounds).unwrap();
         let (_, acc0) = sim.evaluate_global().unwrap();
         sim.run_rounds(10).unwrap();
         assert!(
@@ -320,7 +351,10 @@ mod tests {
             system_heterogeneity: false,
             batch_size: BatchSize::Size(16),
             local_learning_rate: 0.1,
-            model: ModelSpec::Logistic { input_dim: 784, num_classes: 10 },
+            model: ModelSpec::Logistic {
+                input_dim: 784,
+                num_classes: 10,
+            },
             seed: 6,
             eval_subset: usize::MAX,
         };
@@ -330,9 +364,14 @@ mod tests {
             FedAdmm::new(0.3, ServerStepSize::Constant(1.0)),
             Quantizer::new(2, true),
         );
-        let mut sim = Simulation::new(config, train, test, partition, algorithm).unwrap();
+        let mut sim =
+            RoundEngine::new(config, train, test, partition, algorithm, SyncRounds).unwrap();
         sim.run_rounds(6).unwrap();
-        assert!(sim.history().accuracy_series().iter().all(|a| a.is_finite()));
+        assert!(sim
+            .history()
+            .accuracy_series()
+            .iter()
+            .all(|a| a.is_finite()));
         assert!(sim.global_model().as_slice().iter().all(|v| v.is_finite()));
     }
 }

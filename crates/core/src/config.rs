@@ -59,7 +59,10 @@ impl DataDistribution {
             DataDistribution::NonIidShards => {
                 partition::shards_non_iid(dataset, num_clients, 2, &mut rng)
             }
-            DataDistribution::ImbalancedGroups { num_groups, num_shards } => {
+            DataDistribution::ImbalancedGroups {
+                num_groups,
+                num_shards,
+            } => {
                 partition::imbalanced_groups(dataset, num_clients, num_groups, num_shards, &mut rng)
             }
         }
@@ -113,7 +116,11 @@ impl Default for FedConfig {
             system_heterogeneity: false,
             batch_size: BatchSize::Size(200),
             local_learning_rate: 0.1,
-            model: ModelSpec::Mlp { input_dim: 784, hidden_dim: 64, num_classes: 10 },
+            model: ModelSpec::Mlp {
+                input_dim: 784,
+                hidden_dim: 64,
+                num_classes: 10,
+            },
             seed: 0,
             eval_subset: usize::MAX,
         }

@@ -111,7 +111,10 @@ mod tests {
 
     fn fixture(clients: usize, per_client: usize) -> (Dataset, ModelSpec, Vec<Vec<usize>>) {
         let (train, _) = SyntheticDataset::Mnist.generate(clients * per_client, 10, 3);
-        let model = ModelSpec::Logistic { input_dim: 784, num_classes: 10 };
+        let model = ModelSpec::Logistic {
+            input_dim: 784,
+            num_classes: 10,
+        };
         let indices = (0..clients)
             .map(|c| (c * per_client..(c + 1) * per_client).collect())
             .collect();

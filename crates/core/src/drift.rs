@@ -52,7 +52,10 @@ pub struct DriftReport {
 impl DriftReport {
     /// Computes the report for the given client states and global model.
     pub fn compute(clients: &[ClientState], global: &ParamVector) -> Self {
-        assert!(!clients.is_empty(), "a drift report needs at least one client");
+        assert!(
+            !clients.is_empty(),
+            "a drift report needs at least one client"
+        );
         let mut mean_drift = 0.0f64;
         let mut max_drift = 0.0f32;
         let mut mean_dual = 0.0f64;
@@ -157,8 +160,9 @@ mod tests {
     #[test]
     fn report_on_fresh_clients_is_all_zero_drift() {
         let theta = ParamVector::from_vec(vec![1.0, 2.0, 3.0]);
-        let clients: Vec<ClientState> =
-            (0..4).map(|i| ClientState::new(i, vec![0], &theta)).collect();
+        let clients: Vec<ClientState> = (0..4)
+            .map(|i| ClientState::new(i, vec![0], &theta))
+            .collect();
         let report = DriftReport::compute(&clients, &theta);
         assert_eq!(report.mean_model_drift, 0.0);
         assert_eq!(report.max_model_drift, 0.0);
@@ -204,8 +208,7 @@ mod tests {
         assert_eq!(detail[1].model_drift, 2.0);
         assert_eq!(detail[1].times_selected, 3);
         let report = DriftReport::compute(&clients, &global);
-        let mean: f32 =
-            detail.iter().map(|d| d.model_drift).sum::<f32>() / detail.len() as f32;
+        let mean: f32 = detail.iter().map(|d| d.model_drift).sum::<f32>() / detail.len() as f32;
         assert!((report.mean_model_drift - mean).abs() < 1e-6);
     }
 

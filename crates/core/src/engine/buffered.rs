@@ -1,0 +1,309 @@
+//! The buffered asynchronous scheduler (event-driven, staleness-weighted).
+
+use super::scheduler::{
+    DispatchOrder, EngineCore, RoundStats, Scheduler, StalenessWeight, TickReport,
+};
+use crate::config::FedConfig;
+use crate::param::ParamVector;
+use fedadmm_tensor::{TensorError, TensorResult};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// Configuration of a buffered asynchronous schedule.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AsyncConfig {
+    /// How many clients compute concurrently (the size of the device pool
+    /// the server keeps busy). Plays the role of `|S_t|` in the synchronous
+    /// protocol.
+    pub max_concurrency: usize,
+    /// Per-client virtual seconds needed to run *one* local epoch. Length
+    /// must equal the client population; heterogeneous values make fast
+    /// devices contribute many low-staleness updates while stragglers
+    /// contribute few, stale ones.
+    pub seconds_per_epoch: Vec<f64>,
+    /// Staleness weighting applied to arriving updates.
+    pub staleness: StalenessWeight,
+    /// Evaluate the global model every this many server aggregations
+    /// (evaluation is the expensive part of the simulation).
+    pub eval_every: usize,
+    /// Aggregate once this many weighted updates have arrived. `1` (the
+    /// default) applies every arrival immediately — the legacy
+    /// `AsyncSimulation` semantics; larger values give FedBuff-style
+    /// buffered aggregation.
+    pub aggregate_after: usize,
+}
+
+impl AsyncConfig {
+    /// A homogeneous pool: every client needs `seconds_per_epoch` virtual
+    /// seconds per epoch.
+    pub fn homogeneous(num_clients: usize, concurrency: usize, seconds_per_epoch: f64) -> Self {
+        AsyncConfig {
+            max_concurrency: concurrency,
+            seconds_per_epoch: vec![seconds_per_epoch; num_clients],
+            staleness: StalenessWeight::Polynomial { exponent: 0.5 },
+            eval_every: 10,
+            aggregate_after: 1,
+        }
+    }
+
+    /// A two-tier pool: a `slow_fraction` of clients is `slowdown`× slower
+    /// than the rest (a simple straggler model).
+    pub fn two_tier(
+        num_clients: usize,
+        concurrency: usize,
+        base_seconds: f64,
+        slow_fraction: f64,
+        slowdown: f64,
+        seed: u64,
+    ) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let seconds = (0..num_clients)
+            .map(|_| {
+                if rng.gen_bool(slow_fraction.clamp(0.0, 1.0)) {
+                    base_seconds * slowdown
+                } else {
+                    base_seconds
+                }
+            })
+            .collect();
+        AsyncConfig {
+            max_concurrency: concurrency,
+            seconds_per_epoch: seconds,
+            staleness: StalenessWeight::Polynomial { exponent: 0.5 },
+            eval_every: 10,
+            aggregate_after: 1,
+        }
+    }
+
+    /// Sets the staleness weighting.
+    pub fn with_staleness(mut self, staleness: StalenessWeight) -> Self {
+        self.staleness = staleness;
+        self
+    }
+
+    /// Sets the aggregation buffer size (`K` arrivals per server update).
+    pub fn with_aggregate_after(mut self, k: usize) -> Self {
+        self.aggregate_after = k.max(1);
+        self
+    }
+}
+
+/// A client currently computing, keyed by its completion time.
+struct InFlight {
+    finish_time: f64,
+    client_id: usize,
+    /// Server version (number of aggregations) when the snapshot was taken.
+    snapshot_version: usize,
+    /// The model snapshot the client downloaded (shared, not copied).
+    snapshot: Arc<ParamVector>,
+    /// Local epochs this dispatch will run.
+    epochs: usize,
+    /// Derived local RNG seed for this dispatch.
+    seed: u64,
+}
+
+impl PartialEq for InFlight {
+    fn eq(&self, other: &Self) -> bool {
+        self.finish_time == other.finish_time && self.client_id == other.client_id
+    }
+}
+impl Eq for InFlight {}
+impl PartialOrd for InFlight {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for InFlight {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse so the earliest finish pops first.
+        other
+            .finish_time
+            .partial_cmp(&self.finish_time)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.client_id.cmp(&self.client_id))
+    }
+}
+
+/// Event-driven asynchronous scheduling with staleness weighting and an
+/// aggregation buffer — the legacy
+/// [`AsyncSimulation`](crate::async_sim::AsyncSimulation) semantics when
+/// `aggregate_after == 1`.
+///
+/// The schedule keeps `max_concurrency` clients computing at all times.
+/// Each tick pops the earliest completion, runs that client's local update
+/// against its (possibly stale) θ snapshot, scales the payload by the
+/// staleness weight, and flushes the buffer through the algorithm's server
+/// update once `aggregate_after` weighted updates have accumulated.
+pub struct BufferedAsync {
+    config: AsyncConfig,
+    in_flight: BinaryHeap<InFlight>,
+    busy: Vec<bool>,
+    rng: SmallRng,
+    buffer: Vec<crate::algorithms::ClientMessage>,
+    buffered_epochs: usize,
+    buffered_samples: usize,
+    version: usize,
+    dispatched: usize,
+}
+
+impl BufferedAsync {
+    /// Creates the scheduler from its pool configuration.
+    pub fn new(config: AsyncConfig) -> Self {
+        BufferedAsync {
+            config,
+            in_flight: BinaryHeap::new(),
+            busy: Vec::new(),
+            rng: SmallRng::seed_from_u64(0),
+            buffer: Vec::new(),
+            buffered_epochs: 0,
+            buffered_samples: 0,
+            version: 0,
+            dispatched: 0,
+        }
+    }
+
+    /// The pool configuration.
+    pub fn config(&self) -> &AsyncConfig {
+        &self.config
+    }
+
+    /// Number of server aggregations applied so far.
+    pub fn updates_applied(&self) -> usize {
+        self.version
+    }
+
+    /// Virtual time at which the next in-flight client finishes, if any.
+    pub fn next_arrival(&self) -> Option<f64> {
+        self.in_flight.peek().map(|job| job.finish_time)
+    }
+
+    /// Dispatches idle clients until the pool holds `max_concurrency` jobs.
+    fn fill_pool(&mut self, core: &EngineCore<'_>) {
+        while self.in_flight.len() < self.config.max_concurrency {
+            let idle: Vec<usize> = self
+                .busy
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &b)| (!b).then_some(i))
+                .collect();
+            if idle.is_empty() {
+                break;
+            }
+            let &client_id = idle.choose(&mut self.rng).expect("idle list is non-empty");
+            let epochs = if core.config.system_heterogeneity && core.config.local_epochs > 1 {
+                self.rng.gen_range(1..=core.config.local_epochs)
+            } else {
+                core.config.local_epochs
+            };
+            let duration = self.config.seconds_per_epoch[client_id] * epochs.max(1) as f64;
+            let seed = core.config.seed
+                ^ (self.dispatched as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (client_id as u64).wrapping_mul(0x2545_F491_4F6C_DD1D);
+            self.busy[client_id] = true;
+            self.in_flight.push(InFlight {
+                finish_time: core.now() + duration,
+                client_id,
+                snapshot_version: self.version,
+                snapshot: core.broadcast(),
+                epochs,
+                seed,
+            });
+            self.dispatched += 1;
+        }
+    }
+}
+
+impl Scheduler for BufferedAsync {
+    fn name(&self) -> &'static str {
+        "buffered-async"
+    }
+
+    fn setting_label(&self, _config: &FedConfig) -> String {
+        format!("async, {} concurrent", self.config.max_concurrency)
+    }
+
+    fn init(&mut self, core: &mut EngineCore<'_>) -> TensorResult<()> {
+        if self.config.seconds_per_epoch.len() != core.config.num_clients {
+            return Err(TensorError::InvalidArgument(format!(
+                "seconds_per_epoch has {} entries but there are {} clients",
+                self.config.seconds_per_epoch.len(),
+                core.config.num_clients
+            )));
+        }
+        if self.config.max_concurrency == 0 {
+            return Err(TensorError::InvalidArgument(
+                "max_concurrency must be at least 1".to_string(),
+            ));
+        }
+        self.busy = vec![false; core.config.num_clients];
+        self.rng = SmallRng::seed_from_u64(core.config.seed ^ 0xA517_C0DE);
+        self.fill_pool(core);
+        Ok(())
+    }
+
+    fn tick(&mut self, core: &mut EngineCore<'_>) -> TensorResult<TickReport> {
+        let job = self
+            .in_flight
+            .pop()
+            .ok_or_else(|| TensorError::InvalidArgument("no client is in flight".to_string()))?;
+        core.advance_clock(job.finish_time);
+        self.busy[job.client_id] = false;
+
+        // Run the client's local update against its (possibly stale)
+        // snapshot, through the shared dispatch path.
+        let order = DispatchOrder {
+            client_id: job.client_id,
+            epochs: job.epochs,
+            snapshot: job.snapshot,
+            seed: job.seed,
+        };
+        let message = core.dispatch_one(&order)?;
+        drop(order);
+
+        let staleness = self.version - job.snapshot_version;
+        let weight = self.config.staleness.weight(staleness);
+        core.add_upload(message.upload_floats());
+
+        let mut aggregated = false;
+        if weight > 0.0 {
+            // Scale the payload by the staleness weight and buffer it.
+            let mut scaled = message;
+            for p in scaled.payload.iter_mut() {
+                p.scale(weight);
+            }
+            self.buffered_epochs += scaled.epochs_run;
+            self.buffered_samples += scaled.samples_processed;
+            self.buffer.push(scaled);
+            if self.buffer.len() >= self.config.aggregate_after {
+                core.aggregate(&std::mem::take(&mut self.buffer), &mut self.rng);
+                self.version += 1;
+                aggregated = true;
+            }
+        }
+
+        let mut report = TickReport::default();
+        let mut accuracy = None;
+        if aggregated && self.version.is_multiple_of(self.config.eval_every) {
+            let elapsed_ms = (core.now() * 1000.0) as u64;
+            let record = core.record_round(RoundStats {
+                num_selected: self.config.aggregate_after,
+                upload_floats: 0,
+                total_local_epochs: std::mem::take(&mut self.buffered_epochs),
+                samples_processed: std::mem::take(&mut self.buffered_samples),
+                elapsed_ms,
+            })?;
+            accuracy = Some(record.test_accuracy);
+            report.record = Some(record);
+        }
+        report
+            .events
+            .push(core.record_event(job.client_id, staleness, weight, accuracy));
+        self.fill_pool(core);
+        Ok(report)
+    }
+}

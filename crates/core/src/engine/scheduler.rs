@@ -1,0 +1,448 @@
+//! The [`Scheduler`] trait and the [`EngineCore`] facilities it drives.
+//!
+//! A scheduler owns *when* client work is dispatched and *when* the server
+//! aggregates; the engine owns everything else (datasets, client state, the
+//! global model, metrics). One tick of the scheduler corresponds to one
+//! scheduling decision:
+//!
+//! * [`SyncRounds`](super::SyncRounds) — a tick is a full synchronous round
+//!   (select → dispatch all → aggregate all → evaluate);
+//! * [`BufferedAsync`](super::BufferedAsync) — a tick is one *arrival*: the
+//!   earliest in-flight client finishes, its update is staleness-weighted
+//!   and buffered, and the buffer is flushed to the server once it holds
+//!   `aggregate_after` updates;
+//! * [`SemiAsync`](super::SemiAsync) — a tick is one *deadline round*: the
+//!   server aggregates whatever arrived by the deadline and carries
+//!   stragglers (with their stale snapshots) into later rounds.
+//!
+//! The engine's dispatch facilities guarantee two properties schedulers rely
+//! on:
+//!
+//! 1. **zero-copy broadcast** — clients download θ as an
+//!    [`Arc<ParamVector>`] snapshot; no per-client copy of the model is ever
+//!    made (the server clones lazily, only when it must mutate θ while
+//!    stale snapshots are still alive);
+//! 2. **schedule-independent randomness** — each dispatched job derives its
+//!    RNG stream from `(seed, tick, client_id)`, so results do not depend
+//!    on thread interleaving or on which scheduler issued the work.
+
+use crate::algorithms::{Algorithm, ClientMessage, ServerOutcome};
+use crate::client::ClientState;
+use crate::config::FedConfig;
+use crate::heterogeneity::LocalWorkSchedule;
+use crate::metrics::{RoundRecord, RunHistory};
+use crate::param::ParamVector;
+use crate::selection::ClientSelector;
+use crate::trainer::{evaluate, LocalEnv};
+use fedadmm_data::Dataset;
+use fedadmm_tensor::{TensorError, TensorResult};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// How an update's weight decays with its staleness τ (the number of server
+/// aggregations since the client downloaded its model snapshot).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum StalenessWeight {
+    /// No damping: every update is applied at full weight (vanilla
+    /// asynchronous aggregation).
+    Constant,
+    /// Polynomial damping `s(τ) = (1 + τ)^{-a}` (the common choice in
+    /// asynchronous FL; `a = 0.5` is a typical value).
+    Polynomial {
+        /// Damping exponent `a ≥ 0`.
+        exponent: f32,
+    },
+    /// Hard cutoff: updates staler than the bound are dropped entirely —
+    /// the *bounded delay* assumption of asynchronous ADMM made literal.
+    BoundedDelay {
+        /// Maximum tolerated staleness.
+        max_staleness: usize,
+    },
+}
+
+impl StalenessWeight {
+    /// The multiplicative weight applied to an update of staleness `tau`.
+    pub fn weight(&self, tau: usize) -> f32 {
+        match *self {
+            StalenessWeight::Constant => 1.0,
+            StalenessWeight::Polynomial { exponent } => (1.0 + tau as f32).powf(-exponent.max(0.0)),
+            StalenessWeight::BoundedDelay { max_staleness } => {
+                if tau > max_staleness {
+                    0.0
+                } else {
+                    1.0
+                }
+            }
+        }
+    }
+}
+
+/// One applied (or dropped) client arrival in an event-driven schedule.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AsyncRecord {
+    /// Sequence number of the event (0-based, in application order).
+    pub event: usize,
+    /// Virtual time at which the update arrived at the server.
+    pub sim_time: f64,
+    /// The client that produced the update.
+    pub client_id: usize,
+    /// Staleness τ of the update (server aggregations since its snapshot).
+    pub staleness: usize,
+    /// The weight the update was applied with (0 means it was dropped).
+    pub weight: f32,
+    /// Test accuracy after applying the update (`None` between evaluation
+    /// points, to keep the simulation affordable).
+    pub test_accuracy: Option<f32>,
+    /// Cumulative floats uploaded to the server so far.
+    pub cumulative_upload_floats: usize,
+}
+
+/// A unit of client work issued by a scheduler.
+#[derive(Debug, Clone)]
+pub struct DispatchOrder {
+    /// The client that runs the work.
+    pub client_id: usize,
+    /// Local epochs to run.
+    pub epochs: usize,
+    /// The model snapshot the client downloads (shared, never copied).
+    pub snapshot: Arc<ParamVector>,
+    /// Seed of the client's local RNG stream, derived from
+    /// `(base seed, tick, client_id)` so results are schedule-independent.
+    pub seed: u64,
+}
+
+/// What a completed aggregation contributes to the run history.
+#[derive(Debug, Clone, Copy)]
+pub struct RoundStats {
+    /// Number of client updates aggregated (`|S_t|`, or the buffer size).
+    pub num_selected: usize,
+    /// Floats uploaded by clients for this record (0 for event-driven
+    /// schedules, which account uploads per event instead).
+    pub upload_floats: usize,
+    /// Total local epochs run across the aggregated updates.
+    pub total_local_epochs: usize,
+    /// Total samples processed across the aggregated updates.
+    pub samples_processed: usize,
+    /// Wall-clock or virtual milliseconds attributed to this record.
+    pub elapsed_ms: u64,
+}
+
+/// What one scheduler tick produced.
+#[derive(Debug, Clone, Default)]
+pub struct TickReport {
+    /// The history record pushed this tick, if the tick completed a round.
+    pub record: Option<RoundRecord>,
+    /// Arrival events recorded this tick (event-driven schedules only).
+    pub events: Vec<AsyncRecord>,
+}
+
+/// Derives the seed of a client's local RNG stream from the run seed, the
+/// dispatch tick and the client id. The same constants as the legacy
+/// engines, so seeded runs reproduce across the refactor.
+pub fn derive_client_seed(base_seed: u64, tick: u64, client_id: usize) -> u64 {
+    base_seed
+        ^ tick.wrapping_mul(0x517C_C1B7_2722_0A95)
+        ^ (client_id as u64).wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Derives the per-round server RNG seed (selection, epoch draws,
+/// algorithm server randomness) — same constant as the legacy sync engine.
+pub fn derive_round_seed(base_seed: u64, round: u64) -> u64 {
+    base_seed ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Mutable view of the engine a scheduler drives during one tick.
+///
+/// The engine lends the scheduler everything it needs: the federated state
+/// (clients, global model, algorithm), the plumbing facilities
+/// ([`EngineCore::dispatch`], [`EngineCore::aggregate`],
+/// [`EngineCore::evaluate_global`]) and the bookkeeping sinks
+/// ([`EngineCore::record_round`], [`EngineCore::record_event`]).
+pub struct EngineCore<'a> {
+    /// The run configuration.
+    pub config: &'a FedConfig,
+    /// The shared training set.
+    pub train: &'a Dataset,
+    /// The held-out test set.
+    pub test: &'a Dataset,
+    /// Per-client persistent state.
+    pub clients: &'a mut [ClientState],
+    /// The global model θ (shared snapshot handle).
+    pub global: &'a mut Arc<ParamVector>,
+    /// The federated algorithm.
+    pub algorithm: &'a mut dyn Algorithm,
+    /// The client-selection scheme.
+    pub selector: &'a dyn ClientSelector,
+    /// The local-work (epoch count) schedule.
+    pub work_schedule: &'a LocalWorkSchedule,
+    pub(super) history: &'a mut RunHistory,
+    pub(super) events: &'a mut Vec<AsyncRecord>,
+    pub(super) clock: &'a mut f64,
+    pub(super) cumulative_upload: &'a mut usize,
+    pub(super) round: &'a mut usize,
+}
+
+impl EngineCore<'_> {
+    /// The current virtual time.
+    pub fn now(&self) -> f64 {
+        *self.clock
+    }
+
+    /// Advances the virtual clock (monotone; earlier times are ignored).
+    pub fn advance_clock(&mut self, to: f64) {
+        if to > *self.clock {
+            *self.clock = to;
+        }
+    }
+
+    /// Number of rounds recorded so far.
+    pub fn round(&self) -> usize {
+        *self.round
+    }
+
+    /// Cumulative floats uploaded so far.
+    pub fn cumulative_upload(&self) -> usize {
+        *self.cumulative_upload
+    }
+
+    /// Accounts client → server communication.
+    pub fn add_upload(&mut self, floats: usize) {
+        *self.cumulative_upload += floats;
+    }
+
+    /// A zero-copy broadcast handle to the current global model: clients
+    /// share the allocation instead of copying θ.
+    pub fn broadcast(&self) -> Arc<ParamVector> {
+        Arc::clone(self.global)
+    }
+
+    /// Evaluates the global model on the test set: `(loss, accuracy)`.
+    pub fn evaluate_global(&self) -> TensorResult<(f32, f32)> {
+        evaluate(
+            self.config.model,
+            self.global.as_slice(),
+            self.test,
+            self.config.eval_subset,
+        )
+    }
+
+    /// Runs one order synchronously on the calling thread.
+    pub fn dispatch_one(&mut self, order: &DispatchOrder) -> TensorResult<ClientMessage> {
+        let client = self.clients.get_mut(order.client_id).ok_or_else(|| {
+            TensorError::InvalidArgument(format!(
+                "dispatch order for unknown client {}",
+                order.client_id
+            ))
+        })?;
+        let indices = client.indices.clone();
+        let env = LocalEnv {
+            dataset: self.train,
+            indices: &indices,
+            model: self.config.model,
+            epochs: order.epochs,
+            batch_size: self.config.batch_size,
+            learning_rate: self.config.local_learning_rate,
+            seed: order.seed,
+        };
+        self.algorithm.client_update(client, &order.snapshot, &env)
+    }
+
+    /// Runs a batch of orders through the shared parallel dispatch path.
+    ///
+    /// Work is distributed over scoped OS threads; because each order
+    /// carries its own derived seed, the outcome is independent of the
+    /// thread schedule. Messages are returned sorted by client id, and the
+    /// first error (in client-id order) is propagated.
+    ///
+    /// # Panics
+    /// Panics if two orders target the same client (a scheduler bug: a
+    /// client cannot run two local updates concurrently).
+    pub fn dispatch(&mut self, orders: &[DispatchOrder]) -> TensorResult<Vec<ClientMessage>> {
+        if orders.is_empty() {
+            return Ok(Vec::new());
+        }
+        if orders.len() == 1 {
+            return Ok(vec![self.dispatch_one(&orders[0])?]);
+        }
+        // Pair every order with the unique &mut ClientState it targets.
+        let mut order_of = vec![usize::MAX; self.clients.len()];
+        for (k, order) in orders.iter().enumerate() {
+            assert!(
+                order.client_id < self.clients.len(),
+                "dispatch order for unknown client {}",
+                order.client_id
+            );
+            assert!(
+                order_of[order.client_id] == usize::MAX,
+                "client {} dispatched twice in one batch",
+                order.client_id
+            );
+            order_of[order.client_id] = k;
+        }
+        let mut jobs: Vec<(&DispatchOrder, &mut ClientState)> = self
+            .clients
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, client)| {
+                let k = order_of[i];
+                (k != usize::MAX).then(|| (&orders[k], client))
+            })
+            .collect();
+
+        let algorithm: &dyn Algorithm = &*self.algorithm;
+        let (train, config) = (self.train, self.config);
+        let run_job = move |order: &DispatchOrder, client: &mut ClientState| {
+            let indices = client.indices.clone();
+            let env = LocalEnv {
+                dataset: train,
+                indices: &indices,
+                model: config.model,
+                epochs: order.epochs,
+                batch_size: config.batch_size,
+                learning_rate: config.local_learning_rate,
+                seed: order.seed,
+            };
+            (
+                client.id,
+                algorithm.client_update(client, &order.snapshot, &env),
+            )
+        };
+
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(jobs.len());
+        let mut results: Vec<(usize, TensorResult<ClientMessage>)> = if workers <= 1 {
+            jobs.into_iter()
+                .map(|(order, client)| run_job(order, client))
+                .collect()
+        } else {
+            // Static round-robin partitioning over scoped threads.
+            let mut parts: Vec<Vec<(&DispatchOrder, &mut ClientState)>> =
+                (0..workers).map(|_| Vec::new()).collect();
+            for (k, job) in jobs.drain(..).enumerate() {
+                parts[k % workers].push(job);
+            }
+            let run_job = &run_job;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = parts
+                    .into_iter()
+                    .map(|part| {
+                        scope.spawn(move || {
+                            part.into_iter()
+                                .map(|(order, client)| run_job(order, client))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                let mut all = Vec::with_capacity(orders.len());
+                for handle in handles {
+                    all.extend(handle.join().expect("dispatch worker panicked"));
+                }
+                all
+            })
+        };
+        // Deterministic aggregation order regardless of the thread schedule.
+        results.sort_by_key(|(id, _)| *id);
+        let mut messages = Vec::with_capacity(results.len());
+        for (_, result) in results {
+            messages.push(result?);
+        }
+        Ok(messages)
+    }
+
+    /// Applies a batch of messages through the algorithm's server update.
+    ///
+    /// θ is mutated copy-on-write: if client snapshots of the current θ are
+    /// still alive (in-flight stragglers), the allocation is cloned once;
+    /// otherwise the update happens in place.
+    pub fn aggregate(
+        &mut self,
+        messages: &[ClientMessage],
+        rng: &mut dyn rand::RngCore,
+    ) -> ServerOutcome {
+        let global = Arc::make_mut(self.global);
+        self.algorithm
+            .server_update(global, messages, self.config.num_clients, rng)
+    }
+
+    /// Evaluates θ, pushes a [`RoundRecord`] built from `stats` and returns
+    /// it. Increments the round counter.
+    pub fn record_round(&mut self, stats: RoundStats) -> TensorResult<RoundRecord> {
+        let (test_loss, test_accuracy) = self.evaluate_global()?;
+        let record = RoundRecord {
+            round: *self.round,
+            test_accuracy,
+            test_loss,
+            num_selected: stats.num_selected,
+            upload_floats: stats.upload_floats,
+            cumulative_upload_floats: *self.cumulative_upload,
+            total_local_epochs: stats.total_local_epochs,
+            samples_processed: stats.samples_processed,
+            elapsed_ms: stats.elapsed_ms,
+        };
+        self.history.push(record.clone());
+        *self.round += 1;
+        Ok(record)
+    }
+
+    /// Records one arrival event (event-driven schedules), filling in the
+    /// event index, current virtual time and cumulative upload count.
+    pub fn record_event(
+        &mut self,
+        client_id: usize,
+        staleness: usize,
+        weight: f32,
+        test_accuracy: Option<f32>,
+    ) -> AsyncRecord {
+        let record = AsyncRecord {
+            event: self.events.len(),
+            sim_time: *self.clock,
+            client_id,
+            staleness,
+            weight,
+            test_accuracy,
+            cumulative_upload_floats: *self.cumulative_upload,
+        };
+        self.events.push(record.clone());
+        record
+    }
+}
+
+/// A round-scheduling policy driving the [`RoundEngine`](super::RoundEngine).
+pub trait Scheduler: Send {
+    /// Scheduler name used in labels and logs.
+    fn name(&self) -> &'static str;
+
+    /// The `setting` string recorded in the run history.
+    fn setting_label(&self, config: &FedConfig) -> String {
+        format!("{} clients", config.num_clients)
+    }
+
+    /// Called once before the first tick; validates the scheduler's
+    /// configuration against the engine's and primes internal state (e.g.
+    /// fills the in-flight pool).
+    fn init(&mut self, core: &mut EngineCore<'_>) -> TensorResult<()> {
+        let _ = core;
+        Ok(())
+    }
+
+    /// Advances the schedule by one decision (one synchronous round, one
+    /// arrival, or one deadline round) and reports what happened.
+    fn tick(&mut self, core: &mut EngineCore<'_>) -> TensorResult<TickReport>;
+}
+
+impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn setting_label(&self, config: &FedConfig) -> String {
+        (**self).setting_label(config)
+    }
+    fn init(&mut self, core: &mut EngineCore<'_>) -> TensorResult<()> {
+        (**self).init(core)
+    }
+    fn tick(&mut self, core: &mut EngineCore<'_>) -> TensorResult<TickReport> {
+        (**self).tick(core)
+    }
+}

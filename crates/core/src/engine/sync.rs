@@ -1,0 +1,90 @@
+//! The synchronous round scheduler — the paper's Figure 1/2 protocol.
+
+use super::scheduler::{
+    derive_client_seed, derive_round_seed, DispatchOrder, EngineCore, RoundStats, Scheduler,
+    TickReport,
+};
+use crate::config::FedConfig;
+use fedadmm_tensor::TensorResult;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Synchronous federated rounds, reproducing the legacy
+/// [`Simulation`](crate::simulation::Simulation) semantics exactly:
+///
+/// 1. the server selects `S_t` (full participation if the algorithm
+///    requires it),
+/// 2. every selected client downloads the θ snapshot and runs its local
+///    update in parallel (the server *waits for all of them* — this is the
+///    straggler-bound protocol the paper's system-heterogeneity experiments
+///    stress),
+/// 3. the server aggregates all `|S_t|` messages in one pass and the new
+///    model is evaluated.
+///
+/// RNG streams (selection, per-client epoch draws, per-client local
+/// training) are derived exactly as the legacy engine derived them, so a
+/// seeded run produces a byte-identical [`RunHistory`](crate::metrics::RunHistory).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SyncRounds;
+
+impl Scheduler for SyncRounds {
+    fn name(&self) -> &'static str {
+        "sync-rounds"
+    }
+
+    fn tick(&mut self, core: &mut EngineCore<'_>) -> TensorResult<TickReport> {
+        let start = Instant::now();
+        let round = core.round();
+        let mut round_rng =
+            SmallRng::seed_from_u64(derive_round_seed(core.config.seed, round as u64));
+
+        // 1. Client selection.
+        let selected: Vec<usize> = if core.algorithm.requires_full_participation() {
+            (0..core.config.num_clients).collect()
+        } else {
+            core.selector
+                .select(core.config.num_clients, &mut round_rng)
+        };
+
+        // 2. Per-client epoch counts for this round (system heterogeneity),
+        //    drawn in selection order from the round RNG.
+        let base_seed = core.config.seed;
+        let snapshot = core.broadcast();
+        let orders: Vec<DispatchOrder> = selected
+            .iter()
+            .map(|&client_id| DispatchOrder {
+                client_id,
+                epochs: core.work_schedule.epochs_for(client_id, &mut round_rng),
+                snapshot: snapshot.clone(),
+                seed: derive_client_seed(base_seed, round as u64, client_id),
+            })
+            .collect();
+
+        // 3. Local updates through the shared parallel dispatch path.
+        let messages = core.dispatch(&orders)?;
+        drop(orders);
+        drop(snapshot);
+
+        // 4. Server aggregation (single fused pass inside the algorithm).
+        let outcome = core.aggregate(&messages, &mut round_rng);
+        core.add_upload(outcome.upload_floats);
+
+        // 5. Evaluation and bookkeeping.
+        let record = core.record_round(RoundStats {
+            num_selected: selected.len(),
+            upload_floats: outcome.upload_floats,
+            total_local_epochs: messages.iter().map(|m| m.epochs_run).sum(),
+            samples_processed: messages.iter().map(|m| m.samples_processed).sum(),
+            elapsed_ms: start.elapsed().as_millis() as u64,
+        })?;
+        Ok(TickReport {
+            record: Some(record),
+            events: Vec::new(),
+        })
+    }
+
+    fn setting_label(&self, config: &FedConfig) -> String {
+        format!("{} clients", config.num_clients)
+    }
+}

@@ -126,15 +126,27 @@ mod tests {
     fn degenerate_inputs_clamp_to_one_epoch() {
         let mut rng = SmallRng::seed_from_u64(0);
         assert_eq!(LocalWorkSchedule::Fixed(0).epochs_for(0, &mut rng), 1);
-        assert_eq!(LocalWorkSchedule::UniformRandom(0).epochs_for(0, &mut rng), 1);
-        assert_eq!(LocalWorkSchedule::PerClient(vec![]).epochs_for(0, &mut rng), 1);
+        assert_eq!(
+            LocalWorkSchedule::UniformRandom(0).epochs_for(0, &mut rng),
+            1
+        );
+        assert_eq!(
+            LocalWorkSchedule::PerClient(vec![]).epochs_for(0, &mut rng),
+            1
+        );
         assert_eq!(LocalWorkSchedule::PerClient(vec![]).max_epochs(), 1);
     }
 
     #[test]
     fn from_config_matches_paper_protocol() {
-        assert_eq!(LocalWorkSchedule::from_config(20, true), LocalWorkSchedule::UniformRandom(20));
-        assert_eq!(LocalWorkSchedule::from_config(20, false), LocalWorkSchedule::Fixed(20));
+        assert_eq!(
+            LocalWorkSchedule::from_config(20, true),
+            LocalWorkSchedule::UniformRandom(20)
+        );
+        assert_eq!(
+            LocalWorkSchedule::from_config(20, false),
+            LocalWorkSchedule::Fixed(20)
+        );
     }
 
     #[test]

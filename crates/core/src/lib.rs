@@ -19,8 +19,12 @@
 //!   client's local epoch count uniformly from `{1..E}`);
 //! * [`trainer`] — the shared local SGD solver with pluggable gradient
 //!   corrections (proximal term, dual variable, control variates);
-//! * [`simulation`] — the round-based simulation engine: select clients,
-//!   run local updates (in parallel), aggregate, evaluate;
+//! * [`engine`] — the unified simulation engine: one [`engine::RoundEngine`]
+//!   drives rounds through a pluggable [`engine::Scheduler`]
+//!   ([`engine::SyncRounds`], [`engine::BufferedAsync`],
+//!   [`engine::SemiAsync`]);
+//! * [`simulation`] / [`async_sim`] — deprecated thin wrappers over the
+//!   engine, kept for the legacy API;
 //! * [`metrics`] — per-round records, communication accounting and
 //!   rounds-to-target-accuracy summaries;
 //! * [`diagnostics`] — the V_t optimality-gap function of equation (7),
@@ -29,6 +33,7 @@
 //! ## Quickstart
 //!
 //! ```
+//! use fedadmm_core::engine::{RoundEngine, SyncRounds};
 //! use fedadmm_core::prelude::*;
 //! use fedadmm_data::synthetic::SyntheticDataset;
 //! use fedadmm_nn::models::ModelSpec;
@@ -48,8 +53,9 @@
 //! let (train, test) = SyntheticDataset::Mnist.generate(200, 50, 7);
 //! let partition = DataDistribution::Iid.partition(&train, config.num_clients, 7);
 //! let algorithm = FedAdmm::new(0.01, ServerStepSize::Constant(1.0));
-//! let mut sim = Simulation::new(config, train, test, partition, algorithm).unwrap();
-//! let history = sim.run_rounds(3).unwrap();
+//! let mut engine =
+//!     RoundEngine::new(config, train, test, partition, algorithm, SyncRounds).unwrap();
+//! let history = engine.run_rounds(3).unwrap();
 //! assert_eq!(history.len(), 3);
 //! ```
 
@@ -63,6 +69,7 @@ pub mod compression;
 pub mod config;
 pub mod diagnostics;
 pub mod drift;
+pub mod engine;
 pub mod heterogeneity;
 pub mod metrics;
 pub mod param;
@@ -80,16 +87,22 @@ pub mod prelude {
         Algorithm, FedAdmm, FedAdmmInexact, FedAvg, FedDyn, FedOpt, FedPd, FedProx, FedSgd,
         LocalInit, Scaffold, ServerOptimizer, ServerStepSize,
     };
-    pub use crate::async_sim::{AsyncConfig, AsyncSimulation, StalenessWeight};
+    #[allow(deprecated)]
+    pub use crate::async_sim::AsyncSimulation;
     pub use crate::client::ClientState;
     pub use crate::compression::{QuantizedAlgorithm, Quantizer};
     pub use crate::config::{DataDistribution, FedConfig, Participation};
     pub use crate::drift::DriftReport;
+    pub use crate::engine::{
+        AsyncConfig, AsyncRecord, BufferedAsync, RoundEngine, Scheduler, SemiAsync,
+        SemiAsyncConfig, StalenessWeight, SyncEngine, SyncRounds,
+    };
     pub use crate::heterogeneity::LocalWorkSchedule;
     pub use crate::metrics::{RoundRecord, RunHistory};
     pub use crate::param::ParamVector;
     pub use crate::schedule::Schedule;
     pub use crate::selection::ClientSelector;
+    #[allow(deprecated)]
     pub use crate::simulation::Simulation;
     pub use crate::solver::LocalSolver;
     pub use fedadmm_data::batching::BatchSize;

@@ -43,7 +43,11 @@ pub struct RunHistory {
 impl RunHistory {
     /// Creates an empty history for an algorithm/setting pair.
     pub fn new(algorithm: impl Into<String>, setting: impl Into<String>) -> Self {
-        RunHistory { algorithm: algorithm.into(), setting: setting.into(), records: Vec::new() }
+        RunHistory {
+            algorithm: algorithm.into(),
+            setting: setting.into(),
+            records: Vec::new(),
+        }
     }
 
     /// Number of recorded rounds.
@@ -72,7 +76,10 @@ impl RunHistory {
 
     /// Best test accuracy seen so far.
     pub fn best_accuracy(&self) -> f32 {
-        self.records.iter().map(|r| r.test_accuracy).fold(0.0, f32::max)
+        self.records
+            .iter()
+            .map(|r| r.test_accuracy)
+            .fold(0.0, f32::max)
     }
 
     /// Test accuracy after the final recorded round.
@@ -82,7 +89,10 @@ impl RunHistory {
 
     /// Total uploaded floats across all rounds.
     pub fn total_upload_floats(&self) -> usize {
-        self.records.last().map(|r| r.cumulative_upload_floats).unwrap_or(0)
+        self.records
+            .last()
+            .map(|r| r.cumulative_upload_floats)
+            .unwrap_or(0)
     }
 
     /// Total local epochs across all rounds (computation cost).

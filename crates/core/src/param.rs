@@ -65,22 +65,60 @@ impl ParamVector {
 
     /// Returns `self - other` as a new vector.
     ///
+    /// The result is produced in one fused pass with no intermediate
+    /// zero-fill (each output element is written exactly once).
+    ///
     /// # Panics
-    /// Panics on dimension mismatch.
+    /// Panics on dimension mismatch (checked in debug and release builds;
+    /// the `debug_assert` merely fails earlier with a clearer message).
     pub fn sub(&self, other: &ParamVector) -> ParamVector {
-        let mut out = vec![0.0; self.0.len()];
-        vecops::sub_into(&self.0, &other.0, &mut out);
-        ParamVector(out)
+        debug_assert_eq!(
+            self.0.len(),
+            other.0.len(),
+            "ParamVector::sub dimension mismatch"
+        );
+        ParamVector(vecops::sub_new(&self.0, &other.0))
     }
 
     /// Returns `self + other` as a new vector.
     ///
+    /// The result is produced in one fused pass with no intermediate
+    /// zero-fill (each output element is written exactly once).
+    ///
     /// # Panics
-    /// Panics on dimension mismatch.
+    /// Panics on dimension mismatch (checked in debug and release builds;
+    /// the `debug_assert` merely fails earlier with a clearer message).
     pub fn add(&self, other: &ParamVector) -> ParamVector {
-        let mut out = vec![0.0; self.0.len()];
-        vecops::add_into(&self.0, &other.0, &mut out);
-        ParamVector(out)
+        debug_assert_eq!(
+            self.0.len(),
+            other.0.len(),
+            "ParamVector::add dimension mismatch"
+        );
+        ParamVector(vecops::add_new(&self.0, &other.0))
+    }
+
+    /// Fused accumulation: `self += Σ_k alpha_k · v_k` in a single pass —
+    /// the server-aggregation hot path (one sweep over ℝ^d regardless of
+    /// how many client messages are folded in, instead of one `axpy` sweep
+    /// per message).
+    ///
+    /// # Panics
+    /// Panics on any dimension mismatch.
+    pub fn accumulate(&mut self, terms: &[(f32, &ParamVector)]) {
+        let (alphas, xs): (Vec<f32>, Vec<&[f32]>) =
+            terms.iter().map(|(a, v)| (*a, v.0.as_slice())).unzip();
+        vecops::axpy_fused(&alphas, &xs, &mut self.0);
+    }
+
+    /// Fused overwrite: `self = Σ_k alpha_k · v_k` in a single pass (no
+    /// zeroing pass beforehand).
+    ///
+    /// # Panics
+    /// Panics on any dimension mismatch.
+    pub fn assign_weighted_sum(&mut self, terms: &[(f32, &ParamVector)]) {
+        let (alphas, xs): (Vec<f32>, Vec<&[f32]>) =
+            terms.iter().map(|(a, v)| (*a, v.0.as_slice())).unzip();
+        vecops::weighted_sum_into(&alphas, &xs, &mut self.0);
     }
 
     /// Euclidean norm ‖·‖₂.
@@ -177,6 +215,37 @@ mod tests {
         let a = ParamVector::zeros(2);
         let b = ParamVector::zeros(3);
         let _ = a.add(&b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_sub_dims_panic() {
+        let a = ParamVector::zeros(2);
+        let b = ParamVector::zeros(3);
+        let _ = a.sub(&b);
+    }
+
+    #[test]
+    fn fused_accumulate_matches_sequential_axpys() {
+        let v1 = ParamVector::from_vec(vec![1.0, 2.0]);
+        let v2 = ParamVector::from_vec(vec![-3.0, 0.5]);
+        let mut fused = ParamVector::from_vec(vec![10.0, 10.0]);
+        fused.accumulate(&[(2.0, &v1), (4.0, &v2)]);
+        let mut sequential = ParamVector::from_vec(vec![10.0, 10.0]);
+        sequential.axpy(2.0, &v1);
+        sequential.axpy(4.0, &v2);
+        assert_eq!(fused, sequential);
+    }
+
+    #[test]
+    fn assign_weighted_sum_overwrites_in_one_pass() {
+        let v1 = ParamVector::from_vec(vec![2.0, 4.0]);
+        let v2 = ParamVector::from_vec(vec![6.0, 8.0]);
+        let mut out = ParamVector::from_vec(vec![99.0, 99.0]);
+        out.assign_weighted_sum(&[(0.5, &v1), (0.5, &v2)]);
+        assert_eq!(out.as_slice(), &[4.0, 6.0]);
+        out.assign_weighted_sum(&[]);
+        assert_eq!(out.as_slice(), &[0.0, 0.0]);
     }
 
     #[test]

@@ -58,7 +58,10 @@ fn solve(a: &[f64], rhs: &[f64], d: usize) -> Vec<f64> {
                 pivot = row;
             }
         }
-        assert!(m[pivot * d + col].abs() > 1e-12, "singular matrix in quadratic substrate");
+        assert!(
+            m[pivot * d + col].abs() > 1e-12,
+            "singular matrix in quadratic substrate"
+        );
         if pivot != col {
             for k in 0..d {
                 m.swap(col * d + k, pivot * d + k);
@@ -188,7 +191,9 @@ impl QuadraticClientLoss {
         for i in 0..d {
             m[i * d + i] += rho;
         }
-        let rhs: Vec<f64> = (0..d).map(|j| self.b[j] - dual[j] + rho * theta[j]).collect();
+        let rhs: Vec<f64> = (0..d)
+            .map(|j| self.b[j] - dual[j] + rho * theta[j])
+            .collect();
         solve(&m, &rhs, d)
     }
 
@@ -231,16 +236,28 @@ pub struct QuadraticConfig {
 
 impl Default for QuadraticConfig {
     fn default() -> Self {
-        QuadraticConfig { num_clients: 20, dim: 10, eig_min: 0.5, eig_max: 2.0, heterogeneity: 1.0 }
+        QuadraticConfig {
+            num_clients: 20,
+            dim: 10,
+            eig_min: 0.5,
+            eig_max: 2.0,
+            heterogeneity: 1.0,
+        }
     }
 }
 
 impl QuadraticProblem {
     /// Builds a problem from explicit client losses.
     pub fn new(clients: Vec<QuadraticClientLoss>) -> Self {
-        assert!(!clients.is_empty(), "a federated problem needs at least one client");
+        assert!(
+            !clients.is_empty(),
+            "a federated problem needs at least one client"
+        );
         let dim = clients[0].dim;
-        assert!(clients.iter().all(|c| c.dim == dim), "all clients must share the dimension");
+        assert!(
+            clients.iter().all(|c| c.dim == dim),
+            "all clients must share the dimension"
+        );
         QuadraticProblem { clients, dim }
     }
 
@@ -278,8 +295,9 @@ impl QuadraticProblem {
                         }
                     }
                 }
-                let b: Vec<f64> =
-                    (0..d).map(|_| config.heterogeneity * standard_normal(&mut rng)).collect();
+                let b: Vec<f64> = (0..d)
+                    .map(|_| config.heterogeneity * standard_normal(&mut rng))
+                    .collect();
                 QuadraticClientLoss::new(a, b, config.eig_max)
             })
             .collect();
@@ -303,7 +321,10 @@ impl QuadraticProblem {
 
     /// The smoothness constant `L = max_i λ_max(A_i)` of assumption 1.
     pub fn lipschitz(&self) -> f64 {
-        self.clients.iter().map(|c| c.lipschitz()).fold(0.0, f64::max)
+        self.clients
+            .iter()
+            .map(|c| c.lipschitz())
+            .fold(0.0, f64::max)
     }
 
     /// The global objective `Σ_i f_i(w)`.
@@ -393,7 +414,10 @@ impl QuadraticFedAdmm {
     /// Initialises Algorithm 1 on `problem` with `w_i^0 = θ^0 = 0` and
     /// `y_i^0 = 0` (the paper's initialisation).
     pub fn new(problem: QuadraticProblem, rho: f64) -> Self {
-        assert!(rho > 0.0, "FedADMM requires a positive proximal coefficient ρ");
+        assert!(
+            rho > 0.0,
+            "FedADMM requires a positive proximal coefficient ρ"
+        );
         let d = problem.dim();
         let m = problem.num_clients();
         QuadraticFedAdmm {
@@ -447,7 +471,11 @@ impl QuadraticFedAdmm {
         let mut total = 0.0;
         for i in 0..self.problem.num_clients() {
             let w = &self.locals[i];
-            let diff: Vec<f64> = w.iter().zip(self.theta.iter()).map(|(a, b)| a - b).collect();
+            let diff: Vec<f64> = w
+                .iter()
+                .zip(self.theta.iter())
+                .map(|(a, b)| a - b)
+                .collect();
             total += self.problem.clients()[i].value(w)
                 + dot(&self.duals[i], &diff)
                 + 0.5 * self.rho * norm_sq(&diff);
@@ -480,7 +508,10 @@ impl QuadraticFedAdmm {
     /// Runs one round with the given set of selected clients and returns the
     /// diagnostics *after* the server update.
     pub fn run_round_with(&mut self, selected: &[usize]) -> QuadraticRoundRecord {
-        assert!(!selected.is_empty(), "a round needs at least one selected client");
+        assert!(
+            !selected.is_empty(),
+            "a round needs at least one selected client"
+        );
         let d = self.problem.dim();
         let m = self.problem.num_clients();
         let mut delta_sum = vec![0.0; d];
@@ -501,21 +532,29 @@ impl QuadraticFedAdmm {
                 w_new[0] += delta;
             }
             // Dual update (line 20).
-            for j in 0..d {
-                self.duals[i][j] += self.rho * (w_new[j] - self.theta[j]);
+            for ((dual, &w), &t) in self.duals[i]
+                .iter_mut()
+                .zip(w_new.iter())
+                .zip(self.theta.iter())
+            {
+                *dual += self.rho * (w - t);
             }
             self.locals[i] = w_new;
             // Update message (equation 4).
-            for j in 0..d {
-                let new_aug = self.locals[i][j] + self.duals[i][j] / self.rho;
-                delta_sum[j] += new_aug - old_aug[j];
+            for (((acc, &w), &y), &old) in delta_sum
+                .iter_mut()
+                .zip(self.locals[i].iter())
+                .zip(self.duals[i].iter())
+                .zip(old_aug.iter())
+            {
+                *acc += (w + y / self.rho) - old;
             }
         }
         // Server tracking update (equation 5).
         let eta = self.eta.unwrap_or(selected.len() as f64 / m as f64);
         let scale = eta / selected.len() as f64;
-        for j in 0..d {
-            self.theta[j] += scale * delta_sum[j];
+        for (t, &acc) in self.theta.iter_mut().zip(delta_sum.iter()) {
+            *t += scale * acc;
         }
 
         let record = self.record(selected.len());
@@ -542,7 +581,9 @@ impl QuadraticFedAdmm {
         seed: u64,
     ) -> Vec<QuadraticRoundRecord> {
         let mut rng = SmallRng::seed_from_u64(seed);
-        (0..rounds).map(|_| self.run_round(num_selected, &mut rng)).collect()
+        (0..rounds)
+            .map(|_| self.run_round(num_selected, &mut rng))
+            .collect()
     }
 
     fn record(&self, num_selected: usize) -> QuadraticRoundRecord {
@@ -557,9 +598,13 @@ impl QuadraticFedAdmm {
         let mut dual_sum = vec![0.0; self.problem.dim()];
         let mut consensus = 0.0;
         for i in 0..self.problem.num_clients() {
-            for j in 0..self.problem.dim() {
-                dual_sum[j] += self.duals[i][j];
-                let diff = self.locals[i][j] - self.theta[j];
+            for ((acc, (&y, &w)), &t) in dual_sum
+                .iter_mut()
+                .zip(self.duals[i].iter().zip(self.locals[i].iter()))
+                .zip(self.theta.iter())
+            {
+                *acc += y;
+                let diff = w - t;
                 consensus += diff * diff;
             }
         }
@@ -582,7 +627,13 @@ mod tests {
 
     fn small_problem(seed: u64) -> QuadraticProblem {
         QuadraticProblem::random(
-            QuadraticConfig { num_clients: 8, dim: 6, eig_min: 0.5, eig_max: 2.0, heterogeneity: 1.0 },
+            QuadraticConfig {
+                num_clients: 8,
+                dim: 6,
+                eig_min: 0.5,
+                eig_max: 2.0,
+                heterogeneity: 1.0,
+            },
             seed,
         )
     }
@@ -597,7 +648,10 @@ mod tests {
                 let v: Vec<f64> = (0..p.dim()).map(|_| standard_normal(&mut rng)).collect();
                 let av = matvec(&c.a, &v, p.dim());
                 let rayleigh = dot(&v, &av) / norm_sq(&v);
-                assert!(rayleigh >= 0.5 - 1e-6 && rayleigh <= 2.0 + 1e-6, "rayleigh {rayleigh}");
+                assert!(
+                    (0.5 - 1e-6..=2.0 + 1e-6).contains(&rayleigh),
+                    "rayleigh {rayleigh}"
+                );
             }
         }
         assert!((p.lipschitz() - 2.0).abs() < 1e-9);
@@ -636,9 +690,16 @@ mod tests {
         let p = small_problem(3);
         let w_star = p.global_optimum();
         let local = p.clients()[0].local_optimum();
-        let dist: f64 =
-            w_star.iter().zip(local.iter()).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
-        assert!(dist > 1e-3, "heterogeneous clients must have distinct optima");
+        let dist: f64 = w_star
+            .iter()
+            .zip(local.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        assert!(
+            dist > 1e-3,
+            "heterogeneous clients must have distinct optima"
+        );
     }
 
     #[test]
@@ -649,9 +710,17 @@ mod tests {
         let mut admm = QuadraticFedAdmm::new(p, rho);
         let records = admm.run(200, m, 7);
         let last = records.last().unwrap();
-        assert!(last.dist_to_optimum < 1e-4, "distance {}", last.dist_to_optimum);
+        assert!(
+            last.dist_to_optimum < 1e-4,
+            "distance {}",
+            last.dist_to_optimum
+        );
         assert!(last.optimality_gap < 1e-6, "V_t = {}", last.optimality_gap);
-        assert!(last.dual_sum_norm < 1e-4, "KKT residual {}", last.dual_sum_norm);
+        assert!(
+            last.dual_sum_norm < 1e-4,
+            "KKT residual {}",
+            last.dual_sum_norm
+        );
     }
 
     #[test]
@@ -727,8 +796,7 @@ mod tests {
         let mut vts = vec![QuadraticFedAdmm::new(small_problem(8), rho).optimality_gap()];
         vts.extend(records.iter().take(t - 1).map(|r| r.optimality_gap));
         let average: f64 = vts.iter().sum::<f64>() / (m as f64 * t as f64);
-        let bound =
-            crate::theory::theorem1_bound(&constants, l0 - f_star, 0.0, l, m, t);
+        let bound = crate::theory::theorem1_bound(&constants, l0 - f_star, 0.0, l, m, t);
         assert!(
             average <= bound,
             "Theorem 1 violated: measured {average}, bound {bound}"
@@ -741,11 +809,16 @@ mod tests {
         let m = p.num_clients();
         let rho = crate::theory::min_rho(p.lipschitz()) * 1.5;
         let exact = QuadraticFedAdmm::new(p.clone(), rho).run(150, m, 23);
-        let inexact = QuadraticFedAdmm::new(p, rho).with_epsilon(1e-2).run(150, m, 23);
+        let inexact = QuadraticFedAdmm::new(p, rho)
+            .with_epsilon(1e-2)
+            .run(150, m, 23);
         let exact_v = exact.last().unwrap().optimality_gap;
         let inexact_v = inexact.last().unwrap().optimality_gap;
         assert!(exact_v < 1e-6);
-        assert!(inexact_v > exact_v, "inexact solves must not reach the exact fixed point");
+        assert!(
+            inexact_v > exact_v,
+            "inexact solves must not reach the exact fixed point"
+        );
         // …but the run still converges to a neighbourhood (Theorem 1 floor).
         assert!(inexact.last().unwrap().dist_to_optimum < 0.5);
     }

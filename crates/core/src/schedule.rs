@@ -47,14 +47,20 @@ impl Schedule {
     /// A Figure 6-style schedule: `initial` until `switch_round`, then
     /// `later`.
     pub fn step_at(initial: f32, switch_round: usize, later: f32) -> Self {
-        Schedule::Step { initial, boundaries: vec![(switch_round, later)] }
+        Schedule::Step {
+            initial,
+            boundaries: vec![(switch_round, later)],
+        }
     }
 
     /// The value of the hyperparameter at `round`.
     pub fn value_at(&self, round: usize) -> f32 {
         match self {
             Schedule::Constant(v) => *v,
-            Schedule::Step { initial, boundaries } => {
+            Schedule::Step {
+                initial,
+                boundaries,
+            } => {
                 let mut value = *initial;
                 for &(boundary, v) in boundaries {
                     if round >= boundary {
@@ -65,7 +71,11 @@ impl Schedule {
                 }
                 value
             }
-            Schedule::Decay { initial, factor, every } => {
+            Schedule::Decay {
+                initial,
+                factor,
+                every,
+            } => {
                 let k = (round / (*every).max(1)) as i32;
                 initial * factor.powi(k)
             }
@@ -121,7 +131,11 @@ mod tests {
 
     #[test]
     fn decay_schedule_halves_every_interval() {
-        let s = Schedule::Decay { initial: 0.8, factor: 0.5, every: 10 };
+        let s = Schedule::Decay {
+            initial: 0.8,
+            factor: 0.5,
+            every: 10,
+        };
         assert_eq!(s.value_at(0), 0.8);
         assert_eq!(s.value_at(9), 0.8);
         assert!((s.value_at(10) - 0.4).abs() < 1e-7);
@@ -132,7 +146,11 @@ mod tests {
 
     #[test]
     fn decay_with_zero_interval_does_not_panic() {
-        let s = Schedule::Decay { initial: 1.0, factor: 0.9, every: 0 };
+        let s = Schedule::Decay {
+            initial: 1.0,
+            factor: 0.9,
+            every: 0,
+        };
         assert!(s.value_at(3) > 0.0);
     }
 

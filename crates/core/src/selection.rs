@@ -115,7 +115,10 @@ impl ClientSelector for FixedProbabilities {
     }
 
     fn describe(&self) -> String {
-        format!("per-client probabilities ({} clients)", self.probabilities.len())
+        format!(
+            "per-client probabilities ({} clients)",
+            self.probabilities.len()
+        )
     }
 }
 
@@ -138,14 +141,19 @@ impl RoundRobin {
     /// Creates a round-robin selector that activates `per_round` clients per
     /// round.
     pub fn new(per_round: usize) -> Self {
-        RoundRobin { per_round, cursor: std::sync::atomic::AtomicUsize::new(0) }
+        RoundRobin {
+            per_round,
+            cursor: std::sync::atomic::AtomicUsize::new(0),
+        }
     }
 }
 
 impl ClientSelector for RoundRobin {
     fn select(&self, num_clients: usize, _rng: &mut dyn rand::RngCore) -> Vec<usize> {
         let k = self.per_round.clamp(1, num_clients.max(1));
-        let start = self.cursor.fetch_add(k, std::sync::atomic::Ordering::Relaxed);
+        let start = self
+            .cursor
+            .fetch_add(k, std::sync::atomic::Ordering::Relaxed);
         let mut ids: Vec<usize> = (0..k).map(|j| (start + j) % num_clients.max(1)).collect();
         ids.sort_unstable();
         ids.dedup();
@@ -177,8 +185,10 @@ impl WeightedBySamples {
     /// Panics if `sample_counts` is empty.
     pub fn new(sample_counts: &[usize], count: usize) -> Self {
         assert!(!sample_counts.is_empty(), "need at least one client");
-        let weights: Vec<f64> =
-            sample_counts.iter().map(|&n| (n as f64).max(1e-3)).collect();
+        let weights: Vec<f64> = sample_counts
+            .iter()
+            .map(|&n| (n as f64).max(1e-3))
+            .collect();
         WeightedBySamples { weights, count }
     }
 }
@@ -232,7 +242,11 @@ impl DecayingProbabilities {
             "base probabilities must lie in (0, 1] so that participation is infinitely often"
         );
         assert!(tau > 0.0, "the decay time constant must be positive");
-        DecayingProbabilities { base, tau, round: std::sync::atomic::AtomicUsize::new(0) }
+        DecayingProbabilities {
+            base,
+            tau,
+            round: std::sync::atomic::AtomicUsize::new(0),
+        }
     }
 
     /// The probability client `i` participates at round `t`.
@@ -243,10 +257,13 @@ impl DecayingProbabilities {
 
 impl ClientSelector for DecayingProbabilities {
     fn select(&self, num_clients: usize, rng: &mut dyn rand::RngCore) -> Vec<usize> {
-        let t = self.round.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let t = self
+            .round
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let n = num_clients.min(self.base.len());
-        let mut selected: Vec<usize> =
-            (0..n).filter(|&i| rng.gen_bool(self.probability_at(i, t))).collect();
+        let mut selected: Vec<usize> = (0..n)
+            .filter(|&i| rng.gen_bool(self.probability_at(i, t)))
+            .collect();
         if selected.is_empty() {
             // Never return an empty round: fall back to the client with the
             // highest current probability (same guarantee as
@@ -264,7 +281,11 @@ impl ClientSelector for DecayingProbabilities {
     }
 
     fn describe(&self) -> String {
-        format!("decaying probabilities (τ = {} rounds, {} clients)", self.tau, self.base.len())
+        format!(
+            "decaying probabilities (τ = {} rounds, {} clients)",
+            self.tau,
+            self.base.len()
+        )
     }
 }
 

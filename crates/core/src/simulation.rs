@@ -1,273 +1,138 @@
-//! The round-based federated simulation engine.
+//! The legacy synchronous simulation API — now a thin wrapper.
 //!
-//! [`Simulation`] owns everything a federated run needs — the training and
-//! test datasets, per-client state, the global model, the algorithm, the
-//! client-selection scheme and the system-heterogeneity model — and drives
-//! the canonical FL round of Figure 1/2 of the paper:
+//! [`Simulation`] predates the unified [`engine`](crate::engine) subsystem;
+//! it survives as a deprecated facade over
+//! [`RoundEngine`](crate::engine::RoundEngine) +
+//! [`SyncRounds`](crate::engine::SyncRounds) so existing call sites keep
+//! compiling. New code should construct the engine directly:
 //!
-//! 1. the server selects `S_t`,
-//! 2. selected clients download θ^t and run their local update
-//!    (in parallel across clients via rayon; each client's randomness is
-//!    derived from `(seed, round, client_id)` so results are independent of
-//!    the thread schedule),
-//! 3. clients upload their messages,
-//! 4. the server aggregates and the new global model is evaluated on the
-//!    held-out test set.
+//! ```
+//! use fedadmm_core::engine::{RoundEngine, SyncRounds};
+//! # use fedadmm_core::prelude::*;
+//! # use fedadmm_data::synthetic::SyntheticDataset;
+//! # use fedadmm_nn::models::ModelSpec;
+//! # let config = FedConfig {
+//! #     num_clients: 4,
+//! #     participation: Participation::Fraction(0.5),
+//! #     local_epochs: 1,
+//! #     batch_size: BatchSize::Size(16),
+//! #     local_learning_rate: 0.1,
+//! #     model: ModelSpec::Logistic { input_dim: 784, num_classes: 10 },
+//! #     seed: 7,
+//! #     ..FedConfig::default()
+//! # };
+//! # let (train, test) = SyntheticDataset::Mnist.generate(80, 20, 7);
+//! # let partition = DataDistribution::Iid.partition(&train, 4, 7);
+//! let mut engine = RoundEngine::new(
+//!     config, train, test, partition, FedAvg::new(), SyncRounds,
+//! ).unwrap();
+//! engine.run_round().unwrap();
+//! ```
+//!
+//! The wrapper's behavior is pinned by the engine-parity integration tests:
+//! a seeded run through `Simulation` and one through `RoundEngine` +
+//! `SyncRounds` produce identical [`RunHistory`] values.
 
-use crate::algorithms::{Algorithm, ClientMessage};
+use crate::algorithms::Algorithm;
 use crate::client::ClientState;
 use crate::config::FedConfig;
+use crate::engine::{RoundEngine, SyncRounds};
 use crate::heterogeneity::LocalWorkSchedule;
 use crate::metrics::{RoundRecord, RunHistory};
 use crate::param::ParamVector;
-use crate::selection::{ClientSelector, FullParticipation, UniformFraction};
-use crate::trainer::{evaluate, LocalEnv};
+use crate::selection::ClientSelector;
 use fedadmm_data::partition::Partition;
 use fedadmm_data::Dataset;
-use fedadmm_tensor::{TensorError, TensorResult};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-use rayon::prelude::*;
-use std::collections::HashSet;
-use std::time::Instant;
+use fedadmm_tensor::TensorResult;
 
-/// A federated training run in progress.
+/// A federated training run in progress (legacy synchronous API).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `engine::RoundEngine` with the `engine::SyncRounds` scheduler"
+)]
 pub struct Simulation<A: Algorithm> {
-    config: FedConfig,
-    train: Dataset,
-    test: Dataset,
-    clients: Vec<ClientState>,
-    global: ParamVector,
-    algorithm: A,
-    selector: Box<dyn ClientSelector>,
-    work_schedule: LocalWorkSchedule,
-    history: RunHistory,
-    round: usize,
+    engine: RoundEngine<A, SyncRounds>,
 }
 
+#[allow(deprecated)]
 impl<A: Algorithm> Simulation<A> {
-    /// Creates a simulation.
-    ///
-    /// The global model is randomly initialised from `config.seed` (the
-    /// paper: "We adopt random initialization for the global model in all
-    /// algorithms, zero initialization for dual variables…"); every client
-    /// starts with a copy of it and zero dual/control variates.
+    /// Creates a simulation (see [`RoundEngine::new`]).
     pub fn new(
         config: FedConfig,
         train: Dataset,
         test: Dataset,
         partition: Partition,
-        mut algorithm: A,
+        algorithm: A,
     ) -> TensorResult<Self> {
-        if partition.num_clients() != config.num_clients {
-            return Err(TensorError::InvalidArgument(format!(
-                "partition has {} clients but the configuration expects {}",
-                partition.num_clients(),
-                config.num_clients
-            )));
-        }
-        if train.feature_dim() != config.model.input_dim() {
-            return Err(TensorError::InvalidArgument(format!(
-                "dataset features have dimension {} but the model expects {}",
-                train.feature_dim(),
-                config.model.input_dim()
-            )));
-        }
-        let mut init_rng = SmallRng::seed_from_u64(config.seed);
-        let net = config.model.build(&mut init_rng);
-        let global = ParamVector::from_vec(net.params_flat());
-        let clients: Vec<ClientState> = partition
-            .iter()
-            .enumerate()
-            .map(|(i, indices)| ClientState::new(i, indices.clone(), &global))
-            .collect();
-
-        algorithm.init(global.len(), config.num_clients);
-        let selector: Box<dyn ClientSelector> = if algorithm.requires_full_participation() {
-            Box::new(FullParticipation)
-        } else {
-            Box::new(UniformFraction::new(config.clients_per_round()))
-        };
-        let work_schedule = if algorithm.supports_variable_work() {
-            LocalWorkSchedule::from_config(config.local_epochs, config.system_heterogeneity)
-        } else {
-            LocalWorkSchedule::Fixed(config.local_epochs)
-        };
-        let history = RunHistory::new(algorithm.name(), format!("{} clients", config.num_clients));
         Ok(Simulation {
-            config,
-            train,
-            test,
-            clients,
-            global,
-            algorithm,
-            selector,
-            work_schedule,
-            history,
-            round: 0,
+            engine: RoundEngine::new(config, train, test, partition, algorithm, SyncRounds)?,
         })
     }
 
-    /// Replaces the client-selection scheme (the default is uniform-random
-    /// `C·m` clients, or full participation for algorithms that require it).
-    pub fn with_selector(mut self, selector: Box<dyn ClientSelector>) -> Self {
-        self.selector = selector;
-        self
+    /// Replaces the client-selection scheme.
+    pub fn with_selector(self, selector: Box<dyn ClientSelector>) -> Self {
+        Simulation {
+            engine: self.engine.with_selector(selector),
+        }
     }
 
-    /// Replaces the local-work schedule (e.g. a deterministic per-client
-    /// schedule for ablations).
-    pub fn with_work_schedule(mut self, schedule: LocalWorkSchedule) -> Self {
-        self.work_schedule = schedule;
-        self
+    /// Replaces the local-work schedule.
+    pub fn with_work_schedule(self, schedule: LocalWorkSchedule) -> Self {
+        Simulation {
+            engine: self.engine.with_work_schedule(schedule),
+        }
     }
 
     /// The configuration this simulation runs under.
     pub fn config(&self) -> &FedConfig {
-        &self.config
+        self.engine.config()
     }
 
     /// Immutable access to the algorithm.
     pub fn algorithm(&self) -> &A {
-        &self.algorithm
+        self.engine.algorithm()
     }
 
     /// Mutable access to the algorithm — used by the experiments that adjust
     /// η or ρ mid-run (Figures 6 and 9).
     pub fn algorithm_mut(&mut self) -> &mut A {
-        &mut self.algorithm
+        self.engine.algorithm_mut()
     }
 
     /// The current global model θ.
     pub fn global_model(&self) -> &ParamVector {
-        &self.global
+        self.engine.global_model()
     }
 
     /// Immutable access to the client states (for tests and diagnostics).
     pub fn clients(&self) -> &[ClientState] {
-        &self.clients
+        self.engine.clients()
     }
 
     /// The history recorded so far.
     pub fn history(&self) -> &RunHistory {
-        &self.history
+        self.engine.history()
     }
 
     /// Number of rounds run so far.
     pub fn rounds_completed(&self) -> usize {
-        self.round
+        self.engine.rounds_completed()
     }
 
     /// Evaluates the current global model on the test set, returning
     /// `(loss, accuracy)`.
     pub fn evaluate_global(&self) -> TensorResult<(f32, f32)> {
-        evaluate(self.config.model, self.global.as_slice(), &self.test, self.config.eval_subset)
+        self.engine.evaluate_global()
     }
 
     /// Runs a single communication round and returns its record.
     pub fn run_round(&mut self) -> TensorResult<RoundRecord> {
-        let start = Instant::now();
-        let round = self.round;
-        let mut round_rng = SmallRng::seed_from_u64(
-            self.config.seed ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-        );
-
-        // 1. Client selection.
-        let selected: Vec<usize> = if self.algorithm.requires_full_participation() {
-            (0..self.config.num_clients).collect()
-        } else {
-            self.selector.select(self.config.num_clients, &mut round_rng)
-        };
-        let selected_set: HashSet<usize> = selected.iter().copied().collect();
-
-        // 2. Per-client epoch counts for this round (system heterogeneity).
-        let epochs: Vec<usize> = selected
-            .iter()
-            .map(|&c| self.work_schedule.epochs_for(c, &mut round_rng))
-            .collect();
-        let epochs_by_client: std::collections::HashMap<usize, usize> =
-            selected.iter().copied().zip(epochs.iter().copied()).collect();
-
-        // 3. Local updates, in parallel over the selected clients.
-        let algorithm = &self.algorithm;
-        let global = &self.global;
-        let train = &self.train;
-        let config = &self.config;
-        let base_seed = config.seed;
-        let mut results: Vec<(usize, TensorResult<ClientMessage>)> = self
-            .clients
-            .par_iter_mut()
-            .enumerate()
-            .filter(|(i, _)| selected_set.contains(i))
-            .map(|(i, client)| {
-                let epochs = epochs_by_client[&i];
-                let client_seed = base_seed
-                    ^ (round as u64).wrapping_mul(0x517C_C1B7_2722_0A95)
-                    ^ (i as u64).wrapping_mul(0x2545_F491_4F6C_DD1D);
-                // The env borrows a snapshot of the index list so that the
-                // client state can be handed to `client_update` mutably.
-                let indices = client.indices.clone();
-                let env = LocalEnv {
-                    dataset: train,
-                    indices: &indices,
-                    model: config.model,
-                    epochs,
-                    batch_size: config.batch_size,
-                    learning_rate: config.local_learning_rate,
-                    seed: client_seed,
-                };
-                (i, algorithm.client_update(client, global, &env))
-            })
-            .collect();
-        // Deterministic aggregation order regardless of the thread schedule.
-        results.sort_by_key(|(i, _)| *i);
-        let mut messages = Vec::with_capacity(results.len());
-        for (_, result) in results {
-            messages.push(result?);
-        }
-
-        // 4. Server aggregation.
-        let outcome = self.algorithm.server_update(
-            &mut self.global,
-            &messages,
-            self.config.num_clients,
-            &mut round_rng,
-        );
-
-        // 5. Evaluation and bookkeeping.
-        let (test_loss, test_accuracy) = self.evaluate_global()?;
-        let total_local_epochs: usize = messages.iter().map(|m| m.epochs_run).sum();
-        let samples_processed: usize = messages.iter().map(|m| m.samples_processed).sum();
-        let cumulative = self
-            .history
-            .records
-            .last()
-            .map(|r| r.cumulative_upload_floats)
-            .unwrap_or(0)
-            + outcome.upload_floats;
-        let record = RoundRecord {
-            round,
-            test_accuracy,
-            test_loss,
-            num_selected: selected.len(),
-            upload_floats: outcome.upload_floats,
-            cumulative_upload_floats: cumulative,
-            total_local_epochs,
-            samples_processed,
-            elapsed_ms: start.elapsed().as_millis() as u64,
-        };
-        self.history.push(record.clone());
-        self.round += 1;
-        Ok(record)
+        self.engine.run_round()
     }
 
     /// Runs `rounds` additional rounds and returns the records produced.
     pub fn run_rounds(&mut self, rounds: usize) -> TensorResult<Vec<RoundRecord>> {
-        let mut records = Vec::with_capacity(rounds);
-        for _ in 0..rounds {
-            records.push(self.run_round()?);
-        }
-        Ok(records)
+        self.engine.run_rounds(rounds)
     }
 
     /// Runs until the test accuracy reaches `target` or `max_rounds` rounds
@@ -278,24 +143,21 @@ impl<A: Algorithm> Simulation<A> {
         target: f32,
         max_rounds: usize,
     ) -> TensorResult<Option<usize>> {
-        if let Some(r) = self.history.rounds_to_accuracy(target) {
-            return Ok(Some(r));
-        }
-        while self.round < max_rounds {
-            let record = self.run_round()?;
-            if record.test_accuracy >= target {
-                return Ok(Some(self.round));
-            }
-        }
-        Ok(None)
+        self.engine.run_until_accuracy(target, max_rounds)
     }
 
     /// Consumes the simulation and returns its history.
     pub fn into_history(self) -> RunHistory {
-        self.history
+        self.engine.into_history()
+    }
+
+    /// The unified engine backing this wrapper.
+    pub fn into_engine(self) -> RoundEngine<A, SyncRounds> {
+        self.engine
     }
 }
 
+#[allow(deprecated)]
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -313,7 +175,10 @@ mod tests {
             system_heterogeneity: false,
             batch_size: BatchSize::Size(16),
             local_learning_rate: 0.1,
-            model: ModelSpec::Logistic { input_dim: 784, num_classes: 10 },
+            model: ModelSpec::Logistic {
+                input_dim: 784,
+                num_classes: 10,
+            },
             seed,
             eval_subset: usize::MAX,
         }
@@ -336,11 +201,20 @@ mod tests {
         let config = small_config(10, 0);
         let (train, test) = SyntheticDataset::Mnist.generate(100, 20, 0);
         let bad_partition = DataDistribution::Iid.partition(&train, 5, 0);
-        assert!(Simulation::new(config, train.clone(), test.clone(), bad_partition, FedAvg::new())
-            .is_err());
+        assert!(Simulation::new(
+            config,
+            train.clone(),
+            test.clone(),
+            bad_partition,
+            FedAvg::new()
+        )
+        .is_err());
 
         let mut bad_model = small_config(10, 0);
-        bad_model.model = ModelSpec::Logistic { input_dim: 100, num_classes: 10 };
+        bad_model.model = ModelSpec::Logistic {
+            input_dim: 100,
+            num_classes: 10,
+        };
         let partition = DataDistribution::Iid.partition(&train, 10, 0);
         assert!(Simulation::new(bad_model, train, test, partition, FedAvg::new()).is_err());
     }
@@ -406,14 +280,21 @@ mod tests {
         let (_, acc0) = sim.evaluate_global().unwrap();
         sim.run_rounds(10).unwrap();
         let best = sim.history().best_accuracy();
-        assert!(best > acc0 + 0.15, "accuracy only improved from {acc0} to {best}");
+        assert!(
+            best > acc0 + 0.15,
+            "accuracy only improved from {acc0} to {best}"
+        );
     }
 
     #[test]
     fn all_algorithms_run_one_round() {
         // Smoke test: every algorithm completes a round and uploads the
         // expected number of floats.
-        let d = ModelSpec::Logistic { input_dim: 784, num_classes: 10 }.num_params();
+        let d = ModelSpec::Logistic {
+            input_dim: 784,
+            num_classes: 10,
+        }
+        .num_params();
         let mut sim = make_sim(FedAvg::new(), 5, 100, 9);
         assert_eq!(sim.run_round().unwrap().upload_floats, d * 2);
         let mut sim = make_sim(FedProx::new(0.1), 5, 100, 9);
@@ -422,8 +303,12 @@ mod tests {
         assert_eq!(sim.run_round().unwrap().upload_floats, d * 2);
         let mut sim = make_sim(Scaffold::new(), 5, 100, 9);
         assert_eq!(sim.run_round().unwrap().upload_floats, 2 * d * 2);
-        let mut sim =
-            make_sim(FedAdmm::new(0.01, ServerStepSize::ParticipationRatio), 5, 100, 9);
+        let mut sim = make_sim(
+            FedAdmm::new(0.01, ServerStepSize::ParticipationRatio),
+            5,
+            100,
+            9,
+        );
         assert_eq!(sim.run_round().unwrap().upload_floats, d * 2);
     }
 
@@ -443,7 +328,8 @@ mod tests {
     fn algorithm_mut_allows_mid_run_adjustment() {
         let mut sim = make_sim(FedAdmm::paper_default(), 6, 120, 11);
         sim.run_rounds(2).unwrap();
-        sim.algorithm_mut().set_server_step(ServerStepSize::Constant(0.5));
+        sim.algorithm_mut()
+            .set_server_step(ServerStepSize::Constant(0.5));
         sim.algorithm_mut().set_rho(0.1);
         sim.run_rounds(2).unwrap();
         assert_eq!(sim.history().len(), 4);

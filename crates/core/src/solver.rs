@@ -49,9 +49,18 @@ impl<'a> AugmentedObjective<'a> {
     pub fn new(env: &'a LocalEnv<'a>, theta: &'a [f32], dual: Option<&'a [f32]>, rho: f32) -> Self {
         assert!(rho >= 0.0, "the proximal coefficient ρ cannot be negative");
         if let Some(y) = dual {
-            assert_eq!(y.len(), theta.len(), "dual variable and θ must have the same dimension");
+            assert_eq!(
+                y.len(),
+                theta.len(),
+                "dual variable and θ must have the same dimension"
+            );
         }
-        AugmentedObjective { env, theta, dual, rho }
+        AugmentedObjective {
+            env,
+            theta,
+            dual,
+            rho,
+        }
     }
 
     /// Model dimension `d`.
@@ -69,8 +78,10 @@ impl<'a> AugmentedObjective<'a> {
         if self.rho > 0.0 || self.dual.is_some() {
             let mut quad = 0.0f32;
             let mut lin = 0.0f32;
-            for (j, (gj, (&wj, &tj))) in
-                grad.iter_mut().zip(w.iter().zip(self.theta.iter())).enumerate()
+            for (j, (gj, (&wj, &tj))) in grad
+                .iter_mut()
+                .zip(w.iter().zip(self.theta.iter()))
+                .enumerate()
             {
                 let diff = wj - tj;
                 if let Some(y) = self.dual {
@@ -156,7 +167,10 @@ pub fn solve_to_tolerance(
     epsilon: f32,
     max_steps: usize,
 ) -> TensorResult<SolveResult> {
-    assert!(epsilon >= 0.0, "the inexactness level ε_i cannot be negative");
+    assert!(
+        epsilon >= 0.0,
+        "the inexactness level ε_i cannot be negative"
+    );
     assert!(learning_rate > 0.0, "the trial step size must be positive");
     let armijo = 1e-4f32;
     let mut w = init.to_vec();
@@ -356,15 +370,20 @@ impl LocalSolver {
         init: &[f32],
     ) -> TensorResult<SolveResult> {
         match *self {
-            LocalSolver::GradientDescent { steps, learning_rate } => {
-                gradient_descent(objective, init, learning_rate, steps)
-            }
-            LocalSolver::ToTolerance { epsilon, learning_rate, max_steps } => {
-                solve_to_tolerance(objective, init, learning_rate, epsilon, max_steps)
-            }
-            LocalSolver::Lbfgs { memory, max_iters, epsilon } => {
-                lbfgs(objective, init, memory, max_iters, epsilon)
-            }
+            LocalSolver::GradientDescent {
+                steps,
+                learning_rate,
+            } => gradient_descent(objective, init, learning_rate, steps),
+            LocalSolver::ToTolerance {
+                epsilon,
+                learning_rate,
+                max_steps,
+            } => solve_to_tolerance(objective, init, learning_rate, epsilon, max_steps),
+            LocalSolver::Lbfgs {
+                memory,
+                max_iters,
+                epsilon,
+            } => lbfgs(objective, init, memory, max_iters, epsilon),
         }
     }
 
@@ -396,7 +415,10 @@ mod tests {
         LocalEnv {
             dataset: train,
             indices,
-            model: ModelSpec::Logistic { input_dim: 784, num_classes: 10 },
+            model: ModelSpec::Logistic {
+                input_dim: 784,
+                num_classes: 10,
+            },
             epochs: 1,
             batch_size: BatchSize::Full,
             learning_rate: 0.1,
@@ -498,9 +520,17 @@ mod tests {
         // A tight tolerance, where curvature information starts to matter.
         let epsilon = 1e-5f32;
         let quasi = lbfgs(&obj, &init, 10, 500, epsilon).unwrap();
-        assert!(quasi.final_grad_norm_sq <= epsilon, "{}", quasi.final_grad_norm_sq);
+        assert!(
+            quasi.final_grad_norm_sq <= epsilon,
+            "{}",
+            quasi.final_grad_norm_sq
+        );
         let gd = solve_to_tolerance(&obj, &init, 0.3, epsilon, 5000).unwrap();
-        assert!(gd.final_grad_norm_sq <= epsilon, "{}", gd.final_grad_norm_sq);
+        assert!(
+            gd.final_grad_norm_sq <= epsilon,
+            "{}",
+            gd.final_grad_norm_sq
+        );
         // Both are valid local solvers for criterion (6); L-BFGS must at
         // least stay within a small constant factor of GD's oracle cost
         // (on well-conditioned problems the two are comparable, on
@@ -521,17 +551,40 @@ mod tests {
         let theta = vec![0.0f32; d];
         let obj = AugmentedObjective::new(&e, &theta, None, 1.0);
         let init = vec![0.0f32; d];
-        let via_enum = LocalSolver::GradientDescent { steps: 5, learning_rate: 0.2 }
-            .solve(&obj, &init)
-            .unwrap();
+        let via_enum = LocalSolver::GradientDescent {
+            steps: 5,
+            learning_rate: 0.2,
+        }
+        .solve(&obj, &init)
+        .unwrap();
         let direct = gradient_descent(&obj, &init, 0.2, 5).unwrap();
         assert_eq!(via_enum.params, direct.params);
-        assert_eq!(LocalSolver::GradientDescent { steps: 5, learning_rate: 0.2 }.label(), "GD");
         assert_eq!(
-            LocalSolver::ToTolerance { epsilon: 1e-3, learning_rate: 0.1, max_steps: 10 }.label(),
+            LocalSolver::GradientDescent {
+                steps: 5,
+                learning_rate: 0.2
+            }
+            .label(),
+            "GD"
+        );
+        assert_eq!(
+            LocalSolver::ToTolerance {
+                epsilon: 1e-3,
+                learning_rate: 0.1,
+                max_steps: 10
+            }
+            .label(),
             "GD-to-ε"
         );
-        assert_eq!(LocalSolver::Lbfgs { memory: 5, max_iters: 10, epsilon: 1e-3 }.label(), "L-BFGS");
+        assert_eq!(
+            LocalSolver::Lbfgs {
+                memory: 5,
+                max_iters: 10,
+                epsilon: 1e-3
+            }
+            .label(),
+            "L-BFGS"
+        );
     }
 
     #[test]

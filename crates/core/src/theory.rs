@@ -79,7 +79,13 @@ pub enum Method {
 impl Method {
     /// Every row of Table I, in the paper's order.
     pub fn all() -> [Method; 5] {
-        [Method::FedAvg, Method::FedProx, Method::Scaffold, Method::FedPd, Method::FedAdmm]
+        [
+            Method::FedAvg,
+            Method::FedProx,
+            Method::Scaffold,
+            Method::FedPd,
+            Method::FedAdmm,
+        ]
     }
 
     /// The method's name as printed in the paper.
@@ -132,7 +138,10 @@ pub fn round_complexity(method: Method, p: &ComplexityParams) -> Option<f64> {
 /// Regenerates Table I: one `(method, rounds)` row per method, `None` where
 /// the method's assumptions fail under `p`.
 pub fn table1(p: &ComplexityParams) -> Vec<(Method, Option<f64>)> {
-    Method::all().iter().map(|&m| (m, round_complexity(m, p))).collect()
+    Method::all()
+        .iter()
+        .map(|&m| (m, round_complexity(m, p)))
+        .collect()
 }
 
 /// The constants of Theorem 1.
@@ -150,7 +159,10 @@ pub struct TheoremConstants {
 /// The smallest admissible proximal coefficient: Theorem 1 requires
 /// `ρ > (1 + √5)·L` so that `c1 > 0`.
 pub fn min_rho(lipschitz: f64) -> f64 {
-    assert!(lipschitz > 0.0, "the smoothness constant L must be positive");
+    assert!(
+        lipschitz > 0.0,
+        "the smoothness constant L must be positive"
+    );
     (1.0 + 5.0f64.sqrt()) * lipschitz
 }
 
@@ -160,7 +172,10 @@ pub fn min_rho(lipschitz: f64) -> f64 {
 /// `p_min` is not a valid probability, because `c1 ≤ 0` makes the bound
 /// vacuous.
 pub fn theorem1_constants(rho: f64, lipschitz: f64, p_min: f64) -> Option<TheoremConstants> {
-    assert!(lipschitz > 0.0, "the smoothness constant L must be positive");
+    assert!(
+        lipschitz > 0.0,
+        "the smoothness constant L must be positive"
+    );
     if !(0.0..=1.0).contains(&p_min) || p_min == 0.0 {
         return None;
     }
@@ -272,7 +287,10 @@ mod tests {
     fn fedpd_requires_full_participation() {
         let p = ComplexityParams::paper_scale(1e-2);
         assert_eq!(round_complexity(Method::FedPd, &p), None);
-        let full = ComplexityParams { active_clients: 1000, ..p };
+        let full = ComplexityParams {
+            active_clients: 1000,
+            ..p
+        };
         assert_eq!(round_complexity(Method::FedPd, &full), Some(100.0));
     }
 

@@ -100,7 +100,12 @@ pub fn local_sgd(
             final_epoch_loss = epoch_loss / epoch_batches as f32;
         }
     }
-    Ok(LocalSgdResult { params, steps, samples_processed: samples, final_epoch_loss })
+    Ok(LocalSgdResult {
+        params,
+        steps,
+        samples_processed: samples,
+        final_epoch_loss,
+    })
 }
 
 /// Computes the exact (full-batch) local gradient `∇f_i(θ)` and loss at a
@@ -185,7 +190,10 @@ mod tests {
         LocalEnv {
             dataset,
             indices,
-            model: ModelSpec::Logistic { input_dim: dataset.feature_dim(), num_classes: 10 },
+            model: ModelSpec::Logistic {
+                input_dim: dataset.feature_dim(),
+                num_classes: 10,
+            },
             epochs: 3,
             batch_size: BatchSize::Size(16),
             learning_rate: 0.1,
@@ -274,7 +282,10 @@ mod tests {
     #[test]
     fn evaluate_reports_chance_accuracy_for_zero_model() {
         let (train, _) = SyntheticDataset::Mnist.generate(100, 10, 5);
-        let model = ModelSpec::Logistic { input_dim: 784, num_classes: 10 };
+        let model = ModelSpec::Logistic {
+            input_dim: 784,
+            num_classes: 10,
+        };
         let params = vec![0.0f32; model.num_params()];
         let (loss, acc) = evaluate(model, &params, &train, usize::MAX).unwrap();
         assert!((loss - (10.0f32).ln()).abs() < 1e-3);
@@ -285,7 +296,10 @@ mod tests {
     #[test]
     fn evaluate_respects_subset_cap() {
         let (train, _) = SyntheticDataset::Mnist.generate(100, 10, 6);
-        let model = ModelSpec::Logistic { input_dim: 784, num_classes: 10 };
+        let model = ModelSpec::Logistic {
+            input_dim: 784,
+            num_classes: 10,
+        };
         let params = vec![0.0f32; model.num_params()];
         let full = evaluate(model, &params, &train, usize::MAX).unwrap();
         let subset = evaluate(model, &params, &train, 30).unwrap();

@@ -57,7 +57,11 @@ impl BatchIterator {
         let mut shuffled = indices.to_vec();
         shuffled.shuffle(rng);
         let bs = batch_size.resolve(indices.len());
-        BatchIterator { shuffled, batch_size: bs, cursor: 0 }
+        BatchIterator {
+            shuffled,
+            batch_size: bs,
+            cursor: 0,
+        }
     }
 }
 
@@ -135,10 +139,12 @@ mod tests {
         let indices: Vec<usize> = (0..50).collect();
         let mut rng1 = SmallRng::seed_from_u64(1);
         let mut rng2 = SmallRng::seed_from_u64(2);
-        let a: Vec<usize> =
-            BatchIterator::new(&indices, BatchSize::Full, &mut rng1).flatten().collect();
-        let b: Vec<usize> =
-            BatchIterator::new(&indices, BatchSize::Full, &mut rng2).flatten().collect();
+        let a: Vec<usize> = BatchIterator::new(&indices, BatchSize::Full, &mut rng1)
+            .flatten()
+            .collect();
+        let b: Vec<usize> = BatchIterator::new(&indices, BatchSize::Full, &mut rng2)
+            .flatten()
+            .collect();
         assert_ne!(a, b);
         let mut a_sorted = a.clone();
         let mut b_sorted = b.clone();

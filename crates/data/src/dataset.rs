@@ -30,7 +30,9 @@ impl Dataset {
         num_classes: usize,
     ) -> TensorResult<Self> {
         if feature_dim == 0 {
-            return Err(TensorError::InvalidArgument("feature_dim must be positive".into()));
+            return Err(TensorError::InvalidArgument(
+                "feature_dim must be positive".into(),
+            ));
         }
         if features.len() != labels.len() * feature_dim {
             return Err(TensorError::InvalidArgument(format!(

@@ -87,7 +87,9 @@ impl Partition {
         if self.clients.is_empty() {
             return 0.0;
         }
-        let total: usize = (0..self.num_clients()).map(|i| self.distinct_labels(i, dataset)).sum();
+        let total: usize = (0..self.num_clients())
+            .map(|i| self.distinct_labels(i, dataset))
+            .sum();
         total as f64 / self.num_clients() as f64
     }
 
@@ -137,8 +139,10 @@ impl Partition {
         if total == 0 {
             return 0.0;
         }
-        let global: Vec<f64> =
-            global_hist.iter().map(|&c| c as f64 / total as f64).collect();
+        let global: Vec<f64> = global_hist
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect();
         let mut sum = 0.0;
         let mut counted = 0usize;
         for i in 0..self.clients.len() {
@@ -225,7 +229,11 @@ pub fn shards_non_iid(
     for (pos, &shard) in shard_ids.iter().enumerate() {
         let client = pos % num_clients;
         let start = shard * shard_size;
-        let end = if shard == num_shards - 1 { dataset.len() } else { start + shard_size };
+        let end = if shard == num_shards - 1 {
+            dataset.len()
+        } else {
+            start + shard_size
+        };
         clients[client].extend_from_slice(&indices[start..end]);
     }
     Partition::new(clients)
@@ -266,7 +274,9 @@ pub fn dirichlet(
         }
         indices.shuffle(rng);
         // Dirichlet sample via normalised Gamma draws.
-        let mut weights: Vec<f64> = (0..num_clients).map(|_| gamma.sample(rng).max(1e-12)).collect();
+        let mut weights: Vec<f64> = (0..num_clients)
+            .map(|_| gamma.sample(rng).max(1e-12))
+            .collect();
         let total: f64 = weights.iter().sum();
         for w in weights.iter_mut() {
             *w /= total;
@@ -310,7 +320,7 @@ pub fn imbalanced_groups(
 ) -> Partition {
     assert!(num_clients > 0 && num_groups > 0 && num_shards > 0);
     assert!(
-        num_clients % num_groups == 0,
+        num_clients.is_multiple_of(num_groups),
         "clients must divide evenly into groups (paper: 200 clients, 100 groups)"
     );
     let mut indices: Vec<usize> = (0..dataset.len()).collect();
@@ -379,7 +389,9 @@ pub fn quantity_skew(
     // not correlate with volume).
     let mut order: Vec<usize> = (0..num_clients).collect();
     order.shuffle(rng);
-    let weights: Vec<f64> = (0..num_clients).map(|rank| ((rank + 1) as f64).powf(-gamma)).collect();
+    let weights: Vec<f64> = (0..num_clients)
+        .map(|rank| ((rank + 1) as f64).powf(-gamma))
+        .collect();
     let total_weight: f64 = weights.iter().sum();
 
     // Give every client one guaranteed sample (when possible), then split the
@@ -455,7 +467,10 @@ mod tests {
         assert_eq!(p.num_clients(), 50);
         assert_eq!(p.validate(d.len()).unwrap(), 1000);
         for i in 0..p.num_clients() {
-            assert!(p.distinct_labels(i, &d) <= 2, "client {i} sees too many labels");
+            assert!(
+                p.distinct_labels(i, &d) <= 2,
+                "client {i} sees too many labels"
+            );
         }
         assert!(p.mean_distinct_labels(&d) <= 2.0);
     }
@@ -483,7 +498,10 @@ mod tests {
         assert!((mean - 50.0).abs() < 1e-9, "mean {mean}");
         // The paper's ratio stdev/mean ≈ 0.57; the group construction gives a
         // similar strongly imbalanced spread.
-        assert!(stdev > 0.4 * mean, "stdev {stdev} too small for mean {mean}");
+        assert!(
+            stdev > 0.4 * mean,
+            "stdev {stdev} too small for mean {mean}"
+        );
     }
 
     #[test]
@@ -571,7 +589,10 @@ mod tests {
         // but not exactly zero.
         assert!(skew_iid < 0.3, "IID skew should be small, got {skew_iid}");
         // Two of ten classes per client → TV distance 1 − 2/10 = 0.8.
-        assert!((skew_shards - 0.8).abs() < 0.1, "shard skew was {skew_shards}");
+        assert!(
+            (skew_shards - 0.8).abs() < 0.1,
+            "shard skew was {skew_shards}"
+        );
         assert!(skew_shards > skew_iid + 0.3);
     }
 
@@ -608,7 +629,11 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(11);
         let p = quantity_skew(&d, 10, 1.5, &mut rng);
         assert_eq!(p.validate(500).unwrap(), 500);
-        assert!(p.volume_imbalance() > 10.0, "imbalance was {}", p.volume_imbalance());
+        assert!(
+            p.volume_imbalance() > 10.0,
+            "imbalance was {}",
+            p.volume_imbalance()
+        );
         // Every client still owns at least one sample.
         assert!(p.sizes().iter().all(|&s| s > 0));
     }

@@ -280,7 +280,11 @@ mod tests {
             let mut best = 0usize;
             let mut best_d = f32::INFINITY;
             for (c, mean) in means.iter().enumerate() {
-                let d: f32 = row.iter().zip(mean.iter()).map(|(a, b)| (a - b) * (a - b)).sum();
+                let d: f32 = row
+                    .iter()
+                    .zip(mean.iter())
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
                 if d < best_d {
                     best_d = d;
                     best = c;

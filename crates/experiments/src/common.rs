@@ -133,7 +133,14 @@ impl Setting {
         let (local_epochs, batch_size) = match scale {
             Scale::Paper => {
                 if paper_clients >= 1000 {
-                    (20, if distribution == DataDistribution::Iid { BatchSize::Full } else { BatchSize::Size(10) })
+                    (
+                        20,
+                        if distribution == DataDistribution::Iid {
+                            BatchSize::Full
+                        } else {
+                            BatchSize::Size(10)
+                        },
+                    )
                 } else {
                     (5, BatchSize::Size(200))
                 }
@@ -170,7 +177,8 @@ impl Setting {
 
     /// Generates the train/test datasets for this setting.
     pub fn generate_data(&self) -> (Dataset, Dataset) {
-        self.dataset.generate(self.train_size, self.test_size, self.seed)
+        self.dataset
+            .generate(self.train_size, self.test_size, self.seed)
     }
 
     /// Converts this setting into the core [`FedConfig`].
@@ -188,22 +196,52 @@ impl Setting {
         }
     }
 
-    /// Builds a ready-to-run simulation for a boxed `algorithm`.
+    /// Builds a ready-to-run synchronous engine for a boxed `algorithm`.
     pub fn build_simulation(
         &self,
         algorithm: Box<dyn Algorithm>,
-    ) -> TensorResult<Simulation<Box<dyn Algorithm>>> {
+    ) -> TensorResult<SyncEngine<Box<dyn Algorithm>>> {
         self.build_sim(algorithm)
     }
 
-    /// Builds a ready-to-run simulation for a concrete algorithm type,
-    /// preserving access to its hyperparameter setters through
-    /// [`Simulation::algorithm_mut`] (needed by the η / ρ mid-run
+    /// Builds a ready-to-run synchronous engine for a concrete algorithm
+    /// type, preserving access to its hyperparameter setters through
+    /// [`RoundEngine::algorithm_mut`] (needed by the η / ρ mid-run
     /// adjustments of Figures 6 and 9).
-    pub fn build_sim<A: Algorithm>(&self, algorithm: A) -> TensorResult<Simulation<A>> {
+    pub fn build_sim<A: Algorithm>(&self, algorithm: A) -> TensorResult<SyncEngine<A>> {
         let (train, test) = self.generate_data();
-        let partition = self.distribution.partition(&train, self.num_clients, self.seed);
-        Simulation::new(self.fed_config(), train, test, partition, algorithm)
+        let partition = self
+            .distribution
+            .partition(&train, self.num_clients, self.seed);
+        RoundEngine::new(
+            self.fed_config(),
+            train,
+            test,
+            partition,
+            algorithm,
+            SyncRounds,
+        )
+    }
+
+    /// Builds an engine with an arbitrary [`Scheduler`] — the entry point
+    /// for semi-asynchronous and buffered-asynchronous experiment variants.
+    pub fn build_with_scheduler<A: Algorithm, S: Scheduler>(
+        &self,
+        algorithm: A,
+        scheduler: S,
+    ) -> TensorResult<RoundEngine<A, S>> {
+        let (train, test) = self.generate_data();
+        let partition = self
+            .distribution
+            .partition(&train, self.num_clients, self.seed);
+        RoundEngine::new(
+            self.fed_config(),
+            train,
+            test,
+            partition,
+            algorithm,
+            scheduler,
+        )
     }
 
     /// Runs `algorithm` until the target accuracy or the round budget is
@@ -250,8 +288,14 @@ pub const SUBSTRATE_RHO: f32 = 0.3;
 /// equals the local learning rate.
 pub fn table3_suite(setting: &Setting) -> Vec<(&'static str, Box<dyn Algorithm>)> {
     vec![
-        ("FedSGD", Box::new(FedSgd::new(setting.local_lr)) as Box<dyn Algorithm>),
-        ("FedADMM", Box::new(FedAdmm::new(SUBSTRATE_RHO, ServerStepSize::Constant(1.0)))),
+        (
+            "FedSGD",
+            Box::new(FedSgd::new(setting.local_lr)) as Box<dyn Algorithm>,
+        ),
+        (
+            "FedADMM",
+            Box::new(FedAdmm::new(SUBSTRATE_RHO, ServerStepSize::Constant(1.0))),
+        ),
         ("FedAvg", Box::new(FedAvg::new())),
         ("FedProx", Box::new(FedProx::new(0.1))),
         ("SCAFFOLD", Box::new(Scaffold::new())),
@@ -342,7 +386,12 @@ mod tests {
 
     #[test]
     fn paper_scale_uses_cnns_and_paper_targets() {
-        let s = Setting::for_dataset(SyntheticDataset::Mnist, DataDistribution::Iid, 100, Scale::Paper);
+        let s = Setting::for_dataset(
+            SyntheticDataset::Mnist,
+            DataDistribution::Iid,
+            100,
+            Scale::Paper,
+        );
         assert_eq!(s.model, ModelSpec::Cnn1);
         assert_eq!(s.target_accuracy, 0.97);
         assert_eq!(s.local_epochs, 5);
@@ -382,7 +431,12 @@ mod tests {
 
     #[test]
     fn setting_builds_runnable_simulation() {
-        let s = Setting::for_dataset(SyntheticDataset::Mnist, DataDistribution::Iid, 100, Scale::Smoke);
+        let s = Setting::for_dataset(
+            SyntheticDataset::Mnist,
+            DataDistribution::Iid,
+            100,
+            Scale::Smoke,
+        );
         let mut sim = s.build_simulation(Box::new(FedAvg::new())).unwrap();
         let record = sim.run_round().unwrap();
         assert!(record.test_accuracy >= 0.0);
@@ -390,10 +444,18 @@ mod tests {
 
     #[test]
     fn table3_suite_has_five_algorithms_in_paper_order() {
-        let s = Setting::for_dataset(SyntheticDataset::Mnist, DataDistribution::Iid, 100, Scale::Smoke);
+        let s = Setting::for_dataset(
+            SyntheticDataset::Mnist,
+            DataDistribution::Iid,
+            100,
+            Scale::Smoke,
+        );
         let suite = table3_suite(&s);
         let names: Vec<&str> = suite.iter().map(|(n, _)| *n).collect();
-        assert_eq!(names, vec!["FedSGD", "FedADMM", "FedAvg", "FedProx", "SCAFFOLD"]);
+        assert_eq!(
+            names,
+            vec!["FedSGD", "FedADMM", "FedAvg", "FedProx", "SCAFFOLD"]
+        );
     }
 
     #[test]

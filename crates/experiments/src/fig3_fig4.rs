@@ -79,8 +79,10 @@ pub fn run(scale: Scale) -> TensorResult<ExperimentReport> {
                 let (r, _) = setting.run_to_target(algorithm)?;
                 rounds_per_alg.push((name.to_string(), r));
             }
-            let fedadmm =
-                rounds_per_alg.iter().find(|(n, _)| n == "FedADMM").and_then(|(_, r)| *r);
+            let fedadmm = rounds_per_alg
+                .iter()
+                .find(|(n, _)| n == "FedADMM")
+                .and_then(|(_, r)| *r);
             let baselines: Vec<Option<usize>> = rounds_per_alg
                 .iter()
                 .filter(|(n, _)| n != "FedADMM" && n != "FedSGD")
@@ -91,7 +93,11 @@ pub fn run(scale: Scale) -> TensorResult<ExperimentReport> {
             for (_, r) in &rounds_per_alg {
                 row.push(format_rounds(*r, setting.max_rounds));
             }
-            row.push(reduction.map(|p| format!("{p:.1}%")).unwrap_or_else(|| "-".to_string()));
+            row.push(
+                reduction
+                    .map(|p| format!("{p:.1}%"))
+                    .unwrap_or_else(|| "-".to_string()),
+            );
             fig4_rows.push(row);
             fig4_data.push(json!({
                 "label": setting.label(),
@@ -101,22 +107,38 @@ pub fn run(scale: Scale) -> TensorResult<ExperimentReport> {
         }
     }
 
-    let mut rendered = String::from("Figure 3 — final accuracy after the round budget, per population:\n");
+    let mut rendered =
+        String::from("Figure 3 — final accuracy after the round budget, per population:\n");
     let mut fig3_rows = Vec::new();
     for panel in &panels {
         let mut row = vec![panel.label.clone()];
         for (name, series) in &panel.series {
-            row.push(format!("{}={:.3}", name, series.last().copied().unwrap_or(0.0)));
+            row.push(format!(
+                "{}={:.3}",
+                name,
+                series.last().copied().unwrap_or(0.0)
+            ));
         }
         fig3_rows.push(row);
     }
     rendered.push_str(&render_table(
-        &["Setting", "FedSGD", "FedADMM", "FedAvg", "FedProx", "SCAFFOLD"],
+        &[
+            "Setting", "FedSGD", "FedADMM", "FedAvg", "FedProx", "SCAFFOLD",
+        ],
         &fig3_rows,
     ));
-    rendered.push_str("\nFigure 4 — rounds to target accuracy per population (reversed settings):\n");
+    rendered
+        .push_str("\nFigure 4 — rounds to target accuracy per population (reversed settings):\n");
     rendered.push_str(&render_table(
-        &["Setting", "FedSGD", "FedADMM", "FedAvg", "FedProx", "SCAFFOLD", "Reduction"],
+        &[
+            "Setting",
+            "FedSGD",
+            "FedADMM",
+            "FedAvg",
+            "FedProx",
+            "SCAFFOLD",
+            "Reduction",
+        ],
         &fig4_rows,
     ));
 

@@ -66,7 +66,9 @@ pub fn run(scale: Scale) -> TensorResult<ExperimentReport> {
         }
     }
     let rendered = render_table(
-        &["Setting", "FedSGD", "FedADMM", "FedAvg", "FedProx", "SCAFFOLD"],
+        &[
+            "Setting", "FedSGD", "FedADMM", "FedAvg", "FedProx", "SCAFFOLD",
+        ],
         &rows,
     );
     Ok(ExperimentReport {
@@ -85,11 +87,19 @@ mod tests {
 
     #[test]
     fn setting_follows_figure5_protocol() {
-        let s = fig5_setting(SyntheticDataset::Fmnist, DataDistribution::NonIidShards, Scale::Paper);
+        let s = fig5_setting(
+            SyntheticDataset::Fmnist,
+            DataDistribution::NonIidShards,
+            Scale::Paper,
+        );
         assert_eq!(s.local_epochs, 10);
         assert_eq!(s.batch_size, BatchSize::Size(50));
         assert_eq!(s.num_clients, 200);
-        let s = fig5_setting(SyntheticDataset::Fmnist, DataDistribution::Iid, Scale::Smoke);
+        let s = fig5_setting(
+            SyntheticDataset::Fmnist,
+            DataDistribution::Iid,
+            Scale::Smoke,
+        );
         assert!(s.local_epochs <= 3);
     }
 }

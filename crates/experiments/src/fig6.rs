@@ -28,7 +28,10 @@ pub struct EtaSeries {
 pub fn run_fixed_eta(setting: &Setting, eta: f32, rounds: usize) -> TensorResult<EtaSeries> {
     let algorithm = FedAdmm::new(crate::common::SUBSTRATE_RHO, ServerStepSize::Constant(eta));
     let history = setting.run_rounds(Box::new(algorithm), rounds)?;
-    Ok(EtaSeries { label: format!("eta={eta}"), accuracy: history.accuracy_series() })
+    Ok(EtaSeries {
+        label: format!("eta={eta}"),
+        accuracy: history.accuracy_series(),
+    })
 }
 
 /// Runs FedADMM with η switched from `eta_before` to `eta_after` at
@@ -40,9 +43,13 @@ pub fn run_eta_schedule(
     switch_round: usize,
     rounds: usize,
 ) -> TensorResult<EtaSeries> {
-    let mut sim = setting.build_sim(FedAdmm::new(crate::common::SUBSTRATE_RHO, ServerStepSize::Constant(eta_before)))?;
+    let mut sim = setting.build_sim(FedAdmm::new(
+        crate::common::SUBSTRATE_RHO,
+        ServerStepSize::Constant(eta_before),
+    ))?;
     sim.run_rounds(switch_round.min(rounds))?;
-    sim.algorithm_mut().set_server_step(ServerStepSize::Constant(eta_after));
+    sim.algorithm_mut()
+        .set_server_step(ServerStepSize::Constant(eta_after));
     if rounds > switch_round {
         sim.run_rounds(rounds - switch_round)?;
     }
@@ -63,8 +70,7 @@ pub fn run(scale: Scale) -> TensorResult<ExperimentReport> {
     let mut panels = Vec::new();
     let mut rows = Vec::new();
     for distribution in [DataDistribution::Iid, DataDistribution::NonIidShards] {
-        let setting =
-            Setting::for_dataset(SyntheticDataset::Fmnist, distribution, 100, scale);
+        let setting = Setting::for_dataset(SyntheticDataset::Fmnist, distribution, 100, scale);
         let mut series = Vec::new();
         for eta in ETAS {
             series.push(run_fixed_eta(&setting, eta, rounds)?);
@@ -81,7 +87,10 @@ pub fn run(scale: Scale) -> TensorResult<ExperimentReport> {
         }
         panels.push(json!({ "setting": setting.label(), "series": series }));
     }
-    let rendered = render_table(&["Setting", "Step-size rule", "Final acc", "Best acc"], &rows);
+    let rendered = render_table(
+        &["Setting", "Step-size rule", "Final acc", "Best acc"],
+        &rows,
+    );
     Ok(ExperimentReport {
         name: "fig6".to_string(),
         description: "Server gathering step size η sweep and mid-run decrease (Figure 6)"

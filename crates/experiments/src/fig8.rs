@@ -59,7 +59,10 @@ pub fn run(scale: Scale) -> TensorResult<ExperimentReport> {
         100,
         scale,
     );
-    let steps = [ServerStepSize::Constant(1.0), ServerStepSize::ParticipationRatio];
+    let steps = [
+        ServerStepSize::Constant(1.0),
+        ServerStepSize::ParticipationRatio,
+    ];
     let mut series = Vec::new();
     let mut rows = Vec::new();
     for step in steps {
@@ -74,7 +77,10 @@ pub fn run(scale: Scale) -> TensorResult<ExperimentReport> {
             series.push(s);
         }
     }
-    let rendered = render_table(&["Initialisation", "Server step", "Final acc", "Best acc"], &rows);
+    let rendered = render_table(
+        &["Initialisation", "Server step", "Final acc", "Best acc"],
+        &rows,
+    );
     Ok(ExperimentReport {
         name: "fig8".to_string(),
         description: "Warm-start vs global-model local initialisation (Figure 8)".to_string(),
@@ -95,11 +101,20 @@ mod tests {
             100,
             Scale::Smoke,
         );
-        let warm =
-            run_variant(&setting, LocalInit::LocalModel, ServerStepSize::Constant(1.0), 3).unwrap();
-        let cold =
-            run_variant(&setting, LocalInit::GlobalModel, ServerStepSize::Constant(1.0), 3)
-                .unwrap();
+        let warm = run_variant(
+            &setting,
+            LocalInit::LocalModel,
+            ServerStepSize::Constant(1.0),
+            3,
+        )
+        .unwrap();
+        let cold = run_variant(
+            &setting,
+            LocalInit::GlobalModel,
+            ServerStepSize::Constant(1.0),
+            3,
+        )
+        .unwrap();
         assert_eq!(warm.accuracy.len(), 3);
         assert_eq!(cold.accuracy.len(), 3);
         assert!(warm.init.contains("warm start"));

@@ -36,7 +36,11 @@ fn run_one(name: &str, scale: Scale) -> Result<ExperimentReport, String> {
         "fig8" => fig8::run(scale),
         "table5_fig9" | "table5" | "fig9" => table5_fig9::run(scale),
         "table6_fig10" | "table6" | "fig10" => table6_fig10::run(scale),
-        other => return Err(format!("unknown experiment '{other}'; try `experiments list`")),
+        other => {
+            return Err(format!(
+                "unknown experiment '{other}'; try `experiments list`"
+            ))
+        }
     };
     result.map_err(|e| format!("experiment '{name}' failed: {e}"))
 }
@@ -44,7 +48,9 @@ fn run_one(name: &str, scale: Scale) -> Result<ExperimentReport, String> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: experiments <name>|all|list [--scale smoke|scaled|paper] [--json <path>]");
+        eprintln!(
+            "usage: experiments <name>|all|list [--scale smoke|scaled|paper] [--json <path>]"
+        );
         return ExitCode::FAILURE;
     }
     let name = args[0].clone();

@@ -16,7 +16,12 @@ use serde_json::json;
 /// Regenerates Table II.
 pub fn run(scale: Scale) -> TensorResult<ExperimentReport> {
     let entries = [
-        (ModelSpec::Cnn1, SyntheticDataset::Mnist, 1_663_370usize, 0.97f32),
+        (
+            ModelSpec::Cnn1,
+            SyntheticDataset::Mnist,
+            1_663_370usize,
+            0.97f32,
+        ),
         (ModelSpec::Cnn1, SyntheticDataset::Fmnist, 1_663_370, 0.80),
         (ModelSpec::Cnn2, SyntheticDataset::Cifar10, 1_105_098, 0.45),
     ];
@@ -24,8 +29,7 @@ pub fn run(scale: Scale) -> TensorResult<ExperimentReport> {
     let mut data = Vec::new();
     for (model, dataset, paper_params, paper_target) in entries {
         let built = model.num_params();
-        let scaled =
-            Setting::for_dataset(dataset, DataDistribution::Iid, 100, scale);
+        let scaled = Setting::for_dataset(dataset, DataDistribution::Iid, 100, scale);
         rows.push(vec![
             model.name(),
             format!("{built}"),

@@ -45,7 +45,10 @@ pub fn run_column(setting: &Setting) -> TensorResult<ColumnResult> {
         let (r, _history) = setting.run_to_target(algorithm)?;
         rounds.push((name.to_string(), r));
     }
-    let fedadmm = rounds.iter().find(|(n, _)| n == "FedADMM").and_then(|(_, r)| *r);
+    let fedadmm = rounds
+        .iter()
+        .find(|(n, _)| n == "FedADMM")
+        .and_then(|(_, r)| *r);
     let baselines: Vec<Option<usize>> = rounds
         .iter()
         .filter(|(n, _)| n != "FedADMM" && n != "FedSGD")
@@ -75,8 +78,16 @@ pub fn run(scale: Scale) -> TensorResult<ExperimentReport> {
     for name in algorithm_names {
         let mut row = vec![name.to_string()];
         for (setting, column) in &columns {
-            let rounds = column.rounds.iter().find(|(n, _)| n == name).and_then(|(_, r)| *r);
-            let fedsgd = column.rounds.iter().find(|(n, _)| n == "FedSGD").and_then(|(_, r)| *r);
+            let rounds = column
+                .rounds
+                .iter()
+                .find(|(n, _)| n == name)
+                .and_then(|(_, r)| *r);
+            let fedsgd = column
+                .rounds
+                .iter()
+                .find(|(n, _)| n == "FedSGD")
+                .and_then(|(_, r)| *r);
             let cell = if name == "FedSGD" {
                 format_rounds(rounds, setting.max_rounds)
             } else {

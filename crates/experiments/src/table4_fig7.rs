@@ -25,7 +25,10 @@ pub fn run_point(
     setting.local_epochs = epochs;
     // Table IV isolates the effect of E, so clients run exactly E epochs.
     setting.system_heterogeneity = false;
-    let (rounds, history) = setting.run_to_target(Box::new(FedAdmm::new(crate::common::SUBSTRATE_RHO, ServerStepSize::Constant(1.0))))?;
+    let (rounds, history) = setting.run_to_target(Box::new(FedAdmm::new(
+        crate::common::SUBSTRATE_RHO,
+        ServerStepSize::Constant(1.0),
+    )))?;
     Ok((rounds, history.best_accuracy()))
 }
 
@@ -43,8 +46,7 @@ pub fn run(scale: Scale) -> TensorResult<ExperimentReport> {
             let mut cells = Vec::new();
             for &epochs in &budgets {
                 let (rounds, best) = run_point(dataset, distribution, epochs, scale)?;
-                let budget =
-                    Setting::for_dataset(dataset, distribution, 100, scale).max_rounds;
+                let budget = Setting::for_dataset(dataset, distribution, 100, scale).max_rounds;
                 row.push(format!("E={epochs}: {}", format_rounds(rounds, budget)));
                 cells.push(json!({ "epochs": epochs, "rounds": rounds, "best_accuracy": best }));
             }

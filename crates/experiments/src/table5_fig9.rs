@@ -58,7 +58,10 @@ pub fn run(scale: Scale) -> TensorResult<ExperimentReport> {
             for distribution in [DataDistribution::Iid, DataDistribution::NonIidShards] {
                 let setting = Setting::for_dataset(*dataset, distribution, population, scale);
                 let budget = setting.max_rounds;
-                let admm = rounds_for(&setting, Box::new(FedAdmm::new(SUBSTRATE_RHO, ServerStepSize::Constant(1.0))))?;
+                let admm = rounds_for(
+                    &setting,
+                    Box::new(FedAdmm::new(SUBSTRATE_RHO, ServerStepSize::Constant(1.0))),
+                )?;
                 let mut row = vec![setting.label(), format_rounds(admm, budget)];
                 let mut prox_cells = Vec::new();
                 for &rho in &PROX_RHOS {
@@ -131,8 +134,9 @@ pub fn run(scale: Scale) -> TensorResult<ExperimentReport> {
 
     Ok(ExperimentReport {
         name: "table5_fig9".to_string(),
-        description: "ρ sensitivity of FedProx vs fixed-ρ FedADMM, and dynamic ρ (Table V / Figure 9)"
-            .to_string(),
+        description:
+            "ρ sensitivity of FedProx vs fixed-ρ FedADMM, and dynamic ρ (Table V / Figure 9)"
+                .to_string(),
         rendered,
         data: json!({
             "table5": data,

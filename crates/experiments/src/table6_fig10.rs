@@ -21,14 +21,23 @@ pub fn imbalanced_setting(dataset: SyntheticDataset, scale: Scale) -> Setting {
     let (num_clients, num_groups, samples_per_shard) = match scale {
         Scale::Smoke => (10, 5, 4),
         Scale::Scaled => (50, 25, 5),
-        Scale::Paper => (200, 100, if dataset == SyntheticDataset::Cifar10 { 5 } else { 6 }),
+        Scale::Paper => (
+            200,
+            100,
+            if dataset == SyntheticDataset::Cifar10 {
+                5
+            } else {
+                6
+            },
+        ),
     };
     let train_size = match scale {
         Scale::Paper => dataset.reference_train_size(),
         // Enough shards for the triangular group allocation plus remainder.
         _ => {
             let group_size = num_clients / num_groups;
-            let shards_needed: usize = (1..=num_groups).map(|g| g * group_size).sum::<usize>() + num_groups;
+            let shards_needed: usize =
+                (1..=num_groups).map(|g| g * group_size).sum::<usize>() + num_groups;
             shards_needed * samples_per_shard
         }
     };
@@ -36,7 +45,10 @@ pub fn imbalanced_setting(dataset: SyntheticDataset, scale: Scale) -> Setting {
     let mut setting = Setting::for_dataset(dataset, DataDistribution::Iid, 200, scale);
     setting.num_clients = num_clients;
     setting.train_size = train_size;
-    setting.distribution = DataDistribution::ImbalancedGroups { num_groups, num_shards };
+    setting.distribution = DataDistribution::ImbalancedGroups {
+        num_groups,
+        num_shards,
+    };
     match scale {
         Scale::Paper => {
             setting.local_epochs = 10;
@@ -69,7 +81,9 @@ pub fn run(scale: Scale) -> TensorResult<ExperimentReport> {
         let setting = imbalanced_setting(dataset, scale);
         // Table VI: per-client volume statistics of the partition.
         let (train, _) = setting.generate_data();
-        let partition = setting.distribution.partition(&train, setting.num_clients, setting.seed);
+        let partition = setting
+            .distribution
+            .partition(&train, setting.num_clients, setting.seed);
         let (mean, stdev) = partition.size_stats();
         stat_rows.push(vec![
             format!("{dataset:?}"),
@@ -83,7 +97,11 @@ pub fn run(scale: Scale) -> TensorResult<ExperimentReport> {
         let mut per_alg = Vec::new();
         for (name, algorithm) in table3_suite(&setting) {
             let history = setting.run_rounds(algorithm, rounds)?;
-            per_alg.push((name.to_string(), history.final_accuracy(), history.best_accuracy()));
+            per_alg.push((
+                name.to_string(),
+                history.final_accuracy(),
+                history.best_accuracy(),
+            ));
         }
         let mut row = vec![format!("{dataset:?}")];
         for (_, _final_acc, best) in &per_alg {
@@ -109,7 +127,9 @@ pub fn run(scale: Scale) -> TensorResult<ExperimentReport> {
     ));
     rendered.push_str("\nFigure 10 — best accuracy within the round budget:\n");
     rendered.push_str(&render_table(
-        &["Dataset", "FedSGD", "FedADMM", "FedAvg", "FedProx", "SCAFFOLD"],
+        &[
+            "Dataset", "FedSGD", "FedADMM", "FedAvg", "FedProx", "SCAFFOLD",
+        ],
         &fig10_rows,
     ));
     Ok(ExperimentReport {
@@ -128,11 +148,15 @@ mod tests {
     fn imbalanced_setting_produces_skewed_volumes() {
         let setting = imbalanced_setting(SyntheticDataset::Fmnist, Scale::Smoke);
         let (train, _) = setting.generate_data();
-        let partition =
-            setting.distribution.partition(&train, setting.num_clients, setting.seed);
+        let partition = setting
+            .distribution
+            .partition(&train, setting.num_clients, setting.seed);
         let (mean, stdev) = partition.size_stats();
         assert!(mean > 0.0);
-        assert!(stdev > 0.2 * mean, "stdev {stdev} not imbalanced enough for mean {mean}");
+        assert!(
+            stdev > 0.2 * mean,
+            "stdev {stdev} not imbalanced enough for mean {mean}"
+        );
         assert_eq!(partition.num_clients(), setting.num_clients);
     }
 
@@ -142,7 +166,10 @@ mod tests {
         assert_eq!(setting.num_clients, 200);
         assert_eq!(setting.train_size, 50_000);
         match setting.distribution {
-            DataDistribution::ImbalancedGroups { num_groups, num_shards } => {
+            DataDistribution::ImbalancedGroups {
+                num_groups,
+                num_shards,
+            } => {
                 assert_eq!(num_groups, 100);
                 assert_eq!(num_shards, 10_000);
             }

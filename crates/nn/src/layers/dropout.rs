@@ -34,8 +34,16 @@ impl Dropout {
     /// # Panics
     /// Panics unless `0 ≤ p < 1`.
     pub fn new(p: f32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
-        Dropout { p, training: true, rng: SmallRng::seed_from_u64(seed), mask: None }
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability must be in [0, 1)"
+        );
+        Dropout {
+            p,
+            training: true,
+            rng: SmallRng::seed_from_u64(seed),
+            mask: None,
+        }
     }
 
     /// Drop probability.
@@ -67,7 +75,13 @@ impl Layer for Dropout {
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
         let mask: Vec<f32> = (0..input.len())
-            .map(|_| if self.rng.gen::<f32>() < keep { scale } else { 0.0 })
+            .map(|_| {
+                if self.rng.gen::<f32>() < keep {
+                    scale
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let mut out = input.clone();
         for (o, &m) in out.data_mut().iter_mut().zip(mask.iter()) {

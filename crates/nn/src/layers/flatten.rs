@@ -23,7 +23,10 @@ impl Layer for Flatten {
 
     fn forward(&mut self, input: &Tensor) -> TensorResult<Tensor> {
         if input.rank() < 2 {
-            return Err(TensorError::RankMismatch { expected: 2, actual: input.rank() });
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: input.rank(),
+            });
         }
         let batch = input.dims()[0];
         let rest: usize = input.dims()[1..].iter().product();

@@ -87,7 +87,12 @@ pub(crate) mod gradcheck {
 
     /// Checks `dL/dparams` of `layer` against central finite differences,
     /// where the scalar loss is `sum(layer.forward(input))`.
-    pub fn check_param_gradients(layer: &mut dyn Layer, input: &Tensor, indices: &[usize], tol: f32) {
+    pub fn check_param_gradients(
+        layer: &mut dyn Layer,
+        input: &Tensor,
+        indices: &[usize],
+        tol: f32,
+    ) {
         let out = layer.forward(input).unwrap();
         let grad_out = Tensor::ones(out.dims());
         layer.zero_grads();
@@ -118,7 +123,12 @@ pub(crate) mod gradcheck {
     }
 
     /// Checks `dL/dinput` of `layer` against central finite differences.
-    pub fn check_input_gradients(layer: &mut dyn Layer, input: &Tensor, indices: &[usize], tol: f32) {
+    pub fn check_input_gradients(
+        layer: &mut dyn Layer,
+        input: &Tensor,
+        indices: &[usize],
+        tol: f32,
+    ) {
         let out = layer.forward(input).unwrap();
         let grad_out = Tensor::ones(out.dims());
         layer.zero_grads();

@@ -15,7 +15,12 @@ pub struct MaxPool2d {
 impl MaxPool2d {
     /// Creates a max-pooling layer with the given window size and stride.
     pub fn new(size: usize, stride: usize) -> Self {
-        MaxPool2d { size, stride, cached_argmax: None, cached_input_dims: None }
+        MaxPool2d {
+            size,
+            stride,
+            cached_argmax: None,
+            cached_input_dims: None,
+        }
     }
 }
 
@@ -35,7 +40,10 @@ impl Layer for MaxPool2d {
         let argmax = self.cached_argmax.as_ref().ok_or_else(|| {
             TensorError::InvalidArgument("MaxPool2d::backward called before forward".into())
         })?;
-        let dims = self.cached_input_dims.as_ref().expect("dims cached with argmax");
+        let dims = self
+            .cached_input_dims
+            .as_ref()
+            .expect("dims cached with argmax");
         ops::max_pool2d_backward(grad_output, argmax, dims)
     }
 

@@ -18,7 +18,10 @@ pub struct Reshape {
 impl Reshape {
     /// Creates a reshape layer. `target` excludes the batch dimension.
     pub fn new(target: &[usize]) -> Self {
-        Reshape { target: target.to_vec(), cached_dims: None }
+        Reshape {
+            target: target.to_vec(),
+            cached_dims: None,
+        }
     }
 }
 
@@ -29,13 +32,19 @@ impl Layer for Reshape {
 
     fn forward(&mut self, input: &Tensor) -> TensorResult<Tensor> {
         if input.rank() < 1 {
-            return Err(TensorError::RankMismatch { expected: 2, actual: input.rank() });
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: input.rank(),
+            });
         }
         let batch = input.dims()[0];
         let expected: usize = self.target.iter().product();
         let actual: usize = input.dims()[1..].iter().product();
         if expected != actual {
-            return Err(TensorError::InvalidReshape { from: actual, to: expected });
+            return Err(TensorError::InvalidReshape {
+                from: actual,
+                to: expected,
+            });
         }
         self.cached_dims = Some(input.dims().to_vec());
         let mut dims = vec![batch];

@@ -11,7 +11,10 @@ use fedadmm_tensor::{Tensor, TensorError, TensorResult};
 /// tensor.
 pub fn softmax(logits: &Tensor) -> TensorResult<Tensor> {
     if logits.rank() != 2 {
-        return Err(TensorError::RankMismatch { expected: 2, actual: logits.rank() });
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: logits.rank(),
+        });
     }
     let (batch, classes) = (logits.dims()[0], logits.dims()[1]);
     let mut out = logits.clone();
@@ -42,7 +45,10 @@ pub fn softmax(logits: &Tensor) -> TensorResult<Tensor> {
 /// accumulated gradients are the gradient of the *mean* loss).
 pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> TensorResult<(f32, Tensor)> {
     if logits.rank() != 2 {
-        return Err(TensorError::RankMismatch { expected: 2, actual: logits.rank() });
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: logits.rank(),
+        });
     }
     let (batch, classes) = (logits.dims()[0], logits.dims()[1]);
     if labels.len() != batch {
@@ -73,7 +79,10 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> TensorResult<
 /// Fraction of samples whose argmax prediction matches the label.
 pub fn accuracy(logits: &Tensor, labels: &[usize]) -> TensorResult<f32> {
     if logits.rank() != 2 {
-        return Err(TensorError::RankMismatch { expected: 2, actual: logits.rank() });
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: logits.rank(),
+        });
     }
     let (batch, classes) = (logits.dims()[0], logits.dims()[1]);
     if labels.len() != batch {
@@ -157,8 +166,7 @@ mod tests {
 
     #[test]
     fn gradient_matches_finite_difference() {
-        let mut logits =
-            Tensor::from_vec(vec![0.5, -0.3, 0.8, 0.1, -1.2, 0.4], &[2, 3]).unwrap();
+        let mut logits = Tensor::from_vec(vec![0.5, -0.3, 0.8, 0.1, -1.2, 0.4], &[2, 3]).unwrap();
         let labels = [1usize, 2];
         let (_, grad) = softmax_cross_entropy(&logits, &labels).unwrap();
         let eps = 1e-3f32;

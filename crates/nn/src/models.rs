@@ -87,12 +87,19 @@ impl ModelSpec {
                 Box::new(Relu::new()),
                 Box::new(Linear::new(256, 10, rng)),
             ]),
-            ModelSpec::Mlp { input_dim, hidden_dim, num_classes } => Network::new(vec![
+            ModelSpec::Mlp {
+                input_dim,
+                hidden_dim,
+                num_classes,
+            } => Network::new(vec![
                 Box::new(Linear::new(input_dim, hidden_dim, rng)) as Box<dyn Layer>,
                 Box::new(Relu::new()),
                 Box::new(Linear::new(hidden_dim, num_classes, rng)),
             ]),
-            ModelSpec::Logistic { input_dim, num_classes } => Network::new(vec![
+            ModelSpec::Logistic {
+                input_dim,
+                num_classes,
+            } => Network::new(vec![
                 Box::new(Linear::new(input_dim, num_classes, rng)) as Box<dyn Layer>
             ]),
         }
@@ -124,12 +131,15 @@ impl ModelSpec {
             ModelSpec::Cnn1 => 832 + 51_264 + (3136 * 512 + 512) + (512 * 10 + 10),
             // Conv(3→32,5×5)+b + Conv(32→64,5×5)+b + FC(4096→256)+b + FC(256→10)+b
             ModelSpec::Cnn2 => 2432 + 51_264 + (4096 * 256 + 256) + (256 * 10 + 10),
-            ModelSpec::Mlp { input_dim, hidden_dim, num_classes } => {
-                input_dim * hidden_dim + hidden_dim + hidden_dim * num_classes + num_classes
-            }
-            ModelSpec::Logistic { input_dim, num_classes } => {
-                input_dim * num_classes + num_classes
-            }
+            ModelSpec::Mlp {
+                input_dim,
+                hidden_dim,
+                num_classes,
+            } => input_dim * hidden_dim + hidden_dim + hidden_dim * num_classes + num_classes,
+            ModelSpec::Logistic {
+                input_dim,
+                num_classes,
+            } => input_dim * num_classes + num_classes,
         }
     }
 
@@ -189,10 +199,17 @@ mod tests {
 
     #[test]
     fn mlp_and_logistic_param_counts() {
-        let spec = ModelSpec::Mlp { input_dim: 20, hidden_dim: 16, num_classes: 4 };
+        let spec = ModelSpec::Mlp {
+            input_dim: 20,
+            hidden_dim: 16,
+            num_classes: 4,
+        };
         let mut rng = SmallRng::seed_from_u64(0);
         assert_eq!(spec.build(&mut rng).num_params(), spec.num_params());
-        let spec = ModelSpec::Logistic { input_dim: 20, num_classes: 4 };
+        let spec = ModelSpec::Logistic {
+            input_dim: 20,
+            num_classes: 4,
+        };
         assert_eq!(spec.build(&mut rng).num_params(), spec.num_params());
         assert_eq!(spec.num_params(), 84);
     }
@@ -203,7 +220,11 @@ mod tests {
         assert_eq!(ModelSpec::Cnn2.input_dim(), 3072);
         assert_eq!(ModelSpec::Cnn1.num_classes(), 10);
         assert_eq!(ModelSpec::Cnn1.name(), "CNN1");
-        let mlp = ModelSpec::Mlp { input_dim: 8, hidden_dim: 4, num_classes: 3 };
+        let mlp = ModelSpec::Mlp {
+            input_dim: 8,
+            hidden_dim: 4,
+            num_classes: 3,
+        };
         assert_eq!(mlp.input_dim(), 8);
         assert_eq!(mlp.num_classes(), 3);
         assert!(mlp.name().contains("MLP"));
@@ -211,7 +232,11 @@ mod tests {
 
     #[test]
     fn spec_serde_roundtrip() {
-        let spec = ModelSpec::Mlp { input_dim: 8, hidden_dim: 4, num_classes: 3 };
+        let spec = ModelSpec::Mlp {
+            input_dim: 8,
+            hidden_dim: 4,
+            num_classes: 3,
+        };
         let json = serde_json::to_string(&spec).unwrap();
         let back: ModelSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(spec, back);
@@ -223,13 +248,14 @@ mod tests {
         use crate::optimizer::Sgd;
         // Two linearly separable clusters; a few SGD steps must reduce the loss.
         let mut rng = SmallRng::seed_from_u64(3);
-        let spec = ModelSpec::Mlp { input_dim: 2, hidden_dim: 8, num_classes: 2 };
+        let spec = ModelSpec::Mlp {
+            input_dim: 2,
+            hidden_dim: 8,
+            num_classes: 2,
+        };
         let mut net = spec.build(&mut rng);
-        let x = Tensor::from_vec(
-            vec![2.0, 2.0, 2.5, 1.5, -2.0, -2.0, -1.5, -2.5],
-            &[4, 2],
-        )
-        .unwrap();
+        let x =
+            Tensor::from_vec(vec![2.0, 2.0, 2.5, 1.5, -2.0, -2.0, -1.5, -2.5], &[4, 2]).unwrap();
         let labels = [0usize, 0, 1, 1];
         let sgd = Sgd::new(0.5);
         let mut first_loss = None;
@@ -245,6 +271,9 @@ mod tests {
             first_loss.get_or_insert(loss);
             last_loss = loss;
         }
-        assert!(last_loss < first_loss.unwrap() * 0.5, "loss did not drop: {last_loss}");
+        assert!(
+            last_loss < first_loss.unwrap() * 0.5,
+            "loss did not drop: {last_loss}"
+        );
     }
 }

@@ -21,12 +21,18 @@ impl Sgd {
     /// Creates an SGD optimizer with the given learning rate and no weight
     /// decay.
     pub fn new(learning_rate: f32) -> Self {
-        Sgd { learning_rate, weight_decay: 0.0 }
+        Sgd {
+            learning_rate,
+            weight_decay: 0.0,
+        }
     }
 
     /// Creates an SGD optimizer with weight decay.
     pub fn with_weight_decay(learning_rate: f32, weight_decay: f32) -> Self {
-        Sgd { learning_rate, weight_decay }
+        Sgd {
+            learning_rate,
+            weight_decay,
+        }
     }
 
     /// Performs one update: `params -= lr * (grads + weight_decay * params)`.
@@ -71,7 +77,12 @@ impl MomentumSgd {
     /// Panics unless `0 ≤ momentum < 1`.
     pub fn new(learning_rate: f32, momentum: f32) -> Self {
         assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
-        MomentumSgd { learning_rate, momentum, weight_decay: 0.0, velocity: Vec::new() }
+        MomentumSgd {
+            learning_rate,
+            momentum,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     /// Adds decoupled weight decay.
@@ -86,13 +97,22 @@ impl MomentumSgd {
     /// # Panics
     /// Panics if `params.len() != grads.len()`.
     pub fn step(&mut self, params: &mut [f32], grads: &[f32]) {
-        assert_eq!(params.len(), grads.len(), "MomentumSgd::step length mismatch");
+        assert_eq!(
+            params.len(),
+            grads.len(),
+            "MomentumSgd::step length mismatch"
+        );
         if self.velocity.len() != params.len() {
             self.velocity = vec![0.0; params.len()];
         }
         let lr = self.learning_rate;
         let lr_wd = lr * self.weight_decay;
-        for ((v, p), &g) in self.velocity.iter_mut().zip(params.iter_mut()).zip(grads.iter()) {
+        for ((v, p), &g) in self
+            .velocity
+            .iter_mut()
+            .zip(params.iter_mut())
+            .zip(grads.iter())
+        {
             *v = self.momentum * *v + g;
             *p -= lr * *v;
             if lr_wd != 0.0 {
@@ -191,7 +211,12 @@ mod tests {
             m.step(&mut a, &[1.0]);
             sgd.step(&mut b, &[1.0]);
         }
-        assert!(a[0] < b[0], "momentum {} should descend further than sgd {}", a[0], b[0]);
+        assert!(
+            a[0] < b[0],
+            "momentum {} should descend further than sgd {}",
+            a[0],
+            b[0]
+        );
     }
 
     #[test]

@@ -39,8 +39,14 @@ impl GaussianMechanism {
     /// Panics if `clip_norm <= 0` or `noise_multiplier < 0`.
     pub fn new(clip_norm: f32, noise_multiplier: f32) -> Self {
         assert!(clip_norm > 0.0, "the clipping norm must be positive");
-        assert!(noise_multiplier >= 0.0, "the noise multiplier cannot be negative");
-        GaussianMechanism { clip_norm, noise_multiplier }
+        assert!(
+            noise_multiplier >= 0.0,
+            "the noise multiplier cannot be negative"
+        );
+        GaussianMechanism {
+            clip_norm,
+            noise_multiplier,
+        }
     }
 
     /// Clips `update` in place to ℓ₂ norm `clip_norm` and returns the factor
@@ -117,13 +123,22 @@ impl PrivacyAccountant {
     /// Panics if `noise_multiplier <= 0`, `sampling_rate ∉ (0, 1]` or
     /// `delta ∉ (0, 1)`.
     pub fn new(noise_multiplier: f64, sampling_rate: f64, delta: f64) -> Self {
-        assert!(noise_multiplier > 0.0, "privacy accounting needs a positive noise multiplier");
+        assert!(
+            noise_multiplier > 0.0,
+            "privacy accounting needs a positive noise multiplier"
+        );
         assert!(
             sampling_rate > 0.0 && sampling_rate <= 1.0,
             "the sampling rate must lie in (0, 1]"
         );
         assert!(delta > 0.0 && delta < 1.0, "δ must lie in (0, 1)");
-        PrivacyAccountant { noise_multiplier, sampling_rate, delta, rho_accumulated: 0.0, rounds: 0 }
+        PrivacyAccountant {
+            noise_multiplier,
+            sampling_rate,
+            delta,
+            rho_accumulated: 0.0,
+            rounds: 0,
+        }
     }
 
     /// The zCDP cost of one round:
@@ -144,7 +159,12 @@ impl PrivacyAccountant {
     pub fn spent(&self) -> PrivacySpent {
         let rho = self.rho_accumulated;
         let epsilon = rho + 2.0 * (rho * (1.0 / self.delta).ln()).sqrt();
-        PrivacySpent { rho_zcdp: rho, epsilon, delta: self.delta, rounds: self.rounds }
+        PrivacySpent {
+            rho_zcdp: rho,
+            epsilon,
+            delta: self.delta,
+            rounds: self.rounds,
+        }
     }
 
     /// The guarantee a run of `rounds` rounds would have (without mutating
@@ -152,7 +172,12 @@ impl PrivacyAccountant {
     pub fn forecast(&self, rounds: usize) -> PrivacySpent {
         let rho = self.rho_accumulated + rounds as f64 * self.rho_per_round();
         let epsilon = rho + 2.0 * (rho * (1.0 / self.delta).ln()).sqrt();
-        PrivacySpent { rho_zcdp: rho, epsilon, delta: self.delta, rounds: self.rounds + rounds }
+        PrivacySpent {
+            rho_zcdp: rho,
+            epsilon,
+            delta: self.delta,
+            rounds: self.rounds + rounds,
+        }
     }
 }
 
@@ -256,7 +281,10 @@ mod tests {
         let e100 = acc.forecast(100).epsilon;
         let e400 = acc.forecast(400).epsilon;
         assert!(e400 > e100);
-        assert!(e400 < 4.0 * e100, "ε must compose sublinearly: {e100} vs {e400}");
+        assert!(
+            e400 < 4.0 * e100,
+            "ε must compose sublinearly: {e100} vs {e400}"
+        );
         // And with everything else fixed, more noise means less ε.
         let quieter = PrivacyAccountant::new(2.0, 0.1, 1e-5);
         assert!(quieter.forecast(100).epsilon < e100);

@@ -31,7 +31,10 @@ impl SecureAggregator {
     /// dimension. `round_seed` stands in for the session keys agreed for
     /// this round.
     pub fn new(round_seed: u64, participants: &[usize], dim: usize) -> Self {
-        assert!(!participants.is_empty(), "secure aggregation needs at least one participant");
+        assert!(
+            !participants.is_empty(),
+            "secure aggregation needs at least one participant"
+        );
         assert!(dim > 0, "the masked vectors must have positive dimension");
         let mut sorted = participants.to_vec();
         sorted.sort_unstable();
@@ -41,7 +44,11 @@ impl SecureAggregator {
             participants.len(),
             "participant ids must be distinct within a round"
         );
-        SecureAggregator { round_seed, participants: sorted, dim }
+        SecureAggregator {
+            round_seed,
+            participants: sorted,
+            dim,
+        }
     }
 
     /// The participants of this round, sorted.
@@ -108,7 +115,11 @@ impl SecureAggregator {
             );
         }
         let mut correction = vec![0.0f32; self.dim];
-        for &survivor in self.participants.iter().filter(|p| !dropped_set.contains(p)) {
+        for &survivor in self
+            .participants
+            .iter()
+            .filter(|p| !dropped_set.contains(p))
+        {
             for &gone in &dropped_set {
                 // The survivor applied ±m_{survivor,gone}; the dropped client
                 // would have applied the opposite sign. Cancel the survivor's
@@ -148,7 +159,9 @@ mod tests {
         clients
             .iter()
             .map(|&c| {
-                let v: Vec<f32> = (0..dim).map(|j| scale * (c as f32 + 1.0) * (j as f32 + 1.0)).collect();
+                let v: Vec<f32> = (0..dim)
+                    .map(|j| scale * (c as f32 + 1.0) * (j as f32 + 1.0))
+                    .collect();
                 (c, v)
             })
             .collect()
@@ -187,8 +200,12 @@ mod tests {
         agg.apply_mask(0, &mut masked);
         // The mask is O(1) per coordinate while the update is 0.01 — the
         // masked vector is dominated by the mask.
-        let dist: f32 =
-            masked.iter().zip(raw.iter()).map(|(a, b)| (a - b) * (a - b)).sum::<f32>().sqrt();
+        let dist: f32 = masked
+            .iter()
+            .zip(raw.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            .sqrt();
         assert!(dist > 1.0, "masking changed the vector by only {dist}");
     }
 
@@ -204,7 +221,10 @@ mod tests {
         let m0 = agg.mask_for(0);
         let m1 = agg.mask_for(1);
         for (a, b) in m0.iter().zip(m1.iter()) {
-            assert!((a + b).abs() < 1e-7, "masks must cancel pairwise: {a} vs {b}");
+            assert!(
+                (a + b).abs() < 1e-7,
+                "masks must cancel pairwise: {a} vs {b}"
+            );
         }
     }
 
@@ -217,8 +237,11 @@ mod tests {
         // Clients 6 and 10 fail after masking was set up: their updates never
         // arrive. The server sums the surviving masked updates…
         let dropped = [6usize, 10];
-        let surviving: Vec<(usize, Vec<f32>)> =
-            ups.iter().filter(|(c, _)| !dropped.contains(c)).cloned().collect();
+        let surviving: Vec<(usize, Vec<f32>)> = ups
+            .iter()
+            .filter(|(c, _)| !dropped.contains(c))
+            .cloned()
+            .collect();
         let mut server_sum = agg.masked_sum(&surviving);
         // …and applies the reconstruction correction.
         let correction = agg.dropout_correction(&dropped);

@@ -102,7 +102,7 @@ mod tests {
     use super::*;
     use fedadmm_core::algorithms::{FedAdmm, FedAvg, ServerStepSize};
     use fedadmm_core::config::{DataDistribution, FedConfig, Participation};
-    use fedadmm_core::simulation::Simulation;
+    use fedadmm_core::engine::{RoundEngine, SyncRounds};
     use fedadmm_data::batching::BatchSize;
     use fedadmm_data::synthetic::SyntheticDataset;
     use fedadmm_nn::models::ModelSpec;
@@ -115,7 +115,10 @@ mod tests {
             system_heterogeneity: false,
             batch_size: BatchSize::Size(16),
             local_learning_rate: 0.1,
-            model: ModelSpec::Logistic { input_dim: 784, num_classes: 10 },
+            model: ModelSpec::Logistic {
+                input_dim: 784,
+                num_classes: 10,
+            },
             seed,
             eval_subset: usize::MAX,
         }
@@ -143,7 +146,7 @@ mod tests {
         let cfg = config(6, 3);
         let (train, test) = SyntheticDataset::Mnist.generate(120, 30, 3);
         let partition = DataDistribution::Iid.partition(&train, 6, 3);
-        let mut sim = Simulation::new(cfg, train, test, partition, alg).unwrap();
+        let mut sim = RoundEngine::new(cfg, train, test, partition, alg, SyncRounds).unwrap();
         sim.run_round().unwrap();
         // FedAvg uploads the full model; after one round the (averaged)
         // global model is an average of clipped vectors, hence also ≤ C.
@@ -156,15 +159,16 @@ mod tests {
         let (train, test) = SyntheticDataset::Mnist.generate(120, 30, 5);
         let partition = DataDistribution::Iid.partition(&train, 6, 5);
 
-        let mut plain = Simulation::new(
+        let mut plain = RoundEngine::new(
             cfg,
             train.clone(),
             test.clone(),
             partition.clone(),
             FedAdmm::new(0.3, ServerStepSize::Constant(1.0)),
+            SyncRounds,
         )
         .unwrap();
-        let mut wrapped = Simulation::new(
+        let mut wrapped = RoundEngine::new(
             cfg,
             train,
             test,
@@ -173,6 +177,7 @@ mod tests {
                 FedAdmm::new(0.3, ServerStepSize::Constant(1.0)),
                 GaussianMechanism::new(1e6, 0.0),
             ),
+            SyncRounds,
         )
         .unwrap();
         plain.run_rounds(3).unwrap();
@@ -189,7 +194,7 @@ mod tests {
         let (train, test) = SyntheticDataset::Mnist.generate(400, 100, 7);
         let partition = DataDistribution::Iid.partition(&train, 8, 7);
 
-        let mut noisy = Simulation::new(
+        let mut noisy = RoundEngine::new(
             cfg,
             train.clone(),
             test.clone(),
@@ -198,14 +203,16 @@ mod tests {
                 FedAdmm::new(0.3, ServerStepSize::Constant(1.0)),
                 GaussianMechanism::new(20.0, 1e-3),
             ),
+            SyncRounds,
         )
         .unwrap();
-        let mut plain = Simulation::new(
+        let mut plain = RoundEngine::new(
             cfg,
             train,
             test,
             partition,
             FedAdmm::new(0.3, ServerStepSize::Constant(1.0)),
+            SyncRounds,
         )
         .unwrap();
         let (_, acc0) = noisy.evaluate_global().unwrap();
@@ -213,7 +220,10 @@ mod tests {
         plain.run_rounds(8).unwrap();
         assert!(plain.global_model().dist(noisy.global_model()) > 1e-6);
         let best = noisy.history().best_accuracy();
-        assert!(best > acc0 + 0.15, "private run failed to learn: {acc0} → {best}");
+        assert!(
+            best > acc0 + 0.15,
+            "private run failed to learn: {acc0} → {best}"
+        );
     }
 
     #[test]
@@ -222,15 +232,13 @@ mod tests {
         let make = || {
             let (train, test) = SyntheticDataset::Mnist.generate(120, 30, 11);
             let partition = DataDistribution::Iid.partition(&train, 6, 11);
-            Simulation::new(
+            RoundEngine::new(
                 cfg,
                 train,
                 test,
                 partition,
-                PrivateAlgorithm::new(
-                    FedAvg::new(),
-                    GaussianMechanism::new(1.0, 0.05),
-                ),
+                PrivateAlgorithm::new(FedAvg::new(), GaussianMechanism::new(1.0, 0.05)),
+                SyncRounds,
             )
             .unwrap()
         };

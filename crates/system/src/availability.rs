@@ -44,12 +44,18 @@ impl AvailabilityModel {
         match *self {
             AvailabilityModel::AlwaysOn => {}
             AvailabilityModel::Bernoulli { p } => {
-                assert!((0.0..=1.0).contains(&p), "availability probability must lie in [0, 1]");
+                assert!(
+                    (0.0..=1.0).contains(&p),
+                    "availability probability must lie in [0, 1]"
+                );
                 assert!(p > 0.0, "p = 0 would starve every client forever");
             }
             AvailabilityModel::Markov { p_fail, p_recover } => {
                 assert!((0.0..=1.0).contains(&p_fail), "p_fail must lie in [0, 1]");
-                assert!((0.0..=1.0).contains(&p_recover), "p_recover must lie in [0, 1]");
+                assert!(
+                    (0.0..=1.0).contains(&p_recover),
+                    "p_recover must lie in [0, 1]"
+                );
                 assert!(
                     p_recover > 0.0,
                     "p_recover = 0 would let clients go offline forever, violating the \
@@ -87,7 +93,10 @@ impl AvailabilityState {
     pub fn new(model: AvailabilityModel, num_clients: usize) -> Self {
         model.validate();
         assert!(num_clients > 0, "need at least one client");
-        AvailabilityState { model, online: vec![true; num_clients] }
+        AvailabilityState {
+            model,
+            online: vec![true; num_clients],
+        }
     }
 
     /// Number of clients tracked.
@@ -100,12 +109,16 @@ impl AvailabilityState {
     pub fn step(&mut self, rng: &mut impl Rng) -> Vec<usize> {
         match self.model {
             AvailabilityModel::AlwaysOn => (0..self.online.len()).collect(),
-            AvailabilityModel::Bernoulli { p } => (0..self.online.len())
-                .filter(|_| rng.gen_bool(p))
-                .collect(),
+            AvailabilityModel::Bernoulli { p } => {
+                (0..self.online.len()).filter(|_| rng.gen_bool(p)).collect()
+            }
             AvailabilityModel::Markov { p_fail, p_recover } => {
                 for state in self.online.iter_mut() {
-                    *state = if *state { !rng.gen_bool(p_fail) } else { rng.gen_bool(p_recover) };
+                    *state = if *state {
+                        !rng.gen_bool(p_fail)
+                    } else {
+                        rng.gen_bool(p_recover)
+                    };
                 }
                 self.online
                     .iter()
@@ -125,7 +138,11 @@ impl AvailabilityState {
     /// clients that are both selected and available take part in the round.
     pub fn filter_selection(selected: &[usize], available: &[usize]) -> Vec<usize> {
         let set: std::collections::HashSet<usize> = available.iter().copied().collect();
-        selected.iter().copied().filter(|c| set.contains(c)).collect()
+        selected
+            .iter()
+            .copied()
+            .filter(|c| set.contains(c))
+            .collect()
     }
 }
 
@@ -205,7 +222,10 @@ mod tests {
 
     #[test]
     fn markov_availability_is_bursty_but_recovers() {
-        let model = AvailabilityModel::Markov { p_fail: 0.1, p_recover: 0.3 };
+        let model = AvailabilityModel::Markov {
+            p_fail: 0.1,
+            p_recover: 0.3,
+        };
         assert!((model.steady_state_availability() - 0.75).abs() < 1e-12);
         let mut state = AvailabilityState::new(model, 50);
         let mut rng = SmallRng::seed_from_u64(2);
@@ -263,7 +283,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "infinitely-often")]
     fn markov_without_recovery_is_rejected() {
-        AvailabilityState::new(AvailabilityModel::Markov { p_fail: 0.5, p_recover: 0.0 }, 3);
+        AvailabilityState::new(
+            AvailabilityModel::Markov {
+                p_fail: 0.5,
+                p_recover: 0.0,
+            },
+            3,
+        );
     }
 
     #[test]

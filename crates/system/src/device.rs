@@ -35,10 +35,21 @@ impl DeviceProfile {
         download_mbps: f64,
         latency_ms: f64,
     ) -> Self {
-        assert!(compute_samples_per_sec > 0.0, "compute throughput must be positive");
-        assert!(upload_mbps > 0.0 && download_mbps > 0.0, "bandwidths must be positive");
+        assert!(
+            compute_samples_per_sec > 0.0,
+            "compute throughput must be positive"
+        );
+        assert!(
+            upload_mbps > 0.0 && download_mbps > 0.0,
+            "bandwidths must be positive"
+        );
         assert!(latency_ms >= 0.0, "latency cannot be negative");
-        DeviceProfile { compute_samples_per_sec, upload_mbps, download_mbps, latency_ms }
+        DeviceProfile {
+            compute_samples_per_sec,
+            upload_mbps,
+            download_mbps,
+            latency_ms,
+        }
     }
 
     /// Seconds this device needs to process `samples` training samples.
@@ -74,7 +85,12 @@ pub enum DeviceClass {
 impl DeviceClass {
     /// All tiers, from fastest to slowest compute.
     pub fn all() -> [DeviceClass; 4] {
-        [DeviceClass::EdgeGateway, DeviceClass::HighEnd, DeviceClass::MidRange, DeviceClass::LowEnd]
+        [
+            DeviceClass::EdgeGateway,
+            DeviceClass::HighEnd,
+            DeviceClass::MidRange,
+            DeviceClass::LowEnd,
+        ]
     }
 
     /// The nominal profile of this tier. The absolute numbers are
@@ -99,14 +115,19 @@ pub struct DevicePopulation {
 impl DevicePopulation {
     /// Wraps an explicit list of profiles.
     pub fn new(profiles: Vec<DeviceProfile>) -> Self {
-        assert!(!profiles.is_empty(), "a population needs at least one device");
+        assert!(
+            !profiles.is_empty(),
+            "a population needs at least one device"
+        );
         DevicePopulation { profiles }
     }
 
     /// Every client gets the same profile (the homogeneous control case).
     pub fn homogeneous(num_clients: usize, profile: DeviceProfile) -> Self {
         assert!(num_clients > 0);
-        DevicePopulation { profiles: vec![profile; num_clients] }
+        DevicePopulation {
+            profiles: vec![profile; num_clients],
+        }
     }
 
     /// Builds a fleet from `(class, fraction)` tiers; fractions are
@@ -194,9 +215,17 @@ impl DevicePopulation {
     /// `(min, median, max)` compute throughput across the fleet — a quick
     /// summary of how heterogeneous the fleet is.
     pub fn compute_spread(&self) -> (f64, f64, f64) {
-        let mut speeds: Vec<f64> = self.profiles.iter().map(|p| p.compute_samples_per_sec).collect();
+        let mut speeds: Vec<f64> = self
+            .profiles
+            .iter()
+            .map(|p| p.compute_samples_per_sec)
+            .collect();
         speeds.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        (speeds[0], speeds[speeds.len() / 2], speeds[speeds.len() - 1])
+        (
+            speeds[0],
+            speeds[speeds.len() / 2],
+            speeds[speeds.len() - 1],
+        )
     }
 }
 
@@ -224,10 +253,15 @@ mod tests {
 
     #[test]
     fn device_classes_are_ordered_by_speed() {
-        let speeds: Vec<f64> =
-            DeviceClass::all().iter().map(|c| c.profile().compute_samples_per_sec).collect();
+        let speeds: Vec<f64> = DeviceClass::all()
+            .iter()
+            .map(|c| c.profile().compute_samples_per_sec)
+            .collect();
         for pair in speeds.windows(2) {
-            assert!(pair[0] > pair[1], "classes must be listed fastest first: {speeds:?}");
+            assert!(
+                pair[0] > pair[1],
+                "classes must be listed fastest first: {speeds:?}"
+            );
         }
         // The fleet spans more than an order of magnitude — the regime where
         // stragglers dominate synchronous rounds.
@@ -238,15 +272,24 @@ mod tests {
     fn tiered_population_has_requested_size_and_mixture() {
         let pop = DevicePopulation::tiered(
             100,
-            &[(DeviceClass::HighEnd, 0.2), (DeviceClass::MidRange, 0.5), (DeviceClass::LowEnd, 0.3)],
+            &[
+                (DeviceClass::HighEnd, 0.2),
+                (DeviceClass::MidRange, 0.5),
+                (DeviceClass::LowEnd, 0.3),
+            ],
             7,
         );
         assert_eq!(pop.len(), 100);
         let high = pop
             .iter()
-            .filter(|p| p.compute_samples_per_sec == DeviceClass::HighEnd.profile().compute_samples_per_sec)
+            .filter(|p| {
+                p.compute_samples_per_sec == DeviceClass::HighEnd.profile().compute_samples_per_sec
+            })
             .count();
-        assert!((15..=25).contains(&high), "expected ≈20 high-end devices, got {high}");
+        assert!(
+            (15..=25).contains(&high),
+            "expected ≈20 high-end devices, got {high}"
+        );
         let (min, _, max) = pop.compute_spread();
         assert!(max > min);
     }
@@ -267,7 +310,10 @@ mod tests {
         assert_eq!(pop.len(), 500);
         let (min, median, max) = pop.compute_spread();
         assert!(min < 400.0 && max > 400.0);
-        assert!((median / 400.0) > 0.5 && (median / 400.0) < 2.0, "median {median}");
+        assert!(
+            (median / 400.0) > 0.5 && (median / 400.0) < 2.0,
+            "median {median}"
+        );
         // σ = 1 must produce a genuinely heterogeneous fleet.
         assert!(max / min > 10.0);
     }

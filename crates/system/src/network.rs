@@ -26,7 +26,10 @@ pub struct NetworkModel {
 
 impl Default for NetworkModel {
     fn default() -> Self {
-        NetworkModel { per_message_overhead_bytes: 1024, payload_expansion: 1.0 }
+        NetworkModel {
+            per_message_overhead_bytes: 1024,
+            payload_expansion: 1.0,
+        }
     }
 }
 
@@ -34,12 +37,18 @@ impl NetworkModel {
     /// A model with no overhead at all — useful for unit tests and for
     /// reporting the paper's idealised float counts.
     pub fn ideal() -> Self {
-        NetworkModel { per_message_overhead_bytes: 0, payload_expansion: 1.0 }
+        NetworkModel {
+            per_message_overhead_bytes: 0,
+            payload_expansion: 1.0,
+        }
     }
 
     /// Bytes on the wire for a message carrying `floats` model parameters.
     pub fn message_bytes(&self, floats: usize) -> usize {
-        assert!(self.payload_expansion >= 1.0, "payload expansion cannot shrink the payload");
+        assert!(
+            self.payload_expansion >= 1.0,
+            "payload expansion cannot shrink the payload"
+        );
         let payload = (floats * BYTES_PER_FLOAT) as f64 * self.payload_expansion;
         self.per_message_overhead_bytes + payload.ceil() as usize
     }
@@ -57,7 +66,10 @@ impl NetworkModel {
     /// Total bytes uploaded by a round in which each entry of
     /// `floats_per_client` is one client's upload size.
     pub fn round_upload_bytes(&self, floats_per_client: &[usize]) -> usize {
-        floats_per_client.iter().map(|&f| self.message_bytes(f)).sum()
+        floats_per_client
+            .iter()
+            .map(|&f| self.message_bytes(f))
+            .sum()
     }
 }
 
@@ -82,14 +94,20 @@ mod tests {
 
     #[test]
     fn payload_expansion_inflates_the_payload_only() {
-        let net = NetworkModel { per_message_overhead_bytes: 10, payload_expansion: 1.5 };
+        let net = NetworkModel {
+            per_message_overhead_bytes: 10,
+            payload_expansion: 1.5,
+        };
         assert_eq!(net.message_bytes(100), 10 + 600);
     }
 
     #[test]
     #[should_panic(expected = "cannot shrink")]
     fn shrinking_expansion_is_rejected() {
-        let net = NetworkModel { per_message_overhead_bytes: 0, payload_expansion: 0.5 };
+        let net = NetworkModel {
+            per_message_overhead_bytes: 0,
+            payload_expansion: 0.5,
+        };
         net.message_bytes(10);
     }
 

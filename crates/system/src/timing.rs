@@ -72,7 +72,10 @@ impl RoundTiming {
         network: &NetworkModel,
         policy: StragglerPolicy,
     ) -> Self {
-        assert!(!work.is_empty(), "a round needs at least one selected client");
+        assert!(
+            !work.is_empty(),
+            "a round needs at least one selected client"
+        );
         let client_seconds: Vec<f64> = work
             .iter()
             .map(|w| {
@@ -99,9 +102,7 @@ impl RoundTiming {
             }
         };
         let round_seconds = match policy {
-            StragglerPolicy::WaitForAll => {
-                client_seconds.iter().copied().fold(0.0f64, f64::max)
-            }
+            StragglerPolicy::WaitForAll => client_seconds.iter().copied().fold(0.0f64, f64::max),
             StragglerPolicy::Deadline { seconds } => {
                 let slowest_survivor = work
                     .iter()
@@ -125,7 +126,13 @@ impl RoundTiming {
                 .map(|w| w.upload_floats)
                 .collect::<Vec<_>>(),
         );
-        RoundTiming { round_seconds, client_seconds, completed, dropped, upload_bytes }
+        RoundTiming {
+            round_seconds,
+            client_seconds,
+            completed,
+            dropped,
+            upload_bytes,
+        }
     }
 
     /// Fraction of selected clients that completed the round.
@@ -142,7 +149,11 @@ impl RoundTiming {
     /// value near 1 means a homogeneous round; large values mean the server
     /// spends most of the round waiting.
     pub fn straggler_ratio(&self) -> f64 {
-        let min = self.client_seconds.iter().copied().fold(f64::INFINITY, f64::min);
+        let min = self
+            .client_seconds
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
         let max = self.client_seconds.iter().copied().fold(0.0f64, f64::max);
         if min > 0.0 {
             max / min
@@ -171,7 +182,8 @@ impl WallClockTrace {
         let prev_s = self.cumulative_seconds.last().copied().unwrap_or(0.0);
         let prev_b = self.cumulative_upload_bytes.last().copied().unwrap_or(0);
         self.cumulative_seconds.push(prev_s + timing.round_seconds);
-        self.cumulative_upload_bytes.push(prev_b + timing.upload_bytes);
+        self.cumulative_upload_bytes
+            .push(prev_b + timing.upload_bytes);
         self.dropped_per_round.push(timing.dropped.len());
     }
 
@@ -269,7 +281,8 @@ mod tests {
 
     #[test]
     fn deadline_with_no_stragglers_ends_at_the_slowest_survivor() {
-        let devices = DevicePopulation::homogeneous(4, DeviceProfile::new(100.0, 100.0, 100.0, 0.0));
+        let devices =
+            DevicePopulation::homogeneous(4, DeviceProfile::new(100.0, 100.0, 100.0, 0.0));
         let net = NetworkModel::ideal();
         let work = uniform_work(&[0, 1, 2, 3], 100, 0);
         let timing = RoundTiming::compute(
@@ -346,7 +359,12 @@ mod tests {
     #[should_panic(expected = "at least one selected client")]
     fn empty_round_is_rejected() {
         let devices = DevicePopulation::homogeneous(1, DeviceClass::HighEnd.profile());
-        RoundTiming::compute(&[], &devices, &NetworkModel::ideal(), StragglerPolicy::WaitForAll);
+        RoundTiming::compute(
+            &[],
+            &devices,
+            &NetworkModel::ideal(),
+            StragglerPolicy::WaitForAll,
+        );
     }
 
     #[test]

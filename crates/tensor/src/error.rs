@@ -64,7 +64,10 @@ pub enum TensorError {
 impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TensorError::DataShapeMismatch { data_len, shape_len } => write!(
+            TensorError::DataShapeMismatch {
+                data_len,
+                shape_len,
+            } => write!(
                 f,
                 "data length {data_len} does not match shape element count {shape_len}"
             ),
@@ -83,7 +86,10 @@ impl fmt::Display for TensorError {
                 write!(f, "index {index:?} out of bounds for shape {shape:?}")
             }
             TensorError::InvalidReshape { from, to } => {
-                write!(f, "cannot reshape tensor with {from} elements into shape with {to} elements")
+                write!(
+                    f,
+                    "cannot reshape tensor with {from} elements into shape with {to} elements"
+                )
             }
             TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
         }
@@ -98,14 +104,20 @@ mod tests {
 
     #[test]
     fn display_data_shape_mismatch() {
-        let e = TensorError::DataShapeMismatch { data_len: 3, shape_len: 4 };
+        let e = TensorError::DataShapeMismatch {
+            data_len: 3,
+            shape_len: 4,
+        };
         assert!(e.to_string().contains("3"));
         assert!(e.to_string().contains("4"));
     }
 
     #[test]
     fn display_shape_mismatch() {
-        let e = TensorError::ShapeMismatch { left: vec![2, 3], right: vec![3, 2] };
+        let e = TensorError::ShapeMismatch {
+            left: vec![2, 3],
+            right: vec![3, 2],
+        };
         let s = e.to_string();
         assert!(s.contains("[2, 3]"));
         assert!(s.contains("[3, 2]"));
@@ -113,7 +125,10 @@ mod tests {
 
     #[test]
     fn display_matmul_mismatch() {
-        let e = TensorError::MatmulDimMismatch { left: (2, 3), right: (4, 5) };
+        let e = TensorError::MatmulDimMismatch {
+            left: (2, 3),
+            right: (4, 5),
+        };
         assert!(e.to_string().contains("2x3"));
     }
 

@@ -39,14 +39,29 @@ fn check_shapes(
     bias: &Tensor,
 ) -> TensorResult<(usize, usize, usize, usize, usize, usize, usize)> {
     if input.rank() != 4 {
-        return Err(TensorError::RankMismatch { expected: 4, actual: input.rank() });
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: input.rank(),
+        });
     }
     if weight.rank() != 4 {
-        return Err(TensorError::RankMismatch { expected: 4, actual: weight.rank() });
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: weight.rank(),
+        });
     }
-    let [batch, in_c, h, w] = [input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]];
-    let [out_c, w_in_c, kh, kw] =
-        [weight.dims()[0], weight.dims()[1], weight.dims()[2], weight.dims()[3]];
+    let [batch, in_c, h, w] = [
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    ];
+    let [out_c, w_in_c, kh, kw] = [
+        weight.dims()[0],
+        weight.dims()[1],
+        weight.dims()[2],
+        weight.dims()[3],
+    ];
     if in_c != w_in_c {
         return Err(TensorError::ShapeMismatch {
             left: input.dims().to_vec(),
@@ -162,7 +177,9 @@ pub fn conv2d_forward(
 ) -> TensorResult<Tensor> {
     let (batch, in_c, h, w, out_c, kh, kw) = check_shapes(input, weight, bias)?;
     if stride == 0 {
-        return Err(TensorError::InvalidArgument("stride must be positive".into()));
+        return Err(TensorError::InvalidArgument(
+            "stride must be positive".into(),
+        ));
     }
     let out_h = conv2d_output_size(h, kh, stride, padding);
     let out_w = conv2d_output_size(w, kw, stride, padding);
@@ -179,7 +196,9 @@ pub fn conv2d_forward(
     let process_sample = |b: usize, out_sample: &mut [f32]| {
         let mut col = vec![0.0f32; col_rows * out_hw];
         let sample = &input_data[b * sample_in..(b + 1) * sample_in];
-        im2col(sample, &mut col, in_c, h, w, kh, kw, stride, padding, out_h, out_w);
+        im2col(
+            sample, &mut col, in_c, h, w, kh, kw, stride, padding, out_h, out_w,
+        );
         // out_sample[out_c × out_hw] = weight[out_c × col_rows] · col[col_rows × out_hw]
         matmul_into(weight_data, &col, out_sample, out_c, col_rows, out_hw);
         for oc in 0..out_c {
@@ -241,7 +260,9 @@ pub fn conv2d_backward(
     let compute_sample = |b: usize| -> Partial {
         let mut col = vec![0.0f32; col_rows * out_hw];
         let sample = &input_data[b * sample_in..(b + 1) * sample_in];
-        im2col(sample, &mut col, in_c, h, w, kh, kw, stride, padding, out_h, out_w);
+        im2col(
+            sample, &mut col, in_c, h, w, kh, kw, stride, padding, out_h, out_w,
+        );
         let go = &grad_out_data[b * sample_out..(b + 1) * sample_out];
 
         // grad_weight[out_c × col_rows] += go[out_c × out_hw] · colᵀ[out_hw × col_rows]
@@ -281,8 +302,15 @@ pub fn conv2d_backward(
             }
         }
         let mut gi = vec![0.0f32; sample_in];
-        col2im(&grad_col, &mut gi, in_c, h, w, kh, kw, stride, padding, out_h, out_w);
-        Partial { grad_weight: gw, grad_bias: gb, grad_input: gi, index: b }
+        col2im(
+            &grad_col, &mut gi, in_c, h, w, kh, kw, stride, padding, out_h, out_w,
+        );
+        Partial {
+            grad_weight: gw,
+            grad_bias: gb,
+            grad_input: gi,
+            index: b,
+        }
     };
 
     let partials: Vec<Partial> = if batch > 1 {
@@ -406,9 +434,7 @@ mod tests {
         let bias = crate::init::randn(&[3], 0.0, 0.5, &mut rng);
 
         // Scalar objective: sum of outputs.
-        let loss = |w: &Tensor| -> f32 {
-            conv2d_forward(&input, w, &bias, 1, 1).unwrap().sum()
-        };
+        let loss = |w: &Tensor| -> f32 { conv2d_forward(&input, w, &bias, 1, 1).unwrap().sum() };
         let out = conv2d_forward(&input, &weight, &bias, 1, 1).unwrap();
         let grad_out = Tensor::ones(out.dims());
         let grads = conv2d_backward(&input, &weight, &grad_out, 1, 1).unwrap();
@@ -440,8 +466,7 @@ mod tests {
         let weight = crate::init::randn(&[2, 2, 3, 3], 0.0, 0.5, &mut rng);
         let bias = Tensor::zeros(&[2]);
 
-        let loss =
-            |x: &Tensor| -> f32 { conv2d_forward(x, &weight, &bias, 1, 1).unwrap().sum() };
+        let loss = |x: &Tensor| -> f32 { conv2d_forward(x, &weight, &bias, 1, 1).unwrap().sum() };
         let out = conv2d_forward(&input, &weight, &bias, 1, 1).unwrap();
         let grad_out = Tensor::ones(out.dims());
         let grads = conv2d_backward(&input, &weight, &grad_out, 1, 1).unwrap();

@@ -23,7 +23,10 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> TensorResult<Tensor> {
     let (m, k) = a.shape().as_matrix()?;
     let (k2, n) = b.shape().as_matrix()?;
     if k != k2 {
-        return Err(TensorError::MatmulDimMismatch { left: (m, k), right: (k2, n) });
+        return Err(TensorError::MatmulDimMismatch {
+            left: (m, k),
+            right: (k2, n),
+        });
     }
     let mut out = vec![0.0f32; m * n];
     matmul_into(a.data(), b.data(), &mut out, m, k, n);
@@ -35,7 +38,10 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> TensorResult<Tensor> {
     let (k, m) = a.shape().as_matrix()?;
     let (k2, n) = b.shape().as_matrix()?;
     if k != k2 {
-        return Err(TensorError::MatmulDimMismatch { left: (m, k), right: (k2, n) });
+        return Err(TensorError::MatmulDimMismatch {
+            left: (m, k),
+            right: (k2, n),
+        });
     }
     let a_data = a.data();
     let b_data = b.data();
@@ -65,7 +71,10 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> TensorResult<Tensor> {
     let (m, k) = a.shape().as_matrix()?;
     let (n, k2) = b.shape().as_matrix()?;
     if k != k2 {
-        return Err(TensorError::MatmulDimMismatch { left: (m, k), right: (n, k2) });
+        return Err(TensorError::MatmulDimMismatch {
+            left: (m, k),
+            right: (n, k2),
+        });
     }
     let a_data = a.data();
     let b_data = b.data();
@@ -83,7 +92,9 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> TensorResult<Tensor> {
         }
     };
     if work >= PARALLEL_THRESHOLD {
-        out.par_chunks_mut(n).enumerate().for_each(|(i, row)| row_job(i, row));
+        out.par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, row)| row_job(i, row));
     } else {
         for (i, row) in out.chunks_mut(n).enumerate() {
             row_job(i, row);
@@ -113,7 +124,9 @@ pub(crate) fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: us
         }
     };
     if m * k * n >= PARALLEL_THRESHOLD {
-        out.par_chunks_mut(n).enumerate().for_each(|(i, row)| row_job(i, row));
+        out.par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, row)| row_job(i, row));
     } else {
         for (i, row) in out.chunks_mut(n).enumerate() {
             row_job(i, row);

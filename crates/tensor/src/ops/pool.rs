@@ -23,15 +23,28 @@ pub struct MaxPoolOutput {
 /// Input shape `[batch, channels, h, w]`; output spatial size is
 /// `(h - size) / stride + 1` (no padding — the paper's models pool even
 /// spatial sizes exactly).
-pub fn max_pool2d_forward(input: &Tensor, size: usize, stride: usize) -> TensorResult<MaxPoolOutput> {
+pub fn max_pool2d_forward(
+    input: &Tensor,
+    size: usize,
+    stride: usize,
+) -> TensorResult<MaxPoolOutput> {
     if input.rank() != 4 {
-        return Err(TensorError::RankMismatch { expected: 4, actual: input.rank() });
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: input.rank(),
+        });
     }
     if size == 0 || stride == 0 {
-        return Err(TensorError::InvalidArgument("pool size and stride must be positive".into()));
+        return Err(TensorError::InvalidArgument(
+            "pool size and stride must be positive".into(),
+        ));
     }
-    let [batch, channels, h, w] =
-        [input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]];
+    let [batch, channels, h, w] = [
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    ];
     if h < size || w < size {
         return Err(TensorError::InvalidArgument(format!(
             "pool window {size} larger than input {h}x{w}"
@@ -175,8 +188,7 @@ mod tests {
     fn gradient_is_subgradient_of_max() {
         // Perturbing the max element changes the pooled output; perturbing a
         // non-max element does not. The backward pass must reflect exactly that.
-        let input =
-            Tensor::from_vec(vec![1.0, 2.0, 3.0, 9.0], &[1, 1, 2, 2]).unwrap();
+        let input = Tensor::from_vec(vec![1.0, 2.0, 3.0, 9.0], &[1, 1, 2, 2]).unwrap();
         let fwd = max_pool2d_forward(&input, 2, 2).unwrap();
         let grad_out = Tensor::ones(&[1, 1, 1, 1]);
         let grad_in = max_pool2d_backward(&grad_out, &fwd.argmax, input.dims()).unwrap();

@@ -18,7 +18,9 @@ impl Shape {
     ///
     /// A scalar is represented by an empty dimension list.
     pub fn new(dims: &[usize]) -> Self {
-        Shape { dims: dims.to_vec() }
+        Shape {
+            dims: dims.to_vec(),
+        }
     }
 
     /// Returns the dimension sizes.
@@ -92,7 +94,10 @@ impl Shape {
         match self.dims.len() {
             1 => Ok((1, self.dims[0])),
             2 => Ok((self.dims[0], self.dims[1])),
-            r => Err(TensorError::RankMismatch { expected: 2, actual: r }),
+            r => Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: r,
+            }),
         }
     }
 }

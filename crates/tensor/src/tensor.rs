@@ -34,21 +34,30 @@ impl Tensor {
     pub fn zeros(dims: &[usize]) -> Self {
         let shape = Shape::new(dims);
         let n = shape.num_elements();
-        Tensor { shape, data: vec![0.0; n] }
+        Tensor {
+            shape,
+            data: vec![0.0; n],
+        }
     }
 
     /// Creates a one-filled tensor of the given shape.
     pub fn ones(dims: &[usize]) -> Self {
         let shape = Shape::new(dims);
         let n = shape.num_elements();
-        Tensor { shape, data: vec![1.0; n] }
+        Tensor {
+            shape,
+            data: vec![1.0; n],
+        }
     }
 
     /// Creates a tensor filled with a constant value.
     pub fn full(dims: &[usize], value: f32) -> Self {
         let shape = Shape::new(dims);
         let n = shape.num_elements();
-        Tensor { shape, data: vec![value; n] }
+        Tensor {
+            shape,
+            data: vec![value; n],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -122,7 +131,10 @@ impl Tensor {
                 to: new_shape.num_elements(),
             });
         }
-        Ok(Tensor { shape: new_shape, data: self.data.clone() })
+        Ok(Tensor {
+            shape: new_shape,
+            data: self.data.clone(),
+        })
     }
 
     /// Reshapes in place (same element count required).
@@ -297,7 +309,10 @@ impl Tensor {
     /// used by batched layers.
     pub fn outer_slice(&self, i: usize) -> TensorResult<&[f32]> {
         if self.rank() == 0 {
-            return Err(TensorError::RankMismatch { expected: 1, actual: 0 });
+            return Err(TensorError::RankMismatch {
+                expected: 1,
+                actual: 0,
+            });
         }
         let outer = self.shape.dim(0);
         if i >= outer {

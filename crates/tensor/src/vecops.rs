@@ -89,6 +89,81 @@ pub fn add_into(x: &[f32], y: &[f32], out: &mut [f32]) {
     }
 }
 
+/// Returns `x - y` as a freshly allocated vector, writing each element
+/// exactly once (no intermediate zero-fill).
+///
+/// # Panics
+/// Panics if `x.len() != y.len()`.
+pub fn sub_new(x: &[f32], y: &[f32]) -> Vec<f32> {
+    assert_eq!(x.len(), y.len(), "sub_new length mismatch");
+    x.iter().zip(y.iter()).map(|(a, b)| a - b).collect()
+}
+
+/// Returns `x + y` as a freshly allocated vector, writing each element
+/// exactly once (no intermediate zero-fill).
+///
+/// # Panics
+/// Panics if `x.len() != y.len()`.
+pub fn add_new(x: &[f32], y: &[f32]) -> Vec<f32> {
+    assert_eq!(x.len(), y.len(), "add_new length mismatch");
+    x.iter().zip(y.iter()).map(|(a, b)| a + b).collect()
+}
+
+/// Fused multi-`axpy`: `out[i] += Σ_k alphas[k] · xs[k][i]` in a single
+/// pass over `out`.
+///
+/// Compared to one `axpy` sweep per term this touches `out` once instead of
+/// `k` times — the server-aggregation hot path of the federated algorithms.
+///
+/// # Panics
+/// Panics if `alphas.len() != xs.len()` or any `xs[k].len() != out.len()`.
+pub fn axpy_fused(alphas: &[f32], xs: &[&[f32]], out: &mut [f32]) {
+    assert_eq!(alphas.len(), xs.len(), "axpy_fused terms length mismatch");
+    for x in xs {
+        assert_eq!(x.len(), out.len(), "axpy_fused length mismatch");
+    }
+    match (alphas, xs) {
+        ([], []) => {}
+        ([a], [x]) => axpy(*a, x, out),
+        _ => {
+            for (i, o) in out.iter_mut().enumerate() {
+                let mut acc = *o;
+                for (&a, x) in alphas.iter().zip(xs.iter()) {
+                    acc += a * x[i];
+                }
+                *o = acc;
+            }
+        }
+    }
+}
+
+/// Fused weighted sum: `out[i] = Σ_k alphas[k] · xs[k][i]` in a single
+/// pass over `out` (overwrites `out`; no zero-fill needed).
+///
+/// # Panics
+/// Panics if `alphas.len() != xs.len()` or any `xs[k].len() != out.len()`.
+pub fn weighted_sum_into(alphas: &[f32], xs: &[&[f32]], out: &mut [f32]) {
+    assert_eq!(
+        alphas.len(),
+        xs.len(),
+        "weighted_sum_into terms length mismatch"
+    );
+    for x in xs {
+        assert_eq!(x.len(), out.len(), "weighted_sum_into length mismatch");
+    }
+    if xs.is_empty() {
+        zero(out);
+        return;
+    }
+    for (i, o) in out.iter_mut().enumerate() {
+        let mut acc = 0.0f32;
+        for (&a, x) in alphas.iter().zip(xs.iter()) {
+            acc += a * x[i];
+        }
+        *o = acc;
+    }
+}
+
 /// `x.iter().sum()` of absolute values (L1 norm).
 pub fn norm_l1(x: &[f32]) -> f32 {
     x.iter().map(|v| v.abs()).sum()
@@ -167,6 +242,64 @@ mod tests {
         assert_eq!(out, [3.0, 4.0]);
         add_into(&x, &y, &mut out);
         assert_eq!(out, [7.0, 10.0]);
+    }
+
+    #[test]
+    fn sub_add_new_match_the_into_variants() {
+        let x = [5.0, 7.0];
+        let y = [2.0, 3.0];
+        assert_eq!(sub_new(&x, &y), vec![3.0, 4.0]);
+        assert_eq!(add_new(&x, &y), vec![7.0, 10.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sub_new length mismatch")]
+    fn sub_new_mismatch_panics() {
+        sub_new(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn axpy_fused_matches_sequential_axpys() {
+        let xs: Vec<Vec<f32>> = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![-1.0, 0.5, 2.0],
+            vec![4.0, 4.0, 4.0],
+        ];
+        let alphas = [0.5, 2.0, -1.0];
+        let mut fused = vec![1.0f32, 1.0, 1.0];
+        let refs: Vec<&[f32]> = xs.iter().map(|v| v.as_slice()).collect();
+        axpy_fused(&alphas, &refs, &mut fused);
+        let mut sequential = vec![1.0f32, 1.0, 1.0];
+        for (&a, x) in alphas.iter().zip(xs.iter()) {
+            axpy(a, x, &mut sequential);
+        }
+        for (f, s) in fused.iter().zip(sequential.iter()) {
+            assert!((f - s).abs() < 1e-6);
+        }
+        // Degenerate arities.
+        let mut one = vec![0.0f32; 3];
+        axpy_fused(&[2.0], &[&xs[0]], &mut one);
+        assert_eq!(one, vec![2.0, 4.0, 6.0]);
+        axpy_fused(&[], &[], &mut one);
+        assert_eq!(one, vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn weighted_sum_into_overwrites() {
+        let a = [1.0, 2.0];
+        let b = [3.0, 6.0];
+        let mut out = [9.0, 9.0];
+        weighted_sum_into(&[0.5, 0.5], &[&a, &b], &mut out);
+        assert_eq!(out, [2.0, 4.0]);
+        weighted_sum_into(&[], &[], &mut out);
+        assert_eq!(out, [0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "axpy_fused length mismatch")]
+    fn axpy_fused_mismatch_panics() {
+        let mut out = [0.0f32; 2];
+        axpy_fused(&[1.0], &[&[1.0, 2.0, 3.0][..]], &mut out);
     }
 
     #[test]

@@ -31,7 +31,11 @@ struct FedAvgM {
 impl FedAvgM {
     fn new(beta: f32, server_lr: f32) -> Self {
         assert!((0.0..1.0).contains(&beta));
-        FedAvgM { beta, server_lr, velocity: None }
+        FedAvgM {
+            beta,
+            server_lr,
+            velocity: None,
+        }
     }
 }
 
@@ -83,11 +87,16 @@ impl Algorithm for FedAvgM {
         for msg in messages {
             mean.axpy(1.0 / messages.len() as f32, &msg.payload[0]);
         }
-        let velocity = self.velocity.as_mut().expect("init() is called before the first round");
+        let velocity = self
+            .velocity
+            .as_mut()
+            .expect("init() is called before the first round");
         velocity.scale(self.beta);
         velocity.axpy(1.0, &mean);
         global.axpy(self.server_lr, velocity);
-        ServerOutcome { upload_floats: messages.iter().map(|m| m.upload_floats()).sum() }
+        ServerOutcome {
+            upload_floats: messages.iter().map(|m| m.upload_floats()).sum(),
+        }
     }
 }
 
@@ -99,15 +108,18 @@ fn race<A: Algorithm>(algorithm: A, seed: u64) -> (String, Option<usize>, f32) {
         system_heterogeneity: false,
         batch_size: BatchSize::Size(16),
         local_learning_rate: 0.1,
-        model: ModelSpec::Mlp { input_dim: 784, hidden_dim: 32, num_classes: 10 },
+        model: ModelSpec::Mlp {
+            input_dim: 784,
+            hidden_dim: 32,
+            num_classes: 10,
+        },
         seed,
         eval_subset: usize::MAX,
     };
     let name = algorithm.name().to_string();
     let (train, test) = SyntheticDataset::Mnist.generate(5_000, 500, seed);
-    let partition =
-        DataDistribution::NonIidShards.partition(&train, config.num_clients, seed);
-    let mut sim = Simulation::new(config, train, test, partition, algorithm)
+    let partition = DataDistribution::NonIidShards.partition(&train, config.num_clients, seed);
+    let mut sim = RoundEngine::new(config, train, test, partition, algorithm, SyncRounds)
         .expect("configuration is consistent");
     let target = 0.75;
     let rounds = sim.run_until_accuracy(target, 40).expect("run succeeds");
@@ -115,7 +127,9 @@ fn race<A: Algorithm>(algorithm: A, seed: u64) -> (String, Option<usize>, f32) {
 }
 
 fn main() {
-    println!("Racing a user-defined algorithm (FedAvgM) against the built-ins (non-IID, target 75%):\n");
+    println!(
+        "Racing a user-defined algorithm (FedAvgM) against the built-ins (non-IID, target 75%):\n"
+    );
     println!("{:<10} | rounds to 75% | best accuracy", "algorithm");
     for (name, rounds, best) in [
         race(FedAvg::new(), 3),
@@ -125,7 +139,9 @@ fn main() {
         println!(
             "{:<10} | {:>13} | {:>12.3}",
             name,
-            rounds.map(|r| r.to_string()).unwrap_or_else(|| "40+".to_string()),
+            rounds
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "40+".to_string()),
             best
         );
     }

@@ -24,18 +24,23 @@ fn run(distribution: DataDistribution, seed: u64) -> Vec<(usize, f32, DriftRepor
         system_heterogeneity: true,
         batch_size: BatchSize::Size(16),
         local_learning_rate: 0.1,
-        model: ModelSpec::Mlp { input_dim: 784, hidden_dim: 32, num_classes: 10 },
+        model: ModelSpec::Mlp {
+            input_dim: 784,
+            hidden_dim: 32,
+            num_classes: 10,
+        },
         seed,
         eval_subset: usize::MAX,
     };
     let (train, test) = SyntheticDataset::Mnist.generate(5_000, 500, seed);
     let partition = distribution.partition(&train, config.num_clients, seed);
-    let mut sim = Simulation::new(
+    let mut sim = RoundEngine::new(
         config,
         train,
         test,
         partition,
         FedAdmm::new(0.3, ServerStepSize::Constant(1.0)),
+        SyncRounds,
     )
     .expect("configuration is consistent");
 
@@ -55,7 +60,10 @@ fn main() {
     let iid = run(DataDistribution::Iid, 7);
     let non_iid = run(DataDistribution::NonIidShards, 7);
 
-    println!("{:>5} | {:>9} | {:>12} | {:>12} | {:>10}", "round", "setting", "accuracy", "mean ‖y_i‖", "mean drift");
+    println!(
+        "{:>5} | {:>9} | {:>12} | {:>12} | {:>10}",
+        "round", "setting", "accuracy", "mean ‖y_i‖", "mean drift"
+    );
     for ((round, acc, rep), (_, acc_n, rep_n)) in iid.iter().zip(non_iid.iter()) {
         println!(
             "{:>5} | {:>9} | {:>12.3} | {:>12.4} | {:>10.4}",

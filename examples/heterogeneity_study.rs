@@ -27,17 +27,26 @@ fn run_one(
         system_heterogeneity: true,
         batch_size: BatchSize::Size(16),
         local_learning_rate: 0.1,
-        model: ModelSpec::Mlp { input_dim: 784, hidden_dim: 32, num_classes: 10 },
+        model: ModelSpec::Mlp {
+            input_dim: 784,
+            hidden_dim: 32,
+            num_classes: 10,
+        },
         seed: 7,
         eval_subset: usize::MAX,
     };
     let (train, test) = SyntheticDataset::Fmnist.generate(10_000, 400, config.seed);
     let partition = distribution.partition(&train, config.num_clients, config.seed);
-    let mut sim = Simulation::new(config, train, test, partition, algorithm)
+    let mut sim = RoundEngine::new(config, train, test, partition, algorithm, SyncRounds)
         .expect("configuration is consistent");
     let rounds = sim.run_until_accuracy(target, 30).expect("rounds run");
     let history = sim.into_history();
-    (name.to_string(), rounds, history.total_upload_floats(), history.best_accuracy())
+    (
+        name.to_string(),
+        rounds,
+        history.total_upload_floats(),
+        history.best_accuracy(),
+    )
 }
 
 fn main() {
@@ -48,10 +57,16 @@ fn main() {
     );
     for distribution in [DataDistribution::Iid, DataDistribution::NonIidShards] {
         println!("\n=== {} data ===", distribution.label());
-        println!("{:<10} {:>16} {:>22} {:>10}", "method", "rounds to target", "uploaded floats", "best acc");
+        println!(
+            "{:<10} {:>16} {:>22} {:>10}",
+            "method", "rounds to target", "uploaded floats", "best acc"
+        );
         let suite: Vec<(&str, Box<dyn Algorithm>)> = vec![
             ("FedSGD", Box::new(FedSgd::new(0.1))),
-            ("FedADMM", Box::new(FedAdmm::new(0.3, ServerStepSize::Constant(1.0)))),
+            (
+                "FedADMM",
+                Box::new(FedAdmm::new(0.3, ServerStepSize::Constant(1.0))),
+            ),
             ("FedAvg", Box::new(FedAvg::new())),
             ("FedProx", Box::new(FedProx::new(0.1))),
             ("SCAFFOLD", Box::new(Scaffold::new())),
@@ -61,7 +76,9 @@ fn main() {
             println!(
                 "{:<10} {:>16} {:>22} {:>10.3}",
                 name,
-                rounds.map(|r| r.to_string()).unwrap_or_else(|| "30+".to_string()),
+                rounds
+                    .map(|r| r.to_string())
+                    .unwrap_or_else(|| "30+".to_string()),
                 upload,
                 best
             );

@@ -21,7 +21,10 @@ fn main() {
     let seed = 11;
 
     let (train, test) = SyntheticDataset::Fmnist.generate(6_000, 400, seed);
-    let distribution = DataDistribution::ImbalancedGroups { num_groups, num_shards: 1_200 };
+    let distribution = DataDistribution::ImbalancedGroups {
+        num_groups,
+        num_shards: 1_200,
+    };
     let partition = distribution.partition(&train, num_clients, seed);
 
     // Table VI analogue: mean / stdev of the per-client sample counts.
@@ -44,22 +47,38 @@ fn main() {
         system_heterogeneity: true,
         batch_size: BatchSize::Size(16),
         local_learning_rate: 0.1,
-        model: ModelSpec::Mlp { input_dim: 784, hidden_dim: 32, num_classes: 10 },
+        model: ModelSpec::Mlp {
+            input_dim: 784,
+            hidden_dim: 32,
+            num_classes: 10,
+        },
         seed,
         eval_subset: usize::MAX,
     };
 
-    println!("\n{:<10} {:>20} {:>12}", "method", "best acc (25 rounds)", "upload (f32)");
+    println!(
+        "\n{:<10} {:>20} {:>12}",
+        "method", "best acc (25 rounds)", "upload (f32)"
+    );
     let suite: Vec<(&str, Box<dyn Algorithm>)> = vec![
-        ("FedADMM", Box::new(FedAdmm::new(0.3, ServerStepSize::Constant(1.0)))),
+        (
+            "FedADMM",
+            Box::new(FedAdmm::new(0.3, ServerStepSize::Constant(1.0))),
+        ),
         ("FedAvg", Box::new(FedAvg::new())),
         ("SCAFFOLD", Box::new(Scaffold::new())),
     ];
     for (name, algorithm) in suite {
         let partition = distribution.partition(&train, num_clients, seed);
-        let mut sim =
-            Simulation::new(config, train.clone(), test.clone(), partition, algorithm)
-                .expect("configuration is consistent");
+        let mut sim = RoundEngine::new(
+            config,
+            train.clone(),
+            test.clone(),
+            partition,
+            algorithm,
+            SyncRounds,
+        )
+        .expect("configuration is consistent");
         sim.run_rounds(25).expect("rounds run");
         let history = sim.into_history();
         println!(
@@ -69,5 +88,7 @@ fn main() {
             history.total_upload_floats()
         );
     }
-    println!("\nFedADMM's dual variables absorb the volume imbalance; SCAFFOLD pays twice the upload.");
+    println!(
+        "\nFedADMM's dual variables absorb the volume imbalance; SCAFFOLD pays twice the upload."
+    );
 }

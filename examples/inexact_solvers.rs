@@ -26,20 +26,25 @@ fn run<A: Algorithm>(algorithm: A, label: &str, seed: u64) {
         system_heterogeneity: true,
         batch_size: BatchSize::Size(16),
         local_learning_rate: 0.1,
-        model: ModelSpec::Logistic { input_dim: 784, num_classes: 10 },
+        model: ModelSpec::Logistic {
+            input_dim: 784,
+            num_classes: 10,
+        },
         seed,
         eval_subset: usize::MAX,
     };
     let (train, test) = SyntheticDataset::Mnist.generate(3_000, 500, seed);
     let partition = DataDistribution::NonIidShards.partition(&train, config.num_clients, seed);
-    let mut sim = Simulation::new(config, train, test, partition, algorithm)
+    let mut sim = RoundEngine::new(config, train, test, partition, algorithm, SyncRounds)
         .expect("configuration is consistent");
     let rounds = sim.run_until_accuracy(0.7, 30).expect("run succeeds");
     let history = sim.history();
     println!(
         "{:<28} | {:>13} | {:>13.3} | {:>22}",
         label,
-        rounds.map(|r| r.to_string()).unwrap_or_else(|| "30+".to_string()),
+        rounds
+            .map(|r| r.to_string())
+            .unwrap_or_else(|| "30+".to_string()),
         history.best_accuracy(),
         history.total_local_epochs()
     );
@@ -54,14 +59,21 @@ fn main() {
     );
 
     // The paper's Algorithm 1: E_i epochs of mini-batch SGD.
-    run(FedAdmm::new(rho, ServerStepSize::Constant(1.0)), "SGD epochs (Algorithm 1)", 5);
+    run(
+        FedAdmm::new(rho, ServerStepSize::Constant(1.0)),
+        "SGD epochs (Algorithm 1)",
+        5,
+    );
 
     // Full-batch gradient descent, fixed number of steps.
     run(
         FedAdmmInexact::new(
             rho,
             ServerStepSize::Constant(1.0),
-            LocalSolver::GradientDescent { steps: 10, learning_rate: 0.5 },
+            LocalSolver::GradientDescent {
+                steps: 10,
+                learning_rate: 0.5,
+            },
         ),
         "gradient descent (10 steps)",
         5,
@@ -72,7 +84,11 @@ fn main() {
         FedAdmmInexact::new(
             rho,
             ServerStepSize::Constant(1.0),
-            LocalSolver::ToTolerance { epsilon: 0.05, learning_rate: 0.5, max_steps: 200 },
+            LocalSolver::ToTolerance {
+                epsilon: 0.05,
+                learning_rate: 0.5,
+                max_steps: 200,
+            },
         ),
         "GD to ‖∇L‖² ≤ 0.05 (eq. 6)",
         5,
@@ -83,7 +99,11 @@ fn main() {
         FedAdmmInexact::new(
             rho,
             ServerStepSize::Constant(1.0),
-            LocalSolver::Lbfgs { memory: 10, max_iters: 25, epsilon: 0.05 },
+            LocalSolver::Lbfgs {
+                memory: 10,
+                max_iters: 25,
+                epsilon: 0.05,
+            },
         ),
         "L-BFGS (m = 10)",
         5,

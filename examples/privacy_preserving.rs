@@ -28,7 +28,11 @@ fn main() {
         system_heterogeneity: true,
         batch_size: BatchSize::Size(16),
         local_learning_rate: 0.1,
-        model: ModelSpec::Mlp { input_dim: 784, hidden_dim: 32, num_classes: 10 },
+        model: ModelSpec::Mlp {
+            input_dim: 784,
+            hidden_dim: 32,
+            num_classes: 10,
+        },
         seed: 13,
         eval_subset: usize::MAX,
     };
@@ -45,7 +49,7 @@ fn main() {
         config.clients_per_round() as f64 / config.num_clients as f64,
         1e-5,
     );
-    let mut sim = Simulation::new(config, train, test, partition, algorithm)
+    let mut sim = RoundEngine::new(config, train, test, partition, algorithm, SyncRounds)
         .expect("configuration is consistent");
 
     println!("round | accuracy | ε spent (δ = 1e-5)");
@@ -73,7 +77,9 @@ fn main() {
          production-scale deployments: with m = 10,000 clients, q = 0.01 and σ = 1.0, a \
          1,000-round run costs ε = {:.2} at δ = 1e-5.",
         mechanism.noise_multiplier,
-        PrivacyAccountant::new(1.0, 0.01, 1e-5).forecast(1000).epsilon
+        PrivacyAccountant::new(1.0, 0.01, 1e-5)
+            .forecast(1000)
+            .epsilon
     );
 
     // --- 2. Secure aggregation of one round's uploads --------------------
@@ -85,7 +91,14 @@ fn main() {
     let aggregator = SecureAggregator::new(0xFEED_5EED, &participants, dim);
     let updates: Vec<(usize, Vec<f32>)> = participants
         .iter()
-        .map(|&c| (c, (0..dim).map(|j| ((c + j) as f32 * 0.01).sin() * 0.05).collect()))
+        .map(|&c| {
+            (
+                c,
+                (0..dim)
+                    .map(|j| ((c + j) as f32 * 0.01).sin() * 0.05)
+                    .collect(),
+            )
+        })
         .collect();
     let masked_sum = aggregator.masked_sum(&updates);
     let plain_sum: Vec<f32> = (0..dim)
@@ -105,7 +118,10 @@ fn main() {
         .sum::<f32>()
         .sqrt();
 
-    println!("\nsecure aggregation over {} clients, d = {dim}:", participants.len());
+    println!(
+        "\nsecure aggregation over {} clients, d = {dim}:",
+        participants.len()
+    );
     println!("  max |masked sum − plain sum|   = {max_err:.2e} (masks cancel exactly)");
     println!("  ‖masked upload − raw upload‖   = {distortion:.2} (individual uploads are hidden)");
 }

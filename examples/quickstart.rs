@@ -22,7 +22,11 @@ fn main() {
         system_heterogeneity: true,
         batch_size: BatchSize::Size(16),
         local_learning_rate: 0.1,
-        model: ModelSpec::Mlp { input_dim: 784, hidden_dim: 32, num_classes: 10 },
+        model: ModelSpec::Mlp {
+            input_dim: 784,
+            hidden_dim: 32,
+            num_classes: 10,
+        },
         seed: 42,
         eval_subset: usize::MAX,
     };
@@ -31,7 +35,8 @@ fn main() {
     //    dataset; see DESIGN.md), partitioned the paper's non-IID way:
     //    sorted by label, two shards per client.
     let (train, test) = SyntheticDataset::Mnist.generate(10_000, 500, config.seed);
-    let partition = DataDistribution::NonIidShards.partition(&train, config.num_clients, config.seed);
+    let partition =
+        DataDistribution::NonIidShards.partition(&train, config.num_clients, config.seed);
     println!(
         "non-IID partition: {:.1} distinct labels per client on average",
         partition.mean_distinct_labels(&train)
@@ -43,7 +48,7 @@ fn main() {
     //    CNN/real-image gradient scale; see DESIGN.md) and is used unchanged
     //    across every example and experiment in this repository.
     let algorithm = FedAdmm::new(0.3, ServerStepSize::Constant(1.0));
-    let mut sim = Simulation::new(config, train, test, partition, algorithm)
+    let mut sim = RoundEngine::new(config, train, test, partition, algorithm, SyncRounds)
         .expect("configuration is consistent");
 
     // 4. Run 30 communication rounds and report progress.

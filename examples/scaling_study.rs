@@ -28,7 +28,11 @@ fn rounds_to_target(
         system_heterogeneity: true,
         batch_size: BatchSize::Size(16),
         local_learning_rate: 0.1,
-        model: ModelSpec::Mlp { input_dim: 784, hidden_dim: 32, num_classes: 10 },
+        model: ModelSpec::Mlp {
+            input_dim: 784,
+            hidden_dim: 32,
+            num_classes: 10,
+        },
         seed,
         eval_subset: 400,
     };
@@ -38,7 +42,7 @@ fn rounds_to_target(
     // keeping per-round data constant via the fixed participation fraction.
     let (train, test) = SyntheticDataset::Fmnist.generate(num_clients * 100, 400, seed);
     let partition = DataDistribution::NonIidShards.partition(&train, num_clients, seed);
-    let mut sim = Simulation::new(config, train, test, partition, algorithm)
+    let mut sim = RoundEngine::new(config, train, test, partition, algorithm, SyncRounds)
         .expect("configuration is consistent");
     sim.run_until_accuracy(target, 30).expect("rounds run")
 }
@@ -49,16 +53,33 @@ fn main() {
         "non-IID synthetic FMNIST, target {:.0}% accuracy, C = 0.1, 30-round budget",
         target * 100.0
     );
-    println!("{:>10} {:>10} {:>10} {:>12}", "clients", "FedADMM", "FedAvg", "reduction");
+    println!(
+        "{:>10} {:>10} {:>10} {:>12}",
+        "clients", "FedADMM", "FedAvg", "reduction"
+    );
     for &clients in &[25usize, 50, 100] {
-        let admm = rounds_to_target(Box::new(FedAdmm::new(0.3, ServerStepSize::Constant(1.0))), clients, 3, target);
+        let admm = rounds_to_target(
+            Box::new(FedAdmm::new(0.3, ServerStepSize::Constant(1.0))),
+            clients,
+            3,
+            target,
+        );
         let avg = rounds_to_target(Box::new(FedAvg::new()), clients, 3, target);
         let reduction = match (admm, avg) {
             (Some(a), Some(b)) if b > 0 => format!("{:.0}%", 100.0 * (1.0 - a as f64 / b as f64)),
             _ => "-".to_string(),
         };
-        let fmt = |r: Option<usize>| r.map(|x| x.to_string()).unwrap_or_else(|| "30+".to_string());
-        println!("{:>10} {:>10} {:>10} {:>12}", clients, fmt(admm), fmt(avg), reduction);
+        let fmt = |r: Option<usize>| {
+            r.map(|x| x.to_string())
+                .unwrap_or_else(|| "30+".to_string())
+        };
+        println!(
+            "{:>10} {:>10} {:>10} {:>12}",
+            clients,
+            fmt(admm),
+            fmt(avg),
+            reduction
+        );
     }
     println!("\nThe reduction column mirrors the paper's Figure 4: the gap widens with scale.");
 }

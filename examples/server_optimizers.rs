@@ -27,16 +27,21 @@ fn run(name: &str, algorithm: Box<dyn Algorithm>, seed: u64) -> (String, Option<
         system_heterogeneity: false,
         batch_size: BatchSize::Size(20),
         local_learning_rate: 0.1,
-        model: ModelSpec::Mlp { input_dim: 784, hidden_dim: 32, num_classes: 10 },
+        model: ModelSpec::Mlp {
+            input_dim: 784,
+            hidden_dim: 32,
+            num_classes: 10,
+        },
         seed,
         eval_subset: 400,
     };
     let (train, test) = SyntheticDataset::Mnist.generate(4_000, 600, seed);
-    let partition =
-        DataDistribution::NonIidShards.partition(&train, config.num_clients, seed);
-    let mut sim = Simulation::new(config, train, test, partition, algorithm)
+    let partition = DataDistribution::NonIidShards.partition(&train, config.num_clients, seed);
+    let mut sim = RoundEngine::new(config, train, test, partition, algorithm, SyncRounds)
         .expect("configuration is consistent");
-    let rounds = sim.run_until_accuracy(TARGET_ACCURACY, MAX_ROUNDS).expect("run succeeds");
+    let rounds = sim
+        .run_until_accuracy(TARGET_ACCURACY, MAX_ROUNDS)
+        .expect("run succeeds");
     (name.to_string(), rounds, sim.history().best_accuracy())
 }
 
@@ -58,13 +63,17 @@ fn main() {
         "Non-IID MNIST-like problem, 50 clients, C = 0.2, E = 3 — rounds to {:.0}% accuracy (cap {MAX_ROUNDS})",
         TARGET_ACCURACY * 100.0
     );
-    println!("{:<32} | {:>10} | {:>13}", "algorithm", "rounds", "best accuracy");
+    println!(
+        "{:<32} | {:>10} | {:>13}",
+        "algorithm", "rounds", "best accuracy"
+    );
     println!("{}", "-".repeat(62));
     let mut results = Vec::new();
     for (name, algorithm) in candidates {
         let (name, rounds, best) = run(name, algorithm, seed);
-        let rounds_str =
-            rounds.map(|r| r.to_string()).unwrap_or_else(|| format!("{MAX_ROUNDS}+"));
+        let rounds_str = rounds
+            .map(|r| r.to_string())
+            .unwrap_or_else(|| format!("{MAX_ROUNDS}+"));
         println!("{name:<32} | {rounds_str:>10} | {best:>12.3}");
         results.push((name, rounds, best));
     }

@@ -42,7 +42,7 @@
 //! };
 //! let (train, test) = SyntheticDataset::Mnist.generate(300, 100, 1);
 //! let partition = DataDistribution::NonIidShards.partition(&train, config.num_clients, 1);
-//! let mut sim = Simulation::new(config, train, test, partition, FedAdmm::paper_default()).unwrap();
+//! let mut sim = RoundEngine::new(config, train, test, partition, FedAdmm::paper_default(), SyncRounds).unwrap();
 //! sim.run_rounds(3).unwrap();
 //! assert_eq!(sim.history().len(), 3);
 //! ```
@@ -74,7 +74,10 @@ mod tests {
 
     #[test]
     fn facade_reexports_are_usable() {
-        let spec = ModelSpec::Logistic { input_dim: 4, num_classes: 2 };
+        let spec = ModelSpec::Logistic {
+            input_dim: 4,
+            num_classes: 2,
+        };
         assert_eq!(spec.num_params(), 10);
         let t = Tensor::zeros(&[2, 2]);
         assert_eq!(t.len(), 4);

@@ -1,0 +1,240 @@
+//! Engine-refactor parity and robustness tests.
+//!
+//! Two pins:
+//!
+//! 1. **Parity** — the legacy `Simulation` facade and the unified
+//!    `RoundEngine` + `SyncRounds` scheduler produce *identical*
+//!    `RunHistory` values (and global models) for the same seed, for both
+//!    FedADMM and FedAvg. This is the refactor's contract: the wrapper is
+//!    thin and the engine reproduces the legacy synchronous semantics
+//!    byte for byte.
+//! 2. **Robustness** — under the `SemiAsync` deadline scheduler on a
+//!    straggler fleet, FedADMM keeps learning from staleness-damped late
+//!    arrivals (its uploads are *deltas*, so damping merely shrinks a
+//!    correction), while FedAvg — whose uploads are full models that the
+//!    server averages — is visibly hurt by the same damping. This is the
+//!    paper's system-heterogeneity robustness claim transported to the
+//!    deadline regime.
+
+#![allow(deprecated)] // the parity tests exercise the legacy facade on purpose
+
+use fedadmm::prelude::*;
+use fedadmm_core::engine::RoundEngine;
+
+fn config(num_clients: usize, seed: u64, system_heterogeneity: bool) -> FedConfig {
+    FedConfig {
+        num_clients,
+        participation: Participation::Fraction(0.3),
+        local_epochs: 3,
+        system_heterogeneity,
+        batch_size: BatchSize::Size(16),
+        local_learning_rate: 0.1,
+        model: ModelSpec::Logistic {
+            input_dim: 784,
+            num_classes: 10,
+        },
+        seed,
+        eval_subset: usize::MAX,
+    }
+}
+
+fn data(num_clients: usize, seed: u64) -> (fedadmm::data::Dataset, fedadmm::data::Dataset) {
+    SyntheticDataset::Mnist.generate(num_clients * 30, 120, seed)
+}
+
+/// Runs both paths with the same seed and asserts identical histories.
+fn assert_parity<A: Algorithm + Clone>(algorithm: A, seed: u64, rounds: usize) {
+    let num_clients = 8;
+    let cfg = config(num_clients, seed, true);
+    let (train, test) = data(num_clients, seed);
+    let partition = DataDistribution::Iid.partition(&train, num_clients, seed);
+
+    let mut legacy = Simulation::new(
+        cfg,
+        train.clone(),
+        test.clone(),
+        partition.clone(),
+        algorithm.clone(),
+    )
+    .unwrap();
+    legacy.run_rounds(rounds).unwrap();
+
+    let mut engine = RoundEngine::new(
+        config(num_clients, seed, true),
+        train,
+        test,
+        partition,
+        algorithm,
+        SyncRounds,
+    )
+    .unwrap();
+    engine.run_rounds(rounds).unwrap();
+
+    assert_eq!(
+        legacy.global_model(),
+        engine.global_model(),
+        "global models diverged between the legacy facade and the engine"
+    );
+    // Histories must agree exactly, modulo the wall-clock timing field.
+    let (lh, eh) = (legacy.history(), engine.history());
+    assert_eq!(lh.algorithm, eh.algorithm);
+    assert_eq!(lh.setting, eh.setting);
+    assert_eq!(lh.len(), eh.len());
+    for (a, b) in lh.records.iter().zip(eh.records.iter()) {
+        assert_eq!(a.round, b.round);
+        assert_eq!(
+            a.test_accuracy, b.test_accuracy,
+            "accuracy diverged at round {}",
+            a.round
+        );
+        assert_eq!(a.test_loss, b.test_loss);
+        assert_eq!(a.num_selected, b.num_selected);
+        assert_eq!(a.upload_floats, b.upload_floats);
+        assert_eq!(a.cumulative_upload_floats, b.cumulative_upload_floats);
+        assert_eq!(a.total_local_epochs, b.total_local_epochs);
+        assert_eq!(a.samples_processed, b.samples_processed);
+    }
+}
+
+#[test]
+fn sync_engine_reproduces_legacy_simulation_for_fedadmm() {
+    assert_parity(FedAdmm::new(0.3, ServerStepSize::Constant(1.0)), 21, 5);
+}
+
+#[test]
+fn sync_engine_reproduces_legacy_simulation_for_fedavg() {
+    assert_parity(FedAvg::new(), 22, 5);
+}
+
+#[test]
+fn sync_engine_parity_holds_under_participation_ratio_step() {
+    assert_parity(FedAdmm::new(0.3, ServerStepSize::ParticipationRatio), 23, 4);
+}
+
+#[test]
+fn engine_is_deterministic_across_runs() {
+    // The parallel dispatch path derives every client's RNG stream from
+    // (seed, round, client), so two runs must agree bit for bit regardless
+    // of thread interleaving.
+    let num_clients = 10;
+    let make = || {
+        let cfg = config(num_clients, 31, true);
+        let (train, test) = data(num_clients, 31);
+        let partition = DataDistribution::NonIidShards.partition(&train, num_clients, 31);
+        RoundEngine::new(
+            cfg,
+            train,
+            test,
+            partition,
+            FedAdmm::paper_default(),
+            SyncRounds,
+        )
+        .unwrap()
+    };
+    let mut a = make();
+    let mut b = make();
+    a.run_rounds(4).unwrap();
+    b.run_rounds(4).unwrap();
+    assert_eq!(a.global_model(), b.global_model());
+    // Histories agree on everything except wall-clock timing.
+    let mut ha = a.history().clone();
+    let mut hb = b.history().clone();
+    for r in ha.records.iter_mut().chain(hb.records.iter_mut()) {
+        r.elapsed_ms = 0;
+    }
+    assert_eq!(ha, hb);
+}
+
+/// Builds a semi-async engine over a straggler fleet for `algorithm`.
+///
+/// Half the fleet is 3× slower than the round deadline allows, so its
+/// updates recur 1–3 rounds late (staleness-damped) round after round —
+/// the regime the deadline scheduler exists for.
+fn semi_async_run<A: Algorithm>(algorithm: A, rounds: usize, seed: u64) -> (f32, f32, usize) {
+    let num_clients = 10;
+    let cfg = FedConfig {
+        participation: Participation::Fraction(0.5),
+        ..config(num_clients, seed, false)
+    };
+    let (train, test) = data(num_clients, seed);
+    let partition = DataDistribution::NonIidShards.partition(&train, num_clients, seed);
+    let fleet = SemiAsyncConfig::two_tier(num_clients, 1.0, 0.5, 3.0, 3.5)
+        .with_staleness(StalenessWeight::Polynomial { exponent: 0.5 });
+    let mut engine = RoundEngine::new(
+        cfg,
+        train,
+        test,
+        partition,
+        algorithm,
+        SemiAsync::new(fleet),
+    )
+    .unwrap();
+    let (_, acc0) = engine.evaluate_global().unwrap();
+    engine.run_rounds(rounds).unwrap();
+    let (_, acc1) = engine.evaluate_global().unwrap();
+    let stale_applied = engine
+        .events()
+        .iter()
+        .filter(|e| e.staleness > 0 && e.weight > 0.0)
+        .count();
+    (acc0, acc1, stale_applied)
+}
+
+#[test]
+fn semi_async_fedadmm_tolerates_stragglers_where_fedavg_degrades() {
+    // Long enough for FedADMM's dual tracking to absorb the recurring
+    // stale deltas; everything is seeded, so the run is deterministic.
+    let rounds = 36;
+    let (admm_0, admm_1, admm_stale) =
+        semi_async_run(FedAdmm::new(0.3, ServerStepSize::Constant(1.0)), rounds, 42);
+    let (_, avg_1, avg_stale) = semi_async_run(FedAvg::new(), rounds, 42);
+
+    // The straggler tier actually participated late in both runs.
+    assert!(admm_stale > 0, "no stale FedADMM updates were applied");
+    assert!(avg_stale > 0, "no stale FedAvg updates were applied");
+
+    // FedADMM keeps learning despite half its fleet arriving late: its
+    // uploads are *deltas*, so a damped stale delta is a smaller
+    // correction, and the dual variables re-absorb the residual the next
+    // time the client participates.
+    assert!(
+        admm_1 > admm_0 + 0.6,
+        "semi-async FedADMM only moved accuracy {admm_0} → {admm_1}"
+    );
+    // FedAvg replaces θ by an average that keeps folding in stale,
+    // down-weighted full models, dragging the global model toward old
+    // client optima — it lands clearly below FedADMM on the same fleet.
+    assert!(
+        admm_1 > avg_1 + 0.1,
+        "FedADMM ({admm_1}) should beat FedAvg ({avg_1}) under deadline scheduling"
+    );
+}
+
+#[test]
+fn semi_async_applies_every_selected_clients_work_eventually() {
+    // No update is lost: every dispatched job eventually arrives (within
+    // the horizon) or is still tracked as in flight.
+    let num_clients = 8;
+    let cfg = config(num_clients, 51, false);
+    let (train, test) = data(num_clients, 51);
+    let partition = DataDistribution::Iid.partition(&train, num_clients, 51);
+    let fleet = SemiAsyncConfig::two_tier(num_clients, 1.0, 0.25, 6.0, 3.0);
+    let mut engine = RoundEngine::new(
+        cfg,
+        train,
+        test,
+        partition,
+        FedAdmm::paper_default(),
+        SemiAsync::new(fleet),
+    )
+    .unwrap();
+    let records = engine.run_rounds(8).unwrap();
+    assert_eq!(records.len(), 8);
+    let arrived = engine.events().len();
+    let in_flight = engine.scheduler().stragglers_in_flight();
+    assert!(arrived > 0);
+    // Each arrival is either fresh (staleness 0) or a carried-over
+    // straggler; the two together account for all dispatched work.
+    assert!(engine.events().iter().all(|e| e.weight > 0.0));
+    assert!(in_flight <= engine.config().num_clients);
+}

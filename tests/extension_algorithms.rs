@@ -17,7 +17,10 @@ fn config(num_clients: usize, seed: u64) -> FedConfig {
         system_heterogeneity: false,
         batch_size: BatchSize::Size(16),
         local_learning_rate: 0.1,
-        model: ModelSpec::Logistic { input_dim: 784, num_classes: 10 },
+        model: ModelSpec::Logistic {
+            input_dim: 784,
+            num_classes: 10,
+        },
         seed,
         eval_subset: usize::MAX,
     }
@@ -29,11 +32,11 @@ fn simulation<A: Algorithm>(
     samples: usize,
     distribution: DataDistribution,
     seed: u64,
-) -> Simulation<A> {
+) -> SyncEngine<A> {
     let cfg = config(num_clients, seed);
     let (train, test) = SyntheticDataset::Mnist.generate(samples, 200, seed);
     let partition = distribution.partition(&train, num_clients, seed);
-    Simulation::new(cfg, train, test, partition, algorithm).unwrap()
+    RoundEngine::new(cfg, train, test, partition, algorithm, SyncRounds).unwrap()
 }
 
 #[test]
@@ -42,13 +45,20 @@ fn feddyn_learns_on_iid_data() {
     let (_, acc0) = sim.evaluate_global().unwrap();
     sim.run_rounds(10).unwrap();
     let best = sim.history().best_accuracy();
-    assert!(best > acc0 + 0.15, "FedDyn accuracy only moved {acc0} → {best}");
+    assert!(
+        best > acc0 + 0.15,
+        "FedDyn accuracy only moved {acc0} → {best}"
+    );
 }
 
 #[test]
 fn feddyn_upload_cost_matches_fedadmm() {
     // Both upload exactly one d-vector per selected client per round.
-    let d = ModelSpec::Logistic { input_dim: 784, num_classes: 10 }.num_params();
+    let d = ModelSpec::Logistic {
+        input_dim: 784,
+        num_classes: 10,
+    }
+    .num_params();
     let mut dyn_sim = simulation(FedDyn::new(0.3), 6, 120, DataDistribution::Iid, 2);
     let mut admm_sim = simulation(
         FedAdmm::new(0.3, ServerStepSize::Constant(1.0)),
@@ -75,7 +85,10 @@ fn fedopt_family_learns_and_reports_correct_names() {
         let (_, acc0) = sim.evaluate_global().unwrap();
         sim.run_rounds(8).unwrap();
         let best = sim.history().best_accuracy();
-        assert!(best > acc0 + 0.1, "{expected} accuracy only moved {acc0} → {best}");
+        assert!(
+            best > acc0 + 0.1,
+            "{expected} accuracy only moved {acc0} → {best}"
+        );
     }
 }
 
@@ -146,12 +159,13 @@ fn quantity_skew_partition_drives_a_full_run() {
     assert!(partition.volume_imbalance() > 5.0);
     assert!(partition.sizes().iter().all(|&s| s > 0));
 
-    let mut sim = Simulation::new(
+    let mut sim = RoundEngine::new(
         cfg,
         train,
         test,
         partition,
         FedAdmm::new(0.3, ServerStepSize::Constant(1.0)),
+        SyncRounds,
     )
     .unwrap();
     let (_, acc0) = sim.evaluate_global().unwrap();

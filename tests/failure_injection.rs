@@ -22,7 +22,10 @@ fn config(num_clients: usize, seed: u64) -> FedConfig {
         system_heterogeneity: true,
         batch_size: BatchSize::Size(16),
         local_learning_rate: 0.1,
-        model: ModelSpec::Logistic { input_dim: 784, num_classes: 10 },
+        model: ModelSpec::Logistic {
+            input_dim: 784,
+            num_classes: 10,
+        },
         seed,
         eval_subset: usize::MAX,
     }
@@ -33,12 +36,19 @@ fn simulation(
     samples: usize,
     seed: u64,
     distribution: DataDistribution,
-) -> Simulation<FedAdmm> {
+) -> SyncEngine<FedAdmm> {
     let cfg = config(num_clients, seed);
     let (train, test) = SyntheticDataset::Mnist.generate(samples, 200, seed);
     let partition = distribution.partition(&train, num_clients, seed);
-    Simulation::new(cfg, train, test, partition, FedAdmm::new(0.3, ServerStepSize::Constant(1.0)))
-        .unwrap()
+    RoundEngine::new(
+        cfg,
+        train,
+        test,
+        partition,
+        FedAdmm::new(0.3, ServerStepSize::Constant(1.0)),
+        SyncRounds,
+    )
+    .unwrap()
 }
 
 #[test]
@@ -50,7 +60,10 @@ fn round_robin_activation_still_learns() {
     let (_, acc0) = sim.evaluate_global().unwrap();
     sim.run_rounds(25).unwrap();
     let report = DriftReport::compute(sim.clients(), sim.global_model());
-    assert_eq!(report.clients_ever_selected, 20, "round robin must cover every client");
+    assert_eq!(
+        report.clients_ever_selected, 20,
+        "round robin must cover every client"
+    );
     assert!(
         sim.history().best_accuracy() > acc0 + 0.3,
         "accuracy only moved from {acc0} to {}",
@@ -98,7 +111,10 @@ fn decaying_availability_satisfies_infinitely_often_and_keeps_improving() {
         .map(|r| r.test_accuracy)
         .fold(0.0f32, f32::max);
     let final_acc = sim.history().final_accuracy();
-    assert!(best_early > 0.5, "early rounds should learn, got {best_early}");
+    assert!(
+        best_early > 0.5,
+        "early rounds should learn, got {best_early}"
+    );
     assert!(
         final_acc > best_early - 0.1,
         "late sparse rounds catastrophically regressed: {best_early} → {final_acc}"
@@ -115,12 +131,13 @@ fn mid_round_dropout_only_slows_training_down() {
     let cfg = config(m, 4);
     let (train, test) = SyntheticDataset::Mnist.generate(2000, 200, 4);
     let partition = DataDistribution::NonIidShards.partition(&train, m, 4);
-    let mut sim = Simulation::new(
+    let mut sim = RoundEngine::new(
         cfg,
         train,
         test,
         partition,
         FedAdmm::new(0.3, ServerStepSize::Constant(1.0)),
+        SyncRounds,
     )
     .unwrap();
     let injector = DropoutInjector::new(0.4);
@@ -150,7 +167,10 @@ fn mid_round_dropout_only_slows_training_down() {
             break;
         }
     }
-    assert!(reached, "dropout prevented the run from ever reaching 60% accuracy");
+    assert!(
+        reached,
+        "dropout prevented the run from ever reaching 60% accuracy"
+    );
 }
 
 #[test]
@@ -165,7 +185,10 @@ fn single_survivor_rounds_do_not_diverge() {
     let accuracies = sim.history().accuracy_series();
     assert!(accuracies.iter().all(|a| a.is_finite()));
     let best = sim.history().best_accuracy();
-    assert!(best > 0.35, "single-client rounds should still learn, got {best}");
+    assert!(
+        best > 0.35,
+        "single-client rounds should still learn, got {best}"
+    );
     // No catastrophic collapse at the end of the run.
     assert!(sim.history().final_accuracy() > best - 0.25);
 }
@@ -186,9 +209,17 @@ fn fedadmm_keeps_all_client_state_consistent_under_failures() {
         assert!(client.local_model.as_slice().iter().all(|v| v.is_finite()));
         assert!(client.dual.as_slice().iter().all(|v| v.is_finite()));
         if client.times_selected == 0 {
-            assert_eq!(client.dual.norm(), 0.0, "client {} never ran line 20", client.id);
+            assert_eq!(
+                client.dual.norm(),
+                0.0,
+                "client {} never ran line 20",
+                client.id
+            );
         } else {
-            assert!(client.times_selected == 1, "round robin selects each client at most once here");
+            assert!(
+                client.times_selected == 1,
+                "round robin selects each client at most once here"
+            );
         }
     }
     let report = DriftReport::compute(sim.clients(), sim.global_model());

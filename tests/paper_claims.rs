@@ -32,7 +32,10 @@ fn tiny_env<'a>(
 #[test]
 fn fedadmm_generalizes_fedprox_and_fedavg() {
     let (train, _) = SyntheticDataset::Mnist.generate(64, 10, 0);
-    let model = ModelSpec::Logistic { input_dim: 784, num_classes: 10 };
+    let model = ModelSpec::Logistic {
+        input_dim: 784,
+        num_classes: 10,
+    };
     let indices: Vec<usize> = (0..64).collect();
     let theta = ParamVector::zeros(model.num_params());
     let env = tiny_env(&train, &indices, model, 2, 99);
@@ -53,7 +56,9 @@ fn fedadmm_generalizes_fedprox_and_fedavg() {
     // FedProx with ρ = 0 vs FedAvg: identical local trajectories.
     let prox0 = FedProx::new(0.0);
     let mut prox0_client = ClientState::new(0, indices.clone(), &theta);
-    let prox0_msg = prox0.client_update(&mut prox0_client, &theta, &env).unwrap();
+    let prox0_msg = prox0
+        .client_update(&mut prox0_client, &theta, &env)
+        .unwrap();
     let avg = FedAvg::new();
     let mut avg_client = ClientState::new(0, indices.clone(), &theta);
     let avg_msg = avg.client_update(&mut avg_client, &theta, &env).unwrap();
@@ -66,7 +71,10 @@ fn fedadmm_generalizes_fedprox_and_fedavg() {
 #[test]
 fn dual_variables_track_model_discrepancy() {
     let (train, _) = SyntheticDataset::Mnist.generate(120, 10, 1);
-    let model = ModelSpec::Logistic { input_dim: 784, num_classes: 10 };
+    let model = ModelSpec::Logistic {
+        input_dim: 784,
+        num_classes: 10,
+    };
     let theta = ParamVector::zeros(model.num_params());
     let rho = 0.1;
     let admm = FedAdmm::new(rho, ServerStepSize::Constant(1.0));
@@ -106,7 +114,10 @@ fn upload_costs_match_paper_table() {
 #[test]
 fn tracking_update_equals_mean_augmented_model_under_full_participation() {
     let (train, _) = SyntheticDataset::Mnist.generate(90, 10, 2);
-    let model = ModelSpec::Logistic { input_dim: 784, num_classes: 10 };
+    let model = ModelSpec::Logistic {
+        input_dim: 784,
+        num_classes: 10,
+    };
     let d = model.num_params();
     let theta0 = ParamVector::zeros(d);
     let rho = 0.05;
@@ -146,16 +157,31 @@ fn simulation_accuracy_matches_direct_evaluation() {
         system_heterogeneity: false,
         batch_size: BatchSize::Size(16),
         local_learning_rate: 0.1,
-        model: ModelSpec::Logistic { input_dim: 784, num_classes: 10 },
+        model: ModelSpec::Logistic {
+            input_dim: 784,
+            num_classes: 10,
+        },
         seed: 3,
         eval_subset: usize::MAX,
     };
     let (train, test) = SyntheticDataset::Mnist.generate(240, 120, 3);
     let partition = DataDistribution::Iid.partition(&train, 8, 3);
-    let mut sim =
-        Simulation::new(config, train, test.clone(), partition, FedAdmm::paper_default()).unwrap();
+    let mut sim = RoundEngine::new(
+        config,
+        train,
+        test.clone(),
+        partition,
+        FedAdmm::paper_default(),
+        SyncRounds,
+    )
+    .unwrap();
     let record = sim.run_round().unwrap();
-    let (_, direct_acc) =
-        evaluate(config.model, sim.global_model().as_slice(), &test, usize::MAX).unwrap();
+    let (_, direct_acc) = evaluate(
+        config.model,
+        sim.global_model().as_slice(),
+        &test,
+        usize::MAX,
+    )
+    .unwrap();
     assert!((record.test_accuracy - direct_acc).abs() < 1e-6);
 }

@@ -13,7 +13,10 @@ fn config(num_clients: usize, seed: u64) -> FedConfig {
         system_heterogeneity: true,
         batch_size: BatchSize::Size(16),
         local_learning_rate: 0.1,
-        model: ModelSpec::Logistic { input_dim: 784, num_classes: 10 },
+        model: ModelSpec::Logistic {
+            input_dim: 784,
+            num_classes: 10,
+        },
         seed,
         eval_subset: usize::MAX,
     }
@@ -22,16 +25,17 @@ fn config(num_clients: usize, seed: u64) -> FedConfig {
 fn private_simulation(
     mechanism: GaussianMechanism,
     seed: u64,
-) -> Simulation<PrivateAlgorithm<FedAdmm>> {
+) -> SyncEngine<PrivateAlgorithm<FedAdmm>> {
     let cfg = config(16, seed);
     let (train, test) = SyntheticDataset::Mnist.generate(1600, 200, seed);
     let partition = DataDistribution::NonIidShards.partition(&train, 16, seed);
-    Simulation::new(
+    RoundEngine::new(
         cfg,
         train,
         test,
         partition,
         PrivateAlgorithm::new(FedAdmm::new(0.3, ServerStepSize::Constant(1.0)), mechanism),
+        SyncRounds,
     )
     .unwrap()
 }
@@ -86,15 +90,16 @@ fn clipping_alone_preserves_learning_when_the_threshold_is_loose() {
     let cfg = config(16, 3);
     let (train, test) = SyntheticDataset::Mnist.generate(1600, 200, 3);
     let partition = DataDistribution::NonIidShards.partition(&train, 16, 3);
-    let mut plain = Simulation::new(
+    let mut plain = RoundEngine::new(
         cfg,
         train.clone(),
         test.clone(),
         partition.clone(),
         FedAdmm::new(0.3, ServerStepSize::Constant(1.0)),
+        SyncRounds,
     )
     .unwrap();
-    let mut clipped = Simulation::new(
+    let mut clipped = RoundEngine::new(
         cfg,
         train,
         test,
@@ -103,6 +108,7 @@ fn clipping_alone_preserves_learning_when_the_threshold_is_loose() {
             FedAdmm::new(0.3, ServerStepSize::Constant(1.0)),
             GaussianMechanism::new(1e4, 0.0),
         ),
+        SyncRounds,
     )
     .unwrap();
     plain.run_rounds(8).unwrap();
@@ -148,7 +154,10 @@ fn secure_aggregation_recovers_the_exact_fedadmm_server_update() {
         .zip(theta_masked.iter())
         .map(|(a, b)| (a - b).abs())
         .fold(0.0f32, f32::max);
-    assert!(max_err < 1e-5, "secure aggregation changed the server update by {max_err}");
+    assert!(
+        max_err < 1e-5,
+        "secure aggregation changed the server update by {max_err}"
+    );
 }
 
 #[test]
@@ -165,8 +174,11 @@ fn secure_aggregation_survives_dropouts_via_mask_reconstruction() {
     // the unmasking round; the server corrects with the reconstructed masks
     // of the *dropped* clients applied to the survivors' sum.
     let dropped = [2usize, 5, 8];
-    let survivors: Vec<(usize, Vec<f32>)> =
-        deltas.iter().filter(|(c, _)| !dropped.contains(c)).cloned().collect();
+    let survivors: Vec<(usize, Vec<f32>)> = deltas
+        .iter()
+        .filter(|(c, _)| !dropped.contains(c))
+        .cloned()
+        .collect();
     let mut server_sum = aggregator.masked_sum(&survivors);
     let correction = aggregator.dropout_correction(&dropped);
     for (s, c) in server_sum.iter_mut().zip(correction.iter()) {
@@ -196,5 +208,9 @@ fn accountant_matches_hand_computed_zcdp_composition() {
     assert!((spent.rho_zcdp - rho).abs() < 1e-12);
     let eps = rho + 2.0 * (rho * (1.0f64 / 1e-5).ln()).sqrt();
     assert!((spent.epsilon - eps).abs() < 1e-12);
-    assert!(spent.epsilon < 1.0, "a realistic deployment stays under ε = 1: {}", spent.epsilon);
+    assert!(
+        spent.epsilon < 1.0,
+        "a realistic deployment stays under ε = 1: {}",
+        spent.epsilon
+    );
 }

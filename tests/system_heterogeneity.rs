@@ -62,18 +62,22 @@ fn run_history(system_heterogeneity: bool, seed: u64) -> RunHistory {
         system_heterogeneity,
         batch_size: BatchSize::Size(16),
         local_learning_rate: 0.1,
-        model: ModelSpec::Logistic { input_dim: 784, num_classes: 10 },
+        model: ModelSpec::Logistic {
+            input_dim: 784,
+            num_classes: 10,
+        },
         seed,
         eval_subset: 100,
     };
     let (train, test) = SyntheticDataset::Mnist.generate(2000, 200, seed);
     let partition = DataDistribution::NonIidShards.partition(&train, 20, seed);
-    let mut sim = Simulation::new(
+    let mut sim = RoundEngine::new(
         config,
         train,
         test,
         partition,
         FedAdmm::new(0.3, ServerStepSize::Constant(1.0)),
+        SyncRounds,
     )
     .unwrap();
     sim.run_rounds(10).unwrap();
@@ -117,10 +121,15 @@ fn deadline_policy_trades_dropped_updates_for_time() {
     let deadline = replay_wall_clock(
         &history,
         &devices,
-        StragglerPolicy::Deadline { seconds: wait.total_seconds() / (2.0 * wait.len() as f64) },
+        StragglerPolicy::Deadline {
+            seconds: wait.total_seconds() / (2.0 * wait.len() as f64),
+        },
     );
     assert!(deadline.total_seconds() < wait.total_seconds());
-    assert!(deadline.total_dropped() > 0, "such a tight deadline must drop someone");
+    assert!(
+        deadline.total_dropped() > 0,
+        "such a tight deadline must drop someone"
+    );
     assert_eq!(wait.total_dropped(), 0);
     assert!(deadline.total_upload_bytes() < wait.total_upload_bytes());
 }
@@ -142,8 +151,12 @@ fn scaffold_pays_double_upload_time_on_the_same_fleet() {
             })
             .collect()
     };
-    let fedadmm =
-        RoundTiming::compute(&make_work(MODEL_DIM), &devices, &network, StragglerPolicy::WaitForAll);
+    let fedadmm = RoundTiming::compute(
+        &make_work(MODEL_DIM),
+        &devices,
+        &network,
+        StragglerPolicy::WaitForAll,
+    );
     let scaffold = RoundTiming::compute(
         &make_work(2 * MODEL_DIM),
         &devices,
@@ -167,23 +180,32 @@ fn availability_driven_participation_composes_with_the_simulation() {
         system_heterogeneity: true,
         batch_size: BatchSize::Size(16),
         local_learning_rate: 0.1,
-        model: ModelSpec::Logistic { input_dim: 784, num_classes: 10 },
+        model: ModelSpec::Logistic {
+            input_dim: 784,
+            num_classes: 10,
+        },
         seed: 9,
         eval_subset: usize::MAX,
     };
     let (train, test) = SyntheticDataset::Mnist.generate(1600, 200, 9);
     let partition = DataDistribution::NonIidShards.partition(&train, m, 9);
-    let mut sim = Simulation::new(
+    let mut sim = RoundEngine::new(
         config,
         train,
         test,
         partition,
         FedAdmm::new(0.3, ServerStepSize::Constant(1.0)),
+        SyncRounds,
     )
     .unwrap();
 
-    let mut availability =
-        AvailabilityState::new(AvailabilityModel::Markov { p_fail: 0.3, p_recover: 0.4 }, m);
+    let mut availability = AvailabilityState::new(
+        AvailabilityModel::Markov {
+            p_fail: 0.3,
+            p_recover: 0.4,
+        },
+        m,
+    );
     let mut avail_rng = SmallRng::seed_from_u64(77);
     let (_, acc0) = sim.evaluate_global().unwrap();
     for _ in 0..30 {
@@ -197,11 +219,16 @@ fn availability_driven_participation_composes_with_the_simulation() {
         if available.is_empty() {
             probs[0] = 1.0;
         }
-        sim = sim.with_selector(Box::new(fedadmm::core::selection::FixedProbabilities::new(probs)));
+        sim = sim.with_selector(Box::new(fedadmm::core::selection::FixedProbabilities::new(
+            probs,
+        )));
         sim.run_round().unwrap();
     }
     let report = DriftReport::compute(sim.clients(), sim.global_model());
-    assert!(report.clients_ever_selected >= m - 2, "bursty availability still covers the fleet");
+    assert!(
+        report.clients_ever_selected >= m - 2,
+        "bursty availability still covers the fleet"
+    );
     assert!(
         sim.history().best_accuracy() > acc0 + 0.3,
         "availability-driven run failed to learn: {} → {}",

@@ -9,13 +9,18 @@
 
 use fedadmm::core::quadratic::{QuadraticConfig, QuadraticFedAdmm, QuadraticProblem};
 use fedadmm::core::theory::{
-    min_rho, round_complexity, table1, theorem1_bound, theorem1_constants, ComplexityParams,
-    Method,
+    min_rho, round_complexity, table1, theorem1_bound, theorem1_constants, ComplexityParams, Method,
 };
 
 fn problem(num_clients: usize, dim: usize, heterogeneity: f64, seed: u64) -> QuadraticProblem {
     QuadraticProblem::random(
-        QuadraticConfig { num_clients, dim, eig_min: 0.5, eig_max: 2.0, heterogeneity },
+        QuadraticConfig {
+            num_clients,
+            dim,
+            eig_min: 0.5,
+            eig_max: 2.0,
+            heterogeneity,
+        },
         seed,
     )
 }
@@ -123,7 +128,10 @@ fn dual_variables_satisfy_the_kkt_conditions_at_the_fixed_point() {
         }
     }
     let sum_norm: f64 = dual_sum.iter().map(|v| v * v).sum::<f64>().sqrt();
-    assert!(sum_norm < 1e-3, "Σ y_i = {sum_norm} should vanish at stationarity");
+    assert!(
+        sum_norm < 1e-3,
+        "Σ y_i = {sum_norm} should vanish at stationarity"
+    );
 }
 
 #[test]
@@ -138,8 +146,14 @@ fn epsilon_floor_scales_with_the_inexactness_level() {
     };
     let tight = gap_for(1e-4);
     let loose = gap_for(1e-1);
-    assert!(tight < loose, "ε = 1e-4 gap {tight} should be below ε = 0.1 gap {loose}");
-    assert!(loose < 10.0, "even the loose run stays in a bounded neighbourhood");
+    assert!(
+        tight < loose,
+        "ε = 1e-4 gap {tight} should be below ε = 0.1 gap {loose}"
+    );
+    assert!(
+        loose < 10.0,
+        "even the loose run stays in a bounded neighbourhood"
+    );
 }
 
 #[test]
@@ -159,7 +173,10 @@ fn table1_reproduces_the_paper_ordering_in_the_high_accuracy_regime() {
     // FedProx's bound does not depend on m/S, so it can be numerically
     // smaller — but it only exists at all because S > B² here.
     assert!(value(Method::FedProx).is_some());
-    let constrained = ComplexityParams { dissimilarity: 50.0, ..p };
+    let constrained = ComplexityParams {
+        dissimilarity: 50.0,
+        ..p
+    };
     assert_eq!(round_complexity(Method::FedProx, &constrained), None);
     // FedADMM is unaffected by the dissimilarity constant.
     assert_eq!(round_complexity(Method::FedAdmm, &constrained), Some(admm));

@@ -1,0 +1,246 @@
+//! Offline micro-benchmark harness exposing the `criterion` API surface the
+//! bench suite uses: [`Criterion`], [`BenchmarkId`], benchmark groups with
+//! `sample_size`, `bench_function` / `bench_with_input`, `Bencher::iter`,
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Timing model: each benchmark is warmed up once, then run for
+//! `sample_size` samples of adaptively chosen iteration counts; the mean
+//! and min per-iteration time are printed. No statistics files are written.
+
+use std::time::{Duration, Instant};
+
+/// Re-export used by some criterion consumers (`criterion::black_box`).
+pub use std::hint::black_box;
+
+/// An identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+/// The timing driver handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Collected per-iteration durations (one per sample).
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, running it repeatedly.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // One warm-up call, also used to size the per-sample iteration count.
+        let warm_start = Instant::now();
+        black_box(routine());
+        let warm = warm_start.elapsed();
+        // Aim for ~10ms per sample, clamped to [1, 1000] iterations.
+        let iters = if warm.is_zero() {
+            1000
+        } else {
+            ((Duration::from_millis(10).as_nanos() / warm.as_nanos().max(1)) as usize)
+                .clamp(1, 1000)
+        };
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.results.push(start.elapsed() / iters as u32);
+        }
+    }
+}
+
+fn run_benchmark(label: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher {
+        samples,
+        results: Vec::new(),
+    };
+    f(&mut bencher);
+    if bencher.results.is_empty() {
+        println!("{label:<50} (no samples)");
+        return;
+    }
+    let total: Duration = bencher.results.iter().sum();
+    let mean = total / bencher.results.len() as u32;
+    let min = bencher.results.iter().min().copied().unwrap_or_default();
+    println!("{label:<50} mean {mean:>12.3?}   min {min:>12.3?}");
+}
+
+/// The benchmark manager (mirror of `criterion::Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Applies CLI-style configuration (accepted and ignored).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_benchmark(id, self.sample_size, |b| f(b));
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        let sample_size = self.sample_size;
+        println!("\n── bench group: {name} ──");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size,
+        }
+    }
+
+    /// Runs all registered benchmark groups (invoked by [`criterion_main!`]).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted and ignored (API compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into());
+        run_benchmark(&label, self.sample_size, |b| f(b));
+        self
+    }
+
+    /// Runs a benchmark that receives a reference to `input`.
+    pub fn bench_with_input<I: Into<BenchmarkId>, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into());
+        run_benchmark(&label, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut count = 0u32;
+        c.bench_function("counting", |b| b.iter(|| count = count.wrapping_add(1)));
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn groups_and_ids() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::new("f", 10), &10usize, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.bench_function(BenchmarkId::from_parameter(3), |b| b.iter(|| 3 + 4));
+        group.finish();
+    }
+}

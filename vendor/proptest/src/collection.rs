@@ -1,0 +1,50 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A length specification for [`vec`]: a fixed `usize` or a `Range<usize>`.
+pub trait SizeRange {
+    /// Draws a concrete length.
+    fn pick(&self, rng: &mut SmallRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn pick(&self, _rng: &mut SmallRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for std::ops::Range<usize> {
+    fn pick(&self, rng: &mut SmallRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl SizeRange for std::ops::RangeInclusive<usize> {
+    fn pick(&self, rng: &mut SmallRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Strategy producing `Vec`s whose elements come from `element` and whose
+/// length comes from `size`.
+pub struct VecStrategy<S, L> {
+    element: S,
+    size: L,
+}
+
+/// Creates a [`VecStrategy`] (mirror of `proptest::collection::vec`).
+pub fn vec<S: Strategy, L: SizeRange>(element: S, size: L) -> VecStrategy<S, L> {
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

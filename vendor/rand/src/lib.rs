@@ -1,0 +1,320 @@
+//! Offline, API-compatible subset of the `rand` crate.
+//!
+//! This workspace builds in a fully offline environment, so the handful of
+//! `rand` APIs the FedADMM reproduction uses are vendored here instead of
+//! being fetched from crates.io. The subset is deliberately small:
+//!
+//! * [`RngCore`] / [`SeedableRng`] / the [`Rng`] extension trait,
+//! * [`rngs::SmallRng`] — a xoshiro256++ generator seeded via SplitMix64,
+//! * [`rngs::mock::StepRng`] — the deterministic counter used by tests,
+//! * [`seq::SliceRandom`] — Fisher–Yates `shuffle` and `choose`.
+//!
+//! The streams produced are *not* bit-compatible with upstream `rand`; every
+//! consumer in this workspace only relies on determinism-under-seed and
+//! statistical uniformity, both of which hold.
+
+pub mod rngs;
+pub mod seq;
+
+/// The core of a random number generator: a source of uniform `u32`/`u64`.
+pub trait RngCore {
+    /// Returns the next uniform `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next uniform `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut i = 0;
+        while i < dest.len() {
+            let word = self.next_u64().to_le_bytes();
+            let n = (dest.len() - i).min(8);
+            dest[i..i + n].copy_from_slice(&word[..n]);
+            i += n;
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator that can be deterministically constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// The seed type (fixed-size byte array for the vendored generators).
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Constructs the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Constructs the generator from a `u64` seed (SplitMix64-expanded).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = splitmix64(&mut sm).to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A type that can be sampled uniformly from a range by [`Rng::gen_range`].
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Samples uniformly from `[low, high)`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// Samples uniformly from `[low, high]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let span = (high as i128 - low as i128) as u128;
+                let v = uniform_u128(rng, span);
+                (low as i128 + v as i128) as $t
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "gen_range: empty range");
+                let span = (high as i128 - low as i128) as u128 + 1;
+                if span == 0 {
+                    // Full-width range: any value is uniform.
+                    return rng.next_u64() as $t;
+                }
+                let v = uniform_u128(rng, span);
+                (low as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Uniform value in `[0, span)` via 64-bit widening multiply (Lemire).
+fn uniform_u128<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    if span <= u64::MAX as u128 {
+        let span = span as u64;
+        // Widening-multiply rejection sampling: unbiased and branch-light.
+        let zone = u64::MAX - (u64::MAX - span + 1) % span;
+        loop {
+            let v = rng.next_u64();
+            let m = (v as u128) * (span as u128);
+            if (m as u64) <= zone {
+                return m >> 64;
+            }
+        }
+    } else {
+        // Ranges wider than u64 never occur in this workspace; fall back to
+        // a simple (possibly biased by < 2^-63) reduction.
+        ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span
+    }
+}
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty : $bits:expr),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let unit = unit_float(rng) as $t; // in [0, 1)
+                let v = low + unit * (high - low);
+                if v >= high { low } else { v }
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "gen_range: empty range");
+                let unit = unit_float(rng) as $t;
+                (low + unit * (high - low)).clamp(low, high)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32: 24, f64: 53);
+
+/// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+pub(crate) fn unit_float<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A range usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Samples a value uniformly from this range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// Values producible by [`Rng::gen`] (the `Standard` distribution subset).
+pub trait StandardSample {
+    /// Samples a value with the standard distribution for the type.
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_float(rng) as f32
+    }
+}
+
+impl StandardSample for f64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_float(rng)
+    }
+}
+
+impl StandardSample for u32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for u64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for bool {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Convenience methods on every [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniform sample from a range (`a..b` half-open or `a..=b` inclusive).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool: probability {p} outside [0, 1]"
+        );
+        unit_float(self) < p
+    }
+
+    /// Samples a value with the type's standard distribution.
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::standard_sample(self)
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest)
+    }
+
+    /// Samples from a distribution (mirror of `Rng::sample`).
+    fn sample<T, D: crate::distributions::Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Minimal mirror of `rand::distributions` (only what [`Rng::sample`] needs).
+pub mod distributions {
+    use super::RngCore;
+
+    /// A distribution over values of type `T`.
+    pub trait Distribution<T> {
+        /// Draws a sample.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..10);
+            assert!((3..10).contains(&v));
+            let w = rng.gen_range(1..=5usize);
+            assert!((1..=5).contains(&w));
+            let f = rng.gen_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let p = rng.gen_range(f64::EPSILON..1.0);
+            assert!(p > 0.0 && p < 1.0);
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut counts = [0usize; 5];
+        for _ in 0..5000 {
+            counts[rng.gen_range(0usize..5)] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "counts {counts:?}");
+        }
+        let mean: f64 = (0..2000)
+            .map(|_| rng.gen_range(1..=20usize) as f64)
+            .sum::<f64>()
+            / 2000.0;
+        assert!((mean - 10.5).abs() < 0.8, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2700..3300).contains(&hits), "hits {hits}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn dyn_rngcore_supports_rng_methods() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let dyn_rng: &mut dyn RngCore = &mut rng;
+        let v = dyn_rng.gen_range(0usize..10);
+        assert!(v < 10);
+        let _ = dyn_rng.gen_bool(0.5);
+    }
+}

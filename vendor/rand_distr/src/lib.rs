@@ -1,0 +1,212 @@
+//! Offline subset of `rand_distr`: the [`Normal`], [`Uniform`] and
+//! [`Gamma`] distributions used by the FedADMM workspace.
+//!
+//! Sampling algorithms: Box–Muller for the normal distribution and
+//! Marsaglia–Tsang for the gamma distribution. Streams are deterministic
+//! under the seeded generators from the vendored `rand` crate.
+
+use rand::{Rng, RngCore};
+
+pub use rand::distributions::Distribution;
+
+/// Error returned by distribution constructors on invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Float scalar types usable by the distributions here.
+pub trait Float: Copy + PartialOrd {
+    /// Converts from `f64`.
+    fn from_f64(v: f64) -> Self;
+    /// Converts to `f64`.
+    fn to_f64(self) -> f64;
+}
+
+impl Float for f32 {
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+}
+
+impl Float for f64 {
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    fn to_f64(self) -> f64 {
+        self
+    }
+}
+
+/// The normal (Gaussian) distribution `N(mean, std²)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal<F: Float> {
+    mean: F,
+    std: F,
+}
+
+impl<F: Float> Normal<F> {
+    /// Creates a normal distribution.
+    ///
+    /// Fails if `std` is negative or non-finite.
+    pub fn new(mean: F, std: F) -> Result<Self, ParamError> {
+        let s = std.to_f64();
+        if !s.is_finite() || s < 0.0 {
+            return Err(ParamError(
+                "standard deviation must be finite and non-negative",
+            ));
+        }
+        Ok(Normal { mean, std })
+    }
+}
+
+/// Draws one standard-normal sample via Box–Muller.
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] so that ln(u1) is finite.
+    let u1: f64 = 1.0 - rng.gen_range(0.0f64..1.0);
+    let u2: f64 = rng.gen_range(0.0f64..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+impl<F: Float> Distribution<F> for Normal<F> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        F::from_f64(self.mean.to_f64() + self.std.to_f64() * standard_normal(rng))
+    }
+}
+
+/// The continuous uniform distribution over `[low, high)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform<F: Float> {
+    low: F,
+    high: F,
+}
+
+impl<F: Float> Uniform<F> {
+    /// Creates a uniform distribution over `[low, high)`.
+    ///
+    /// # Panics
+    /// Panics if `low >= high` (matching `rand_distr::Uniform::new`'s
+    /// behavior of rejecting empty ranges).
+    pub fn new(low: F, high: F) -> Self {
+        assert!(
+            low.to_f64() < high.to_f64(),
+            "Uniform::new: low must be < high"
+        );
+        Uniform { low, high }
+    }
+}
+
+impl<F: Float> Distribution<F> for Uniform<F> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        let (lo, hi) = (self.low.to_f64(), self.high.to_f64());
+        let v = rng.gen_range(lo..hi);
+        F::from_f64(v)
+    }
+}
+
+/// The gamma distribution with shape `alpha` and scale `theta`.
+#[derive(Debug, Clone, Copy)]
+pub struct Gamma<F: Float> {
+    shape: F,
+    scale: F,
+}
+
+impl<F: Float> Gamma<F> {
+    /// Creates a gamma distribution with the given shape and scale.
+    ///
+    /// Fails if either parameter is non-positive or non-finite.
+    pub fn new(shape: F, scale: F) -> Result<Self, ParamError> {
+        let (a, s) = (shape.to_f64(), scale.to_f64());
+        if !a.is_finite() || a <= 0.0 {
+            return Err(ParamError("gamma shape must be finite and positive"));
+        }
+        if !s.is_finite() || s <= 0.0 {
+            return Err(ParamError("gamma scale must be finite and positive"));
+        }
+        Ok(Gamma { shape, scale })
+    }
+}
+
+impl<F: Float> Distribution<F> for Gamma<F> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        F::from_f64(sample_gamma(rng, self.shape.to_f64()) * self.scale.to_f64())
+    }
+}
+
+/// Marsaglia–Tsang gamma sampler (with the α < 1 boost).
+fn sample_gamma<R: RngCore + ?Sized>(rng: &mut R, alpha: f64) -> f64 {
+    if alpha < 1.0 {
+        // G(α) = G(α + 1) · U^{1/α}
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        return sample_gamma(rng, alpha + 1.0) * u.powf(1.0 / alpha);
+    }
+    let d = alpha - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let n = Normal::new(2.0f64, 3.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let samples: Vec<f64> = (0..20_000).map(|_| n.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.5, "var {var}");
+        assert!(Normal::new(0.0f32, -1.0).is_err());
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let u = Uniform::new(-1.0f32, 3.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let samples: Vec<f32> = (0..10_000).map(|_| u.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&x| (-1.0..3.0).contains(&x)));
+        let mean = samples.iter().sum::<f32>() / samples.len() as f32;
+        assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn gamma_moments() {
+        // Gamma(k, θ): mean kθ, variance kθ².
+        let g = Gamma::new(3.0f64, 2.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let samples: Vec<f64> = (0..20_000).map(|_| g.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 6.0).abs() < 0.2, "mean {mean}");
+        assert!(samples.iter().all(|&x| x > 0.0));
+        // Shape < 1 (the Dirichlet use case) still produces positive samples.
+        let g = Gamma::new(0.3f64, 1.0).unwrap();
+        for _ in 0..1000 {
+            assert!(g.sample(&mut rng) > 0.0);
+        }
+        assert!(Gamma::new(0.0f64, 1.0).is_err());
+    }
+}

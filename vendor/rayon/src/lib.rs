@@ -1,0 +1,266 @@
+//! Offline, `std::thread`-backed subset of `rayon`.
+//!
+//! Provides the parallel-iterator shapes this workspace actually uses —
+//! `par_chunks_mut(..).enumerate().for_each(..)` and
+//! `(a..b).into_par_iter().map(..).collect()` — implemented with scoped OS
+//! threads and static partitioning. Results are always produced in input
+//! order, so every caller observes deterministic output regardless of the
+//! thread schedule.
+
+use std::ops::Range;
+
+/// Everything a `use rayon::prelude::*` consumer needs.
+pub mod prelude {
+    pub use crate::{FromParallelIterator, IntoParallelIterator, ParallelSliceMut};
+}
+
+/// Number of worker threads used by the parallel helpers.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Mutable-slice extension providing `par_chunks_mut`.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel version of `chunks_mut`: the returned adapter distributes
+    /// the chunks over worker threads on `for_each`.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksMut {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+/// Parallel adapter over mutable chunks of a slice.
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs every chunk with its index.
+    pub fn enumerate(self) -> EnumerateParChunksMut<'a, T> {
+        EnumerateParChunksMut {
+            slice: self.slice,
+            chunk_size: self.chunk_size,
+        }
+    }
+
+    /// Applies `f` to every chunk in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+/// Enumerated parallel adapter over mutable chunks of a slice.
+pub struct EnumerateParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> EnumerateParChunksMut<'a, T> {
+    /// Applies `f` to every `(index, chunk)` pair, distributing the chunks
+    /// over scoped worker threads (round-robin static partitioning).
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let chunks: Vec<(usize, &mut [T])> =
+            self.slice.chunks_mut(self.chunk_size).enumerate().collect();
+        let workers = current_num_threads().min(chunks.len()).max(1);
+        if workers <= 1 {
+            for item in chunks {
+                f(item);
+            }
+            return;
+        }
+        let mut parts: Vec<Vec<(usize, &mut [T])>> = (0..workers).map(|_| Vec::new()).collect();
+        for (k, item) in chunks.into_iter().enumerate() {
+            parts[k % workers].push(item);
+        }
+        let f = &f;
+        std::thread::scope(|scope| {
+            for part in parts {
+                scope.spawn(move || {
+                    for item in part {
+                        f(item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Conversion into a parallel iterator (`(0..n).into_par_iter()`).
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type ParIter;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::ParIter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type ParIter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// A parallel iterator over `Range<usize>`.
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl ParRange {
+    /// Maps every index through `f` (lazily; runs on `collect`).
+    pub fn map<F, R>(self, f: F) -> ParRangeMap<F>
+    where
+        F: Fn(usize) -> R + Sync,
+        R: Send,
+    {
+        ParRangeMap {
+            range: self.range,
+            f,
+        }
+    }
+
+    /// Runs `f` for every index in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let _: Vec<()> = self.map(&f).collect();
+    }
+}
+
+/// A mapped parallel range, awaiting `collect`.
+pub struct ParRangeMap<F> {
+    range: Range<usize>,
+    f: F,
+}
+
+impl<F> ParRangeMap<F> {
+    /// Evaluates the map in parallel (contiguous block partitioning) and
+    /// collects the results **in input order**.
+    pub fn collect<C, R>(self) -> C
+    where
+        F: Fn(usize) -> R + Sync,
+        R: Send,
+        C: FromParallelIterator<R>,
+    {
+        let len = self.range.len();
+        let start = self.range.start;
+        let workers = current_num_threads().min(len).max(1);
+        let ordered: Vec<R> = if workers <= 1 {
+            (start..start + len).map(&self.f).collect()
+        } else {
+            let block = len.div_ceil(workers);
+            let f = &self.f;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|t| {
+                        let lo = start + t * block;
+                        let hi = (lo + block).min(start + len);
+                        scope.spawn(move || (lo..hi).map(f).collect::<Vec<R>>())
+                    })
+                    .collect();
+                let mut out = Vec::with_capacity(len);
+                for handle in handles {
+                    out.extend(handle.join().expect("rayon shim worker panicked"));
+                }
+                out
+            })
+        };
+        C::from_ordered(ordered)
+    }
+}
+
+/// Collection from an ordered buffer of parallel-map results.
+pub trait FromParallelIterator<R>: Sized {
+    /// Builds the collection from results in input order.
+    fn from_ordered(items: Vec<R>) -> Self;
+}
+
+impl<R> FromParallelIterator<R> for Vec<R> {
+    fn from_ordered(items: Vec<R>) -> Self {
+        items
+    }
+}
+
+impl<T, E> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_ordered(items: Vec<Result<T, E>>) -> Self {
+        items.into_iter().collect()
+    }
+}
+
+/// Runs two closures, potentially in parallel, and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon shim join worker panicked"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chunks_mut_visits_every_chunk_once() {
+        let mut data = vec![0u64; 1003];
+        data.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+            for v in chunk.iter_mut() {
+                *v += i as u64 + 1;
+            }
+        });
+        let expected: Vec<u64> = (0..1003).map(|k| (k / 10) as u64 + 1).collect();
+        assert_eq!(data, expected);
+    }
+
+    #[test]
+    fn par_map_collect_preserves_order() {
+        let squares: Vec<usize> = (0..997usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, (0..997).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_collect_into_result_short_circuits() {
+        let ok: Result<Vec<usize>, String> = (0..100usize).into_par_iter().map(Ok).collect();
+        assert_eq!(ok.unwrap().len(), 100);
+        let err: Result<Vec<usize>, String> = (0..100usize)
+            .into_par_iter()
+            .map(|i| {
+                if i == 50 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(i)
+                }
+            })
+            .collect();
+        assert_eq!(err.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+}

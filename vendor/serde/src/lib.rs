@@ -1,0 +1,383 @@
+//! Offline subset of `serde`: a value-tree serialization framework.
+//!
+//! Upstream serde is a zero-copy streaming framework; this vendored subset
+//! trades that generality for simplicity, routing everything through an
+//! owned JSON-like [`value::Value`] tree. The public surface the workspace
+//! uses is identical: `#[derive(Serialize, Deserialize)]` (provided by the
+//! vendored `serde_derive` proc-macro) plus the `serde_json` functions.
+//!
+//! The derive macros generate externally-tagged representations matching
+//! upstream serde's defaults (unit variants as strings, newtype variants as
+//! single-key objects, newtype structs as their inner value), so JSON
+//! produced by this subset looks like what upstream serde would emit.
+
+pub mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Number, Value};
+
+/// Error produced when deserializing from a [`Value`] fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        DeError(m.into())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A type that can be converted into a [`Value`] tree.
+pub trait Serialize {
+    /// Serializes `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Deserializes from a value tree.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------------
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+    )*};
+}
+impl_ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Number(Number::PosInt(v as u64))
+                } else {
+                    Value::Number(Number::NegInt(v))
+                }
+            }
+        }
+    )*};
+}
+impl_ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(*self as f64))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<K: ToString, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: ToString, V: Serialize> Serialize for std::collections::HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------------------
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_bool()
+            .ok_or_else(|| DeError::msg("expected a boolean"))
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::msg("expected a string"))
+    }
+}
+
+macro_rules! impl_de_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let raw = value
+                    .as_u64()
+                    .ok_or_else(|| DeError::msg("expected an unsigned integer"))?;
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::msg("unsigned integer out of range"))
+            }
+        }
+    )*};
+}
+impl_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let raw = value
+                    .as_i64()
+                    .ok_or_else(|| DeError::msg("expected an integer"))?;
+                <$t>::try_from(raw).map_err(|_| DeError::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_de_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_f64()
+            .map(|v| v as f32)
+            .ok_or_else(|| DeError::msg("expected a number"))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_f64()
+            .ok_or_else(|| DeError::msg("expected a number"))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let arr = value
+            .as_array()
+            .ok_or_else(|| DeError::msg("expected an array"))?;
+        arr.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let arr = value
+            .as_array()
+            .ok_or_else(|| DeError::msg("expected an array"))?;
+        if arr.len() != 2 {
+            return Err(DeError::msg("expected a 2-element array"));
+        }
+        Ok((A::from_value(&arr[0])?, B::from_value(&arr[1])?))
+    }
+}
+
+/// Support functions for the code generated by the vendored `serde_derive`.
+/// Not part of the public API.
+#[doc(hidden)]
+pub mod __private {
+    use super::{DeError, Value};
+
+    /// Looks up a named struct field in an object value.
+    pub fn field<'a>(
+        value: &'a Value,
+        key: &'static str,
+        ty: &'static str,
+    ) -> Result<&'a Value, DeError> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| DeError::msg(format!("expected an object for {ty}")))?;
+        obj.iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| DeError::msg(format!("missing field `{key}` for {ty}")))
+    }
+
+    /// Looks up a tuple element in an array value of the expected length.
+    pub fn tuple_elem<'a>(
+        value: &'a Value,
+        idx: usize,
+        len: usize,
+        ty: &'static str,
+    ) -> Result<&'a Value, DeError> {
+        let arr = value
+            .as_array()
+            .ok_or_else(|| DeError::msg(format!("expected an array for {ty}")))?;
+        if arr.len() != len {
+            return Err(DeError::msg(format!(
+                "expected {len} elements for {ty}, found {}",
+                arr.len()
+            )));
+        }
+        Ok(&arr[idx])
+    }
+
+    /// Splits an externally-tagged enum value into `(variant, content)`.
+    /// A bare string is a unit variant; a single-key object carries content.
+    pub fn variant<'a>(
+        value: &'a Value,
+        ty: &'static str,
+    ) -> Result<(&'a str, Option<&'a Value>), DeError> {
+        match value {
+            Value::String(s) => Ok((s.as_str(), None)),
+            Value::Object(entries) if entries.len() == 1 => {
+                Ok((entries[0].0.as_str(), Some(&entries[0].1)))
+            }
+            _ => Err(DeError::msg(format!(
+                "expected a variant string or single-key object for {ty}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn std_impl_roundtrips() {
+        assert_eq!(usize::from_value(&5usize.to_value()).unwrap(), 5);
+        assert_eq!(u64::from_value(&u64::MAX.to_value()).unwrap(), u64::MAX);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert_eq!(f32::from_value(&1.5f32.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(String::from_value(&"x".to_value()).unwrap(), "x");
+        assert_eq!(
+            Vec::<u32>::from_value(&vec![1u32, 2].to_value()).unwrap(),
+            vec![1, 2]
+        );
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Option::<u32>::from_value(&Some(3u32).to_value()).unwrap(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn integer_fidelity_preserved() {
+        // usize::MAX must survive the value tree (f64 could not hold it).
+        let v = usize::MAX.to_value();
+        assert_eq!(usize::from_value(&v).unwrap(), usize::MAX);
+    }
+}
