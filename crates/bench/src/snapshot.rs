@@ -1,0 +1,482 @@
+//! The `bench-snapshot` harness: schema-versioned `BENCH_*.json`
+//! performance snapshots of the engine.
+//!
+//! Criterion answers "did this micro-operation get slower?"; this harness
+//! answers "what does a whole federated run cost right now?". It drives a
+//! fixed scenario matrix (sync / semi-async × IID / non-IID) through the
+//! [`RoundEngine`] with a [`Recorder`] installed and writes one JSON file
+//! per invocation, named `BENCH_<date>_<git-sha>.json`, containing
+//! rounds/sec, bytes moved (uploads and θ broadcasts), staleness quantiles,
+//! per-phase timing quantiles and the process peak RSS. Committing a
+//! snapshot per PR gives the repo a perf *trajectory*, not just a pass/fail
+//! bit.
+//!
+//! The schema is versioned ([`SCHEMA_VERSION`]) and checked by
+//! [`validate_snapshot`]; CI runs `bench-snapshot --scale smoke` and
+//! validates the output on every push. Two snapshots can be compared with
+//! `bench-snapshot --diff A.json B.json`.
+
+use fedadmm_core::prelude::*;
+use fedadmm_data::synthetic::SyntheticDataset;
+use fedadmm_experiments::common::{Scale, Setting, SUBSTRATE_RHO};
+use fedadmm_system::device::{DeviceClass, DevicePopulation};
+use fedadmm_telemetry::{names, peak_rss_bytes, Histogram, Recorder};
+use fedadmm_tensor::TensorResult;
+use serde_json::{json, Value};
+use std::time::Instant;
+
+/// Version of the snapshot JSON schema. Bump when renaming or removing
+/// fields; CI validation rejects snapshots with any other version.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Which scheduler a scenario drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// The synchronous round protocol ([`SyncRounds`]).
+    Sync,
+    /// The deadline-driven straggler-tolerant protocol ([`SemiAsync`]),
+    /// with per-client speeds from a tiered [`DevicePopulation`].
+    SemiAsync,
+}
+
+impl SchedulerKind {
+    /// Stable label used in scenario names and the JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedulerKind::Sync => "sync",
+            SchedulerKind::SemiAsync => "semi-async",
+        }
+    }
+}
+
+/// One cell of the benchmark matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioSpec {
+    /// The scheduler under test.
+    pub scheduler: SchedulerKind,
+    /// Client data distribution.
+    pub distribution: DataDistribution,
+}
+
+impl ScenarioSpec {
+    /// Stable scenario name, e.g. `"semi-async/non-IID"`.
+    pub fn name(&self) -> String {
+        format!("{}/{}", self.scheduler.label(), self.distribution.label())
+    }
+}
+
+/// The fixed scenario matrix: sync / semi-async × IID / non-IID.
+pub fn scenario_matrix() -> Vec<ScenarioSpec> {
+    let mut out = Vec::new();
+    for scheduler in [SchedulerKind::Sync, SchedulerKind::SemiAsync] {
+        for distribution in [DataDistribution::Iid, DataDistribution::NonIidShards] {
+            out.push(ScenarioSpec {
+                scheduler,
+                distribution,
+            });
+        }
+    }
+    out
+}
+
+/// Rounds each scenario runs at the given scale.
+pub fn rounds_for(scale: Scale) -> usize {
+    match scale {
+        Scale::Smoke => 8,
+        Scale::Scaled => 20,
+        Scale::Paper => 50,
+    }
+}
+
+fn base_setting(distribution: DataDistribution, scale: Scale) -> Setting {
+    Setting::for_dataset(SyntheticDataset::Mnist, distribution, 100, scale)
+}
+
+/// The tiered device fleet driving the semi-async scenarios, bridged into
+/// per-client epoch seconds via [`DevicePopulation::seconds_per_epoch`].
+fn semi_async_config(setting: &Setting) -> SemiAsyncConfig {
+    let fleet = DevicePopulation::tiered(
+        setting.num_clients,
+        &[
+            (DeviceClass::HighEnd, 0.5),
+            (DeviceClass::MidRange, 0.3),
+            (DeviceClass::LowEnd, 0.2),
+        ],
+        setting.seed,
+    );
+    let samples_per_client = setting.train_size / setting.num_clients.max(1);
+    let seconds = fleet.seconds_per_epoch(setting.num_clients, samples_per_client);
+    // Deadline at the median per-round compute cost: the fast half makes
+    // every round, the slow tail arrives stale.
+    let mut sorted = seconds.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let deadline = sorted[sorted.len() / 2] * setting.local_epochs.max(1) as f64;
+    SemiAsyncConfig {
+        seconds_per_epoch: seconds,
+        round_deadline: deadline.max(1e-6),
+        staleness: StalenessWeight::Polynomial { exponent: 0.5 },
+    }
+}
+
+fn hist_json(hist: Option<&Histogram>) -> Value {
+    match hist {
+        Some(h) if h.count() > 0 => json!({
+            "count": h.count(),
+            "mean": h.mean(),
+            "p50": h.quantile(0.50),
+            "p90": h.quantile(0.90),
+            "p99": h.quantile(0.99),
+            "max": h.max(),
+        }),
+        _ => json!({"count": 0u64, "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0}),
+    }
+}
+
+fn counter(rec: &Recorder, name: &str) -> u64 {
+    rec.metrics().counter_by_name(name).unwrap_or(0)
+}
+
+/// Runs one scenario with a [`Recorder`] installed and returns its JSON row.
+pub fn run_scenario(spec: &ScenarioSpec, scale: Scale, rounds: usize) -> TensorResult<Value> {
+    let setting = base_setting(spec.distribution, scale);
+    let algorithm = FedAdmm::new(SUBSTRATE_RHO, ServerStepSize::Constant(1.0));
+    let recorder = Box::new(Recorder::new());
+    let (wall_seconds, final_accuracy, history, telemetry) = match spec.scheduler {
+        SchedulerKind::Sync => {
+            let mut engine = setting.build_sim(algorithm)?.with_telemetry(recorder);
+            let start = Instant::now();
+            engine.run_rounds(rounds)?;
+            let wall = start.elapsed().as_secs_f64();
+            let acc = engine.history().final_accuracy();
+            let telemetry = engine.take_telemetry();
+            (wall, acc, engine.into_history(), telemetry)
+        }
+        SchedulerKind::SemiAsync => {
+            let scheduler = SemiAsync::new(semi_async_config(&setting));
+            let mut engine = setting
+                .build_with_scheduler(algorithm, scheduler)?
+                .with_telemetry(recorder);
+            let start = Instant::now();
+            engine.run_rounds(rounds)?;
+            let wall = start.elapsed().as_secs_f64();
+            let acc = engine.history().final_accuracy();
+            let telemetry = engine.take_telemetry();
+            (wall, acc, engine.into_history(), telemetry)
+        }
+    };
+    let rec = telemetry
+        .as_any()
+        .and_then(|a| a.downcast_ref::<Recorder>())
+        .expect("scenario telemetry is a Recorder");
+
+    let upload_bytes = counter(rec, names::UPLOAD_FLOATS_TOTAL) * 4;
+    let broadcast_bytes = counter(rec, names::BROADCAST_FLOATS_TOTAL) * 4;
+    let staleness_max = history.records.iter().map(|r| r.staleness_max).max();
+    Ok(json!({
+        "name": spec.name(),
+        "scheduler": spec.scheduler.label(),
+        "distribution": spec.distribution.label(),
+        "rounds": rounds,
+        "wall_seconds": wall_seconds,
+        "rounds_per_sec": rounds as f64 / wall_seconds.max(1e-12),
+        "final_accuracy": final_accuracy as f64,
+        "client_updates": counter(rec, names::CLIENT_UPDATES_TOTAL),
+        "upload_bytes": upload_bytes,
+        "broadcast_bytes": broadcast_bytes,
+        "bytes_moved": upload_bytes + broadcast_bytes,
+        "staleness": hist_json(rec.metrics().histogram_by_name(names::STALENESS_ROUNDS)),
+        "staleness_max_recorded": staleness_max.unwrap_or(0),
+        "client_compute_seconds": hist_json(rec.metrics().histogram_by_name(names::CLIENT_COMPUTE_SECONDS)),
+        "aggregate_seconds": hist_json(rec.metrics().histogram_by_name(names::AGGREGATE_SECONDS)),
+        "eval_seconds": hist_json(rec.metrics().histogram_by_name(names::EVAL_SECONDS)),
+    }))
+}
+
+/// Measures hook overhead on the sync/IID scenario: the same seeded run
+/// with the default no-op hook (twice — the rerun bounds timing noise) and
+/// with a full [`Recorder`]. Percentages are relative to the first no-op
+/// run; the no-op rerun delta is the noise floor the ≤ 2 % overhead claim
+/// is judged against.
+pub fn overhead_check(scale: Scale, rounds: usize) -> TensorResult<Value> {
+    let setting = base_setting(DataDistribution::Iid, scale);
+    let time_run = |telemetry: Option<Box<Recorder>>| -> TensorResult<f64> {
+        let algorithm = FedAdmm::new(SUBSTRATE_RHO, ServerStepSize::Constant(1.0));
+        let mut engine = setting.build_sim(algorithm)?;
+        if let Some(rec) = telemetry {
+            engine = engine.with_telemetry(rec);
+        }
+        let start = Instant::now();
+        engine.run_rounds(rounds)?;
+        Ok(start.elapsed().as_secs_f64())
+    };
+    let noop_a = time_run(None)?;
+    let noop_b = time_run(None)?;
+    let recorder = time_run(Some(Box::new(Recorder::new())))?;
+    let pct = |t: f64| (t - noop_a) / noop_a.max(1e-12) * 100.0;
+    Ok(json!({
+        "rounds": rounds,
+        "noop_seconds": noop_a,
+        "noop_rerun_pct": pct(noop_b),
+        "recorder_seconds": recorder,
+        "recorder_pct": pct(recorder),
+    }))
+}
+
+/// Builds the complete snapshot document for a scale.
+pub fn build_snapshot(scale: Scale, rounds: usize) -> TensorResult<Value> {
+    let mut scenarios = Vec::new();
+    for spec in scenario_matrix() {
+        scenarios.push((spec.name(), run_scenario(&spec, scale, rounds)?));
+    }
+    let scenario_values: Vec<Value> = scenarios.into_iter().map(|(_, v)| v).collect();
+    let overhead = overhead_check(scale, rounds)?;
+    let created_unix = unix_now();
+    let (y, m, d) = civil_from_unix(created_unix);
+    Ok(json!({
+        "schema_version": SCHEMA_VERSION,
+        "created_unix": created_unix,
+        "created_date": format!("{y:04}-{m:02}-{d:02}"),
+        "git_sha": git_short_sha(),
+        "scale": format!("{scale:?}").to_ascii_lowercase(),
+        "rounds_per_scenario": rounds,
+        "peak_rss_bytes": peak_rss_bytes(),
+        "scenarios": Value::Array(scenario_values),
+        "overhead": overhead,
+    }))
+}
+
+/// Checks that `snapshot` matches the schema this binary writes.
+pub fn validate_snapshot(snapshot: &Value) -> Result<(), String> {
+    let version = snapshot["schema_version"]
+        .as_u64()
+        .ok_or("schema_version missing")?;
+    if version != SCHEMA_VERSION {
+        return Err(format!(
+            "schema_version {version} != expected {SCHEMA_VERSION}"
+        ));
+    }
+    snapshot["git_sha"].as_str().ok_or("git_sha missing")?;
+    snapshot["created_date"]
+        .as_str()
+        .filter(|d| d.len() == 10)
+        .ok_or("created_date missing or malformed")?;
+    let scenarios = snapshot["scenarios"]
+        .as_array()
+        .ok_or("scenarios missing")?;
+    if scenarios.is_empty() {
+        return Err("scenarios array is empty".to_string());
+    }
+    for s in scenarios {
+        let name = s["name"].as_str().ok_or("scenario name missing")?;
+        for key in ["rounds_per_sec", "wall_seconds", "final_accuracy"] {
+            s[key]
+                .as_f64()
+                .ok_or_else(|| format!("{name}: {key} missing"))?;
+        }
+        for key in ["upload_bytes", "broadcast_bytes", "bytes_moved", "rounds"] {
+            s[key]
+                .as_u64()
+                .ok_or_else(|| format!("{name}: {key} missing"))?;
+        }
+        for key in ["p50", "p90", "p99", "max"] {
+            s["staleness"][key]
+                .as_f64()
+                .ok_or_else(|| format!("{name}: staleness.{key} missing"))?;
+        }
+    }
+    for key in ["noop_rerun_pct", "recorder_pct"] {
+        snapshot["overhead"][key]
+            .as_f64()
+            .ok_or_else(|| format!("overhead.{key} missing"))?;
+    }
+    Ok(())
+}
+
+/// Renders a per-scenario comparison of two snapshots (`b` relative to `a`).
+pub fn diff_snapshots(a: &Value, b: &Value) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "snapshot diff: {} ({}) -> {} ({})\n",
+        a["git_sha"].as_str().unwrap_or("?"),
+        a["created_date"].as_str().unwrap_or("?"),
+        b["git_sha"].as_str().unwrap_or("?"),
+        b["created_date"].as_str().unwrap_or("?"),
+    ));
+    let empty = Vec::new();
+    let scenarios_a = a["scenarios"].as_array().unwrap_or(&empty);
+    let scenarios_b = b["scenarios"].as_array().unwrap_or(&empty);
+    for sa in scenarios_a {
+        let name = sa["name"].as_str().unwrap_or("?");
+        let Some(sb) = scenarios_b
+            .iter()
+            .find(|s| s["name"].as_str() == Some(name))
+        else {
+            out.push_str(&format!("  {name:24} only in first snapshot\n"));
+            continue;
+        };
+        let rps_a = sa["rounds_per_sec"].as_f64().unwrap_or(0.0);
+        let rps_b = sb["rounds_per_sec"].as_f64().unwrap_or(0.0);
+        let delta = if rps_a > 0.0 {
+            (rps_b - rps_a) / rps_a * 100.0
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "  {name:24} {rps_a:8.2} -> {rps_b:8.2} rounds/s ({delta:+6.1}%)  bytes {} -> {}\n",
+            sa["bytes_moved"].as_u64().unwrap_or(0),
+            sb["bytes_moved"].as_u64().unwrap_or(0),
+        ));
+    }
+    let rss = |v: &Value| v["peak_rss_bytes"].as_u64().unwrap_or(0);
+    out.push_str(&format!("  peak RSS {} -> {} bytes\n", rss(a), rss(b)));
+    out
+}
+
+/// The file name a snapshot is written under: `BENCH_<date>_<sha>.json`.
+pub fn snapshot_filename(snapshot: &Value) -> String {
+    format!(
+        "BENCH_{}_{}.json",
+        snapshot["created_date"].as_str().unwrap_or("unknown"),
+        snapshot["git_sha"].as_str().unwrap_or("nogit"),
+    )
+}
+
+/// The workspace root (two levels above this crate's manifest).
+pub fn repo_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench crate lives two levels below the workspace root")
+        .to_path_buf()
+}
+
+fn unix_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// Converts a unix timestamp to a `(year, month, day)` civil date (UTC) —
+/// the standard days-from-epoch algorithm, hand-rolled to stay offline.
+pub fn civil_from_unix(secs: u64) -> (i64, u32, u32) {
+    let days = (secs / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let day = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    let year = yoe + era * 400 + i64::from(month <= 2);
+    (year, month, day)
+}
+
+/// Short commit hash of the checked-out revision, read straight from
+/// `.git` (no subprocess); `"nogit"` when unavailable.
+pub fn git_short_sha() -> String {
+    let git = repo_root().join(".git");
+    let head = match std::fs::read_to_string(git.join("HEAD")) {
+        Ok(h) => h.trim().to_string(),
+        Err(_) => return "nogit".to_string(),
+    };
+    let sha = if let Some(reference) = head.strip_prefix("ref: ") {
+        let reference = reference.trim();
+        match std::fs::read_to_string(git.join(reference)) {
+            Ok(s) => s.trim().to_string(),
+            // Loose ref absent — fall back to packed-refs.
+            Err(_) => std::fs::read_to_string(git.join("packed-refs"))
+                .ok()
+                .and_then(|packed| {
+                    packed.lines().find_map(|line| {
+                        line.strip_suffix(reference)
+                            .map(|sha| sha.trim().to_string())
+                    })
+                })
+                .unwrap_or_default(),
+        }
+    } else {
+        head
+    };
+    if sha.len() >= 7 && sha.bytes().all(|b| b.is_ascii_hexdigit()) {
+        sha[..7].to_string()
+    } else {
+        "nogit".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn civil_date_conversion_matches_known_dates() {
+        assert_eq!(civil_from_unix(0), (1970, 1, 1));
+        assert_eq!(civil_from_unix(86_399), (1970, 1, 1));
+        assert_eq!(civil_from_unix(86_400), (1970, 1, 2));
+        // 2000-02-29 (leap day): 951_782_400.
+        assert_eq!(civil_from_unix(951_782_400), (2000, 2, 29));
+        // 2026-08-08: 1_786_147_200.
+        assert_eq!(civil_from_unix(1_786_147_200), (2026, 8, 8));
+    }
+
+    #[test]
+    fn matrix_covers_four_scenarios() {
+        let names: Vec<String> = scenario_matrix().iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), 4);
+        assert!(names.iter().any(|n| n == "sync/IID"));
+        assert!(names.iter().any(|n| n.starts_with("semi-async/")));
+    }
+
+    #[test]
+    fn git_sha_is_short_hex_or_nogit() {
+        let sha = git_short_sha();
+        assert!(
+            sha == "nogit" || (sha.len() == 7 && sha.bytes().all(|b| b.is_ascii_hexdigit())),
+            "unexpected sha {sha:?}"
+        );
+    }
+
+    #[test]
+    fn snapshot_builds_and_validates_at_tiny_scale() {
+        let snapshot = build_snapshot(Scale::Smoke, 2).unwrap();
+        validate_snapshot(&snapshot).expect("fresh snapshot validates");
+        let name = snapshot_filename(&snapshot);
+        assert!(name.starts_with("BENCH_") && name.ends_with(".json"));
+        // Round-trips through the serializer.
+        let text = serde_json::to_string_pretty(&snapshot).unwrap();
+        let back: Value = serde_json::from_str(&text).unwrap();
+        validate_snapshot(&back).unwrap();
+        // The semi-async scenarios must actually observe staleness events.
+        let scenarios = back["scenarios"].as_array().unwrap();
+        let semi = scenarios
+            .iter()
+            .find(|s| s["name"].as_str() == Some("semi-async/IID"))
+            .unwrap();
+        assert!(semi["staleness"]["count"].as_u64().unwrap() > 0);
+        // And all scenarios moved bytes in both directions.
+        for s in scenarios {
+            assert!(s["upload_bytes"].as_u64().unwrap() > 0);
+            assert!(s["broadcast_bytes"].as_u64().unwrap() > 0);
+        }
+    }
+
+    #[test]
+    fn validation_rejects_wrong_schema_and_diff_renders() {
+        let mut snapshot = build_snapshot(Scale::Smoke, 1).unwrap();
+        let other = snapshot.clone();
+        let text = diff_snapshots(&snapshot, &other);
+        assert!(text.contains("rounds/s"));
+        assert!(text.contains("sync/IID"));
+        if let Value::Object(fields) = &mut snapshot {
+            for (k, v) in fields.iter_mut() {
+                if k == "schema_version" {
+                    *v = json!(999u64);
+                }
+            }
+        }
+        assert!(validate_snapshot(&snapshot).is_err());
+        assert!(validate_snapshot(&json!({"not": "a snapshot"})).is_err());
+    }
+}

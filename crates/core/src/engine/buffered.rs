@@ -300,6 +300,9 @@ impl Scheduler for BufferedAsync {
             accuracy = Some(record.test_accuracy);
             report.record = Some(record);
         }
+        // Note: this arrival is recorded *after* any round record produced
+        // above, so its staleness is attributed to the next record's
+        // staleness window (the record's own window closes at evaluation).
         report
             .events
             .push(core.record_event(job.client_id, staleness, weight, accuracy));

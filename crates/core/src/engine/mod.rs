@@ -84,6 +84,7 @@ use crate::selection::{ClientSelector, FullParticipation, UniformFraction};
 use crate::trainer::evaluate;
 use fedadmm_data::partition::Partition;
 use fedadmm_data::Dataset;
+use fedadmm_telemetry::{NoTelemetry, Telemetry};
 use fedadmm_tensor::{TensorError, TensorResult};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -110,6 +111,11 @@ pub struct RoundEngine<A: Algorithm, S: Scheduler> {
     clock: f64,
     cumulative_upload: usize,
     round: usize,
+    telemetry: Box<dyn Telemetry>,
+    /// First event index not yet attributed to a round record.
+    event_mark: usize,
+    /// ρ used for the per-round optimality-gap gauge, if enabled.
+    gap_rho: Option<f32>,
 }
 
 impl<A: Algorithm, S: Scheduler> RoundEngine<A, S> {
@@ -179,6 +185,9 @@ impl<A: Algorithm, S: Scheduler> RoundEngine<A, S> {
             clock: 0.0,
             cumulative_upload: 0,
             round: 0,
+            telemetry: Box::new(NoTelemetry),
+            event_mark: 0,
+            gap_rho: None,
         };
         let mut core = EngineCore {
             config: &engine.config,
@@ -194,6 +203,8 @@ impl<A: Algorithm, S: Scheduler> RoundEngine<A, S> {
             clock: &mut engine.clock,
             cumulative_upload: &mut engine.cumulative_upload,
             round: &mut engine.round,
+            telemetry: engine.telemetry.as_mut(),
+            event_mark: &mut engine.event_mark,
         };
         engine.scheduler.init(&mut core)?;
         Ok(engine)
@@ -211,6 +222,39 @@ impl<A: Algorithm, S: Scheduler> RoundEngine<A, S> {
     pub fn with_work_schedule(mut self, schedule: LocalWorkSchedule) -> Self {
         self.work_schedule = schedule;
         self
+    }
+
+    /// Installs observability hooks (e.g. a
+    /// [`Recorder`](fedadmm_telemetry::Recorder)). The default is
+    /// [`NoTelemetry`], whose `enabled() == false` keeps the hot path free
+    /// of timing calls — an uninstrumented run is byte-identical.
+    pub fn with_telemetry(mut self, telemetry: Box<dyn Telemetry>) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Enables the per-round optimality-gap gauge: after every completed
+    /// round the engine computes `V_t` (equation (7), via
+    /// [`diagnostics::optimality_gap`](crate::diagnostics::optimality_gap)
+    /// with penalty `rho`) and reports it through
+    /// [`Telemetry::on_gauge`] as `"optimality_gap"`. Opt-in because the
+    /// gap is an O(total samples) computation per round.
+    pub fn with_optimality_gap(mut self, rho: f32) -> Self {
+        self.gap_rho = Some(rho);
+        self
+    }
+
+    /// Mutable access to the installed telemetry hooks (e.g. to export a
+    /// recorder's metrics mid-run).
+    pub fn telemetry_mut(&mut self) -> &mut dyn Telemetry {
+        self.telemetry.as_mut()
+    }
+
+    /// Removes the installed telemetry hooks (replacing them with the
+    /// no-op default) and returns them — the usual way to export traces
+    /// and metrics once a run finishes.
+    pub fn take_telemetry(&mut self) -> Box<dyn Telemetry> {
+        std::mem::replace(&mut self.telemetry, Box::new(NoTelemetry))
     }
 
     /// The configuration this engine runs under.
@@ -298,6 +342,9 @@ impl<A: Algorithm, S: Scheduler> RoundEngine<A, S> {
 
     /// Advances the schedule by one tick and reports what happened.
     pub fn step(&mut self) -> TensorResult<TickReport> {
+        let scheduler_name = self.scheduler.name();
+        let tick_round = self.round;
+        self.telemetry.on_tick_start(scheduler_name, tick_round);
         // Split-borrow: the scheduler is taken out of the struct for the
         // tick so the core can borrow the rest mutably.
         let mut core = EngineCore {
@@ -314,8 +361,26 @@ impl<A: Algorithm, S: Scheduler> RoundEngine<A, S> {
             clock: &mut self.clock,
             cumulative_upload: &mut self.cumulative_upload,
             round: &mut self.round,
+            telemetry: self.telemetry.as_mut(),
+            event_mark: &mut self.event_mark,
         };
-        self.scheduler.tick(&mut core)
+        let report = self.scheduler.tick(&mut core);
+        self.telemetry.on_tick_end(scheduler_name, tick_round);
+        let report = report?;
+        if report.record.is_some() {
+            if let Some(rho) = self.gap_rho {
+                let gap = crate::diagnostics::optimality_gap(
+                    &self.clients,
+                    &self.global,
+                    rho,
+                    self.config.model,
+                    &self.train,
+                )?;
+                self.telemetry
+                    .on_gauge("optimality_gap", gap.total() as f64);
+            }
+        }
+        Ok(report)
     }
 
     /// Runs ticks until one produces a round record, and returns it.

@@ -35,9 +35,11 @@ use crate::param::ParamVector;
 use crate::selection::ClientSelector;
 use crate::trainer::{evaluate, LocalEnv};
 use fedadmm_data::Dataset;
+use fedadmm_telemetry::{RoundSummary, Telemetry};
 use fedadmm_tensor::{TensorError, TensorResult};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// How an update's weight decays with its staleness τ (the number of server
 /// aggregations since the client downloaded its model snapshot).
@@ -180,6 +182,12 @@ pub struct EngineCore<'a> {
     pub(super) clock: &'a mut f64,
     pub(super) cumulative_upload: &'a mut usize,
     pub(super) round: &'a mut usize,
+    /// Observability hooks (the engine's `with_telemetry` hook, or the
+    /// no-op default). See [`EngineCore::telemetry`].
+    pub(super) telemetry: &'a mut dyn Telemetry,
+    /// Index into `events` of the first arrival not yet attributed to a
+    /// round record (advanced by [`EngineCore::record_round`]).
+    pub(super) event_mark: &'a mut usize,
 }
 
 impl EngineCore<'_> {
@@ -208,6 +216,14 @@ impl EngineCore<'_> {
     /// Accounts client → server communication.
     pub fn add_upload(&mut self, floats: usize) {
         *self.cumulative_upload += floats;
+        self.telemetry.on_upload(floats);
+    }
+
+    /// The observability hooks installed on the engine (the no-op default
+    /// unless `RoundEngine::with_telemetry` replaced it). External
+    /// schedulers use this to emit phase markers or custom gauges.
+    pub fn telemetry(&mut self) -> &mut dyn Telemetry {
+        self.telemetry
     }
 
     /// A zero-copy broadcast handle to the current global model: clients
@@ -244,7 +260,23 @@ impl EngineCore<'_> {
             learning_rate: self.config.local_learning_rate,
             seed: order.seed,
         };
-        self.algorithm.client_update(client, &order.snapshot, &env)
+        // Timing is gated on `enabled()` so the no-op hook costs nothing.
+        let start = self.telemetry.enabled().then(Instant::now);
+        let message = self
+            .algorithm
+            .client_update(client, &order.snapshot, &env)?;
+        if let Some(start) = start {
+            self.telemetry
+                .on_download(*self.round, order.client_id, order.snapshot.len());
+            self.telemetry.on_client_update(
+                *self.round,
+                order.client_id,
+                start.elapsed().as_secs_f64(),
+                message.epochs_run,
+                message.samples_processed,
+            );
+        }
+        Ok(message)
     }
 
     /// Runs a batch of orders through the shared parallel dispatch path.
@@ -291,6 +323,10 @@ impl EngineCore<'_> {
 
         let algorithm: &dyn Algorithm = &*self.algorithm;
         let (train, config) = (self.train, self.config);
+        // When telemetry is off no worker reads the clock: the job tuple
+        // carries 0.0 and the hot path is identical to an uninstrumented
+        // build.
+        let timed = self.telemetry.enabled();
         let run_job = move |order: &DispatchOrder, client: &mut ClientState| {
             let indices = client.indices.clone();
             let env = LocalEnv {
@@ -302,17 +338,17 @@ impl EngineCore<'_> {
                 learning_rate: config.local_learning_rate,
                 seed: order.seed,
             };
-            (
-                client.id,
-                algorithm.client_update(client, &order.snapshot, &env),
-            )
+            let start = timed.then(Instant::now);
+            let result = algorithm.client_update(client, &order.snapshot, &env);
+            let seconds = start.map_or(0.0, |s| s.elapsed().as_secs_f64());
+            (client.id, result, seconds)
         };
 
         let workers = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
             .min(jobs.len());
-        let mut results: Vec<(usize, TensorResult<ClientMessage>)> = if workers <= 1 {
+        let mut results: Vec<(usize, TensorResult<ClientMessage>, f64)> = if workers <= 1 {
             jobs.into_iter()
                 .map(|(order, client)| run_job(order, client))
                 .collect()
@@ -343,10 +379,28 @@ impl EngineCore<'_> {
             })
         };
         // Deterministic aggregation order regardless of the thread schedule.
-        results.sort_by_key(|(id, _)| *id);
+        results.sort_by_key(|(id, _, _)| *id);
+        if timed {
+            // Downloads are accounted at dispatch time: each order pulled
+            // one θ snapshot of `len` floats.
+            for order in orders {
+                self.telemetry
+                    .on_download(*self.round, order.client_id, order.snapshot.len());
+            }
+        }
         let mut messages = Vec::with_capacity(results.len());
-        for (_, result) in results {
-            messages.push(result?);
+        for (id, result, seconds) in results {
+            let message = result?;
+            if timed {
+                self.telemetry.on_client_update(
+                    *self.round,
+                    id,
+                    seconds,
+                    message.epochs_run,
+                    message.samples_processed,
+                );
+            }
+            messages.push(message);
         }
         Ok(messages)
     }
@@ -361,15 +415,39 @@ impl EngineCore<'_> {
         messages: &[ClientMessage],
         rng: &mut dyn rand::RngCore,
     ) -> ServerOutcome {
+        let start = self.telemetry.enabled().then(Instant::now);
         let global = Arc::make_mut(self.global);
-        self.algorithm
-            .server_update(global, messages, self.config.num_clients, rng)
+        let outcome = self
+            .algorithm
+            .server_update(global, messages, self.config.num_clients, rng);
+        if let Some(start) = start {
+            self.telemetry
+                .on_aggregate(*self.round, messages.len(), start.elapsed().as_secs_f64());
+        }
+        outcome
     }
 
     /// Evaluates θ, pushes a [`RoundRecord`] built from `stats` and returns
     /// it. Increments the round counter.
+    ///
+    /// The record also absorbs the staleness distribution of every arrival
+    /// event recorded since the previous round closed (always zero for
+    /// synchronous schedules, which record no events).
     pub fn record_round(&mut self, stats: RoundStats) -> TensorResult<RoundRecord> {
+        let eval_start = self.telemetry.enabled().then(Instant::now);
         let (test_loss, test_accuracy) = self.evaluate_global()?;
+        if let Some(start) = eval_start {
+            self.telemetry
+                .on_eval(*self.round, start.elapsed().as_secs_f64());
+        }
+        let window = &self.events[*self.event_mark..];
+        let staleness_mean = if window.is_empty() {
+            0.0
+        } else {
+            window.iter().map(|e| e.staleness).sum::<usize>() as f64 / window.len() as f64
+        };
+        let staleness_max = window.iter().map(|e| e.staleness).max().unwrap_or(0);
+        *self.event_mark = self.events.len();
         let record = RoundRecord {
             round: *self.round,
             test_accuracy,
@@ -380,7 +458,19 @@ impl EngineCore<'_> {
             total_local_epochs: stats.total_local_epochs,
             samples_processed: stats.samples_processed,
             elapsed_ms: stats.elapsed_ms,
+            staleness_mean,
+            staleness_max,
         };
+        self.telemetry.on_round_end(&RoundSummary {
+            round: record.round,
+            wall_seconds: record.elapsed_ms as f64 / 1000.0,
+            num_selected: record.num_selected,
+            upload_floats: record.upload_floats,
+            test_accuracy: record.test_accuracy as f64,
+            test_loss: record.test_loss as f64,
+            staleness_mean,
+            staleness_max,
+        });
         self.history.push(record.clone());
         *self.round += 1;
         Ok(record)
@@ -404,6 +494,7 @@ impl EngineCore<'_> {
             test_accuracy,
             cumulative_upload_floats: *self.cumulative_upload,
         };
+        self.telemetry.on_arrival(client_id, staleness, weight);
         self.events.push(record.clone());
         record
     }

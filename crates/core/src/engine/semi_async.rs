@@ -246,7 +246,9 @@ impl Scheduler for SemiAsync {
                 seed: p.seed,
             })
             .collect();
+        core.telemetry().on_phase_start("dispatch", round);
         let mut messages = core.dispatch(&orders)?;
+        core.telemetry().on_phase_end("dispatch", round);
         drop(orders);
 
         // 5. Staleness-weight the stragglers' payloads (τ = rounds missed),
@@ -283,7 +285,9 @@ impl Scheduler for SemiAsync {
         // 6. Aggregate the round's arrivals in one batch and evaluate.
         let upload_floats: usize = kept.iter().map(|m| m.upload_floats()).sum();
         if !kept.is_empty() {
+            core.telemetry().on_phase_start("aggregate", round);
             core.aggregate(&kept, &mut round_rng);
+            core.telemetry().on_phase_end("aggregate", round);
         }
         let record = core.record_round(RoundStats {
             num_selected: kept.len(),

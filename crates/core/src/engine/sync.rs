@@ -62,13 +62,17 @@ impl Scheduler for SyncRounds {
             .collect();
 
         // 3. Local updates through the shared parallel dispatch path.
+        core.telemetry().on_phase_start("dispatch", round);
         let messages = core.dispatch(&orders)?;
+        core.telemetry().on_phase_end("dispatch", round);
         drop(orders);
         drop(snapshot);
 
         // 4. Server aggregation (single fused pass inside the algorithm).
+        core.telemetry().on_phase_start("aggregate", round);
         let outcome = core.aggregate(&messages, &mut round_rng);
         core.add_upload(outcome.upload_floats);
+        core.telemetry().on_phase_end("aggregate", round);
 
         // 5. Evaluation and bookkeeping.
         let record = core.record_round(RoundStats {

@@ -106,4 +106,5 @@ pub mod prelude {
     pub use crate::simulation::Simulation;
     pub use crate::solver::LocalSolver;
     pub use fedadmm_data::batching::BatchSize;
+    pub use fedadmm_telemetry::{NoTelemetry, Recorder, RoundSummary, Telemetry};
 }

@@ -27,6 +27,11 @@ pub struct RoundRecord {
     /// Wall-clock duration of the round in milliseconds (simulation time,
     /// reported for reference only).
     pub elapsed_ms: u64,
+    /// Mean staleness τ of the arrival events folded into this round
+    /// (0 for synchronous schedules, which have no stale arrivals).
+    pub staleness_mean: f64,
+    /// Maximum staleness τ among this round's arrival events.
+    pub staleness_max: usize,
 }
 
 /// The full history of a federated run.
@@ -107,17 +112,44 @@ impl RunHistory {
 
     /// Serialises the history as JSON lines (one record per line, prefixed
     /// by a header line describing the run).
+    ///
+    /// The header goes through the same `serde_json` serializer as the
+    /// records (not hand-formatted strings), so labels containing quotes or
+    /// backslashes stay valid JSON and [`RunHistory::from_json_lines`]
+    /// round-trips every history exactly.
     pub fn to_json_lines(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!(
-            "{{\"algorithm\":{:?},\"setting\":{:?}}}\n",
-            self.algorithm, self.setting
-        ));
+        let header = serde_json::json!({
+            "algorithm": self.algorithm,
+            "setting": self.setting,
+        });
+        out.push_str(&serde_json::to_string(&header).expect("history header serialises"));
+        out.push('\n');
         for r in &self.records {
             out.push_str(&serde_json::to_string(r).expect("round records serialise"));
             out.push('\n');
         }
         out
+    }
+
+    /// Parses a history back from its [`RunHistory::to_json_lines`] output.
+    ///
+    /// Returns `None` when the header line is missing/malformed or any
+    /// record line fails to parse.
+    pub fn from_json_lines(text: &str) -> Option<Self> {
+        let mut lines = text.lines();
+        let header: serde_json::Value = serde_json::from_str(lines.next()?).ok()?;
+        let mut history = RunHistory::new(
+            header["algorithm"].as_str()?.to_string(),
+            header["setting"].as_str()?.to_string(),
+        );
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            history.push(serde_json::from_str(line).ok()?);
+        }
+        Some(history)
     }
 }
 
@@ -163,6 +195,8 @@ mod tests {
             total_local_epochs: 20,
             samples_processed: 1000,
             elapsed_ms: 5,
+            staleness_mean: 0.5,
+            staleness_max: round,
         }
     }
 
@@ -222,6 +256,26 @@ mod tests {
         assert_eq!(s.lines().count(), 2);
         assert!(s.contains("FedADMM"));
         assert!(s.contains("test_accuracy"));
+    }
+
+    #[test]
+    fn json_lines_round_trip_through_serde() {
+        let mut h = RunHistory::new("FedADMM", "MNIST \"IID\" α=0.5 \\ 100 clients");
+        h.push(record(0, 0.4));
+        h.push(record(1, 0.6));
+        let text = h.to_json_lines();
+        // Every line — including the header with quotes and backslashes in
+        // the setting label — must be valid JSON on its own.
+        for line in text.lines() {
+            let v: serde_json::Value = serde_json::from_str(line).unwrap();
+            assert!(v["setting"].is_null() || v["setting"].as_str().is_some());
+        }
+        let back = RunHistory::from_json_lines(&text).unwrap();
+        assert_eq!(h, back);
+        // The schema surfaces the staleness fields wired in from the engine.
+        assert!(text.contains("staleness_mean"));
+        assert!(text.contains("staleness_max"));
+        assert_eq!(RunHistory::from_json_lines("not json"), None);
     }
 
     #[test]

@@ -212,6 +212,21 @@ impl DevicePopulation {
         self.profiles.iter()
     }
 
+    /// Per-client virtual seconds needed to run one local epoch of
+    /// `samples_per_epoch` samples, for a population of `num_clients`
+    /// (profiles wrap around, as in [`DevicePopulation::profile`]).
+    ///
+    /// This is the bridge from device modelling to the engine's
+    /// event-driven schedulers: the returned vector plugs directly into
+    /// `SemiAsyncConfig::seconds_per_epoch` / `AsyncConfig::seconds_per_epoch`,
+    /// so bench scenarios can drive the straggler schedules with realistic
+    /// fleet heterogeneity instead of hand-picked tier constants.
+    pub fn seconds_per_epoch(&self, num_clients: usize, samples_per_epoch: usize) -> Vec<f64> {
+        (0..num_clients)
+            .map(|i| self.profile(i).compute_seconds(samples_per_epoch))
+            .collect()
+    }
+
     /// `(min, median, max)` compute throughput across the fleet — a quick
     /// summary of how heterogeneous the fleet is.
     pub fn compute_spread(&self) -> (f64, f64, f64) {
@@ -335,6 +350,21 @@ mod tests {
         assert_eq!(pop.profile(0), pop.profile(2));
         assert_eq!(pop.profile(1), pop.profile(3));
         assert!(!pop.is_empty());
+    }
+
+    #[test]
+    fn seconds_per_epoch_bridges_to_scheduler_configs() {
+        let pop = DevicePopulation::new(vec![
+            DeviceClass::HighEnd.profile(), // 1200 samples/s
+            DeviceClass::LowEnd.profile(),  // 100 samples/s
+        ]);
+        let secs = pop.seconds_per_epoch(4, 600);
+        assert_eq!(secs.len(), 4);
+        assert!((secs[0] - 0.5).abs() < 1e-12);
+        assert!((secs[1] - 6.0).abs() < 1e-12);
+        // Profiles wrap around for populations larger than the fleet spec.
+        assert_eq!(secs[0], secs[2]);
+        assert_eq!(secs[1], secs[3]);
     }
 
     #[test]

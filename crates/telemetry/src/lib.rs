@@ -1,0 +1,45 @@
+//! Hand-rolled observability for the FedADMM simulation engine.
+//!
+//! Everything here is zero-dependency by design (no crates.io): the tracer,
+//! the metrics registry and the process probes are small enough to own, and
+//! owning them keeps the workspace offline-buildable. Three layers:
+//!
+//! * [`trace`] — a structured span/event tracer with a bounded ring buffer,
+//!   hierarchical parents and a [`span!`] RAII macro; exports JSONL.
+//! * [`metrics`] — a registry of counters, gauges and fixed-bucket
+//!   histograms updated through pre-registered integer handles.
+//! * [`process`] — peak/current RSS probes from `/proc/self/status`.
+//!
+//! The [`Telemetry`] trait is the seam the engine drives: every hook has a
+//! no-op default and the engine gates its own timing on
+//! [`Telemetry::enabled`], so a [`NoTelemetry`] run is byte-identical to an
+//! uninstrumented build. [`Recorder`] implements the trait on top of the
+//! tracer + registry and exports both through the vendored `serde_json`.
+//!
+//! ```
+//! use fedadmm_telemetry::{Recorder, Telemetry};
+//!
+//! let mut rec = Recorder::new();
+//! rec.on_tick_start("sync-rounds", 0);
+//! rec.on_client_update(0, 3, 0.012, 2, 600);
+//! rec.on_tick_end("sync-rounds", 0);
+//! assert_eq!(
+//!     rec.metrics().counter_by_name("client_updates_total"),
+//!     Some(1)
+//! );
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod hook;
+pub mod metrics;
+pub mod process;
+pub mod trace;
+
+pub use hook::{names, NoTelemetry, Recorder, RoundSummary, Telemetry};
+pub use metrics::{
+    exponential_buckets, linear_buckets, CounterId, GaugeId, Histogram, HistogramId,
+    MetricsRegistry,
+};
+pub use process::{current_rss_bytes, peak_rss_bytes};
+pub use trace::{SpanGuard, SpanId, SpanRecord, Tracer, DEFAULT_TRACE_CAPACITY};

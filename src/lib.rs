@@ -21,7 +21,9 @@
 //! * [`system`] — device profiles, network models and wall-clock /
 //!   straggler simulation (`fedadmm-system`);
 //! * [`privacy`] — differential privacy and secure aggregation extensions
-//!   (`fedadmm-privacy`).
+//!   (`fedadmm-privacy`);
+//! * [`telemetry`] — structured tracing, metrics registry and the
+//!   `bench-snapshot` observability substrate (`fedadmm-telemetry`).
 //!
 //! ## Quickstart
 //!
@@ -55,6 +57,7 @@ pub use fedadmm_data as data;
 pub use fedadmm_nn as nn;
 pub use fedadmm_privacy as privacy;
 pub use fedadmm_system as system;
+pub use fedadmm_telemetry as telemetry;
 pub use fedadmm_tensor as tensor;
 
 /// One-stop imports for applications built on the reproduction.

@@ -19,6 +19,7 @@
 #![allow(deprecated)] // the parity tests exercise the legacy facade on purpose
 
 use fedadmm::prelude::*;
+use fedadmm::telemetry::names;
 use fedadmm_core::engine::RoundEngine;
 
 fn config(num_clients: usize, seed: u64, system_heterogeneity: bool) -> FedConfig {
@@ -143,6 +144,60 @@ fn engine_is_deterministic_across_runs() {
         r.elapsed_ms = 0;
     }
     assert_eq!(ha, hb);
+}
+
+#[test]
+fn instrumented_run_is_byte_identical_to_uninstrumented() {
+    // Telemetry is observation only: installing a full `Recorder` (spans,
+    // counters, histograms, per-client timings) must not perturb a single
+    // bit of the training trajectory. Timing reads are gated on
+    // `Telemetry::enabled`, so the only code that may differ between the
+    // two runs is clock reads and metric bookkeeping — never RNG draws,
+    // selection, or arithmetic.
+    let num_clients = 10;
+    let make = || {
+        let cfg = config(num_clients, 77, true);
+        let (train, test) = data(num_clients, 77);
+        let partition = DataDistribution::NonIidShards.partition(&train, num_clients, 77);
+        RoundEngine::new(
+            cfg,
+            train,
+            test,
+            partition,
+            FedAdmm::paper_default(),
+            SyncRounds,
+        )
+        .unwrap()
+    };
+    let mut plain = make();
+    let mut instrumented = make().with_telemetry(Box::new(Recorder::new()));
+    plain.run_rounds(5).unwrap();
+    instrumented.run_rounds(5).unwrap();
+
+    assert_eq!(
+        plain.global_model(),
+        instrumented.global_model(),
+        "recording telemetry changed the trained model"
+    );
+    // Histories agree on everything except wall-clock timing.
+    let mut hp = plain.history().clone();
+    let mut hi = instrumented.history().clone();
+    for r in hp.records.iter_mut().chain(hi.records.iter_mut()) {
+        r.elapsed_ms = 0;
+    }
+    assert_eq!(hp, hi, "recording telemetry changed the run history");
+
+    // And the recorder actually observed the run it rode along with.
+    let telemetry = instrumented.take_telemetry();
+    let recorder = telemetry
+        .as_any()
+        .and_then(|a| a.downcast_ref::<Recorder>())
+        .expect("engine hands back the installed recorder");
+    assert_eq!(
+        recorder.metrics().counter_by_name(names::ROUNDS_TOTAL),
+        Some(5)
+    );
+    assert!(!recorder.tracer().is_empty());
 }
 
 /// Builds a semi-async engine over a straggler fleet for `algorithm`.
