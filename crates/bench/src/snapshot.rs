@@ -3,7 +3,8 @@
 //!
 //! Criterion answers "did this micro-operation get slower?"; this harness
 //! answers "what does a whole federated run cost right now?". It drives a
-//! fixed scenario matrix (sync / semi-async × IID / non-IID) through the
+//! fixed scenario matrix (sync / semi-async × IID / non-IID, plus a
+//! large-population spill-store scenario) through the
 //! [`RoundEngine`] with a [`Recorder`] installed and writes one JSON file
 //! per invocation, named `BENCH_<date>_<git-sha>.json`, containing
 //! rounds/sec, bytes moved (uploads and θ broadcasts), staleness quantiles,
@@ -16,9 +17,13 @@
 //! validates the output on every push. Two snapshots can be compared with
 //! `bench-snapshot --diff A.json B.json`.
 
+use fedadmm_core::engine::RoundEngine;
 use fedadmm_core::prelude::*;
+use fedadmm_data::partition::Partition;
 use fedadmm_data::synthetic::SyntheticDataset;
+use fedadmm_data::Dataset;
 use fedadmm_experiments::common::{Scale, Setting, SUBSTRATE_RHO};
+use fedadmm_nn::models::ModelSpec;
 use fedadmm_system::device::{DeviceClass, DevicePopulation};
 use fedadmm_telemetry::{names, peak_rss_bytes, Histogram, Recorder};
 use fedadmm_tensor::TensorResult;
@@ -26,8 +31,10 @@ use serde_json::{json, Value};
 use std::time::Instant;
 
 /// Version of the snapshot JSON schema. Bump when renaming or removing
-/// fields; CI validation rejects snapshots with any other version.
-pub const SCHEMA_VERSION: u64 = 1;
+/// fields, or when validation starts requiring new ones; CI validation
+/// rejects snapshots with any other version. v2 added the mandatory
+/// large-population spill-store scenario.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Which scheduler a scenario drives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -192,6 +199,137 @@ pub fn run_scenario(spec: &ScenarioSpec, scale: Scale, rounds: usize) -> TensorR
     }))
 }
 
+/// Client population of the spill-store scenario at each scale: a
+/// seconds-scale stand-in for CI at `Smoke`, the full million-client
+/// population at `Scaled` and `Paper`.
+pub fn spill_population(scale: Scale) -> usize {
+    match scale {
+        Scale::Smoke => 10_000,
+        Scale::Scaled | Scale::Paper => 1_000_000,
+    }
+}
+
+/// Label-sorted shared-index partition (the `scale_smoke` shape): clients
+/// own overlapping windows of the label-ordered sample list, so every
+/// client sees a skewed non-IID slice without the dataset growing with the
+/// population.
+fn shared_non_iid_partition(
+    train: &Dataset,
+    num_clients: usize,
+    samples_per_client: usize,
+) -> Partition {
+    let mut order: Vec<usize> = (0..train.len()).collect();
+    order.sort_by_key(|&i| train.label(i));
+    let span = train.len() - samples_per_client;
+    Partition::new(
+        (0..num_clients)
+            .map(|c| {
+                let start = (c * 17) % span;
+                order[start..start + samples_per_client].to_vec()
+            })
+            .collect(),
+    )
+}
+
+/// Runs the large-population spill-store scenario: [`spill_population`]
+/// clients over a label-skewed shared dataset, a ~1 000-client cohort per
+/// round, the spill-to-disk store under a client-state budget too small to
+/// hold one cohort resident, and hierarchical (per-shard tree)
+/// aggregation. The row carries the standard scenario keys plus the store
+/// counters and the process peak RSS — this is the number the
+/// million-client roadmap item is judged against.
+pub fn run_spill_scenario(scale: Scale, rounds: usize) -> TensorResult<Value> {
+    const SAMPLES_PER_CLIENT: usize = 20;
+    let num_clients = spill_population(scale);
+    // ~1% cohorts at smoke scale, capped at the paper-scale 1 000-client
+    // cohort for the million-client run.
+    let cohort = (num_clients / 100).clamp(1, 1_000);
+    // Small enough that a single cohort (~94 KB of state per client at
+    // d = 7 850) overflows it, so every round exercises spill + reload.
+    let budget_bytes: u64 = match scale {
+        Scale::Smoke => 8 * 1024 * 1024,
+        Scale::Scaled | Scale::Paper => 64 * 1024 * 1024,
+    };
+    let config = FedConfig {
+        num_clients,
+        participation: Participation::Count(cohort),
+        local_epochs: 1,
+        system_heterogeneity: false,
+        batch_size: BatchSize::Size(20),
+        local_learning_rate: 0.05,
+        model: ModelSpec::Logistic {
+            input_dim: 784,
+            num_classes: 10,
+        },
+        seed: 2024,
+        eval_subset: usize::MAX,
+    };
+    let (train, test) = SyntheticDataset::Mnist.generate(2_000, 400, 2024);
+    let partition = shared_non_iid_partition(&train, num_clients, SAMPLES_PER_CLIENT);
+    let store = StoreConfig::Spill {
+        num_shards: 512,
+        budget_bytes,
+        dir: None,
+    };
+    let mut engine = RoundEngine::new_with_store(
+        config,
+        train,
+        test,
+        partition,
+        FedAdmm::paper_default(),
+        SyncRounds,
+        &store,
+    )?
+    .with_aggregation(AggregationMode::Hierarchical)
+    .eval_subset(0.25)
+    .with_telemetry(Box::new(Recorder::new()));
+
+    let start = Instant::now();
+    engine.run_rounds(rounds)?;
+    let wall_seconds = start.elapsed().as_secs_f64();
+    let final_accuracy = engine.history().final_accuracy();
+    let stats = engine.store().stats();
+    let resident_bytes = engine.store().resident_bytes();
+    let telemetry = engine.take_telemetry();
+    let history = engine.into_history();
+    let rec = telemetry
+        .as_any()
+        .and_then(|a| a.downcast_ref::<Recorder>())
+        .expect("scenario telemetry is a Recorder");
+
+    let upload_bytes = counter(rec, names::UPLOAD_FLOATS_TOTAL) * 4;
+    let broadcast_bytes = counter(rec, names::BROADCAST_FLOATS_TOTAL) * 4;
+    let staleness_max = history.records.iter().map(|r| r.staleness_max).max();
+    Ok(json!({
+        "name": format!("spill/non-IID/{num_clients}-clients"),
+        "scheduler": SchedulerKind::Sync.label(),
+        "distribution": DataDistribution::NonIidShards.label(),
+        "store": "spill",
+        "num_clients": num_clients,
+        "budget_bytes": budget_bytes,
+        "rounds": rounds,
+        "wall_seconds": wall_seconds,
+        "rounds_per_sec": rounds as f64 / wall_seconds.max(1e-12),
+        "final_accuracy": final_accuracy as f64,
+        "client_updates": counter(rec, names::CLIENT_UPDATES_TOTAL),
+        "upload_bytes": upload_bytes,
+        "broadcast_bytes": broadcast_bytes,
+        "bytes_moved": upload_bytes + broadcast_bytes,
+        "staleness": hist_json(rec.metrics().histogram_by_name(names::STALENESS_ROUNDS)),
+        "staleness_max_recorded": staleness_max.unwrap_or(0),
+        "client_compute_seconds": hist_json(rec.metrics().histogram_by_name(names::CLIENT_COMPUTE_SECONDS)),
+        "aggregate_seconds": hist_json(rec.metrics().histogram_by_name(names::AGGREGATE_SECONDS)),
+        "eval_seconds": hist_json(rec.metrics().histogram_by_name(names::EVAL_SECONDS)),
+        "shard_folds": counter(rec, names::SHARD_FOLDS_TOTAL),
+        "store_materializations": stats.materializations,
+        "store_spill_writes": stats.spill_writes,
+        "store_spill_loads": stats.spill_loads,
+        "store_evictions": stats.evictions,
+        "store_resident_bytes": resident_bytes,
+        "peak_rss_bytes": peak_rss_bytes().unwrap_or(0),
+    }))
+}
+
 /// Measures hook overhead on the sync/IID scenario: the same seeded run
 /// with the default no-op hook (twice — the rerun bounds timing noise) and
 /// with a full [`Recorder`]. Percentages are relative to the first no-op
@@ -228,6 +366,8 @@ pub fn build_snapshot(scale: Scale, rounds: usize) -> TensorResult<Value> {
     for spec in scenario_matrix() {
         scenarios.push((spec.name(), run_scenario(&spec, scale, rounds)?));
     }
+    let spill = run_spill_scenario(scale, rounds)?;
+    scenarios.push((spill["name"].as_str().unwrap_or("spill").to_string(), spill));
     let scenario_values: Vec<Value> = scenarios.into_iter().map(|(_, v)| v).collect();
     let overhead = overhead_check(scale, rounds)?;
     let created_unix = unix_now();
@@ -283,6 +423,29 @@ pub fn validate_snapshot(snapshot: &Value) -> Result<(), String> {
                 .as_f64()
                 .ok_or_else(|| format!("{name}: staleness.{key} missing"))?;
         }
+    }
+    let spill = scenarios
+        .iter()
+        .find(|s| s["store"].as_str() == Some("spill"))
+        .ok_or("no spill-store scenario present")?;
+    let clients = spill["num_clients"]
+        .as_u64()
+        .ok_or("spill scenario: num_clients missing")?;
+    if clients < 10_000 {
+        return Err(format!(
+            "spill scenario covers only {clients} clients (>= 10000 required)"
+        ));
+    }
+    for key in [
+        "store_materializations",
+        "store_spill_writes",
+        "store_resident_bytes",
+        "peak_rss_bytes",
+        "budget_bytes",
+    ] {
+        spill[key]
+            .as_u64()
+            .ok_or_else(|| format!("spill scenario: {key} missing"))?;
     }
     for key in ["noop_rerun_pct", "recorder_pct"] {
         snapshot["overhead"][key]
@@ -430,6 +593,13 @@ mod tests {
     }
 
     #[test]
+    fn spill_population_scales_to_a_million_clients() {
+        assert_eq!(spill_population(Scale::Smoke), 10_000);
+        assert_eq!(spill_population(Scale::Scaled), 1_000_000);
+        assert_eq!(spill_population(Scale::Paper), 1_000_000);
+    }
+
+    #[test]
     fn git_sha_is_short_hex_or_nogit() {
         let sha = git_short_sha();
         assert!(
@@ -450,6 +620,7 @@ mod tests {
         validate_snapshot(&back).unwrap();
         // The semi-async scenarios must actually observe staleness events.
         let scenarios = back["scenarios"].as_array().unwrap();
+        assert_eq!(scenarios.len(), 5, "4 matrix cells + the spill scenario");
         let semi = scenarios
             .iter()
             .find(|s| s["name"].as_str() == Some("semi-async/IID"))
@@ -460,6 +631,14 @@ mod tests {
             assert!(s["upload_bytes"].as_u64().unwrap() > 0);
             assert!(s["broadcast_bytes"].as_u64().unwrap() > 0);
         }
+        // The spill scenario worked lazily over the large population.
+        let spill = scenarios
+            .iter()
+            .find(|s| s["store"].as_str() == Some("spill"))
+            .unwrap();
+        assert_eq!(spill["num_clients"].as_u64().unwrap(), 10_000);
+        assert!(spill["store_materializations"].as_u64().unwrap() > 0);
+        assert!(spill["shard_folds"].as_u64().unwrap() > 0);
     }
 
     #[test]

@@ -1,0 +1,154 @@
+//! Hierarchical (tree) aggregation of client payloads.
+//!
+//! The engine's default server fold is a single fused pass over ℝ^d — the
+//! bit-exact legacy semantics. At million-client scale the fold itself
+//! becomes the serial bottleneck, so this module provides the opt-in
+//! alternative: payloads are grouped by the shard of their sender, each
+//! shard folds its terms into one partial `ParamVector` **in parallel**
+//! (scoped OS threads, deterministic outputs regardless of the thread
+//! schedule), and a log-depth pairwise combine reduces the partials to the
+//! round update. Floating-point addition is not associative, so the tree
+//! result differs from the fused pass in the last bits — which is exactly
+//! why the engine keeps it opt-in
+//! (`AggregationMode::Hierarchical`) rather than tying it to the store
+//! backend.
+
+use crate::param::ParamVector;
+use std::time::Instant;
+
+/// Timing/shape of one shard's partial fold (for telemetry spans).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardFoldStat {
+    /// The shard that folded.
+    pub shard: usize,
+    /// Number of payloads folded into the partial.
+    pub messages: usize,
+    /// Seconds spent in the partial fold (0 when untimed).
+    pub seconds: f64,
+}
+
+/// Folds `groups` — per-shard `(shard, [(coeff, payload)])` term lists —
+/// into `Σ coeff·payload` by parallel per-shard partial sums and a
+/// log-depth pairwise combine. Deterministic for a fixed `groups` order.
+/// Per-shard timings are measured only when `timed` is set.
+pub fn hierarchical_weighted_sum(
+    dim: usize,
+    groups: &[(usize, Vec<(f32, &ParamVector)>)],
+    timed: bool,
+) -> (ParamVector, Vec<ShardFoldStat>) {
+    if groups.is_empty() {
+        return (ParamVector::zeros(dim), Vec::new());
+    }
+    let fold_group = |(shard, terms): &(usize, Vec<(f32, &ParamVector)>)| {
+        let start = timed.then(Instant::now);
+        let mut partial = ParamVector::zeros(dim);
+        partial.assign_weighted_sum(terms);
+        let stat = ShardFoldStat {
+            shard: *shard,
+            messages: terms.len(),
+            seconds: start.map_or(0.0, |s| s.elapsed().as_secs_f64()),
+        };
+        (partial, stat)
+    };
+
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(groups.len());
+    let folded: Vec<(ParamVector, ShardFoldStat)> = if workers <= 1 {
+        groups.iter().map(fold_group).collect()
+    } else {
+        // Contiguous chunks, joined in order: the output order (and hence
+        // the combine tree) is independent of the thread schedule.
+        let chunk = groups.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            let fold_group = &fold_group;
+            let handles: Vec<_> = groups
+                .chunks(chunk)
+                .map(|part| scope.spawn(move || part.iter().map(fold_group).collect::<Vec<_>>()))
+                .collect();
+            let mut all = Vec::with_capacity(groups.len());
+            for handle in handles {
+                all.extend(handle.join().expect("shard fold worker panicked"));
+            }
+            all
+        })
+    };
+    let (mut partials, stats): (Vec<ParamVector>, Vec<ShardFoldStat>) = folded.into_iter().unzip();
+
+    // Log-depth pairwise combine: (((p0+p1)+(p2+p3))+…); each level halves
+    // the population, each sum is one fused pass.
+    while partials.len() > 1 {
+        let mut next = Vec::with_capacity(partials.len().div_ceil(2));
+        let mut iter = partials.into_iter();
+        while let Some(a) = iter.next() {
+            match iter.next() {
+                Some(b) => next.push(a.add(&b)),
+                None => next.push(a),
+            }
+        }
+        partials = next;
+    }
+    (partials.pop().expect("non-empty by construction"), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vecs(n: usize, d: usize) -> Vec<ParamVector> {
+        (0..n)
+            .map(|i| {
+                ParamVector::from_vec((0..d).map(|j| (i * d + j) as f32 * 0.25 - 1.0).collect())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_input_folds_to_zero() {
+        let (sum, stats) = hierarchical_weighted_sum(3, &[], true);
+        assert_eq!(sum, ParamVector::zeros(3));
+        assert!(stats.is_empty());
+    }
+
+    #[test]
+    fn matches_the_fused_single_pass_up_to_rounding() {
+        let d = 64;
+        let payloads = vecs(13, d);
+        // 5 shards of uneven size.
+        let mut groups: Vec<(usize, Vec<(f32, &ParamVector)>)> =
+            (0..5).map(|s| (s, Vec::new())).collect();
+        for (i, p) in payloads.iter().enumerate() {
+            groups[i % 5].1.push((0.1 + i as f32 * 0.05, p));
+        }
+        let (tree, stats) = hierarchical_weighted_sum(d, &groups, true);
+        let flat_terms: Vec<(f32, &ParamVector)> =
+            groups.iter().flat_map(|(_, t)| t.iter().copied()).collect();
+        let mut fused = ParamVector::zeros(d);
+        fused.assign_weighted_sum(&flat_terms);
+        for (a, b) in tree.as_slice().iter().zip(fused.as_slice()) {
+            assert!((a - b).abs() <= 1e-4 * (1.0 + b.abs()), "{a} vs {b}");
+        }
+        assert_eq!(stats.len(), 5);
+        assert_eq!(stats.iter().map(|s| s.messages).sum::<usize>(), 13);
+    }
+
+    #[test]
+    fn deterministic_across_invocations() {
+        let d = 128;
+        let payloads = vecs(40, d);
+        let groups: Vec<(usize, Vec<(f32, &ParamVector)>)> = payloads
+            .chunks(4)
+            .enumerate()
+            .map(|(s, chunk)| (s, chunk.iter().map(|p| (0.3, p)).collect()))
+            .collect();
+        let (a, _) = hierarchical_weighted_sum(d, &groups, false);
+        let (b, _) = hierarchical_weighted_sum(d, &groups, false);
+        // Bit-identical: the combine tree does not depend on thread timing.
+        let (ab, bb): (Vec<u32>, Vec<u32>) = (
+            a.as_slice().iter().map(|x| x.to_bits()).collect(),
+            b.as_slice().iter().map(|x| x.to_bits()).collect(),
+        );
+        assert_eq!(ab, bb);
+    }
+}

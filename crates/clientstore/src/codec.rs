@@ -1,0 +1,198 @@
+//! Bit-exact binary codec for spilled shards.
+//!
+//! The serde-derived text formats round-trip floats through decimal, which
+//! is not guaranteed bit-exact for every `f32`; the spill path therefore
+//! writes raw little-endian IEEE-754 bit patterns. Sample-index lists are
+//! *not* written — they are immutable and rebuilt from the store's CSR
+//! index on load — so a spilled client costs `16 + 3·d·4` bytes.
+
+use crate::shard::ClientIndices;
+use crate::state::ClientState;
+use fedadmm_tensor::{TensorError, TensorResult};
+
+const MAGIC: u32 = 0x4653_5348; // "FSSH"
+const VERSION: u32 = 1;
+
+/// Encodes the materialized entries of one shard.
+pub(crate) fn encode_shard(entries: &[Option<Box<ClientState>>], d: usize) -> Vec<u8> {
+    let count = entries.iter().filter(|e| e.is_some()).count();
+    let mut buf = Vec::with_capacity(24 + count * (16 + 3 * d * 4));
+    buf.extend_from_slice(&MAGIC.to_le_bytes());
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&(d as u64).to_le_bytes());
+    buf.extend_from_slice(&(count as u64).to_le_bytes());
+    for state in entries.iter().flatten() {
+        buf.extend_from_slice(&(state.id as u64).to_le_bytes());
+        buf.extend_from_slice(&(state.times_selected as u64).to_le_bytes());
+        for vector in [&state.local_model, &state.dual, &state.control] {
+            for &x in vector.as_slice() {
+                buf.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+    }
+    buf
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> TensorResult<&'a [u8]> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
+        let end =
+            end.ok_or_else(|| TensorError::InvalidArgument("truncated spill file".to_string()))?;
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u32(&mut self) -> TensorResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> TensorResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f32s(&mut self, n: usize) -> TensorResult<Vec<f32>> {
+        let raw = self.take(n * 4)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+}
+
+/// Decodes a shard written by [`encode_shard`] back into its slot vector
+/// (length `shard_len`, ids in `shard_start..shard_start + shard_len`),
+/// rebuilding each client's index list from the CSR `index`.
+pub(crate) fn decode_shard(
+    bytes: &[u8],
+    shard_start: usize,
+    shard_len: usize,
+    d: usize,
+    index: &ClientIndices,
+) -> TensorResult<Vec<Option<Box<ClientState>>>> {
+    let mut cur = Cursor { bytes, pos: 0 };
+    if cur.u32()? != MAGIC || cur.u32()? != VERSION {
+        return Err(TensorError::InvalidArgument(
+            "spill file has an unknown header".to_string(),
+        ));
+    }
+    let file_d = cur.u64()? as usize;
+    if file_d != d {
+        return Err(TensorError::InvalidArgument(format!(
+            "spill file holds dimension-{file_d} states but the store expects {d}"
+        )));
+    }
+    let count = cur.u64()? as usize;
+    let mut entries: Vec<Option<Box<ClientState>>> = Vec::with_capacity(shard_len);
+    entries.resize_with(shard_len, || None);
+    for _ in 0..count {
+        let id = cur.u64()? as usize;
+        let times_selected = cur.u64()? as usize;
+        let slot = id
+            .checked_sub(shard_start)
+            .filter(|&k| k < shard_len)
+            .ok_or_else(|| {
+                TensorError::InvalidArgument(format!(
+                    "spill file contains client {id} outside its shard"
+                ))
+            })?;
+        let local_model = cur.f32s(d)?.into();
+        let dual = cur.f32s(d)?.into();
+        let control = cur.f32s(d)?.into();
+        entries[slot] = Some(Box::new(ClientState {
+            id,
+            indices: index.get(id).to_vec(),
+            local_model,
+            dual,
+            control,
+            times_selected,
+        }));
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::ParamVector;
+    use proptest::prelude::*;
+
+    fn shard_of_states(
+        states: Vec<ClientState>,
+        len: usize,
+        start: usize,
+    ) -> Vec<Option<Box<ClientState>>> {
+        let mut entries: Vec<Option<Box<ClientState>>> = Vec::new();
+        entries.resize_with(len, || None);
+        for s in states {
+            let k = s.id - start;
+            entries[k] = Some(Box::new(s));
+        }
+        entries
+    }
+
+    #[test]
+    fn empty_shard_round_trips() {
+        let index = ClientIndices::from_lists(vec![vec![]; 4]);
+        let bytes = encode_shard(&[None, None], 3);
+        let back = decode_shard(&bytes, 2, 2, 3, &index).unwrap();
+        assert!(back.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn rejects_corrupt_headers_and_truncation() {
+        let index = ClientIndices::from_lists(vec![vec![]; 2]);
+        assert!(decode_shard(&[0u8; 10], 0, 2, 3, &index).is_err());
+        let mut bytes = encode_shard(&[None, None], 3);
+        bytes[0] ^= 0xff;
+        assert!(decode_shard(&bytes, 0, 2, 3, &index).is_err());
+        let good = encode_shard(&[None, None], 3);
+        assert!(
+            decode_shard(&good, 0, 2, 5, &index).is_err(),
+            "dimension mismatch"
+        );
+    }
+
+    proptest! {
+        /// Every f32 bit pattern (including subnormals, -0.0, and extreme
+        /// exponents) survives the spill round trip exactly.
+        #[test]
+        fn prop_round_trip_is_bit_exact(
+            bits in proptest::collection::vec(any::<u32>(), 6),
+            times in 0usize..1000,
+        ) {
+            // Skip NaNs: ParamVector equality is IEEE (NaN != NaN), so
+            // compare bit patterns directly instead.
+            let vals: Vec<f32> = bits.iter().map(|&b| f32::from_bits(b)).collect();
+            let d = 2;
+            let index = ClientIndices::from_lists(vec![vec![7, 8], vec![1]]);
+            let mut state = ClientState::new(1, index.get(1).to_vec(), &ParamVector::zeros(d));
+            state.local_model = ParamVector::from_vec(vals[0..2].to_vec());
+            state.dual = ParamVector::from_vec(vals[2..4].to_vec());
+            state.control = ParamVector::from_vec(vals[4..6].to_vec());
+            state.times_selected = times;
+            let entries = shard_of_states(vec![state], 2, 0);
+            let bytes = encode_shard(&entries, d);
+            let back = decode_shard(&bytes, 0, 2, d, &index).unwrap();
+            prop_assert!(back[0].is_none());
+            let got = back[1].as_ref().unwrap();
+            prop_assert_eq!(got.id, 1);
+            prop_assert_eq!(got.times_selected, times);
+            prop_assert_eq!(&got.indices, &vec![1usize]);
+            let all_bits: Vec<u32> = got
+                .local_model
+                .as_slice()
+                .iter()
+                .chain(got.dual.as_slice())
+                .chain(got.control.as_slice())
+                .map(|x| x.to_bits())
+                .collect();
+            prop_assert_eq!(all_bits, bits);
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Lazily-materialized sharded client state.
+//!
+//! Client ids are split into `S` contiguous shards. A shard allocates
+//! nothing until one of its clients is borrowed; a client allocates nothing
+//! until it is borrowed. The inactive tail — clients never selected so far
+//! — is therefore stored *implicitly*: its local model is "the initial θ"
+//! and its dual/control variates are "zero", a delta/sparse representation
+//! that costs 0 bytes per client instead of `3·d·4`. Under the paper's
+//! partial-participation regime (`C·m` clients per round, arbitrary
+//! participation is provably sound per arXiv:2203.15104) this makes
+//! resident memory proportional to the number of clients *ever touched*,
+//! not to `m`.
+//!
+//! Sample-index lists are kept in CSR form ([`ClientIndices`]) — two flat
+//! arrays for the whole population — and an owned copy is handed to a
+//! client only on materialization.
+
+use crate::param::ParamVector;
+use crate::shard::{ClientIndices, ShardMap};
+use crate::state::ClientState;
+use crate::store::{state_bytes, ClientStateStore, StoreStats};
+use fedadmm_tensor::TensorResult;
+
+/// A shard's materialized slots (`None` = client still implicit).
+type Shard = Vec<Option<Box<ClientState>>>;
+
+/// Sharded, lazily-materialized client-state backend.
+pub struct ShardedStore {
+    map: ShardMap,
+    index: ClientIndices,
+    initial: ParamVector,
+    /// Per-shard slot vectors; empty until the shard is first touched.
+    shards: Vec<Shard>,
+    resident_bytes: u64,
+    stats: StoreStats,
+}
+
+impl ShardedStore {
+    /// Creates a store of `indices.len()` implicit clients split into
+    /// `num_shards` contiguous shards, each starting (on materialization)
+    /// from `initial` with zero dual/control.
+    pub fn new(indices: Vec<Vec<usize>>, initial: &ParamVector, num_shards: usize) -> Self {
+        let map = ShardMap::new(indices.len(), num_shards);
+        let index = ClientIndices::from_lists(indices);
+        let overhead = index_overhead(&index);
+        let shards = (0..map.num_shards()).map(|_| Vec::new()).collect();
+        ShardedStore {
+            map,
+            index,
+            initial: initial.clone(),
+            shards,
+            resident_bytes: overhead,
+            stats: StoreStats::default(),
+        }
+    }
+
+    /// Number of clients currently materialized.
+    pub fn materialized_clients(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.iter().filter(|c| c.is_some()).count())
+            .sum()
+    }
+}
+
+fn index_overhead(index: &ClientIndices) -> u64 {
+    index.heap_bytes()
+}
+
+/// Materializes the slot for `id` if still implicit, updating the counters.
+/// Free function so callers holding disjoint field borrows can use it.
+fn materialize_slot(
+    slot: &mut Option<Box<ClientState>>,
+    id: usize,
+    index: &ClientIndices,
+    initial: &ParamVector,
+    resident_bytes: &mut u64,
+    stats: &mut StoreStats,
+) {
+    if slot.is_none() {
+        let indices = index.get(id).to_vec();
+        *resident_bytes += state_bytes(initial.len(), indices.len());
+        stats.materializations += 1;
+        *slot = Some(Box::new(ClientState::new(id, indices, initial)));
+    }
+}
+
+impl ClientStateStore for ShardedStore {
+    fn backend(&self) -> &'static str {
+        "sharded"
+    }
+
+    fn num_clients(&self) -> usize {
+        self.map.num_clients()
+    }
+
+    fn shard_map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    fn dense(&self) -> Option<&[ClientState]> {
+        None
+    }
+
+    fn with_states(
+        &mut self,
+        ids: &[usize],
+        f: &mut dyn FnMut(&mut [&mut ClientState]) -> TensorResult<()>,
+    ) -> TensorResult<()> {
+        // `group` validates ordering and range — O(selected).
+        let runs = self.map.group(ids)?;
+        let mut refs: Vec<&mut ClientState> = Vec::with_capacity(ids.len());
+        let mut shards_tail: &mut [Shard] = &mut self.shards;
+        let mut shard_offset = 0usize;
+        for (shard, range) in runs {
+            let rest = shards_tail.split_at_mut(shard - shard_offset).1;
+            let (slots, rest) = rest.split_first_mut().expect("shard index in range");
+            shards_tail = rest;
+            shard_offset = shard + 1;
+            let shard_range = self.map.shard_range(shard);
+            if slots.is_empty() {
+                slots.resize_with(shard_range.len(), || None);
+            }
+            // Within a shard ids stay strictly ascending, so another split
+            // walk lends each slot's state mutably.
+            let mut slot_tail: &mut [Option<Box<ClientState>>] = slots;
+            let mut slot_offset = shard_range.start;
+            for &id in &ids[range] {
+                let rest = slot_tail.split_at_mut(id - slot_offset).1;
+                let (slot, rest) = rest.split_first_mut().expect("slot in shard range");
+                slot_tail = rest;
+                slot_offset = id + 1;
+                materialize_slot(
+                    slot,
+                    id,
+                    &self.index,
+                    &self.initial,
+                    &mut self.resident_bytes,
+                    &mut self.stats,
+                );
+                refs.push(slot.as_mut().expect("just materialized"));
+            }
+        }
+        f(&mut refs)
+    }
+
+    fn for_each_state(
+        &mut self,
+        visit: &mut dyn FnMut(&ClientState) -> TensorResult<()>,
+    ) -> TensorResult<()> {
+        for shard in 0..self.map.num_shards() {
+            let range = self.map.shard_range(shard);
+            for id in range.clone() {
+                let slot = self.shards[shard]
+                    .get(id - range.start)
+                    .and_then(Option::as_deref);
+                match slot {
+                    Some(state) => visit(state)?,
+                    None => {
+                        // Synthesize the implicit initial state transiently.
+                        let state =
+                            ClientState::new(id, self.index.get(id).to_vec(), &self.initial);
+                        visit(&state)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        self.resident_bytes
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(m: usize, shards: usize) -> ShardedStore {
+        let initial = ParamVector::from_vec(vec![1.0, 2.0]);
+        ShardedStore::new((0..m).map(|i| vec![i]).collect(), &initial, shards)
+    }
+
+    #[test]
+    fn materializes_only_the_selected_cohort() {
+        let mut s = store(100, 8);
+        assert_eq!(s.materialized_clients(), 0);
+        let base = s.resident_bytes();
+        s.with_states(&[3, 40, 41, 99], &mut |states| {
+            assert_eq!(
+                states.iter().map(|c| c.id).collect::<Vec<_>>(),
+                vec![3, 40, 41, 99]
+            );
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(s.materialized_clients(), 4);
+        assert_eq!(s.stats().materializations, 4);
+        assert!(s.resident_bytes() > base);
+        // Re-borrowing the same clients materializes nothing new.
+        s.with_states(&[3, 99], &mut |_| Ok(())).unwrap();
+        assert_eq!(s.stats().materializations, 4);
+    }
+
+    #[test]
+    fn mutations_persist_across_borrows() {
+        let mut s = store(20, 4);
+        s.with_states(&[7], &mut |states| {
+            states[0].times_selected = 5;
+            states[0].dual = ParamVector::from_vec(vec![0.5, -0.5]);
+            Ok(())
+        })
+        .unwrap();
+        s.with_states(&[6, 7, 8], &mut |states| {
+            assert_eq!(states[1].times_selected, 5);
+            assert_eq!(states[1].dual.as_slice(), &[0.5, -0.5]);
+            assert_eq!(states[0].times_selected, 0);
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn for_each_synthesizes_implicit_states() {
+        let mut s = store(10, 3);
+        s.with_states(&[4], &mut |states| {
+            states[0].times_selected = 1;
+            Ok(())
+        })
+        .unwrap();
+        let mut ids = Vec::new();
+        let mut selected = 0;
+        s.for_each_state(&mut |c| {
+            ids.push(c.id);
+            selected += c.times_selected;
+            assert_eq!(c.indices, vec![c.id]);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(ids, (0..10).collect::<Vec<_>>());
+        assert_eq!(selected, 1);
+        // Streaming did not materialize anything new.
+        assert_eq!(s.materialized_clients(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_cohorts() {
+        let mut s = store(10, 2);
+        let noop = &mut |_: &mut [&mut ClientState]| Ok(());
+        assert!(s.with_states(&[5, 2], noop).is_err());
+        assert!(s.with_states(&[10], noop).is_err());
+    }
+}

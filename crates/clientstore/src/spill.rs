@@ -1,0 +1,428 @@
+//! LRU spill-to-disk client state under a byte budget.
+//!
+//! [`SpillStore`] keeps the sharded lazy-materialization layout of
+//! [`ShardedStore`](crate::ShardedStore) but bounds *resident* state: once
+//! materialized client bytes exceed `budget_bytes`, least-recently-borrowed
+//! shards are encoded ([bit-exact binary codec](crate::codec)) and written
+//! to disk, then reloaded transparently the next time one of their clients
+//! is selected. The budget is a soft ceiling enforced **between** borrows —
+//! the cohort currently lent out can transiently overshoot it, which is the
+//! working-set minimum anyway.
+//!
+//! Shards whose every resident client is untouched are dropped without a
+//! write (the implicit representation is free), so a workload that merely
+//! *reads* a pristine population never touches the disk.
+
+use crate::codec::{decode_shard, encode_shard};
+use crate::param::ParamVector;
+use crate::shard::{ClientIndices, ShardMap};
+use crate::state::ClientState;
+use crate::store::{state_bytes, ClientStateStore, StoreStats};
+use fedadmm_tensor::{TensorError, TensorResult};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Distinguishes spill directories across stores within one process.
+static SPILL_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+enum Slot {
+    /// Never materialized (or evicted while fully pristine): every client
+    /// is implicit.
+    Cold,
+    /// Materialized slots in memory.
+    Resident {
+        entries: Vec<Option<Box<ClientState>>>,
+        bytes: u64,
+    },
+    /// Trained state written to disk.
+    Spilled { path: PathBuf, bytes: u64 },
+}
+
+/// Sharded client-state backend with an LRU spill-to-disk budget.
+pub struct SpillStore {
+    map: ShardMap,
+    index: ClientIndices,
+    initial: ParamVector,
+    slots: Vec<Slot>,
+    /// Borrow tick at which each shard was last used (LRU clock).
+    last_used: Vec<u64>,
+    tick: u64,
+    budget_bytes: u64,
+    resident_bytes: u64,
+    dir: PathBuf,
+    owns_dir: bool,
+    stats: StoreStats,
+}
+
+fn io_err(op: &str, path: &Path, err: std::io::Error) -> TensorError {
+    TensorError::InvalidArgument(format!("spill {op} {} failed: {err}", path.display()))
+}
+
+impl SpillStore {
+    /// Creates a store of `indices.len()` implicit clients in `num_shards`
+    /// shards, spilling LRU shards to `dir` (or a unique temp directory,
+    /// removed on drop) whenever resident state exceeds `budget_bytes`.
+    pub fn new(
+        indices: Vec<Vec<usize>>,
+        initial: &ParamVector,
+        num_shards: usize,
+        budget_bytes: u64,
+        dir: Option<PathBuf>,
+    ) -> TensorResult<Self> {
+        let map = ShardMap::new(indices.len(), num_shards);
+        let index = ClientIndices::from_lists(indices);
+        let (dir, owns_dir) = match dir {
+            Some(d) => (d, false),
+            None => {
+                let seq = SPILL_DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+                let d = std::env::temp_dir()
+                    .join(format!("fedadmm-spill-{}-{seq}", std::process::id()));
+                (d, true)
+            }
+        };
+        std::fs::create_dir_all(&dir).map_err(|e| io_err("dir create", &dir, e))?;
+        let mut slots = Vec::with_capacity(map.num_shards());
+        slots.resize_with(map.num_shards(), || Slot::Cold);
+        Ok(SpillStore {
+            last_used: vec![0; map.num_shards()],
+            tick: 0,
+            budget_bytes,
+            resident_bytes: index.heap_bytes(),
+            index,
+            initial: initial.clone(),
+            slots,
+            map,
+            dir,
+            owns_dir,
+            stats: StoreStats::default(),
+        })
+    }
+
+    /// The configured resident-state budget in bytes.
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget_bytes
+    }
+
+    /// Number of shards currently resident in memory.
+    pub fn resident_shards(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| matches!(s, Slot::Resident { .. }))
+            .count()
+    }
+
+    /// Number of shards currently spilled to disk.
+    pub fn spilled_shards(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| matches!(s, Slot::Spilled { .. }))
+            .count()
+    }
+
+    fn spill_path(&self, shard: usize) -> PathBuf {
+        self.dir.join(format!("shard-{shard}.bin"))
+    }
+
+    /// Brings `shard` into memory (loading a spilled file if needed).
+    fn ensure_resident(&mut self, shard: usize) -> TensorResult<()> {
+        let shard_len = self.map.shard_range(shard).len();
+        match &self.slots[shard] {
+            Slot::Resident { .. } => {}
+            Slot::Cold => {
+                let mut entries = Vec::with_capacity(shard_len);
+                entries.resize_with(shard_len, || None);
+                self.slots[shard] = Slot::Resident { entries, bytes: 0 };
+            }
+            Slot::Spilled { path, bytes } => {
+                let (path, bytes) = (path.clone(), *bytes);
+                let raw = std::fs::read(&path).map_err(|e| io_err("read", &path, e))?;
+                let entries = decode_shard(
+                    &raw,
+                    self.map.shard_range(shard).start,
+                    shard_len,
+                    self.initial.len(),
+                    &self.index,
+                )?;
+                let _ = std::fs::remove_file(&path);
+                self.slots[shard] = Slot::Resident { entries, bytes };
+                self.resident_bytes += bytes;
+                self.stats.spill_loads += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Evicts least-recently-borrowed shards until resident state fits the
+    /// budget (or nothing evictable remains). Fully pristine shards are
+    /// dropped without a write.
+    fn enforce_budget(&mut self) -> TensorResult<()> {
+        while self.resident_bytes > self.budget_bytes {
+            let victim = self
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| matches!(s, Slot::Resident { .. }))
+                .min_by_key(|(shard, _)| self.last_used[*shard])
+                .map(|(shard, _)| shard);
+            let Some(shard) = victim else { break };
+            self.evict(shard)?;
+        }
+        Ok(())
+    }
+
+    fn evict(&mut self, shard: usize) -> TensorResult<()> {
+        let slot = std::mem::replace(&mut self.slots[shard], Slot::Cold);
+        let Slot::Resident { entries, bytes } = slot else {
+            self.slots[shard] = slot;
+            return Ok(());
+        };
+        self.stats.evictions += 1;
+        self.resident_bytes = self.resident_bytes.saturating_sub(bytes);
+        // A shard whose every materialized client is still pristine can go
+        // back to the implicit representation for free.
+        let trained: Vec<Option<Box<ClientState>>> = entries
+            .into_iter()
+            .map(|e| e.filter(|s| !s.is_pristine(&self.initial)))
+            .collect();
+        if trained.iter().all(Option::is_none) {
+            return Ok(()); // already Slot::Cold
+        }
+        let encoded = encode_shard(&trained, self.initial.len());
+        let path = self.spill_path(shard);
+        std::fs::write(&path, &encoded).map_err(|e| io_err("write", &path, e))?;
+        // Recompute bytes for the entries that actually survive on disk, so
+        // a later load re-accounts exactly what it rehydrates.
+        let kept: u64 = trained
+            .iter()
+            .flatten()
+            .map(|s| state_bytes(self.initial.len(), s.indices.len()))
+            .sum();
+        self.slots[shard] = Slot::Spilled { path, bytes: kept };
+        self.stats.spill_writes += 1;
+        Ok(())
+    }
+}
+
+impl Drop for SpillStore {
+    fn drop(&mut self) {
+        for slot in &self.slots {
+            if let Slot::Spilled { path, .. } = slot {
+                let _ = std::fs::remove_file(path);
+            }
+        }
+        if self.owns_dir {
+            let _ = std::fs::remove_dir_all(&self.dir);
+        }
+    }
+}
+
+impl ClientStateStore for SpillStore {
+    fn backend(&self) -> &'static str {
+        "spill"
+    }
+
+    fn num_clients(&self) -> usize {
+        self.map.num_clients()
+    }
+
+    fn shard_map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    fn dense(&self) -> Option<&[ClientState]> {
+        None
+    }
+
+    fn with_states(
+        &mut self,
+        ids: &[usize],
+        f: &mut dyn FnMut(&mut [&mut ClientState]) -> TensorResult<()>,
+    ) -> TensorResult<()> {
+        let runs = self.map.group(ids)?;
+        self.tick += 1;
+        for (shard, _) in &runs {
+            self.ensure_resident(*shard)?;
+            self.last_used[*shard] = self.tick;
+        }
+        // All touched shards are now Resident; lend the cohort out with the
+        // same O(selected) split walk as the sharded backend.
+        let mut refs: Vec<&mut ClientState> = Vec::with_capacity(ids.len());
+        let mut slots_tail: &mut [Slot] = &mut self.slots;
+        let mut shard_offset = 0usize;
+        for (shard, range) in &runs {
+            let rest = slots_tail.split_at_mut(shard - shard_offset).1;
+            let (slot, rest) = rest.split_first_mut().expect("shard index in range");
+            slots_tail = rest;
+            shard_offset = shard + 1;
+            let Slot::Resident { entries, bytes } = slot else {
+                unreachable!("shard made resident above")
+            };
+            let shard_start = self.map.shard_range(*shard).start;
+            let mut entry_tail: &mut [Option<Box<ClientState>>] = entries;
+            let mut entry_offset = shard_start;
+            for &id in &ids[range.clone()] {
+                let rest = entry_tail.split_at_mut(id - entry_offset).1;
+                let (entry, rest) = rest.split_first_mut().expect("slot in shard range");
+                entry_tail = rest;
+                entry_offset = id + 1;
+                if entry.is_none() {
+                    let indices = self.index.get(id).to_vec();
+                    let cost = state_bytes(self.initial.len(), indices.len());
+                    *bytes += cost;
+                    self.resident_bytes += cost;
+                    self.stats.materializations += 1;
+                    *entry = Some(Box::new(ClientState::new(id, indices, &self.initial)));
+                }
+                refs.push(entry.as_mut().expect("just materialized"));
+            }
+        }
+        let result = f(&mut refs);
+        drop(refs);
+        // The budget is enforced between borrows, never while lent out.
+        self.enforce_budget()?;
+        result
+    }
+
+    fn for_each_state(
+        &mut self,
+        visit: &mut dyn FnMut(&ClientState) -> TensorResult<()>,
+    ) -> TensorResult<()> {
+        for shard in 0..self.map.num_shards() {
+            self.ensure_resident(shard)?;
+            let range = self.map.shard_range(shard);
+            for id in range.clone() {
+                let Slot::Resident { entries, .. } = &self.slots[shard] else {
+                    unreachable!("shard made resident above")
+                };
+                match entries[id - range.start].as_deref() {
+                    Some(state) => visit(state)?,
+                    None => {
+                        let state =
+                            ClientState::new(id, self.index.get(id).to_vec(), &self.initial);
+                        visit(&state)?;
+                    }
+                }
+            }
+            // Stream within the budget: drop or spill as we go.
+            self.enforce_budget()?;
+        }
+        Ok(())
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        self.resident_bytes
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(m: usize, shards: usize, budget: u64) -> SpillStore {
+        let initial = ParamVector::from_vec(vec![1.0; 16]);
+        SpillStore::new(
+            (0..m).map(|i| vec![i]).collect(),
+            &initial,
+            shards,
+            budget,
+            None,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn stays_resident_under_a_large_budget() {
+        let mut s = store(32, 4, u64::MAX);
+        s.with_states(&[0, 9, 31], &mut |states| {
+            for state in states.iter_mut() {
+                state.times_selected += 1;
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(s.spilled_shards(), 0);
+        assert_eq!(s.stats().spill_writes, 0);
+        assert_eq!(s.stats().materializations, 3);
+    }
+
+    #[test]
+    fn spills_trained_shards_and_reloads_them_bit_exactly() {
+        // Budget of 0 forces every trained shard out after each borrow.
+        let mut s = store(32, 8, 0);
+        s.with_states(&[1, 2], &mut |states| {
+            states[0].dual = ParamVector::from_vec(vec![0.25; 16]);
+            states[0].times_selected = 3;
+            states[1].times_selected = 1;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(s.resident_shards(), 0);
+        assert_eq!(s.spilled_shards(), 1);
+        assert!(s.stats().spill_writes >= 1);
+        // Touch a different shard, then come back.
+        s.with_states(&[20], &mut |states| {
+            states[0].times_selected = 7;
+            Ok(())
+        })
+        .unwrap();
+        s.with_states(&[1, 2, 20], &mut |states| {
+            assert_eq!(states[0].dual.as_slice(), &[0.25; 16]);
+            assert_eq!(states[0].times_selected, 3);
+            assert_eq!(states[1].times_selected, 1);
+            assert_eq!(states[2].times_selected, 7);
+            Ok(())
+        })
+        .unwrap();
+        assert!(s.stats().spill_loads >= 2);
+    }
+
+    #[test]
+    fn pristine_shards_are_dropped_without_a_write() {
+        let mut s = store(32, 8, 0);
+        // Borrow without mutating: the shard is evicted but nothing needs
+        // to survive, so no file is written.
+        s.with_states(&[5], &mut |_| Ok(())).unwrap();
+        assert_eq!(s.spilled_shards(), 0);
+        assert_eq!(s.stats().spill_writes, 0);
+        assert!(s.stats().evictions >= 1);
+    }
+
+    #[test]
+    fn for_each_streams_every_client_within_budget() {
+        let mut s = store(24, 6, 0);
+        s.with_states(&[3], &mut |states| {
+            states[0].times_selected = 9;
+            Ok(())
+        })
+        .unwrap();
+        let mut total = 0usize;
+        let mut count = 0usize;
+        s.for_each_state(&mut |c| {
+            total += c.times_selected;
+            count += 1;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(count, 24);
+        assert_eq!(total, 9);
+        assert_eq!(s.resident_shards(), 0, "streaming respects the budget");
+    }
+
+    #[test]
+    fn spill_files_are_cleaned_up_on_drop() {
+        let mut s = store(16, 4, 0);
+        s.with_states(&[0], &mut |states| {
+            states[0].times_selected = 1;
+            Ok(())
+        })
+        .unwrap();
+        let dir = s.dir.clone();
+        assert!(dir.exists());
+        drop(s);
+        assert!(!dir.exists(), "owned spill dir must be removed on drop");
+    }
+}

@@ -27,7 +27,7 @@
 //! or bounded-gradient assumptions, and its ρ can be a constant independent
 //! of the system size (Theorem 1 / Remark 1).
 
-use super::{total_upload, Algorithm, ClientMessage, ServerOutcome};
+use super::{total_upload, Algorithm, ClientMessage, FoldPlan, ServerOutcome};
 use crate::client::ClientState;
 use crate::param::ParamVector;
 use crate::trainer::{local_sgd, LocalEnv};
@@ -207,6 +207,17 @@ impl Algorithm for FedAdmm {
         ServerOutcome {
             upload_floats: total_upload(messages),
         }
+    }
+
+    fn fold_plan(&self, messages: &[ClientMessage], num_clients: usize) -> Option<FoldPlan> {
+        if messages.is_empty() {
+            return None;
+        }
+        // The tracking update is linear in the uploaded deltas: the same
+        // (η / |S_t|) coefficient on every Δ_i as `server_update`.
+        let eta = self.server_step.resolve(messages.len(), num_clients);
+        let scale = eta / messages.len() as f32;
+        Some(FoldPlan::Accumulate(vec![scale; messages.len()]))
     }
 }
 

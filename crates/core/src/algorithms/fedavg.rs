@@ -9,7 +9,7 @@
 //! dissimilarity bound `B` and gradient bound `G` — the dependence FedADMM
 //! removes.
 
-use super::{total_upload, Algorithm, ClientMessage, ServerOutcome};
+use super::{total_upload, Algorithm, ClientMessage, FoldPlan, ServerOutcome};
 use crate::client::ClientState;
 use crate::param::ParamVector;
 use crate::trainer::{local_sgd, LocalEnv};
@@ -99,6 +99,24 @@ impl Algorithm for FedAvg {
         ServerOutcome {
             upload_floats: total_upload(messages),
         }
+    }
+
+    fn fold_plan(&self, messages: &[ClientMessage], _num_clients: usize) -> Option<FoldPlan> {
+        if messages.is_empty() {
+            return None;
+        }
+        // θ is replaced by the weighted model average — the same weights as
+        // `server_update`.
+        let weights: Vec<f32> = if self.weighted_by_samples {
+            let total: usize = messages.iter().map(|m| m.num_samples).sum();
+            messages
+                .iter()
+                .map(|m| m.num_samples as f32 / total.max(1) as f32)
+                .collect()
+        } else {
+            vec![1.0 / messages.len() as f32; messages.len()]
+        };
+        Some(FoldPlan::Assign(weights))
     }
 }
 

@@ -9,7 +9,7 @@
 //! dual variable pinned to zero (Section III-B), which the
 //! `fedadmm_with_zero_dual_matches_fedprox_local_step` test exercises.
 
-use super::{total_upload, Algorithm, ClientMessage, ServerOutcome};
+use super::{total_upload, Algorithm, ClientMessage, FoldPlan, ServerOutcome};
 use crate::client::ClientState;
 use crate::param::ParamVector;
 use crate::trainer::{local_sgd, LocalEnv};
@@ -82,6 +82,17 @@ impl Algorithm for FedProx {
         ServerOutcome {
             upload_floats: total_upload(messages),
         }
+    }
+
+    fn fold_plan(&self, messages: &[ClientMessage], _num_clients: usize) -> Option<FoldPlan> {
+        if messages.is_empty() {
+            return None;
+        }
+        // θ ← (1/|S|) Σ w_i — a uniform model average.
+        Some(FoldPlan::Assign(vec![
+            1.0 / messages.len() as f32;
+            messages.len()
+        ]))
     }
 }
 

@@ -7,7 +7,7 @@
 //! column in Table III: every other method is measured by how many times
 //! fewer rounds it needs than FedSGD.
 
-use super::{total_upload, Algorithm, ClientMessage, ServerOutcome};
+use super::{total_upload, Algorithm, ClientMessage, FoldPlan, ServerOutcome};
 use crate::client::ClientState;
 use crate::param::ParamVector;
 use crate::trainer::{full_gradient, LocalEnv};
@@ -76,6 +76,15 @@ impl Algorithm for FedSgd {
         ServerOutcome {
             upload_floats: total_upload(messages),
         }
+    }
+
+    fn fold_plan(&self, messages: &[ClientMessage], _num_clients: usize) -> Option<FoldPlan> {
+        if messages.is_empty() {
+            return None;
+        }
+        // One server GD step on the mean gradient: θ += Σ (−α/|S|)·g_i.
+        let step = -self.server_learning_rate / messages.len() as f32;
+        Some(FoldPlan::Accumulate(vec![step; messages.len()]))
     }
 }
 

@@ -75,6 +75,33 @@ pub struct ServerOutcome {
     pub upload_floats: usize,
 }
 
+/// A linear description of an algorithm's server fold, consumed by the
+/// engine's opt-in hierarchical (tree) aggregation.
+///
+/// When [`Algorithm::server_update`] is a *linear* function of the round's
+/// first payloads — `θ ← θ + Σ_k c_k·p_k` or `θ ← Σ_k c_k·p_k` — the
+/// algorithm can expose the coefficients here and the engine may compute
+/// the sum as parallel per-shard partial folds plus a log-depth combine
+/// instead of one sequential fused pass. Coefficients are aligned with the
+/// message slice they were derived from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FoldPlan {
+    /// `θ ← θ + Σ_k coeff_k · payload_k` (FedADMM's tracking update,
+    /// FedSGD's gradient step).
+    Accumulate(Vec<f32>),
+    /// `θ ← Σ_k coeff_k · payload_k` (FedAvg/FedProx model averaging).
+    Assign(Vec<f32>),
+}
+
+impl FoldPlan {
+    /// The per-message coefficients, regardless of kind.
+    pub fn coefficients(&self) -> &[f32] {
+        match self {
+            FoldPlan::Accumulate(c) | FoldPlan::Assign(c) => c,
+        }
+    }
+}
+
 /// A federated optimization algorithm.
 ///
 /// The simulation engine drives each round as:
@@ -130,6 +157,17 @@ pub trait Algorithm: Send + Sync {
         num_clients: usize,
         rng: &mut dyn rand::RngCore,
     ) -> ServerOutcome;
+
+    /// The linear [`FoldPlan`] equivalent to [`Algorithm::server_update`]
+    /// for this batch, if one exists. `None` (the default) means the server
+    /// update is stateful or non-linear and the engine must call
+    /// `server_update` even under hierarchical aggregation. Implementations
+    /// must keep the plan consistent with `server_update` up to
+    /// floating-point summation order.
+    fn fold_plan(&self, messages: &[ClientMessage], num_clients: usize) -> Option<FoldPlan> {
+        let _ = (messages, num_clients);
+        None
+    }
 }
 
 impl Algorithm for Box<dyn Algorithm> {
@@ -165,6 +203,9 @@ impl Algorithm for Box<dyn Algorithm> {
     ) -> ServerOutcome {
         self.as_mut()
             .server_update(global, messages, num_clients, rng)
+    }
+    fn fold_plan(&self, messages: &[ClientMessage], num_clients: usize) -> Option<FoldPlan> {
+        self.as_ref().fold_plan(messages, num_clients)
     }
 }
 

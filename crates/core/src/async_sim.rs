@@ -23,6 +23,7 @@ use crate::config::FedConfig;
 use crate::engine::{BufferedAsync, RoundEngine};
 use crate::metrics::RunHistory;
 use crate::param::ParamVector;
+use fedadmm_clientstore::StoreConfig;
 use fedadmm_data::partition::Partition;
 use fedadmm_data::Dataset;
 use fedadmm_tensor::{TensorError, TensorResult};
@@ -54,8 +55,18 @@ impl<A: Algorithm> AsyncSimulation<A> {
         algorithm: A,
     ) -> TensorResult<Self> {
         let scheduler = BufferedAsync::new(async_config.with_aggregate_after(1));
+        // The legacy API always stored client state densely; pin that choice
+        // explicitly so the wrapper stays byte-identical as backends evolve.
         Ok(AsyncSimulation {
-            engine: RoundEngine::new(config, train, test, partition, algorithm, scheduler)?,
+            engine: RoundEngine::new_with_store(
+                config,
+                train,
+                test,
+                partition,
+                algorithm,
+                scheduler,
+                &StoreConfig::InMemory,
+            )?,
         })
     }
 

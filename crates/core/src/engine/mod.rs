@@ -29,7 +29,15 @@
 //! * **Single-pass aggregation.** Algorithms fold all payloads into θ with
 //!   one fused accumulator pass
 //!   ([`ParamVector::accumulate`](crate::param::ParamVector::accumulate))
-//!   instead of one full `axpy` sweep per message.
+//!   instead of one full `axpy` sweep per message. Large cohorts can opt
+//!   into [`AggregationMode::Hierarchical`]: per-shard partial folds in
+//!   parallel plus a log-depth combine.
+//! * **Pluggable client-state storage.** Per-client state lives behind a
+//!   [`ClientStateStore`](fedadmm_clientstore::ClientStateStore): dense
+//!   in-memory (the default, byte-identical to the legacy engine), lazily
+//!   sharded, or LRU spill-to-disk under a memory budget
+//!   ([`RoundEngine::new_with_store`]) — which makes million-client
+//!   populations simulable on a workstation.
 //!
 //! The legacy [`Simulation`](crate::simulation::Simulation) and
 //! [`AsyncSimulation`](crate::async_sim::AsyncSimulation) types survive as
@@ -69,7 +77,8 @@ pub mod sync;
 
 pub use buffered::{AsyncConfig, BufferedAsync};
 pub use scheduler::{
-    AsyncRecord, DispatchOrder, EngineCore, RoundStats, Scheduler, StalenessWeight, TickReport,
+    AggregationMode, AsyncRecord, DispatchOrder, EngineCore, RoundStats, Scheduler,
+    StalenessWeight, TickReport,
 };
 pub use semi_async::{SemiAsync, SemiAsyncConfig};
 pub use sync::SyncRounds;
@@ -82,6 +91,7 @@ use crate::metrics::{RoundRecord, RunHistory};
 use crate::param::ParamVector;
 use crate::selection::{ClientSelector, FullParticipation, UniformFraction};
 use crate::trainer::evaluate;
+use fedadmm_clientstore::{ClientStateStore, StoreConfig};
 use fedadmm_data::partition::Partition;
 use fedadmm_data::Dataset;
 use fedadmm_telemetry::{NoTelemetry, Telemetry};
@@ -100,7 +110,7 @@ pub struct RoundEngine<A: Algorithm, S: Scheduler> {
     config: FedConfig,
     train: Dataset,
     test: Dataset,
-    clients: Vec<ClientState>,
+    store: Box<dyn ClientStateStore>,
     global: Arc<ParamVector>,
     algorithm: A,
     selector: Box<dyn ClientSelector>,
@@ -116,6 +126,8 @@ pub struct RoundEngine<A: Algorithm, S: Scheduler> {
     event_mark: usize,
     /// ρ used for the per-round optimality-gap gauge, if enabled.
     gap_rho: Option<f32>,
+    /// How the server folds each round's payloads into θ.
+    aggregation: AggregationMode,
 }
 
 impl<A: Algorithm, S: Scheduler> RoundEngine<A, S> {
@@ -132,8 +144,36 @@ impl<A: Algorithm, S: Scheduler> RoundEngine<A, S> {
         train: Dataset,
         test: Dataset,
         partition: Partition,
+        algorithm: A,
+        scheduler: S,
+    ) -> TensorResult<Self> {
+        Self::new_with_store(
+            config,
+            train,
+            test,
+            partition,
+            algorithm,
+            scheduler,
+            &StoreConfig::InMemory,
+        )
+    }
+
+    /// Creates an engine whose per-client state lives in the configured
+    /// [`StoreConfig`] backend.
+    ///
+    /// [`StoreConfig::InMemory`] reproduces [`RoundEngine::new`] bit for
+    /// bit; [`StoreConfig::Sharded`] materializes clients lazily on first
+    /// selection; [`StoreConfig::Spill`] additionally evicts least-recently
+    /// selected shards to disk under a byte budget — the backend for
+    /// million-client populations.
+    pub fn new_with_store(
+        config: FedConfig,
+        train: Dataset,
+        test: Dataset,
+        partition: Partition,
         mut algorithm: A,
         scheduler: S,
+        store_config: &StoreConfig,
     ) -> TensorResult<Self> {
         if partition.num_clients() != config.num_clients {
             return Err(TensorError::InvalidArgument(format!(
@@ -152,11 +192,7 @@ impl<A: Algorithm, S: Scheduler> RoundEngine<A, S> {
         let mut init_rng = SmallRng::seed_from_u64(config.seed);
         let net = config.model.build(&mut init_rng);
         let global = Arc::new(ParamVector::from_vec(net.params_flat()));
-        let clients: Vec<ClientState> = partition
-            .iter()
-            .enumerate()
-            .map(|(i, indices)| ClientState::new(i, indices.clone(), &global))
-            .collect();
+        let store = store_config.build(partition.into_client_indices(), &global)?;
 
         algorithm.init(global.len(), config.num_clients);
         let selector: Box<dyn ClientSelector> = if algorithm.requires_full_participation() {
@@ -174,7 +210,7 @@ impl<A: Algorithm, S: Scheduler> RoundEngine<A, S> {
             config,
             train,
             test,
-            clients,
+            store,
             global,
             algorithm,
             selector,
@@ -188,12 +224,13 @@ impl<A: Algorithm, S: Scheduler> RoundEngine<A, S> {
             telemetry: Box::new(NoTelemetry),
             event_mark: 0,
             gap_rho: None,
+            aggregation: AggregationMode::SinglePass,
         };
         let mut core = EngineCore {
             config: &engine.config,
             train: &engine.train,
             test: &engine.test,
-            clients: &mut engine.clients,
+            store: engine.store.as_mut(),
             global: &mut engine.global,
             algorithm: &mut engine.algorithm,
             selector: &*engine.selector,
@@ -205,9 +242,37 @@ impl<A: Algorithm, S: Scheduler> RoundEngine<A, S> {
             round: &mut engine.round,
             telemetry: engine.telemetry.as_mut(),
             event_mark: &mut engine.event_mark,
+            aggregation: engine.aggregation,
         };
         engine.scheduler.init(&mut core)?;
         Ok(engine)
+    }
+
+    /// Selects the server aggregation strategy.
+    /// [`AggregationMode::SinglePass`] (the default) is byte-identical to
+    /// the legacy engine; [`AggregationMode::Hierarchical`] folds per shard
+    /// in parallel with a log-depth combine, for large cohorts. Algorithms
+    /// without a [`FoldPlan`](crate::algorithms::FoldPlan) always use the
+    /// sequential path.
+    pub fn with_aggregation(mut self, mode: AggregationMode) -> Self {
+        self.aggregation = mode;
+        self
+    }
+
+    /// Caps evaluation at a fraction of the test set per round: a
+    /// `fraction >= 1.0` keeps the current behavior (the full test set);
+    /// smaller values evaluate on the first `⌈fraction·n⌉` samples (at
+    /// least one).
+    /// Large-population benchmarks use this to keep per-round evaluation
+    /// from dominating wall time.
+    pub fn eval_subset(mut self, fraction: f64) -> Self {
+        self.config.eval_subset = if fraction >= 1.0 {
+            usize::MAX
+        } else {
+            let n = self.test.len();
+            (((n as f64) * fraction.max(0.0)).ceil() as usize).clamp(1, n.max(1))
+        };
+        self
     }
 
     /// Replaces the client-selection scheme (the default is uniform-random
@@ -289,8 +354,26 @@ impl<A: Algorithm, S: Scheduler> RoundEngine<A, S> {
     }
 
     /// Immutable access to the client states (for tests and diagnostics).
+    ///
+    /// # Panics
+    /// Panics for sharded/spill backends, which never hold all `m` states
+    /// in memory at once — use [`RoundEngine::store`] and
+    /// [`ClientStateStore::for_each_state`] instead.
     pub fn clients(&self) -> &[ClientState] {
-        &self.clients
+        self.store
+            .dense()
+            .expect("clients() requires the in-memory store; use store().for_each_state instead")
+    }
+
+    /// The client-state store backing this engine.
+    pub fn store(&self) -> &dyn ClientStateStore {
+        self.store.as_ref()
+    }
+
+    /// Mutable access to the store (e.g. to stream states through
+    /// [`ClientStateStore::for_each_state`]).
+    pub fn store_mut(&mut self) -> &mut dyn ClientStateStore {
+        self.store.as_mut()
     }
 
     /// The round history recorded so far.
@@ -351,7 +434,7 @@ impl<A: Algorithm, S: Scheduler> RoundEngine<A, S> {
             config: &self.config,
             train: &self.train,
             test: &self.test,
-            clients: &mut self.clients,
+            store: self.store.as_mut(),
             global: &mut self.global,
             algorithm: &mut self.algorithm,
             selector: &*self.selector,
@@ -363,14 +446,20 @@ impl<A: Algorithm, S: Scheduler> RoundEngine<A, S> {
             round: &mut self.round,
             telemetry: self.telemetry.as_mut(),
             event_mark: &mut self.event_mark,
+            aggregation: self.aggregation,
         };
         let report = self.scheduler.tick(&mut core);
         self.telemetry.on_tick_end(scheduler_name, tick_round);
         let report = report?;
         if report.record.is_some() {
             if let Some(rho) = self.gap_rho {
+                let clients = self.store.dense().ok_or_else(|| {
+                    TensorError::InvalidArgument(
+                        "optimality-gap diagnostics require the in-memory store".to_string(),
+                    )
+                })?;
                 let gap = crate::diagnostics::optimality_gap(
-                    &self.clients,
+                    clients,
                     &self.global,
                     rho,
                     self.config.model,

@@ -26,7 +26,7 @@
 //!    RNG stream from `(seed, tick, client_id)`, so results do not depend
 //!    on thread interleaving or on which scheduler issued the work.
 
-use crate::algorithms::{Algorithm, ClientMessage, ServerOutcome};
+use crate::algorithms::{total_upload, Algorithm, ClientMessage, FoldPlan, ServerOutcome};
 use crate::client::ClientState;
 use crate::config::FedConfig;
 use crate::heterogeneity::LocalWorkSchedule;
@@ -34,12 +34,33 @@ use crate::metrics::{RoundRecord, RunHistory};
 use crate::param::ParamVector;
 use crate::selection::ClientSelector;
 use crate::trainer::{evaluate, LocalEnv};
+use fedadmm_clientstore::{hierarchical_weighted_sum, ClientStateStore};
 use fedadmm_data::Dataset;
-use fedadmm_telemetry::{RoundSummary, Telemetry};
+use fedadmm_telemetry::{names, RoundSummary, Telemetry};
 use fedadmm_tensor::{TensorError, TensorResult};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// How the server folds a round's payloads into θ.
+///
+/// The default single fused pass reproduces the legacy engine bit for bit.
+/// Hierarchical aggregation is opt-in because float addition is not
+/// associative: regrouping the sum by shard changes results in the last
+/// ulps, so it must never be silently enabled under a byte-identity pin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum AggregationMode {
+    /// One sequential fused accumulator pass over all payloads (the legacy
+    /// behavior; byte-identical to the pre-store engine).
+    #[default]
+    SinglePass,
+    /// Per-shard partial folds in parallel, then a log-depth pairwise
+    /// combine. Requires the algorithm to expose a
+    /// [`FoldPlan`](crate::algorithms::FoldPlan); falls back to
+    /// [`SinglePass`](AggregationMode::SinglePass) when it does not.
+    Hierarchical,
+}
 
 /// How an update's weight decays with its staleness τ (the number of server
 /// aggregations since the client downloaded its model snapshot).
@@ -167,8 +188,8 @@ pub struct EngineCore<'a> {
     pub train: &'a Dataset,
     /// The held-out test set.
     pub test: &'a Dataset,
-    /// Per-client persistent state.
-    pub clients: &'a mut [ClientState],
+    /// Per-client persistent state, behind the pluggable store backend.
+    pub store: &'a mut dyn ClientStateStore,
     /// The global model θ (shared snapshot handle).
     pub global: &'a mut Arc<ParamVector>,
     /// The federated algorithm.
@@ -188,6 +209,8 @@ pub struct EngineCore<'a> {
     /// Index into `events` of the first arrival not yet attributed to a
     /// round record (advanced by [`EngineCore::record_round`]).
     pub(super) event_mark: &'a mut usize,
+    /// How [`EngineCore::aggregate`] folds payloads into θ.
+    pub(super) aggregation: AggregationMode,
 }
 
 impl EngineCore<'_> {
@@ -244,34 +267,44 @@ impl EngineCore<'_> {
 
     /// Runs one order synchronously on the calling thread.
     pub fn dispatch_one(&mut self, order: &DispatchOrder) -> TensorResult<ClientMessage> {
-        let client = self.clients.get_mut(order.client_id).ok_or_else(|| {
-            TensorError::InvalidArgument(format!(
+        if order.client_id >= self.store.num_clients() {
+            return Err(TensorError::InvalidArgument(format!(
                 "dispatch order for unknown client {}",
                 order.client_id
-            ))
-        })?;
-        let indices = client.indices.clone();
-        let env = LocalEnv {
-            dataset: self.train,
-            indices: &indices,
-            model: self.config.model,
-            epochs: order.epochs,
-            batch_size: self.config.batch_size,
-            learning_rate: self.config.local_learning_rate,
-            seed: order.seed,
-        };
+            )));
+        }
+        let algorithm: &dyn Algorithm = &*self.algorithm;
+        let (train, config) = (self.train, self.config);
         // Timing is gated on `enabled()` so the no-op hook costs nothing.
-        let start = self.telemetry.enabled().then(Instant::now);
-        let message = self
-            .algorithm
-            .client_update(client, &order.snapshot, &env)?;
-        if let Some(start) = start {
+        let timed = self.telemetry.enabled();
+        let mut out: Option<(TensorResult<ClientMessage>, f64)> = None;
+        self.store.with_states(&[order.client_id], &mut |states| {
+            let client = &mut *states[0];
+            let indices = client.indices.clone();
+            let env = LocalEnv {
+                dataset: train,
+                indices: &indices,
+                model: config.model,
+                epochs: order.epochs,
+                batch_size: config.batch_size,
+                learning_rate: config.local_learning_rate,
+                seed: order.seed,
+            };
+            let start = timed.then(Instant::now);
+            let result = algorithm.client_update(client, &order.snapshot, &env);
+            let seconds = start.map_or(0.0, |s| s.elapsed().as_secs_f64());
+            out = Some((result, seconds));
+            Ok(())
+        })?;
+        let (result, seconds) = out.expect("with_states runs the closure");
+        let message = result?;
+        if timed {
             self.telemetry
                 .on_download(*self.round, order.client_id, order.snapshot.len());
             self.telemetry.on_client_update(
                 *self.round,
                 order.client_id,
-                start.elapsed().as_secs_f64(),
+                seconds,
                 message.epochs_run,
                 message.samples_processed,
             );
@@ -296,30 +329,27 @@ impl EngineCore<'_> {
         if orders.len() == 1 {
             return Ok(vec![self.dispatch_one(&orders[0])?]);
         }
-        // Pair every order with the unique &mut ClientState it targets.
-        let mut order_of = vec![usize::MAX; self.clients.len()];
-        for (k, order) in orders.iter().enumerate() {
+        // Validate the batch before borrowing any state: every order must
+        // target a known client, and no client may appear twice.
+        for order in orders {
             assert!(
-                order.client_id < self.clients.len(),
+                order.client_id < self.store.num_clients(),
                 "dispatch order for unknown client {}",
                 order.client_id
             );
-            assert!(
-                order_of[order.client_id] == usize::MAX,
-                "client {} dispatched twice in one batch",
-                order.client_id
-            );
-            order_of[order.client_id] = k;
         }
-        let mut jobs: Vec<(&DispatchOrder, &mut ClientState)> = self
-            .clients
-            .iter_mut()
-            .enumerate()
-            .filter_map(|(i, client)| {
-                let k = order_of[i];
-                (k != usize::MAX).then(|| (&orders[k], client))
-            })
-            .collect();
+        let mut by_id: Vec<usize> = (0..orders.len()).collect();
+        by_id.sort_by_key(|&k| orders[k].client_id);
+        for pair in by_id.windows(2) {
+            assert!(
+                orders[pair[0]].client_id != orders[pair[1]].client_id,
+                "client {} dispatched twice in one batch",
+                orders[pair[1]].client_id
+            );
+        }
+        // The ascending cohort the store materializes — O(selected) work
+        // even when most of the population has never been touched.
+        let ids: Vec<usize> = by_id.iter().map(|&k| orders[k].client_id).collect();
 
         let algorithm: &dyn Algorithm = &*self.algorithm;
         let (train, config) = (self.train, self.config);
@@ -344,40 +374,53 @@ impl EngineCore<'_> {
             (client.id, result, seconds)
         };
 
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(jobs.len());
-        let mut results: Vec<(usize, TensorResult<ClientMessage>, f64)> = if workers <= 1 {
-            jobs.into_iter()
-                .map(|(order, client)| run_job(order, client))
-                .collect()
-        } else {
-            // Static round-robin partitioning over scoped threads.
-            let mut parts: Vec<Vec<(&DispatchOrder, &mut ClientState)>> =
-                (0..workers).map(|_| Vec::new()).collect();
-            for (k, job) in jobs.drain(..).enumerate() {
-                parts[k % workers].push(job);
-            }
-            let run_job = &run_job;
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = parts
-                    .into_iter()
-                    .map(|part| {
-                        scope.spawn(move || {
-                            part.into_iter()
-                                .map(|(order, client)| run_job(order, client))
-                                .collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                let mut all = Vec::with_capacity(orders.len());
-                for handle in handles {
-                    all.extend(handle.join().expect("dispatch worker panicked"));
+        let mut results: Vec<(usize, TensorResult<ClientMessage>, f64)> =
+            Vec::with_capacity(orders.len());
+        self.store.with_states(&ids, &mut |states| {
+            // Pair every borrowed state (aligned with `ids`, ascending by
+            // client id — the same job order as the legacy dense walk) with
+            // its order.
+            let mut jobs: Vec<(&DispatchOrder, &mut ClientState)> = states
+                .iter_mut()
+                .zip(&by_id)
+                .map(|(client, &k)| (&orders[k], &mut **client))
+                .collect();
+            let workers = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(jobs.len());
+            results = if workers <= 1 {
+                jobs.into_iter()
+                    .map(|(order, client)| run_job(order, client))
+                    .collect()
+            } else {
+                // Static round-robin partitioning over scoped threads.
+                let mut parts: Vec<Vec<(&DispatchOrder, &mut ClientState)>> =
+                    (0..workers).map(|_| Vec::new()).collect();
+                for (k, job) in jobs.drain(..).enumerate() {
+                    parts[k % workers].push(job);
                 }
-                all
-            })
-        };
+                let run_job = &run_job;
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = parts
+                        .into_iter()
+                        .map(|part| {
+                            scope.spawn(move || {
+                                part.into_iter()
+                                    .map(|(order, client)| run_job(order, client))
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    let mut all = Vec::with_capacity(orders.len());
+                    for handle in handles {
+                        all.extend(handle.join().expect("dispatch worker panicked"));
+                    }
+                    all
+                })
+            };
+            Ok(())
+        })?;
         // Deterministic aggregation order regardless of the thread schedule.
         results.sort_by_key(|(id, _, _)| *id);
         if timed {
@@ -410,21 +453,78 @@ impl EngineCore<'_> {
     /// θ is mutated copy-on-write: if client snapshots of the current θ are
     /// still alive (in-flight stragglers), the allocation is cloned once;
     /// otherwise the update happens in place.
+    ///
+    /// Under [`AggregationMode::Hierarchical`], algorithms that expose a
+    /// [`FoldPlan`] are folded as parallel per-shard partial sums plus a
+    /// log-depth combine instead of one sequential fused pass; algorithms
+    /// without a plan (stateful or non-linear server updates) silently use
+    /// the sequential path.
     pub fn aggregate(
         &mut self,
         messages: &[ClientMessage],
         rng: &mut dyn rand::RngCore,
     ) -> ServerOutcome {
-        let start = self.telemetry.enabled().then(Instant::now);
-        let global = Arc::make_mut(self.global);
-        let outcome = self
-            .algorithm
-            .server_update(global, messages, self.config.num_clients, rng);
+        let timed = self.telemetry.enabled();
+        let start = timed.then(Instant::now);
+        let outcome = match self.try_hierarchical_fold(messages, timed) {
+            Some(outcome) => outcome,
+            None => {
+                let global = Arc::make_mut(self.global);
+                self.algorithm
+                    .server_update(global, messages, self.config.num_clients, rng)
+            }
+        };
         if let Some(start) = start {
             self.telemetry
                 .on_aggregate(*self.round, messages.len(), start.elapsed().as_secs_f64());
         }
         outcome
+    }
+
+    /// The hierarchical aggregation path: groups the round's first payloads
+    /// by the store's shard geometry, folds each shard's group in parallel
+    /// and combines the partials pairwise. Returns `None` when hierarchical
+    /// mode is off, the batch is empty, or the algorithm exposes no
+    /// [`FoldPlan`] — the caller then falls back to `server_update`.
+    fn try_hierarchical_fold(
+        &mut self,
+        messages: &[ClientMessage],
+        timed: bool,
+    ) -> Option<ServerOutcome> {
+        if self.aggregation != AggregationMode::Hierarchical || messages.is_empty() {
+            return None;
+        }
+        let plan = self
+            .algorithm
+            .fold_plan(messages, self.config.num_clients)?;
+        let map = self.store.shard_map();
+        let mut group_of: HashMap<usize, usize> = HashMap::new();
+        let mut groups: Vec<(usize, Vec<(f32, &ParamVector)>)> = Vec::new();
+        for (msg, &coeff) in messages.iter().zip(plan.coefficients()) {
+            let shard = map.shard_of(msg.client_id);
+            let gi = *group_of.entry(shard).or_insert_with(|| {
+                groups.push((shard, Vec::new()));
+                groups.len() - 1
+            });
+            groups[gi].1.push((coeff, &msg.payload[0]));
+        }
+        // Deterministic shard order regardless of message arrival order.
+        groups.sort_by_key(|(shard, _)| *shard);
+        let (delta, shard_stats) = hierarchical_weighted_sum(self.global.len(), &groups, timed);
+        if timed {
+            for stat in &shard_stats {
+                self.telemetry
+                    .on_shard_fold(*self.round, stat.shard, stat.messages, stat.seconds);
+            }
+        }
+        let global = Arc::make_mut(self.global);
+        match plan {
+            FoldPlan::Accumulate(_) => global.axpy(1.0, &delta),
+            FoldPlan::Assign(_) => global.copy_from(&delta),
+        }
+        Some(ServerOutcome {
+            upload_floats: total_upload(messages),
+        })
     }
 
     /// Evaluates θ, pushes a [`RoundRecord`] built from `stats` and returns
@@ -471,6 +571,19 @@ impl EngineCore<'_> {
             staleness_mean,
             staleness_max,
         });
+        if self.telemetry.enabled() {
+            self.telemetry.on_gauge(
+                names::STORE_RESIDENT_BYTES,
+                self.store.resident_bytes() as f64,
+            );
+            let stats = self.store.stats();
+            self.telemetry.on_store_stats(
+                stats.materializations,
+                stats.spill_writes,
+                stats.spill_loads,
+                stats.evictions,
+            );
+        }
         self.history.push(record.clone());
         *self.round += 1;
         Ok(record)

@@ -85,7 +85,7 @@ pub mod trainer;
 pub mod prelude {
     pub use crate::algorithms::{
         Algorithm, FedAdmm, FedAdmmInexact, FedAvg, FedDyn, FedOpt, FedPd, FedProx, FedSgd,
-        LocalInit, Scaffold, ServerOptimizer, ServerStepSize,
+        FoldPlan, LocalInit, Scaffold, ServerOptimizer, ServerStepSize,
     };
     #[allow(deprecated)]
     pub use crate::async_sim::AsyncSimulation;
@@ -94,8 +94,8 @@ pub mod prelude {
     pub use crate::config::{DataDistribution, FedConfig, Participation};
     pub use crate::drift::DriftReport;
     pub use crate::engine::{
-        AsyncConfig, AsyncRecord, BufferedAsync, RoundEngine, Scheduler, SemiAsync,
-        SemiAsyncConfig, StalenessWeight, SyncEngine, SyncRounds,
+        AggregationMode, AsyncConfig, AsyncRecord, BufferedAsync, RoundEngine, Scheduler,
+        SemiAsync, SemiAsyncConfig, StalenessWeight, SyncEngine, SyncRounds,
     };
     pub use crate::heterogeneity::LocalWorkSchedule;
     pub use crate::metrics::{RoundRecord, RunHistory};
@@ -105,6 +105,10 @@ pub mod prelude {
     #[allow(deprecated)]
     pub use crate::simulation::Simulation;
     pub use crate::solver::LocalSolver;
+    pub use fedadmm_clientstore::{
+        ClientStateStore, InMemoryStore, ShardMap, ShardedStore, SpillStore, StoreConfig,
+        StoreStats,
+    };
     pub use fedadmm_data::batching::BatchSize;
     pub use fedadmm_telemetry::{NoTelemetry, Recorder, RoundSummary, Telemetry};
 }

@@ -6,9 +6,30 @@
 //! round ([`UniformFraction`]); [`FixedProbabilities`] models the more
 //! general per-client-probability scheme used in the analysis, and
 //! [`FullParticipation`] is what FedPD requires.
+//!
+//! Every selector returns its cohort sorted ascending, which is what the
+//! engine's client-state store needs to materialize shards in O(selected):
+//! [`group_cohort_by_shard`] converts a cohort into shard-local index runs
+//! without touching the `m − |S_t|` inactive clients.
 
+pub use fedadmm_clientstore::ShardMap;
+
+use fedadmm_tensor::TensorResult;
 use rand::seq::SliceRandom;
 use rand::Rng;
+use std::ops::Range;
+
+/// Groups a strictly-ascending cohort into `(shard, range)` runs under the
+/// given shard geometry: `cohort[range]` is the slice of the cohort that
+/// lands in `shard`. Because selectors emit sorted cohorts and shards are
+/// contiguous, this is a single O(|S_t|) sweep — the store materializes
+/// exactly the shards named here and never scans the inactive tail.
+pub fn group_cohort_by_shard(
+    map: &ShardMap,
+    cohort: &[usize],
+) -> TensorResult<Vec<(usize, Range<usize>)>> {
+    map.group(cohort)
+}
 
 /// A client-selection scheme: given the population size and a round RNG,
 /// produces the set `S_t ⊆ [m]` of active clients.
@@ -463,6 +484,52 @@ mod tests {
     #[should_panic(expected = "infinitely often")]
     fn decaying_probabilities_reject_zero_base() {
         DecayingProbabilities::new(vec![0.0, 0.5], 10.0);
+    }
+
+    #[test]
+    fn cohorts_group_into_shard_local_runs() {
+        // 100 clients over 10 shards of 10: the grouped runs partition the
+        // cohort, stay within shard bounds, and name only touched shards.
+        let map = ShardMap::new(100, 10);
+        let sel = UniformFraction::new(12);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let cohort = sel.select(100, &mut rng);
+        let runs = group_cohort_by_shard(&map, &cohort).unwrap();
+        let mut covered = 0;
+        for (shard, range) in &runs {
+            assert!(!range.is_empty());
+            for &id in &cohort[range.clone()] {
+                assert_eq!(map.shard_of(id), *shard);
+            }
+            covered += range.len();
+        }
+        assert_eq!(covered, cohort.len());
+        assert!(runs.len() <= cohort.len());
+    }
+
+    #[test]
+    fn all_selectors_emit_ascending_cohorts() {
+        // The store's with_states contract requires strictly-ascending ids;
+        // every selector must uphold it.
+        let mut rng = SmallRng::seed_from_u64(8);
+        let selectors: Vec<Box<dyn ClientSelector>> = vec![
+            Box::new(UniformFraction::new(5)),
+            Box::new(FullParticipation),
+            Box::new(FixedProbabilities::new(vec![0.5; 20])),
+            Box::new(RoundRobin::new(4)),
+            Box::new(WeightedBySamples::new(&[3; 20], 5)),
+            Box::new(DecayingProbabilities::new(vec![0.6; 20], 50.0)),
+        ];
+        for sel in &selectors {
+            for _ in 0..20 {
+                let cohort = sel.select(20, &mut rng);
+                assert!(
+                    cohort.windows(2).all(|w| w[0] < w[1]),
+                    "{} emitted a non-ascending cohort {cohort:?}",
+                    sel.describe()
+                );
+            }
+        }
     }
 
     #[test]

@@ -41,6 +41,7 @@ use crate::heterogeneity::LocalWorkSchedule;
 use crate::metrics::{RoundRecord, RunHistory};
 use crate::param::ParamVector;
 use crate::selection::ClientSelector;
+use fedadmm_clientstore::StoreConfig;
 use fedadmm_data::partition::Partition;
 use fedadmm_data::Dataset;
 use fedadmm_tensor::TensorResult;
@@ -64,8 +65,18 @@ impl<A: Algorithm> Simulation<A> {
         partition: Partition,
         algorithm: A,
     ) -> TensorResult<Self> {
+        // The legacy API always stored client state densely; pin that choice
+        // explicitly so the wrapper stays byte-identical as backends evolve.
         Ok(Simulation {
-            engine: RoundEngine::new(config, train, test, partition, algorithm, SyncRounds)?,
+            engine: RoundEngine::new_with_store(
+                config,
+                train,
+                test,
+                partition,
+                algorithm,
+                SyncRounds,
+                &StoreConfig::InMemory,
+            )?,
         })
     }
 

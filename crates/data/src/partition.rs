@@ -43,6 +43,13 @@ impl Partition {
         self.clients.iter()
     }
 
+    /// Consumes the partition into its per-client index lists (how client
+    /// stores are seeded — avoids cloning every list at million-client
+    /// scale).
+    pub fn into_client_indices(self) -> Vec<Vec<usize>> {
+        self.clients
+    }
+
     /// Per-client sample counts.
     pub fn sizes(&self) -> Vec<usize> {
         self.clients.iter().map(|c| c.len()).collect()

@@ -128,6 +128,26 @@ pub trait Telemetry: Send {
         let _ = (name, value);
     }
 
+    /// The client-state store's cumulative operation counters at round
+    /// close. Values are monotone totals since the store was built;
+    /// implementations that keep counters should diff against the previous
+    /// report (as [`Recorder`] does).
+    fn on_store_stats(
+        &mut self,
+        materializations: u64,
+        spill_writes: u64,
+        spill_loads: u64,
+        evictions: u64,
+    ) {
+        let _ = (materializations, spill_writes, spill_loads, evictions);
+    }
+
+    /// One per-shard partial fold of the hierarchical server aggregation
+    /// finished: `messages` payloads were folded for `shard` in `seconds`.
+    fn on_shard_fold(&mut self, round: usize, shard: usize, messages: usize, seconds: f64) {
+        let _ = (round, shard, messages, seconds);
+    }
+
     /// Downcast support so callers can recover a concrete implementation
     /// (e.g. a [`Recorder`]) from a `dyn Telemetry`.
     fn as_any(&self) -> Option<&dyn Any> {
@@ -181,6 +201,20 @@ pub mod names {
     pub const TEST_LOSS: &str = "test_loss";
     /// Gauge: peak resident set size in bytes (`VmHWM`).
     pub const PEAK_RSS_BYTES: &str = "peak_rss_bytes";
+    /// Gauge: bytes of client state resident in the store.
+    pub const STORE_RESIDENT_BYTES: &str = "store_resident_bytes";
+    /// Counter: client states materialized lazily by the store.
+    pub const STORE_MATERIALIZATIONS_TOTAL: &str = "store_materializations_total";
+    /// Counter: shards spilled to disk by the store.
+    pub const STORE_SPILL_WRITES_TOTAL: &str = "store_spill_writes_total";
+    /// Counter: shards loaded back from disk by the store.
+    pub const STORE_SPILL_LOADS_TOTAL: &str = "store_spill_loads_total";
+    /// Counter: shard evictions performed by the store's budget enforcement.
+    pub const STORE_EVICTIONS_TOTAL: &str = "store_evictions_total";
+    /// Counter: per-shard partial folds of the hierarchical aggregation.
+    pub const SHARD_FOLDS_TOTAL: &str = "shard_folds_total";
+    /// Histogram: per-shard partial-fold seconds.
+    pub const SHARD_FOLD_SECONDS: &str = "shard_fold_seconds";
 }
 
 /// The full-fat hook: every engine callback becomes tracer spans and
@@ -206,6 +240,15 @@ pub struct Recorder {
     g_accuracy: GaugeId,
     g_loss: GaugeId,
     g_peak_rss: GaugeId,
+    c_store_materializations: CounterId,
+    c_store_spill_writes: CounterId,
+    c_store_spill_loads: CounterId,
+    c_store_evictions: CounterId,
+    c_shard_folds: CounterId,
+    h_shard_fold: HistogramId,
+    /// Last monotone store totals seen by `on_store_stats`, so the counters
+    /// can be incremented by the delta.
+    last_store: [u64; 4],
     /// Open tick span (at most one at a time; ticks never nest).
     tick_span: Option<SpanId>,
     /// Open phase spans, innermost last.
@@ -240,11 +283,17 @@ impl Recorder {
         let h_client_compute =
             metrics.histogram(names::CLIENT_COMPUTE_SECONDS, seconds_grid.clone());
         let h_aggregate = metrics.histogram(names::AGGREGATE_SECONDS, seconds_grid.clone());
-        let h_eval = metrics.histogram(names::EVAL_SECONDS, seconds_grid);
+        let h_eval = metrics.histogram(names::EVAL_SECONDS, seconds_grid.clone());
         let h_staleness = metrics.histogram(names::STALENESS_ROUNDS, linear_buckets(0.0, 1.0, 64));
         let g_accuracy = metrics.gauge(names::TEST_ACCURACY);
         let g_loss = metrics.gauge(names::TEST_LOSS);
         let g_peak_rss = metrics.gauge(names::PEAK_RSS_BYTES);
+        let c_store_materializations = metrics.counter(names::STORE_MATERIALIZATIONS_TOTAL);
+        let c_store_spill_writes = metrics.counter(names::STORE_SPILL_WRITES_TOTAL);
+        let c_store_spill_loads = metrics.counter(names::STORE_SPILL_LOADS_TOTAL);
+        let c_store_evictions = metrics.counter(names::STORE_EVICTIONS_TOTAL);
+        let c_shard_folds = metrics.counter(names::SHARD_FOLDS_TOTAL);
+        let h_shard_fold = metrics.histogram(names::SHARD_FOLD_SECONDS, seconds_grid);
         Recorder {
             tracer: Tracer::new(capacity),
             metrics,
@@ -264,6 +313,13 @@ impl Recorder {
             g_accuracy,
             g_loss,
             g_peak_rss,
+            c_store_materializations,
+            c_store_spill_writes,
+            c_store_spill_loads,
+            c_store_evictions,
+            c_shard_folds,
+            h_shard_fold,
+            last_store: [0; 4],
             tick_span: None,
             phase_spans: Vec::new(),
         }
@@ -396,6 +452,39 @@ impl Telemetry for Recorder {
         self.metrics.set(id, value);
     }
 
+    fn on_store_stats(
+        &mut self,
+        materializations: u64,
+        spill_writes: u64,
+        spill_loads: u64,
+        evictions: u64,
+    ) {
+        // The store reports monotone totals; turn them into counter deltas.
+        let totals = [materializations, spill_writes, spill_loads, evictions];
+        let ids = [
+            self.c_store_materializations,
+            self.c_store_spill_writes,
+            self.c_store_spill_loads,
+            self.c_store_evictions,
+        ];
+        for ((total, last), id) in totals.iter().zip(self.last_store.iter_mut()).zip(ids) {
+            self.metrics.inc(id, total.saturating_sub(*last));
+            *last = *total;
+        }
+    }
+
+    fn on_shard_fold(&mut self, round: usize, shard: usize, messages: usize, seconds: f64) {
+        let _ = messages;
+        self.metrics.inc(self.c_shard_folds, 1);
+        self.metrics.observe(self.h_shard_fold, seconds);
+        self.tracer.complete(
+            "shard_fold",
+            seconds,
+            Some(round as u64),
+            Some(shard as u64),
+        );
+    }
+
     fn as_any(&self) -> Option<&dyn Any> {
         Some(self)
     }
@@ -472,6 +561,32 @@ mod tests {
         assert_eq!(dispatch.parent, tick.id);
         assert_eq!(local.parent, dispatch.id);
         assert_eq!(local.client, Some(4));
+    }
+
+    #[test]
+    fn recorder_diffs_store_totals_and_records_shard_folds() {
+        let mut r = Recorder::with_trace_capacity(16);
+        // The store reports monotone totals; the counters advance by deltas.
+        r.on_store_stats(10, 2, 1, 3);
+        r.on_store_stats(15, 2, 4, 5);
+        let m = r.metrics();
+        assert_eq!(
+            m.counter_by_name(names::STORE_MATERIALIZATIONS_TOTAL),
+            Some(15)
+        );
+        assert_eq!(m.counter_by_name(names::STORE_SPILL_WRITES_TOTAL), Some(2));
+        assert_eq!(m.counter_by_name(names::STORE_SPILL_LOADS_TOTAL), Some(4));
+        assert_eq!(m.counter_by_name(names::STORE_EVICTIONS_TOTAL), Some(5));
+
+        r.on_shard_fold(3, 7, 12, 0.001);
+        r.on_shard_fold(3, 8, 4, 0.002);
+        let m = r.metrics();
+        assert_eq!(m.counter_by_name(names::SHARD_FOLDS_TOTAL), Some(2));
+        let h = m.histogram_by_name(names::SHARD_FOLD_SECONDS).unwrap();
+        assert_eq!(h.count(), 2);
+        let records = r.tracer().records();
+        let fold = records.iter().find(|s| s.name == "shard_fold").unwrap();
+        assert_eq!(fold.round, Some(3));
     }
 
     #[test]

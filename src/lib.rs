@@ -16,6 +16,9 @@
 //! * [`nn`] — layers, the paper's CNN 1 / CNN 2, losses, SGD (`fedadmm-nn`);
 //! * [`data`] — synthetic MNIST/FMNIST/CIFAR-10 stand-ins and federated
 //!   partitioners (`fedadmm-data`);
+//! * [`clientstore`] — sharded / spill-to-disk client-state storage and
+//!   hierarchical aggregation for million-client rounds
+//!   (`fedadmm-clientstore`);
 //! * [`core`] — the algorithms and the federated simulation engine
 //!   (`fedadmm-core`);
 //! * [`system`] — device profiles, network models and wall-clock /
@@ -52,6 +55,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub use fedadmm_clientstore as clientstore;
 pub use fedadmm_core as core;
 pub use fedadmm_data as data;
 pub use fedadmm_nn as nn;

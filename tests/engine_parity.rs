@@ -97,6 +97,66 @@ fn assert_parity<A: Algorithm + Clone>(algorithm: A, seed: u64, rounds: usize) {
     }
 }
 
+/// FNV-1a digest over every schedule-independent field of a run: the full
+/// round history (modulo wall-clock timing) plus the bit pattern of the
+/// final global model.
+fn run_digest(history: &RunHistory, global: &ParamVector) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut fold = |x: u64| {
+        for byte in x.to_le_bytes() {
+            h = (h ^ u64::from(byte)).wrapping_mul(PRIME);
+        }
+    };
+    for r in &history.records {
+        fold(r.round as u64);
+        fold(u64::from(r.test_accuracy.to_bits()));
+        fold(u64::from(r.test_loss.to_bits()));
+        fold(r.num_selected as u64);
+        fold(r.upload_floats as u64);
+        fold(r.cumulative_upload_floats as u64);
+        fold(r.total_local_epochs as u64);
+        fold(r.samples_processed as u64);
+        fold(r.staleness_mean.to_bits());
+        fold(r.staleness_max as u64);
+    }
+    for &x in global.as_slice() {
+        fold(u64::from(x.to_bits()));
+    }
+    h
+}
+
+#[test]
+fn in_memory_engine_matches_pre_refactor_golden_digest() {
+    // Pinned from the engine as it stood before the client-state-store
+    // refactor: an `InMemoryStore`-backed run must reproduce the exact
+    // trajectory (selection, RNG streams, float-op order) of the engine
+    // that owned a dense `Vec<ClientState>`. Any reordering of the
+    // aggregation arithmetic or the dispatch seeding changes this digest.
+    let num_clients = 9;
+    let cfg = config(num_clients, 93, true);
+    let (train, test) = data(num_clients, 93);
+    let partition = DataDistribution::NonIidShards.partition(&train, num_clients, 93);
+    let mut engine = RoundEngine::new(
+        cfg,
+        train,
+        test,
+        partition,
+        FedAdmm::paper_default(),
+        SyncRounds,
+    )
+    .unwrap();
+    engine.run_rounds(4).unwrap();
+    let digest = run_digest(engine.history(), engine.global_model());
+    assert_eq!(
+        digest, GOLDEN_DIGEST,
+        "seeded run diverged from the pre-refactor engine (digest {digest:#018x})"
+    );
+}
+
+const GOLDEN_DIGEST: u64 = 0xa147_b46a_ce24_2a96;
+
 #[test]
 fn sync_engine_reproduces_legacy_simulation_for_fedadmm() {
     assert_parity(FedAdmm::new(0.3, ServerStepSize::Constant(1.0)), 21, 5);
