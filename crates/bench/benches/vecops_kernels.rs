@@ -1,0 +1,73 @@
+//! Micro-benchmarks of the chunked flat-vector kernels ([`vecops`]) on the
+//! hot dispatch/aggregation path: the fused multi-term `axpy` behind server
+//! aggregation and the weighted payload sum behind hierarchical folds, at
+//! the paper's logistic dimension (d = 7 850) and at an odd off-lane length
+//! that exercises the scalar remainder tail.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedadmm_tensor::vecops;
+use std::hint::black_box;
+
+/// Deterministic small-magnitude values; no RNG needed for throughput.
+fn ramp(n: usize, mul: i64, offset: i64) -> Vec<f32> {
+    (0..n)
+        .map(|i| ((i as i64 * mul + offset).rem_euclid(17) - 8) as f32)
+        .collect()
+}
+
+const LENGTHS: [usize; 2] = [7_850, 4_097];
+
+fn bench_axpy_fused(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vecops_axpy_fused");
+    for &n in &LENGTHS {
+        let terms: Vec<Vec<f32>> = (0..8).map(|t| ramp(n, 3 + t, t)).collect();
+        let xs: Vec<&[f32]> = terms.iter().map(|x| x.as_slice()).collect();
+        let alphas: Vec<f32> = (0..8).map(|t| 0.125 + t as f32 * 0.01).collect();
+        let mut out = ramp(n, 5, 11);
+        group.bench_with_input(BenchmarkId::new("terms8", n), &n, |bench, _| {
+            bench.iter(|| {
+                vecops::axpy_fused(black_box(&alphas), black_box(&xs), black_box(&mut out))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_weighted_sum_into(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vecops_weighted_sum_into");
+    for &n in &LENGTHS {
+        let terms: Vec<Vec<f32>> = (0..8).map(|t| ramp(n, 7 + t, 2 * t)).collect();
+        let xs: Vec<&[f32]> = terms.iter().map(|x| x.as_slice()).collect();
+        let alphas: Vec<f32> = (0..8).map(|t| 0.2 + t as f32 * 0.05).collect();
+        let mut out = vec![0.0f32; n];
+        group.bench_with_input(BenchmarkId::new("terms8", n), &n, |bench, _| {
+            bench.iter(|| {
+                vecops::weighted_sum_into(black_box(&alphas), black_box(&xs), black_box(&mut out))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_reductions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vecops_reductions");
+    for &n in &LENGTHS {
+        let x = ramp(n, 3, 1);
+        let y = ramp(n, 5, 2);
+        group.bench_with_input(BenchmarkId::new("dot", n), &n, |bench, _| {
+            bench.iter(|| vecops::dot(black_box(&x), black_box(&y)))
+        });
+        group.bench_with_input(BenchmarkId::new("dist", n), &n, |bench, _| {
+            bench.iter(|| vecops::dist(black_box(&x), black_box(&y)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_axpy_fused,
+    bench_weighted_sum_into,
+    bench_reductions
+);
+criterion_main!(benches);

@@ -4,7 +4,8 @@
 //! Criterion answers "did this micro-operation get slower?"; this harness
 //! answers "what does a whole federated run cost right now?". It drives a
 //! fixed scenario matrix (sync / semi-async × IID / non-IID, plus a
-//! large-population spill-store scenario) through the
+//! large-population spill-store scenario and a heterogeneous-epochs
+//! straggler-skew scenario that stresses the dispatch pool) through the
 //! [`RoundEngine`] with a [`Recorder`] installed and writes one JSON file
 //! per invocation, named `BENCH_<date>_<git-sha>.json`, containing
 //! rounds/sec, bytes moved (uploads and θ broadcasts), staleness quantiles,
@@ -33,8 +34,10 @@ use std::time::Instant;
 /// Version of the snapshot JSON schema. Bump when renaming or removing
 /// fields, or when validation starts requiring new ones; CI validation
 /// rejects snapshots with any other version. v2 added the mandatory
-/// large-population spill-store scenario.
-pub const SCHEMA_VERSION: u64 = 2;
+/// large-population spill-store scenario; v3 added the straggler-skew
+/// scenario, the per-scenario dispatch counters and the top-level
+/// `dispatch` block.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Which scheduler a scenario drives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -143,14 +146,44 @@ fn counter(rec: &Recorder, name: &str) -> u64 {
     rec.metrics().counter_by_name(name).unwrap_or(0)
 }
 
+/// The stable label of a dispatch mode in snapshot JSON.
+pub fn dispatch_mode_label(mode: DispatchMode) -> &'static str {
+    match mode {
+        DispatchMode::WorkStealing => "steal",
+        DispatchMode::Static => "static",
+    }
+}
+
+/// The dispatch counters of a finished run: `(chunks, steals, imbalance)`.
+/// The imbalance gauge holds the last round's max/mean busy-seconds ratio
+/// across workers (1.0 = perfectly balanced; 0.0 when never timed).
+fn dispatch_fields(rec: &Recorder) -> (u64, u64, f64) {
+    (
+        counter(rec, names::DISPATCH_CHUNKS_TOTAL),
+        counter(rec, names::DISPATCH_STEALS_TOTAL),
+        rec.metrics()
+            .gauge_by_name(names::DISPATCH_IMBALANCE)
+            .unwrap_or(0.0),
+    )
+}
+
 /// Runs one scenario with a [`Recorder`] installed and returns its JSON row.
 pub fn run_scenario(spec: &ScenarioSpec, scale: Scale, rounds: usize) -> TensorResult<Value> {
     let setting = base_setting(spec.distribution, scale);
     let algorithm = FedAdmm::new(SUBSTRATE_RHO, ServerStepSize::Constant(1.0));
     let recorder = Box::new(Recorder::new());
+    // The larger scales cap evaluation at a quarter of the test set so the
+    // snapshot measures the federated pipeline, not repeated full evals.
+    let eval_fraction = match scale {
+        Scale::Smoke => 1.0,
+        Scale::Scaled | Scale::Paper => 0.25,
+    };
     let (wall_seconds, final_accuracy, history, telemetry) = match spec.scheduler {
         SchedulerKind::Sync => {
-            let mut engine = setting.build_sim(algorithm)?.with_telemetry(recorder);
+            let mut engine = setting
+                .build_sim(algorithm)?
+                .eval_subset(eval_fraction)
+                .with_telemetry(recorder);
             let start = Instant::now();
             engine.run_rounds(rounds)?;
             let wall = start.elapsed().as_secs_f64();
@@ -162,6 +195,7 @@ pub fn run_scenario(spec: &ScenarioSpec, scale: Scale, rounds: usize) -> TensorR
             let scheduler = SemiAsync::new(semi_async_config(&setting));
             let mut engine = setting
                 .build_with_scheduler(algorithm, scheduler)?
+                .eval_subset(eval_fraction)
                 .with_telemetry(recorder);
             let start = Instant::now();
             engine.run_rounds(rounds)?;
@@ -179,6 +213,7 @@ pub fn run_scenario(spec: &ScenarioSpec, scale: Scale, rounds: usize) -> TensorR
     let upload_bytes = counter(rec, names::UPLOAD_FLOATS_TOTAL) * 4;
     let broadcast_bytes = counter(rec, names::BROADCAST_FLOATS_TOTAL) * 4;
     let staleness_max = history.records.iter().map(|r| r.staleness_max).max();
+    let (dispatch_chunks, dispatch_steals, dispatch_imbalance) = dispatch_fields(rec);
     Ok(json!({
         "name": spec.name(),
         "scheduler": spec.scheduler.label(),
@@ -196,6 +231,104 @@ pub fn run_scenario(spec: &ScenarioSpec, scale: Scale, rounds: usize) -> TensorR
         "client_compute_seconds": hist_json(rec.metrics().histogram_by_name(names::CLIENT_COMPUTE_SECONDS)),
         "aggregate_seconds": hist_json(rec.metrics().histogram_by_name(names::AGGREGATE_SECONDS)),
         "eval_seconds": hist_json(rec.metrics().histogram_by_name(names::EVAL_SECONDS)),
+        "dispatch_chunks": dispatch_chunks,
+        "dispatch_steals": dispatch_steals,
+        "dispatch_imbalance": dispatch_imbalance,
+    }))
+}
+
+/// Client population of the straggler-skew scenario at each scale.
+pub fn straggler_population(scale: Scale) -> usize {
+    match scale {
+        Scale::Smoke => 96,
+        Scale::Scaled | Scale::Paper => 192,
+    }
+}
+
+/// Epochs the slow tier of the straggler-skew scenario runs per round.
+pub const STRAGGLER_EPOCHS: usize = 16;
+
+/// Runs the heterogeneous-epochs straggler-skew scenario: full
+/// participation over tiny per-client shards (4 samples each), with every
+/// forty-eighth client running [`STRAGGLER_EPOCHS`] local epochs while the rest
+/// run one — the paper's system-heterogeneity protocol pushed to a skew
+/// extreme. Because per-job compute is tiny, the scenario is dominated by
+/// the dispatch path itself (scheduling, scratch reuse, allocation churn);
+/// it is the row the work-stealing-pool roadmap item is judged against,
+/// A/B-comparable via `FEDADMM_DISPATCH_MODE=static`.
+pub fn run_straggler_scenario(scale: Scale, rounds: usize) -> TensorResult<Value> {
+    const SAMPLES_PER_CLIENT: usize = 4;
+    const SEED: u64 = 4242;
+    let num_clients = straggler_population(scale);
+    let config = FedConfig {
+        num_clients,
+        participation: Participation::Fraction(1.0),
+        local_epochs: 1,
+        system_heterogeneity: false,
+        batch_size: BatchSize::Size(SAMPLES_PER_CLIENT),
+        local_learning_rate: 0.05,
+        model: ModelSpec::Logistic {
+            input_dim: 784,
+            num_classes: 10,
+        },
+        seed: SEED,
+        eval_subset: usize::MAX,
+    };
+    let (train, test) =
+        SyntheticDataset::Mnist.generate(num_clients * SAMPLES_PER_CLIENT, 200, SEED);
+    let partition = DataDistribution::Iid.partition(&train, num_clients, SEED);
+    let epochs: Vec<usize> = (0..num_clients)
+        .map(|c| if c % 48 == 0 { STRAGGLER_EPOCHS } else { 1 })
+        .collect();
+    let mut engine = RoundEngine::new(
+        config,
+        train,
+        test,
+        partition,
+        FedAdmm::paper_default(),
+        SyncRounds,
+    )?
+    .with_work_schedule(LocalWorkSchedule::PerClient(epochs))
+    .eval_subset(0.25)
+    .with_telemetry(Box::new(Recorder::new()));
+
+    let start = Instant::now();
+    engine.run_rounds(rounds)?;
+    let wall_seconds = start.elapsed().as_secs_f64();
+    let final_accuracy = engine.history().final_accuracy();
+    let telemetry = engine.take_telemetry();
+    let history = engine.into_history();
+    let rec = telemetry
+        .as_any()
+        .and_then(|a| a.downcast_ref::<Recorder>())
+        .expect("scenario telemetry is a Recorder");
+
+    let upload_bytes = counter(rec, names::UPLOAD_FLOATS_TOTAL) * 4;
+    let broadcast_bytes = counter(rec, names::BROADCAST_FLOATS_TOTAL) * 4;
+    let staleness_max = history.records.iter().map(|r| r.staleness_max).max();
+    let (dispatch_chunks, dispatch_steals, dispatch_imbalance) = dispatch_fields(rec);
+    Ok(json!({
+        "name": format!("straggler-skew/{num_clients}-clients"),
+        "scheduler": SchedulerKind::Sync.label(),
+        "distribution": DataDistribution::Iid.label(),
+        "num_clients": num_clients,
+        "straggler_epochs": STRAGGLER_EPOCHS,
+        "rounds": rounds,
+        "wall_seconds": wall_seconds,
+        "rounds_per_sec": rounds as f64 / wall_seconds.max(1e-12),
+        "final_accuracy": final_accuracy as f64,
+        "client_updates": counter(rec, names::CLIENT_UPDATES_TOTAL),
+        "upload_bytes": upload_bytes,
+        "broadcast_bytes": broadcast_bytes,
+        "bytes_moved": upload_bytes + broadcast_bytes,
+        "staleness": hist_json(rec.metrics().histogram_by_name(names::STALENESS_ROUNDS)),
+        "staleness_max_recorded": staleness_max.unwrap_or(0),
+        "client_compute_seconds": hist_json(rec.metrics().histogram_by_name(names::CLIENT_COMPUTE_SECONDS)),
+        "aggregate_seconds": hist_json(rec.metrics().histogram_by_name(names::AGGREGATE_SECONDS)),
+        "eval_seconds": hist_json(rec.metrics().histogram_by_name(names::EVAL_SECONDS)),
+        "dispatch_chunks": dispatch_chunks,
+        "dispatch_steals": dispatch_steals,
+        "dispatch_imbalance": dispatch_imbalance,
     }))
 }
 
@@ -300,6 +433,7 @@ pub fn run_spill_scenario(scale: Scale, rounds: usize) -> TensorResult<Value> {
     let upload_bytes = counter(rec, names::UPLOAD_FLOATS_TOTAL) * 4;
     let broadcast_bytes = counter(rec, names::BROADCAST_FLOATS_TOTAL) * 4;
     let staleness_max = history.records.iter().map(|r| r.staleness_max).max();
+    let (dispatch_chunks, dispatch_steals, dispatch_imbalance) = dispatch_fields(rec);
     Ok(json!({
         "name": format!("spill/non-IID/{num_clients}-clients"),
         "scheduler": SchedulerKind::Sync.label(),
@@ -320,6 +454,9 @@ pub fn run_spill_scenario(scale: Scale, rounds: usize) -> TensorResult<Value> {
         "client_compute_seconds": hist_json(rec.metrics().histogram_by_name(names::CLIENT_COMPUTE_SECONDS)),
         "aggregate_seconds": hist_json(rec.metrics().histogram_by_name(names::AGGREGATE_SECONDS)),
         "eval_seconds": hist_json(rec.metrics().histogram_by_name(names::EVAL_SECONDS)),
+        "dispatch_chunks": dispatch_chunks,
+        "dispatch_steals": dispatch_steals,
+        "dispatch_imbalance": dispatch_imbalance,
         "shard_folds": counter(rec, names::SHARD_FOLDS_TOTAL),
         "store_materializations": stats.materializations,
         "store_spill_writes": stats.spill_writes,
@@ -368,8 +505,17 @@ pub fn build_snapshot(scale: Scale, rounds: usize) -> TensorResult<Value> {
     }
     let spill = run_spill_scenario(scale, rounds)?;
     scenarios.push((spill["name"].as_str().unwrap_or("spill").to_string(), spill));
+    let straggler = run_straggler_scenario(scale, rounds)?;
+    scenarios.push((
+        straggler["name"]
+            .as_str()
+            .unwrap_or("straggler")
+            .to_string(),
+        straggler,
+    ));
     let scenario_values: Vec<Value> = scenarios.into_iter().map(|(_, v)| v).collect();
     let overhead = overhead_check(scale, rounds)?;
+    let dispatch_config = DispatchConfig::default();
     let created_unix = unix_now();
     let (y, m, d) = civil_from_unix(created_unix);
     Ok(json!({
@@ -380,6 +526,10 @@ pub fn build_snapshot(scale: Scale, rounds: usize) -> TensorResult<Value> {
         "scale": format!("{scale:?}").to_ascii_lowercase(),
         "rounds_per_scenario": rounds,
         "peak_rss_bytes": peak_rss_bytes(),
+        "dispatch": {
+            "workers": dispatch_config.resolved_workers(),
+            "mode": dispatch_mode_label(dispatch_config.resolved_mode()),
+        },
         "scenarios": Value::Array(scenario_values),
         "overhead": overhead,
     }))
@@ -423,7 +573,33 @@ pub fn validate_snapshot(snapshot: &Value) -> Result<(), String> {
                 .as_f64()
                 .ok_or_else(|| format!("{name}: staleness.{key} missing"))?;
         }
+        for key in ["dispatch_chunks", "dispatch_steals"] {
+            s[key]
+                .as_u64()
+                .ok_or_else(|| format!("{name}: {key} missing"))?;
+        }
+        s["dispatch_imbalance"]
+            .as_f64()
+            .ok_or_else(|| format!("{name}: dispatch_imbalance missing"))?;
     }
+    let straggler = scenarios
+        .iter()
+        .find(|s| {
+            s["name"]
+                .as_str()
+                .is_some_and(|n| n.starts_with("straggler-skew/"))
+        })
+        .ok_or("no straggler-skew scenario present")?;
+    straggler["straggler_epochs"]
+        .as_u64()
+        .filter(|&e| e > 1)
+        .ok_or("straggler scenario: straggler_epochs missing or trivial")?;
+    snapshot["dispatch"]["workers"]
+        .as_u64()
+        .ok_or("dispatch.workers missing")?;
+    snapshot["dispatch"]["mode"]
+        .as_str()
+        .ok_or("dispatch.mode missing")?;
     let spill = scenarios
         .iter()
         .find(|s| s["store"].as_str() == Some("spill"))
@@ -620,7 +796,11 @@ mod tests {
         validate_snapshot(&back).unwrap();
         // The semi-async scenarios must actually observe staleness events.
         let scenarios = back["scenarios"].as_array().unwrap();
-        assert_eq!(scenarios.len(), 5, "4 matrix cells + the spill scenario");
+        assert_eq!(
+            scenarios.len(),
+            6,
+            "4 matrix cells + the spill and straggler scenarios"
+        );
         let semi = scenarios
             .iter()
             .find(|s| s["name"].as_str() == Some("semi-async/IID"))
@@ -639,6 +819,20 @@ mod tests {
         assert_eq!(spill["num_clients"].as_u64().unwrap(), 10_000);
         assert!(spill["store_materializations"].as_u64().unwrap() > 0);
         assert!(spill["shard_folds"].as_u64().unwrap() > 0);
+        // The straggler-skew scenario exercises the dispatch pool under
+        // telemetry, so its chunk counter must be live.
+        let straggler = scenarios
+            .iter()
+            .find(|s| {
+                s["name"]
+                    .as_str()
+                    .is_some_and(|n| n.starts_with("straggler-skew/"))
+            })
+            .unwrap();
+        assert_eq!(straggler["num_clients"].as_u64().unwrap(), 96);
+        assert!(straggler["dispatch_chunks"].as_u64().unwrap() > 0);
+        assert!(straggler["dispatch_imbalance"].as_f64().unwrap() >= 1.0);
+        assert!(back["dispatch"]["workers"].as_u64().unwrap() >= 1);
     }
 
     #[test]

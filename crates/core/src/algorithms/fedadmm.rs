@@ -27,11 +27,11 @@
 //! or bounded-gradient assumptions, and its ρ can be a constant independent
 //! of the system size (Theorem 1 / Remark 1).
 
-use super::{total_upload, Algorithm, ClientMessage, FoldPlan, ServerOutcome};
+use super::{total_upload, Algorithm, ClientMessage, FoldPlan, ServerOutcome, UpdateScratch};
 use crate::client::ClientState;
 use crate::param::ParamVector;
-use crate::trainer::{local_sgd, LocalEnv};
-use fedadmm_tensor::TensorResult;
+use crate::trainer::{local_sgd, local_sgd_cached, LocalEnv};
+use fedadmm_tensor::{vecops, TensorResult};
 use serde::{Deserialize, Serialize};
 
 /// The server gathering step size η of equation (5).
@@ -180,6 +180,83 @@ impl Algorithm for FedAdmm {
             client_id: client.id,
             num_samples: client.num_samples(),
             payload: vec![delta],
+            epochs_run: env.epochs,
+            samples_processed: result.samples_processed,
+        })
+    }
+
+    /// The allocation-free variant the dispatch pool drives: the augmented
+    /// model and the dual snapshot live in the worker's reusable scratch,
+    /// the local-training network is cached across jobs (skipping the
+    /// discarded random init that `client_update` pays per call), the dual
+    /// update runs in place, and the uploaded Δ is fused into a single
+    /// pass — the only per-job allocation left is the payload itself.
+    /// Every elementary f32 operation matches [`FedAdmm::client_update`]
+    /// in kind and order, so results are bit-identical (pinned by the
+    /// engine-parity golden digest).
+    fn client_update_scratch(
+        &self,
+        client: &mut ClientState,
+        global: &ParamVector,
+        env: &LocalEnv<'_>,
+        scratch: &mut UpdateScratch,
+    ) -> TensorResult<ClientMessage> {
+        let rho = self.rho;
+        let theta = global.as_slice();
+        let UpdateScratch {
+            param: old_augmented,
+            dual: dual_snapshot,
+            net,
+        } = scratch;
+
+        // u_i^t = w_i^t + y_i^t / ρ, built in the reusable param buffer
+        // (same copy-then-axpy as `ClientState::augmented_model`).
+        old_augmented.clear();
+        old_augmented.extend_from_slice(client.local_model.as_slice());
+        vecops::axpy(1.0 / rho, client.dual.as_slice(), old_augmented);
+
+        let init: &[f32] = match self.local_init {
+            LocalInit::LocalModel => client.local_model.as_slice(),
+            LocalInit::GlobalModel => theta,
+        };
+        dual_snapshot.clear();
+        dual_snapshot.extend_from_slice(client.dual.as_slice());
+        let dual: &[f32] = dual_snapshot;
+        let result = local_sgd_cached(env, init, net, |w, g| {
+            for (((gi, &wi), &ti), &yi) in g
+                .iter_mut()
+                .zip(w.iter())
+                .zip(theta.iter())
+                .zip(dual.iter())
+            {
+                *gi += yi + rho * (wi - ti);
+            }
+        })?;
+
+        // Dual update in place: y_i ← y_i + ρ(w_i^{t+1} − θ^t).
+        let new_local = ParamVector::from_vec(result.params);
+        client.dual.axpy(rho, &new_local);
+        client.dual.axpy(-rho, global);
+
+        client.local_model = new_local;
+        client.times_selected += 1;
+
+        // Δ_i = u_i^{t+1} − u_i^t, with u^{t+1} formed on the fly: each
+        // element is w + (1/ρ)·y − old, the same mul/add/sub sequence the
+        // unfused path performs via augmented_model + sub.
+        let inv_rho = 1.0 / rho;
+        let delta: Vec<f32> = client
+            .local_model
+            .as_slice()
+            .iter()
+            .zip(client.dual.as_slice())
+            .zip(old_augmented.iter())
+            .map(|((&w, &y), &old)| (w + inv_rho * y) - old)
+            .collect();
+        Ok(ClientMessage {
+            client_id: client.id,
+            num_samples: client.num_samples(),
+            payload: vec![ParamVector::from_vec(delta)],
             epochs_run: env.epochs,
             samples_processed: result.samples_processed,
         })
@@ -356,6 +433,38 @@ mod tests {
         alg2.server_update(&mut global2, &messages, 100, &mut rng);
         assert!((global2.as_slice()[0] - 1.02).abs() < 1e-6);
         assert!((global2.as_slice()[1] - 0.98).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scratch_client_update_is_bit_identical_to_plain_path() {
+        // Two clients updated through both entry points over two rounds —
+        // the second round exercises scratch reuse with dirty buffers.
+        let fixture = Fixture::new(2, 30, 11);
+        let alg = FedAdmm::new(0.05, ServerStepSize::Constant(1.0));
+        let theta0 = ParamVector::zeros(fixture.dim());
+        let theta1 = ParamVector::from_vec(vec![0.02; fixture.dim()]);
+        let mut plain = fixture.clients(&theta0);
+        let mut scratched = fixture.clients(&theta0);
+        let mut scratch = UpdateScratch::default();
+        for (round, theta) in [&theta0, &theta1].into_iter().enumerate() {
+            for c in 0..2 {
+                let env = fixture.env(c, 2, (round * 10 + c) as u64);
+                let a = alg.client_update(&mut plain[c], theta, &env).unwrap();
+                let b = alg
+                    .client_update_scratch(&mut scratched[c], theta, &env, &mut scratch)
+                    .unwrap();
+                assert_eq!(
+                    a.payload[0], b.payload[0],
+                    "payload round {round} client {c}"
+                );
+                assert_eq!(a.num_samples, b.num_samples);
+                assert_eq!(a.epochs_run, b.epochs_run);
+                assert_eq!(a.samples_processed, b.samples_processed);
+                assert_eq!(plain[c].local_model, scratched[c].local_model);
+                assert_eq!(plain[c].dual, scratched[c].dual);
+                assert_eq!(plain[c].times_selected, scratched[c].times_selected);
+            }
+        }
     }
 
     #[test]

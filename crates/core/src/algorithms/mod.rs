@@ -75,6 +75,24 @@ pub struct ServerOutcome {
     pub upload_floats: usize,
 }
 
+/// Reusable per-worker buffers for [`Algorithm::client_update_scratch`].
+///
+/// The dispatch pool keeps one of these per worker thread and hands it to
+/// every job the worker runs, so algorithms that override the scratch entry
+/// point allocate their O(d) temporaries once per worker instead of once
+/// per job. Buffers carry arbitrary leftover contents between jobs — users
+/// must `clear()` before filling.
+#[derive(Debug, Default)]
+pub struct UpdateScratch {
+    /// Parameter-sized buffer (FedADMM: the pre-update augmented model).
+    pub param: Vec<f32>,
+    /// Dual-sized buffer (FedADMM: the dual snapshot read during SGD).
+    pub dual: Vec<f32>,
+    /// Cached local-training network, rebuilt only when the model spec
+    /// changes (see [`crate::trainer::NetCache`]).
+    pub net: crate::trainer::NetCache,
+}
+
 /// A linear description of an algorithm's server fold, consumed by the
 /// engine's opt-in hierarchical (tree) aggregation.
 ///
@@ -148,6 +166,25 @@ pub trait Algorithm: Send + Sync {
         env: &LocalEnv<'_>,
     ) -> TensorResult<ClientMessage>;
 
+    /// Scratch-aware variant of [`Algorithm::client_update`], called by the
+    /// dispatch pool with the worker's reusable [`UpdateScratch`].
+    ///
+    /// The default ignores the scratch and delegates, so algorithms only
+    /// override this when per-job temporaries are worth recycling.
+    /// Overrides MUST be bit-identical to `client_update` — the engine's
+    /// byte-identity pins (golden digests, parity tests) run through this
+    /// entry point.
+    fn client_update_scratch(
+        &self,
+        client: &mut ClientState,
+        global: &ParamVector,
+        env: &LocalEnv<'_>,
+        scratch: &mut UpdateScratch,
+    ) -> TensorResult<ClientMessage> {
+        let _ = scratch;
+        self.client_update(client, global, env)
+    }
+
     /// Server aggregation: consumes the round's messages and updates the
     /// global model in place.
     fn server_update(
@@ -193,6 +230,16 @@ impl Algorithm for Box<dyn Algorithm> {
         env: &LocalEnv<'_>,
     ) -> TensorResult<ClientMessage> {
         self.as_ref().client_update(client, global, env)
+    }
+    fn client_update_scratch(
+        &self,
+        client: &mut ClientState,
+        global: &ParamVector,
+        env: &LocalEnv<'_>,
+        scratch: &mut UpdateScratch,
+    ) -> TensorResult<ClientMessage> {
+        self.as_ref()
+            .client_update_scratch(client, global, env, scratch)
     }
     fn server_update(
         &mut self,

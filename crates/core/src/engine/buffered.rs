@@ -1,4 +1,9 @@
 //! The buffered asynchronous scheduler (event-driven, staleness-weighted).
+//!
+//! Each tick dispatches at most a handful of arrivals; they still run
+//! through the engine's [`DispatchPool`](super::DispatchPool), whose
+//! adaptive chunk size (`jobs / (4·workers)`, clamped to ≥ 1) degrades to
+//! one job per chunk for these tiny cohorts.
 
 use super::scheduler::{
     DispatchOrder, EngineCore, RoundStats, Scheduler, StalenessWeight, TickReport,

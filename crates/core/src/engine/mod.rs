@@ -22,10 +22,14 @@
 //!   synchronous path never copies the model at all and the asynchronous
 //!   paths copy at most once per aggregation.
 //! * **One parallel dispatch path.** All local updates run through
-//!   [`EngineCore::dispatch`], which distributes clients over scoped OS
-//!   threads; every job's RNG stream is derived from
-//!   `(seed, round, client_id)`, so results are independent of the thread
-//!   schedule *and* of the scheduler that issued the work.
+//!   [`EngineCore::dispatch`], backed by a persistent work-stealing
+//!   [`DispatchPool`]: workers claim job chunks from a shared cursor (so
+//!   stragglers never serialize a partition) and reuse per-thread scratch
+//!   arenas (so steady-state dispatch allocates nothing). Every job's RNG
+//!   stream is derived from `(seed, round, client_id)`, so results are
+//!   byte-identical across worker counts, chunk sizes, the legacy
+//!   [`DispatchMode::Static`] schedule *and* the scheduler that issued
+//!   the work.
 //! * **Single-pass aggregation.** Algorithms fold all payloads into θ with
 //!   one fused accumulator pass
 //!   ([`ParamVector::accumulate`](crate::param::ParamVector::accumulate))
@@ -71,11 +75,13 @@
 //! ```
 
 pub mod buffered;
+pub mod dispatch;
 pub mod scheduler;
 pub mod semi_async;
 pub mod sync;
 
 pub use buffered::{AsyncConfig, BufferedAsync};
+pub use dispatch::{DispatchBatchStats, DispatchConfig, DispatchMode, DispatchPool};
 pub use scheduler::{
     AggregationMode, AsyncRecord, DispatchOrder, EngineCore, RoundStats, Scheduler,
     StalenessWeight, TickReport,
@@ -128,6 +134,8 @@ pub struct RoundEngine<A: Algorithm, S: Scheduler> {
     gap_rho: Option<f32>,
     /// How the server folds each round's payloads into θ.
     aggregation: AggregationMode,
+    /// The persistent dispatch pool every tick's client work runs on.
+    pool: DispatchPool,
 }
 
 impl<A: Algorithm, S: Scheduler> RoundEngine<A, S> {
@@ -225,6 +233,7 @@ impl<A: Algorithm, S: Scheduler> RoundEngine<A, S> {
             event_mark: 0,
             gap_rho: None,
             aggregation: AggregationMode::SinglePass,
+            pool: DispatchPool::new(DispatchConfig::default()),
         };
         let mut core = EngineCore {
             config: &engine.config,
@@ -243,6 +252,7 @@ impl<A: Algorithm, S: Scheduler> RoundEngine<A, S> {
             telemetry: engine.telemetry.as_mut(),
             event_mark: &mut engine.event_mark,
             aggregation: engine.aggregation,
+            pool: &engine.pool,
         };
         engine.scheduler.init(&mut core)?;
         Ok(engine)
@@ -257,6 +267,29 @@ impl<A: Algorithm, S: Scheduler> RoundEngine<A, S> {
     pub fn with_aggregation(mut self, mode: AggregationMode) -> Self {
         self.aggregation = mode;
         self
+    }
+
+    /// Rebuilds the dispatch pool from an explicit [`DispatchConfig`]
+    /// (worker count, chunk size, scheduling mode). The default pool
+    /// resolves everything from `FEDADMM_DISPATCH_*` environment variables
+    /// and the hardware. Dispatch results are byte-identical for every
+    /// configuration; only the schedule (and the wall clock) changes.
+    pub fn with_dispatch(mut self, config: DispatchConfig) -> Self {
+        self.pool = DispatchPool::new(config);
+        self
+    }
+
+    /// Pins the dispatch pool's worker count, keeping the rest of the
+    /// dispatch configuration as resolved.
+    pub fn with_dispatch_workers(self, workers: usize) -> Self {
+        let mut config = self.pool.config();
+        config.workers = Some(workers);
+        self.with_dispatch(config)
+    }
+
+    /// The dispatch pool the engine's client work runs on.
+    pub fn dispatch_pool(&self) -> &DispatchPool {
+        &self.pool
     }
 
     /// Caps evaluation at a fraction of the test set per round: a
@@ -447,6 +480,7 @@ impl<A: Algorithm, S: Scheduler> RoundEngine<A, S> {
             telemetry: self.telemetry.as_mut(),
             event_mark: &mut self.event_mark,
             aggregation: self.aggregation,
+            pool: &self.pool,
         };
         let report = self.scheduler.tick(&mut core);
         self.telemetry.on_tick_end(scheduler_name, tick_round);

@@ -26,6 +26,7 @@
 //!    RNG stream from `(seed, tick, client_id)`, so results do not depend
 //!    on thread interleaving or on which scheduler issued the work.
 
+use super::dispatch::{DispatchBatchStats, DispatchMode, DispatchPool, DispatchScratch};
 use crate::algorithms::{total_upload, Algorithm, ClientMessage, FoldPlan, ServerOutcome};
 use crate::client::ClientState;
 use crate::config::FedConfig;
@@ -36,7 +37,7 @@ use crate::selection::ClientSelector;
 use crate::trainer::{evaluate, LocalEnv};
 use fedadmm_clientstore::{hierarchical_weighted_sum, ClientStateStore};
 use fedadmm_data::Dataset;
-use fedadmm_telemetry::{names, RoundSummary, Telemetry};
+use fedadmm_telemetry::{names, DispatchSummary, RoundSummary, Telemetry};
 use fedadmm_tensor::{TensorError, TensorResult};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -211,6 +212,15 @@ pub struct EngineCore<'a> {
     pub(super) event_mark: &'a mut usize,
     /// How [`EngineCore::aggregate`] folds payloads into θ.
     pub(super) aggregation: AggregationMode,
+    /// The persistent worker pool behind [`EngineCore::dispatch`].
+    pub(super) pool: &'a DispatchPool,
+}
+
+/// One dispatch job in flight on the pool: the worker that claims the job
+/// takes the `(order, state)` input exactly once and leaves its result.
+struct JobSlot<'o, 's> {
+    input: Option<(&'o DispatchOrder, &'s mut ClientState)>,
+    output: Option<(usize, TensorResult<ClientMessage>, f64)>,
 }
 
 impl EngineCore<'_> {
@@ -265,7 +275,9 @@ impl EngineCore<'_> {
         )
     }
 
-    /// Runs one order synchronously on the calling thread.
+    /// Runs one order synchronously on the calling thread (on the pool's
+    /// serial scratch arena, so even single-order ticks allocate nothing in
+    /// steady state).
     pub fn dispatch_one(&mut self, order: &DispatchOrder) -> TensorResult<ClientMessage> {
         if order.client_id >= self.store.num_clients() {
             return Err(TensorError::InvalidArgument(format!(
@@ -277,23 +289,49 @@ impl EngineCore<'_> {
         let (train, config) = (self.train, self.config);
         // Timing is gated on `enabled()` so the no-op hook costs nothing.
         let timed = self.telemetry.enabled();
+        // Static mode reproduces the legacy per-call clone + plain
+        // `client_update` path exactly (the A/B baseline).
+        let use_scratch = self.pool.mode() == DispatchMode::WorkStealing;
+        let pool = self.pool;
         let mut out: Option<(TensorResult<ClientMessage>, f64)> = None;
         self.store.with_states(&[order.client_id], &mut |states| {
             let client = &mut *states[0];
-            let indices = client.indices.clone();
-            let env = LocalEnv {
-                dataset: train,
-                indices: &indices,
-                model: config.model,
-                epochs: order.epochs,
-                batch_size: config.batch_size,
-                learning_rate: config.local_learning_rate,
-                seed: order.seed,
-            };
-            let start = timed.then(Instant::now);
-            let result = algorithm.client_update(client, &order.snapshot, &env);
-            let seconds = start.map_or(0.0, |s| s.elapsed().as_secs_f64());
-            out = Some((result, seconds));
+            if use_scratch {
+                pool.with_scratch(|scratch| {
+                    let DispatchScratch { indices, update } = scratch;
+                    indices.clear();
+                    indices.extend_from_slice(&client.indices);
+                    let env = LocalEnv {
+                        dataset: train,
+                        indices,
+                        model: config.model,
+                        epochs: order.epochs,
+                        batch_size: config.batch_size,
+                        learning_rate: config.local_learning_rate,
+                        seed: order.seed,
+                    };
+                    let start = timed.then(Instant::now);
+                    let result =
+                        algorithm.client_update_scratch(client, &order.snapshot, &env, update);
+                    let seconds = start.map_or(0.0, |s| s.elapsed().as_secs_f64());
+                    out = Some((result, seconds));
+                });
+            } else {
+                let indices = client.indices.clone();
+                let env = LocalEnv {
+                    dataset: train,
+                    indices: &indices,
+                    model: config.model,
+                    epochs: order.epochs,
+                    batch_size: config.batch_size,
+                    learning_rate: config.local_learning_rate,
+                    seed: order.seed,
+                };
+                let start = timed.then(Instant::now);
+                let result = algorithm.client_update(client, &order.snapshot, &env);
+                let seconds = start.map_or(0.0, |s| s.elapsed().as_secs_f64());
+                out = Some((result, seconds));
+            }
             Ok(())
         })?;
         let (result, seconds) = out.expect("with_states runs the closure");
@@ -314,10 +352,13 @@ impl EngineCore<'_> {
 
     /// Runs a batch of orders through the shared parallel dispatch path.
     ///
-    /// Work is distributed over scoped OS threads; because each order
-    /// carries its own derived seed, the outcome is independent of the
-    /// thread schedule. Messages are returned sorted by client id, and the
-    /// first error (in client-id order) is propagated.
+    /// Work is self-scheduled over the engine's persistent
+    /// [`DispatchPool`] (or, under [`DispatchMode::Static`], the legacy
+    /// round-robin scoped-thread partitioning); because each order carries
+    /// its own derived seed, the outcome is independent of the thread
+    /// schedule, the worker count and the chunk size. Messages are
+    /// returned sorted by client id, and the first error (in client-id
+    /// order) is propagated.
     ///
     /// # Panics
     /// Panics if two orders target the same client (a scheduler bug: a
@@ -350,12 +391,85 @@ impl EngineCore<'_> {
         // The ascending cohort the store materializes — O(selected) work
         // even when most of the population has never been touched.
         let ids: Vec<usize> = by_id.iter().map(|&k| orders[k].client_id).collect();
+        match self.pool.mode() {
+            DispatchMode::WorkStealing => self.dispatch_pooled(orders, &by_id, &ids),
+            DispatchMode::Static => self.dispatch_static(orders, &by_id, &ids),
+        }
+    }
 
+    /// The default batch path: jobs are claimed chunk-wise from the pool's
+    /// shared cursor, each worker reusing its own scratch arena. Job slots
+    /// are built (and drained) in ascending client-id order, so the result
+    /// order is schedule-independent by construction.
+    fn dispatch_pooled(
+        &mut self,
+        orders: &[DispatchOrder],
+        by_id: &[usize],
+        ids: &[usize],
+    ) -> TensorResult<Vec<ClientMessage>> {
         let algorithm: &dyn Algorithm = &*self.algorithm;
         let (train, config) = (self.train, self.config);
         // When telemetry is off no worker reads the clock: the job tuple
         // carries 0.0 and the hot path is identical to an uninstrumented
         // build.
+        let timed = self.telemetry.enabled();
+        let pool = self.pool;
+        let mut results: Vec<(usize, TensorResult<ClientMessage>, f64)> =
+            Vec::with_capacity(orders.len());
+        let mut batch = DispatchBatchStats::default();
+        self.store.with_states(ids, &mut |states| {
+            let slots: Vec<std::sync::Mutex<JobSlot<'_, '_>>> = states
+                .iter_mut()
+                .zip(by_id)
+                .map(|(client, &k)| {
+                    std::sync::Mutex::new(JobSlot {
+                        input: Some((&orders[k], &mut **client)),
+                        output: None,
+                    })
+                })
+                .collect();
+            batch = pool.run(slots.len(), timed, &|_worker, job, scratch| {
+                let mut slot = slots[job].lock().expect("job slot lock");
+                let (order, client) = slot.input.take().expect("each job claimed once");
+                let DispatchScratch { indices, update } = scratch;
+                indices.clear();
+                indices.extend_from_slice(&client.indices);
+                let env = LocalEnv {
+                    dataset: train,
+                    indices,
+                    model: config.model,
+                    epochs: order.epochs,
+                    batch_size: config.batch_size,
+                    learning_rate: config.local_learning_rate,
+                    seed: order.seed,
+                };
+                let start = timed.then(Instant::now);
+                let result = algorithm.client_update_scratch(client, &order.snapshot, &env, update);
+                let seconds = start.map_or(0.0, |s| s.elapsed().as_secs_f64());
+                slot.output = Some((client.id, result, seconds));
+            });
+            for slot in slots {
+                let slot = slot.into_inner().expect("job slot lock");
+                results.push(slot.output.expect("every job ran"));
+            }
+            Ok(())
+        })?;
+        debug_assert!(results.windows(2).all(|w| w[0].0 < w[1].0));
+        self.collect_messages(orders, results, batch)
+    }
+
+    /// The legacy static round-robin partitioning over freshly spawned
+    /// scoped threads, kept verbatim behind [`DispatchMode::Static`] as the
+    /// A/B baseline: per-job `indices.clone()`, plain (allocating)
+    /// `client_update`, one thread per partition.
+    fn dispatch_static(
+        &mut self,
+        orders: &[DispatchOrder],
+        by_id: &[usize],
+        ids: &[usize],
+    ) -> TensorResult<Vec<ClientMessage>> {
+        let algorithm: &dyn Algorithm = &*self.algorithm;
+        let (train, config) = (self.train, self.config);
         let timed = self.telemetry.enabled();
         let run_job = move |order: &DispatchOrder, client: &mut ClientState| {
             let indices = client.indices.clone();
@@ -374,21 +488,24 @@ impl EngineCore<'_> {
             (client.id, result, seconds)
         };
 
+        let configured_workers = self.pool.workers();
         let mut results: Vec<(usize, TensorResult<ClientMessage>, f64)> =
             Vec::with_capacity(orders.len());
-        self.store.with_states(&ids, &mut |states| {
+        // Per-partition busy seconds (sum of that partition's job times),
+        // so the imbalance gauge is comparable across the two modes.
+        let mut busy_seconds: Vec<f64> = Vec::new();
+        let mut used_workers = 1;
+        self.store.with_states(ids, &mut |states| {
             // Pair every borrowed state (aligned with `ids`, ascending by
             // client id — the same job order as the legacy dense walk) with
             // its order.
             let mut jobs: Vec<(&DispatchOrder, &mut ClientState)> = states
                 .iter_mut()
-                .zip(&by_id)
+                .zip(by_id)
                 .map(|(client, &k)| (&orders[k], &mut **client))
                 .collect();
-            let workers = std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-                .min(jobs.len());
+            let workers = configured_workers.min(jobs.len());
+            used_workers = workers.max(1);
             results = if workers <= 1 {
                 jobs.into_iter()
                     .map(|(order, client)| run_job(order, client))
@@ -414,7 +531,11 @@ impl EngineCore<'_> {
                         .collect();
                     let mut all = Vec::with_capacity(orders.len());
                     for handle in handles {
-                        all.extend(handle.join().expect("dispatch worker panicked"));
+                        let part = handle.join().expect("dispatch worker panicked");
+                        if timed {
+                            busy_seconds.push(part.iter().map(|r| r.2).sum());
+                        }
+                        all.extend(part);
                     }
                     all
                 })
@@ -423,6 +544,30 @@ impl EngineCore<'_> {
         })?;
         // Deterministic aggregation order regardless of the thread schedule.
         results.sort_by_key(|(id, _, _)| *id);
+        if timed && busy_seconds.is_empty() {
+            busy_seconds.push(results.iter().map(|r| r.2).sum());
+        }
+        let batch = DispatchBatchStats {
+            workers: used_workers,
+            // 0 marks "static partition" in the dispatch telemetry.
+            chunk_size: 0,
+            jobs: results.len() as u64,
+            chunks: used_workers as u64,
+            steals: 0,
+            busy_seconds,
+        };
+        self.collect_messages(orders, results, batch)
+    }
+
+    /// Shared dispatch tail: accounts downloads, emits the batch summary,
+    /// propagates the first error in client-id order and unwraps messages.
+    fn collect_messages(
+        &mut self,
+        orders: &[DispatchOrder],
+        results: Vec<(usize, TensorResult<ClientMessage>, f64)>,
+        batch: DispatchBatchStats,
+    ) -> TensorResult<Vec<ClientMessage>> {
+        let timed = self.telemetry.enabled();
         if timed {
             // Downloads are accounted at dispatch time: each order pulled
             // one θ snapshot of `len` floats.
@@ -430,6 +575,17 @@ impl EngineCore<'_> {
                 self.telemetry
                     .on_download(*self.round, order.client_id, order.snapshot.len());
             }
+            self.telemetry.on_dispatch(
+                *self.round,
+                &DispatchSummary {
+                    jobs: batch.jobs,
+                    workers: batch.workers,
+                    chunk_size: batch.chunk_size,
+                    chunks: batch.chunks,
+                    steals: batch.steals,
+                    busy_seconds: &batch.busy_seconds,
+                },
+            );
         }
         let mut messages = Vec::with_capacity(results.len());
         for (id, result, seconds) in results {

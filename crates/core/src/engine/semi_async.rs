@@ -15,6 +15,11 @@
 //!   arrive in a later round, staleness-weighted against the rounds they
 //!   missed, instead of being dropped or stalling everyone else.
 //!
+//! Deadlines govern *virtual* time; the real CPU work of each batch of
+//! arrivals still runs through the engine's work-stealing
+//! [`DispatchPool`](super::DispatchPool), so simulated stragglers never
+//! serialize the simulation itself.
+//!
 //! Because FedADMM's dual variables absorb variable amounts of local work,
 //! it tolerates the resulting mix of fresh and stale updates far better
 //! than FedAvg — the engine-parity integration tests pin this down.

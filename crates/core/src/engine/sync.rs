@@ -16,9 +16,12 @@ use std::time::Instant;
 /// 1. the server selects `S_t` (full participation if the algorithm
 ///    requires it),
 /// 2. every selected client downloads the θ snapshot and runs its local
-///    update in parallel (the server *waits for all of them* — this is the
-///    straggler-bound protocol the paper's system-heterogeneity experiments
-///    stress),
+///    update in parallel over the engine's work-stealing
+///    [`DispatchPool`](super::DispatchPool) (the server *waits for all of
+///    them* — this is the straggler-bound protocol the paper's
+///    system-heterogeneity experiments stress; within a round the pool
+///    keeps fast workers busy around a slow client instead of letting a
+///    static partition idle),
 /// 3. the server aggregates all `|S_t|` messages in one pass and the new
 ///    model is evaluated.
 ///

@@ -94,8 +94,9 @@ pub mod prelude {
     pub use crate::config::{DataDistribution, FedConfig, Participation};
     pub use crate::drift::DriftReport;
     pub use crate::engine::{
-        AggregationMode, AsyncConfig, AsyncRecord, BufferedAsync, RoundEngine, Scheduler,
-        SemiAsync, SemiAsyncConfig, StalenessWeight, SyncEngine, SyncRounds,
+        AggregationMode, AsyncConfig, AsyncRecord, BufferedAsync, DispatchConfig, DispatchMode,
+        RoundEngine, Scheduler, SemiAsync, SemiAsyncConfig, StalenessWeight, SyncEngine,
+        SyncRounds,
     };
     pub use crate::heterogeneity::LocalWorkSchedule;
     pub use crate::metrics::{RoundRecord, RunHistory};

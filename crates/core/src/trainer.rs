@@ -19,6 +19,7 @@ use fedadmm_data::batching::{BatchIterator, BatchSize};
 use fedadmm_data::Dataset;
 use fedadmm_nn::loss::{accuracy, softmax_cross_entropy};
 use fedadmm_nn::models::ModelSpec;
+use fedadmm_nn::network::Network;
 use fedadmm_nn::optimizer::Sgd;
 use fedadmm_tensor::TensorResult;
 use rand::rngs::SmallRng;
@@ -66,10 +67,62 @@ pub struct LocalSgdResult {
 pub fn local_sgd(
     env: &LocalEnv<'_>,
     init: &[f32],
-    mut correction: impl FnMut(&[f32], &mut [f32]),
+    correction: impl FnMut(&[f32], &mut [f32]),
 ) -> TensorResult<LocalSgdResult> {
     let mut model_rng = SmallRng::seed_from_u64(env.seed ^ 0xA5A5_5A5A);
     let mut net = env.model.build(&mut model_rng);
+    sgd_epochs(env, init, &mut net, correction)
+}
+
+/// A reusable [`Network`] instance keyed by the [`ModelSpec`] that built it.
+///
+/// [`local_sgd`] instantiates a fresh network per call and then overwrites
+/// *every* parameter from `init` before touching it, so the randomly
+/// initialised weights (a full `d` draws from the model RNG) are pure
+/// warm-up waste on the hot dispatch path. The dispatch pool keeps one
+/// cache per worker inside its `UpdateScratch`, and
+/// [`local_sgd_cached`] reuses the network across jobs — bit-identical to
+/// building fresh, because `set_params_flat` replaces all parameters,
+/// `zero_grads` runs before every backward pass, and activation caches are
+/// overwritten by each forward pass.
+#[derive(Debug, Default)]
+pub struct NetCache {
+    slot: Option<(ModelSpec, Network)>,
+}
+
+impl NetCache {
+    /// Returns the cached network for `spec`, building one on first use or
+    /// when the spec changed. The build seed is irrelevant: every caller
+    /// overwrites the full parameter vector before reading it.
+    pub fn get(&mut self, spec: ModelSpec) -> &mut Network {
+        let hit = matches!(&self.slot, Some((cached, _)) if *cached == spec);
+        if !hit {
+            let mut rng = SmallRng::seed_from_u64(0);
+            self.slot = Some((spec, spec.build(&mut rng)));
+        }
+        &mut self.slot.as_mut().expect("slot filled above").1
+    }
+}
+
+/// [`local_sgd`] against a cached network (see [`NetCache`]): identical
+/// arithmetic, minus the per-call model construction.
+pub fn local_sgd_cached(
+    env: &LocalEnv<'_>,
+    init: &[f32],
+    cache: &mut NetCache,
+    correction: impl FnMut(&[f32], &mut [f32]),
+) -> TensorResult<LocalSgdResult> {
+    sgd_epochs(env, init, cache.get(env.model), correction)
+}
+
+/// The shared epoch/batch loop of [`local_sgd`] and [`local_sgd_cached`];
+/// `net`'s parameters are overwritten from `init` before the first step.
+fn sgd_epochs(
+    env: &LocalEnv<'_>,
+    init: &[f32],
+    net: &mut Network,
+    mut correction: impl FnMut(&[f32], &mut [f32]),
+) -> TensorResult<LocalSgdResult> {
     let mut params = init.to_vec();
     net.set_params_flat(&params)?;
     let sgd = Sgd::new(env.learning_rate);

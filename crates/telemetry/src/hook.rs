@@ -41,6 +41,28 @@ pub struct RoundSummary {
     pub staleness_max: usize,
 }
 
+/// What one parallel dispatch batch looked like to the work-stealing pool.
+///
+/// Emitted once per [`Telemetry::on_dispatch`] call, after the batch's
+/// messages have been collected. `busy_seconds` is indexed by worker and
+/// only populated when [`Telemetry::enabled`] returned true for the batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DispatchSummary<'a> {
+    /// Jobs (client updates) executed in the batch.
+    pub jobs: u64,
+    /// Workers the pool ran the batch on (1 = the serial inline path).
+    pub workers: usize,
+    /// Chunk size jobs were claimed in (0 = static partitioning).
+    pub chunk_size: usize,
+    /// Chunks claimed from the shared cursor across all workers.
+    pub chunks: u64,
+    /// Chunk claims beyond each worker's first — work that static
+    /// partitioning would have left queued behind a straggler.
+    pub steals: u64,
+    /// Per-worker busy time in seconds (empty when timing was disabled).
+    pub busy_seconds: &'a [f64],
+}
+
 /// Observability hooks threaded through the engine (see [module docs](self)).
 ///
 /// Every method has an empty default body, so implementors override only
@@ -148,6 +170,12 @@ pub trait Telemetry: Send {
         let _ = (round, shard, messages, seconds);
     }
 
+    /// A parallel dispatch batch finished; `summary` carries the pool's
+    /// chunk/steal counters and per-worker busy times.
+    fn on_dispatch(&mut self, round: usize, summary: &DispatchSummary<'_>) {
+        let _ = (round, summary);
+    }
+
     /// Downcast support so callers can recover a concrete implementation
     /// (e.g. a [`Recorder`]) from a `dyn Telemetry`.
     fn as_any(&self) -> Option<&dyn Any> {
@@ -215,6 +243,15 @@ pub mod names {
     pub const SHARD_FOLDS_TOTAL: &str = "shard_folds_total";
     /// Histogram: per-shard partial-fold seconds.
     pub const SHARD_FOLD_SECONDS: &str = "shard_fold_seconds";
+    /// Counter: chunks claimed from the dispatch pool's shared cursor.
+    pub const DISPATCH_CHUNKS_TOTAL: &str = "dispatch_chunks_total";
+    /// Counter: chunk claims beyond each worker's first (stolen work).
+    pub const DISPATCH_STEALS_TOTAL: &str = "dispatch_steals_total";
+    /// Histogram: per-worker busy seconds within one dispatch batch.
+    pub const WORKER_BUSY_SECONDS: &str = "worker_busy_seconds";
+    /// Gauge: max/mean per-worker busy time of the latest dispatch batch
+    /// (1.0 = perfectly balanced).
+    pub const DISPATCH_IMBALANCE: &str = "dispatch_imbalance";
 }
 
 /// The full-fat hook: every engine callback becomes tracer spans and
@@ -246,6 +283,10 @@ pub struct Recorder {
     c_store_evictions: CounterId,
     c_shard_folds: CounterId,
     h_shard_fold: HistogramId,
+    c_dispatch_chunks: CounterId,
+    c_dispatch_steals: CounterId,
+    h_worker_busy: HistogramId,
+    g_dispatch_imbalance: GaugeId,
     /// Last monotone store totals seen by `on_store_stats`, so the counters
     /// can be incremented by the delta.
     last_store: [u64; 4],
@@ -293,7 +334,11 @@ impl Recorder {
         let c_store_spill_loads = metrics.counter(names::STORE_SPILL_LOADS_TOTAL);
         let c_store_evictions = metrics.counter(names::STORE_EVICTIONS_TOTAL);
         let c_shard_folds = metrics.counter(names::SHARD_FOLDS_TOTAL);
-        let h_shard_fold = metrics.histogram(names::SHARD_FOLD_SECONDS, seconds_grid);
+        let h_shard_fold = metrics.histogram(names::SHARD_FOLD_SECONDS, seconds_grid.clone());
+        let c_dispatch_chunks = metrics.counter(names::DISPATCH_CHUNKS_TOTAL);
+        let c_dispatch_steals = metrics.counter(names::DISPATCH_STEALS_TOTAL);
+        let h_worker_busy = metrics.histogram(names::WORKER_BUSY_SECONDS, seconds_grid);
+        let g_dispatch_imbalance = metrics.gauge(names::DISPATCH_IMBALANCE);
         Recorder {
             tracer: Tracer::new(capacity),
             metrics,
@@ -319,6 +364,10 @@ impl Recorder {
             c_store_evictions,
             c_shard_folds,
             h_shard_fold,
+            c_dispatch_chunks,
+            c_dispatch_steals,
+            h_worker_busy,
+            g_dispatch_imbalance,
             last_store: [0; 4],
             tick_span: None,
             phase_spans: Vec::new(),
@@ -485,6 +534,29 @@ impl Telemetry for Recorder {
         );
     }
 
+    fn on_dispatch(&mut self, round: usize, summary: &DispatchSummary<'_>) {
+        self.metrics.inc(self.c_dispatch_chunks, summary.chunks);
+        self.metrics.inc(self.c_dispatch_steals, summary.steals);
+        let busy = summary.busy_seconds;
+        if !busy.is_empty() {
+            let mut max = 0.0f64;
+            let mut sum = 0.0f64;
+            for &b in busy {
+                self.metrics.observe(self.h_worker_busy, b);
+                sum += b;
+                if b > max {
+                    max = b;
+                }
+            }
+            let mean = sum / busy.len() as f64;
+            if mean > 0.0 {
+                self.metrics.set(self.g_dispatch_imbalance, max / mean);
+            }
+        }
+        self.tracer
+            .event("dispatch_batch", Some(round as u64), None);
+    }
+
     fn as_any(&self) -> Option<&dyn Any> {
         Some(self)
     }
@@ -587,6 +659,46 @@ mod tests {
         let records = r.tracer().records();
         let fold = records.iter().find(|s| s.name == "shard_fold").unwrap();
         assert_eq!(fold.round, Some(3));
+    }
+
+    #[test]
+    fn recorder_tracks_dispatch_batches_and_imbalance() {
+        let mut r = Recorder::with_trace_capacity(16);
+        r.on_dispatch(
+            2,
+            &DispatchSummary {
+                jobs: 12,
+                workers: 4,
+                chunk_size: 2,
+                chunks: 6,
+                steals: 2,
+                busy_seconds: &[0.4, 0.1, 0.1, 0.2],
+            },
+        );
+        let m = r.metrics();
+        assert_eq!(m.counter_by_name(names::DISPATCH_CHUNKS_TOTAL), Some(6));
+        assert_eq!(m.counter_by_name(names::DISPATCH_STEALS_TOTAL), Some(2));
+        let busy = m.histogram_by_name(names::WORKER_BUSY_SECONDS).unwrap();
+        assert_eq!(busy.count(), 4);
+        // max/mean = 0.4 / 0.2 = 2.0
+        let imbalance = m.gauge_by_name(names::DISPATCH_IMBALANCE).unwrap();
+        assert!((imbalance - 2.0).abs() < 1e-9);
+        // No busy data (timing off) leaves the gauge untouched.
+        r.on_dispatch(
+            3,
+            &DispatchSummary {
+                jobs: 3,
+                workers: 1,
+                chunk_size: 3,
+                chunks: 1,
+                steals: 0,
+                busy_seconds: &[],
+            },
+        );
+        assert_eq!(
+            r.metrics().counter_by_name(names::DISPATCH_CHUNKS_TOTAL),
+            Some(7)
+        );
     }
 
     #[test]

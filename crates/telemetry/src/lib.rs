@@ -36,7 +36,7 @@ pub mod metrics;
 pub mod process;
 pub mod trace;
 
-pub use hook::{names, NoTelemetry, Recorder, RoundSummary, Telemetry};
+pub use hook::{names, DispatchSummary, NoTelemetry, Recorder, RoundSummary, Telemetry};
 pub use metrics::{
     exponential_buckets, linear_buckets, CounterId, GaugeId, Histogram, HistogramId,
     MetricsRegistry,

@@ -5,6 +5,20 @@
 //! are the shared, allocation-free kernels they are built on. All functions
 //! panic on length mismatch — length mismatches between parameter vectors
 //! are programming errors, not recoverable conditions.
+//!
+//! The hot kernels run over fixed-width [`LANES`]-element blocks
+//! (`chunks_exact`, so the compiler sees a constant trip count and no bounds
+//! checks) with a scalar tail. Elementwise kernels (`axpy`, `sub_into`,
+//! `axpy_fused`, `weighted_sum_into`, …) perform exactly the same operation
+//! per element as the naive loop, so their results are bit-identical to the
+//! scalar reference. The reductions (`dot`, `norm_sq`, `dist`) keep
+//! [`LANES`] independent accumulators, which *reassociates* the f32 sum:
+//! results are deterministic but differ from a left-to-right fold in the
+//! last ulps. Nothing on the engine's seeded training trajectory consumes
+//! these reductions, so the byte-identity pins on the engine are unaffected.
+
+/// Block width of the unrolled kernels (f32 lanes of one AVX2 register).
+const LANES: usize = 8;
 
 /// `y += alpha * x`.
 ///
@@ -12,7 +26,14 @@
 /// Panics if `x.len() != y.len()`.
 pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
     assert_eq!(x.len(), y.len(), "axpy length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+    let mut xb = x.chunks_exact(LANES);
+    let mut yb = y.chunks_exact_mut(LANES);
+    for (ys, xs) in yb.by_ref().zip(xb.by_ref()) {
+        for k in 0..LANES {
+            ys[k] += alpha * xs[k];
+        }
+    }
+    for (yi, xi) in yb.into_remainder().iter_mut().zip(xb.remainder()) {
         *yi += alpha * xi;
     }
 }
@@ -35,34 +56,72 @@ pub fn scale(alpha: f32, x: &mut [f32]) {
 
 /// Dot product `⟨x, y⟩`.
 ///
+/// Accumulates into [`LANES`] independent lanes so the loop vectorizes;
+/// the lane sums are folded left-to-right, then the scalar tail is added.
+///
 /// # Panics
 /// Panics if `x.len() != y.len()`.
 pub fn dot(x: &[f32], y: &[f32]) -> f32 {
     assert_eq!(x.len(), y.len(), "dot length mismatch");
-    x.iter().zip(y.iter()).map(|(a, b)| a * b).sum()
+    let mut lanes = [0.0f32; LANES];
+    let mut xb = x.chunks_exact(LANES);
+    let mut yb = y.chunks_exact(LANES);
+    for (xs, ys) in xb.by_ref().zip(yb.by_ref()) {
+        for k in 0..LANES {
+            lanes[k] += xs[k] * ys[k];
+        }
+    }
+    let mut acc: f32 = lanes.iter().sum();
+    for (a, b) in xb.remainder().iter().zip(yb.remainder()) {
+        acc += a * b;
+    }
+    acc
 }
 
 /// Euclidean norm `‖x‖₂`.
 pub fn norm(x: &[f32]) -> f32 {
-    x.iter().map(|v| v * v).sum::<f32>().sqrt()
+    norm_sq(x).sqrt()
 }
 
-/// Squared Euclidean norm `‖x‖₂²`.
+/// Squared Euclidean norm `‖x‖₂²` ([`LANES`] independent accumulators, like
+/// [`dot`]).
 pub fn norm_sq(x: &[f32]) -> f32 {
-    x.iter().map(|v| v * v).sum::<f32>()
+    let mut lanes = [0.0f32; LANES];
+    let mut xb = x.chunks_exact(LANES);
+    for xs in xb.by_ref() {
+        for k in 0..LANES {
+            lanes[k] += xs[k] * xs[k];
+        }
+    }
+    let mut acc: f32 = lanes.iter().sum();
+    for v in xb.remainder() {
+        acc += v * v;
+    }
+    acc
 }
 
-/// Euclidean distance `‖x − y‖₂`.
+/// Euclidean distance `‖x − y‖₂` ([`LANES`] independent accumulators, like
+/// [`dot`]).
 ///
 /// # Panics
 /// Panics if `x.len() != y.len()`.
 pub fn dist(x: &[f32], y: &[f32]) -> f32 {
     assert_eq!(x.len(), y.len(), "dist length mismatch");
-    x.iter()
-        .zip(y.iter())
-        .map(|(a, b)| (a - b) * (a - b))
-        .sum::<f32>()
-        .sqrt()
+    let mut lanes = [0.0f32; LANES];
+    let mut xb = x.chunks_exact(LANES);
+    let mut yb = y.chunks_exact(LANES);
+    for (xs, ys) in xb.by_ref().zip(yb.by_ref()) {
+        for k in 0..LANES {
+            let d = xs[k] - ys[k];
+            lanes[k] += d * d;
+        }
+    }
+    let mut acc: f32 = lanes.iter().sum();
+    for (a, b) in xb.remainder().iter().zip(yb.remainder()) {
+        let d = a - b;
+        acc += d * d;
+    }
+    acc.sqrt()
 }
 
 /// `out = x - y`, overwriting `out`.
@@ -72,7 +131,20 @@ pub fn dist(x: &[f32], y: &[f32]) -> f32 {
 pub fn sub_into(x: &[f32], y: &[f32], out: &mut [f32]) {
     assert_eq!(x.len(), y.len(), "sub_into length mismatch");
     assert_eq!(x.len(), out.len(), "sub_into output length mismatch");
-    for ((o, a), b) in out.iter_mut().zip(x.iter()).zip(y.iter()) {
+    let mut xb = x.chunks_exact(LANES);
+    let mut yb = y.chunks_exact(LANES);
+    let mut ob = out.chunks_exact_mut(LANES);
+    for ((os, xs), ys) in ob.by_ref().zip(xb.by_ref()).zip(yb.by_ref()) {
+        for k in 0..LANES {
+            os[k] = xs[k] - ys[k];
+        }
+    }
+    for ((o, a), b) in ob
+        .into_remainder()
+        .iter_mut()
+        .zip(xb.remainder())
+        .zip(yb.remainder())
+    {
         *o = a - b;
     }
 }
@@ -84,7 +156,20 @@ pub fn sub_into(x: &[f32], y: &[f32], out: &mut [f32]) {
 pub fn add_into(x: &[f32], y: &[f32], out: &mut [f32]) {
     assert_eq!(x.len(), y.len(), "add_into length mismatch");
     assert_eq!(x.len(), out.len(), "add_into output length mismatch");
-    for ((o, a), b) in out.iter_mut().zip(x.iter()).zip(y.iter()) {
+    let mut xb = x.chunks_exact(LANES);
+    let mut yb = y.chunks_exact(LANES);
+    let mut ob = out.chunks_exact_mut(LANES);
+    for ((os, xs), ys) in ob.by_ref().zip(xb.by_ref()).zip(yb.by_ref()) {
+        for k in 0..LANES {
+            os[k] = xs[k] + ys[k];
+        }
+    }
+    for ((o, a), b) in ob
+        .into_remainder()
+        .iter_mut()
+        .zip(xb.remainder())
+        .zip(yb.remainder())
+    {
         *o = a + b;
     }
 }
@@ -126,12 +211,29 @@ pub fn axpy_fused(alphas: &[f32], xs: &[&[f32]], out: &mut [f32]) {
         ([], []) => {}
         ([a], [x]) => axpy(*a, x, out),
         _ => {
-            for (i, o) in out.iter_mut().enumerate() {
-                let mut acc = *o;
+            // Blocked over LANES-wide output tiles: each tile is loaded
+            // once, every term streams through it, and the per-element term
+            // order matches the naive loop — results are bit-identical.
+            let n = out.len();
+            let mut i = 0;
+            while i + LANES <= n {
+                let mut acc = [0.0f32; LANES];
+                acc.copy_from_slice(&out[i..i + LANES]);
                 for (&a, x) in alphas.iter().zip(xs.iter()) {
-                    acc += a * x[i];
+                    let xt = &x[i..i + LANES];
+                    for k in 0..LANES {
+                        acc[k] += a * xt[k];
+                    }
                 }
-                *o = acc;
+                out[i..i + LANES].copy_from_slice(&acc);
+                i += LANES;
+            }
+            for j in i..n {
+                let mut acc = out[j];
+                for (&a, x) in alphas.iter().zip(xs.iter()) {
+                    acc += a * x[j];
+                }
+                out[j] = acc;
             }
         }
     }
@@ -155,12 +257,26 @@ pub fn weighted_sum_into(alphas: &[f32], xs: &[&[f32]], out: &mut [f32]) {
         zero(out);
         return;
     }
-    for (i, o) in out.iter_mut().enumerate() {
+    // Same LANES-wide tiling as `axpy_fused`, starting each tile at zero.
+    let n = out.len();
+    let mut i = 0;
+    while i + LANES <= n {
+        let mut acc = [0.0f32; LANES];
+        for (&a, x) in alphas.iter().zip(xs.iter()) {
+            let xt = &x[i..i + LANES];
+            for k in 0..LANES {
+                acc[k] += a * xt[k];
+            }
+        }
+        out[i..i + LANES].copy_from_slice(&acc);
+        i += LANES;
+    }
+    for j in i..n {
         let mut acc = 0.0f32;
         for (&a, x) in alphas.iter().zip(xs.iter()) {
-            acc += a * x[i];
+            acc += a * x[j];
         }
-        *o = acc;
+        out[j] = acc;
     }
 }
 
@@ -321,6 +437,108 @@ mod tests {
         let m = mean_of(&[&a, &b]);
         assert_eq!(m, vec![2.0, 4.0]);
         assert!(mean_of(&[]).is_empty());
+    }
+
+    /// Naive scalar references for the chunked kernels. On integer-valued
+    /// f32 data every partial sum below 2^24 is exact, so any summation
+    /// order produces the same bits — exact equality is a valid oracle even
+    /// for the reassociated reductions.
+    mod reference {
+        pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+            for (yi, xi) in y.iter_mut().zip(x.iter()) {
+                *yi += alpha * xi;
+            }
+        }
+        pub fn dot(x: &[f32], y: &[f32]) -> f32 {
+            x.iter().zip(y.iter()).map(|(a, b)| a * b).sum()
+        }
+        pub fn norm_sq(x: &[f32]) -> f32 {
+            x.iter().map(|v| v * v).sum()
+        }
+        pub fn dist(x: &[f32], y: &[f32]) -> f32 {
+            x.iter()
+                .zip(y.iter())
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f32>()
+                .sqrt()
+        }
+        pub fn sub_into(x: &[f32], y: &[f32], out: &mut [f32]) {
+            for ((o, a), b) in out.iter_mut().zip(x.iter()).zip(y.iter()) {
+                *o = a - b;
+            }
+        }
+        pub fn add_into(x: &[f32], y: &[f32], out: &mut [f32]) {
+            for ((o, a), b) in out.iter_mut().zip(x.iter()).zip(y.iter()) {
+                *o = a + b;
+            }
+        }
+        pub fn axpy_fused(alphas: &[f32], xs: &[&[f32]], out: &mut [f32]) {
+            for (i, o) in out.iter_mut().enumerate() {
+                for (&a, x) in alphas.iter().zip(xs.iter()) {
+                    *o += a * x[i];
+                }
+            }
+        }
+        pub fn weighted_sum_into(alphas: &[f32], xs: &[&[f32]], out: &mut [f32]) {
+            for (i, o) in out.iter_mut().enumerate() {
+                let mut acc = 0.0f32;
+                for (&a, x) in alphas.iter().zip(xs.iter()) {
+                    acc += a * x[i];
+                }
+                *o = acc;
+            }
+        }
+    }
+
+    /// Lengths that exercise the empty, all-tail, exact-block and
+    /// block-plus-tail paths of the LANES=8 kernels.
+    const REMAINDER_LENGTHS: [usize; 7] = [0, 1, 7, 8, 9, 4095, 4097];
+
+    /// Deterministic integer-valued f32 data in [-8, 8].
+    fn ramp(n: usize, mul: i64, offset: i64) -> Vec<f32> {
+        (0..n as i64)
+            .map(|i| ((i * mul + offset).rem_euclid(17) - 8) as f32)
+            .collect()
+    }
+
+    #[test]
+    fn chunked_kernels_match_scalar_reference_exactly_on_remainder_lengths() {
+        for &n in &REMAINDER_LENGTHS {
+            let x = ramp(n, 7, 3);
+            let y = ramp(n, 5, 11);
+            let z = ramp(n, 3, 1);
+
+            let mut got = y.clone();
+            let mut want = y.clone();
+            axpy(3.0, &x, &mut got);
+            reference::axpy(3.0, &x, &mut want);
+            assert_eq!(got, want, "axpy len {n}");
+
+            assert_eq!(dot(&x, &y), reference::dot(&x, &y), "dot len {n}");
+            assert_eq!(norm_sq(&x), reference::norm_sq(&x), "norm_sq len {n}");
+            assert_eq!(norm(&x), reference::norm_sq(&x).sqrt(), "norm len {n}");
+            assert_eq!(dist(&x, &y), reference::dist(&x, &y), "dist len {n}");
+
+            let mut got = vec![0.0f32; n];
+            let mut want = vec![0.0f32; n];
+            sub_into(&x, &y, &mut got);
+            reference::sub_into(&x, &y, &mut want);
+            assert_eq!(got, want, "sub_into len {n}");
+            add_into(&x, &y, &mut got);
+            reference::add_into(&x, &y, &mut want);
+            assert_eq!(got, want, "add_into len {n}");
+
+            let alphas = [2.0f32, -3.0, 5.0];
+            let terms: [&[f32]; 3] = [&x, &y, &z];
+            let mut got = z.clone();
+            let mut want = z.clone();
+            axpy_fused(&alphas, &terms, &mut got);
+            reference::axpy_fused(&alphas, &terms, &mut want);
+            assert_eq!(got, want, "axpy_fused len {n}");
+            weighted_sum_into(&alphas, &terms, &mut got);
+            reference::weighted_sum_into(&alphas, &terms, &mut want);
+            assert_eq!(got, want, "weighted_sum_into len {n}");
+        }
     }
 
     proptest! {

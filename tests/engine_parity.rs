@@ -20,7 +20,8 @@
 
 use fedadmm::prelude::*;
 use fedadmm::telemetry::names;
-use fedadmm_core::engine::RoundEngine;
+use fedadmm_core::engine::{DispatchConfig, DispatchMode, RoundEngine};
+use proptest::prelude::*;
 
 fn config(num_clients: usize, seed: u64, system_heterogeneity: bool) -> FedConfig {
     FedConfig {
@@ -156,6 +157,146 @@ fn in_memory_engine_matches_pre_refactor_golden_digest() {
 }
 
 const GOLDEN_DIGEST: u64 = 0xa147_b46a_ce24_2a96;
+
+/// Runs the golden-digest scenario on an explicitly configured dispatch
+/// pool and returns the run digest.
+fn digest_with_dispatch(dispatch: DispatchConfig) -> u64 {
+    let num_clients = 9;
+    let cfg = config(num_clients, 93, true);
+    let (train, test) = data(num_clients, 93);
+    let partition = DataDistribution::NonIidShards.partition(&train, num_clients, 93);
+    let mut engine = RoundEngine::new(
+        cfg,
+        train,
+        test,
+        partition,
+        FedAdmm::paper_default(),
+        SyncRounds,
+    )
+    .unwrap()
+    .with_dispatch(dispatch);
+    engine.run_rounds(4).unwrap();
+    run_digest(engine.history(), engine.global_model())
+}
+
+#[test]
+fn dispatch_is_byte_identical_across_worker_counts_and_chunk_sizes() {
+    // The work-stealing pool may hand any job to any worker in any chunking;
+    // because every job's RNG stream is (seed, round, client)-derived and
+    // results are collected in client-id order, the digest must not move.
+    for workers in [1usize, 2, 3, 8] {
+        for chunk in [1usize, 4] {
+            let dispatch = DispatchConfig {
+                workers: Some(workers),
+                chunk_size: Some(chunk),
+                mode: Some(DispatchMode::WorkStealing),
+            };
+            assert_eq!(
+                digest_with_dispatch(dispatch),
+                GOLDEN_DIGEST,
+                "digest moved with {workers} workers, chunk {chunk}"
+            );
+        }
+    }
+    // The preserved legacy static round-robin schedule agrees too.
+    let legacy = DispatchConfig {
+        workers: Some(3),
+        chunk_size: None,
+        mode: Some(DispatchMode::Static),
+    };
+    assert_eq!(
+        digest_with_dispatch(legacy),
+        GOLDEN_DIGEST,
+        "digest moved under the legacy static schedule"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Byte-identity holds for *arbitrary* pool geometry, not just the
+    /// hand-picked worker/chunk pairs (few cases — each is a full seeded
+    /// training run).
+    #[test]
+    fn dispatch_digest_is_invariant_under_arbitrary_pool_geometry(
+        workers in 1usize..=8,
+        chunk in 1usize..=9,
+    ) {
+        let dispatch = DispatchConfig {
+            workers: Some(workers),
+            chunk_size: Some(chunk),
+            mode: Some(DispatchMode::WorkStealing),
+        };
+        prop_assert_eq!(digest_with_dispatch(dispatch), GOLDEN_DIGEST);
+    }
+}
+
+#[test]
+fn work_stealing_beats_static_partitioning_under_straggler_skew() {
+    // One client runs 32 local epochs while 47 run one. Under static
+    // round-robin the straggler's partition serializes its whole share
+    // behind the slow job; the pool rebalances it across workers. Needs
+    // real parallelism to measure, so the test is a no-op on 1-CPU hosts.
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if parallelism < 2 {
+        eprintln!("skipping straggler wall-clock test: 1 CPU available");
+        return;
+    }
+    let workers = parallelism.min(4);
+    let num_clients = 48;
+    let run = |mode: DispatchMode| -> f64 {
+        let cfg = FedConfig {
+            num_clients,
+            participation: Participation::Fraction(1.0),
+            local_epochs: 1,
+            system_heterogeneity: false,
+            batch_size: BatchSize::Size(8),
+            local_learning_rate: 0.05,
+            model: ModelSpec::Logistic {
+                input_dim: 784,
+                num_classes: 10,
+            },
+            seed: 7,
+            eval_subset: usize::MAX,
+        };
+        let (train, test) = SyntheticDataset::Mnist.generate(num_clients * 8, 60, 7);
+        let partition = DataDistribution::Iid.partition(&train, num_clients, 7);
+        let epochs: Vec<usize> = (0..num_clients)
+            .map(|c| if c == 0 { 32 } else { 1 })
+            .collect();
+        let mut engine = RoundEngine::new(
+            cfg,
+            train,
+            test,
+            partition,
+            FedAdmm::paper_default(),
+            SyncRounds,
+        )
+        .unwrap()
+        .with_work_schedule(LocalWorkSchedule::PerClient(epochs))
+        .eval_subset(0.25)
+        .with_dispatch(DispatchConfig {
+            workers: Some(workers),
+            chunk_size: None,
+            mode: Some(mode),
+        });
+        // Warm-up round (thread spawn, cache fill), then the timed window.
+        engine.run_rounds(1).unwrap();
+        let start = std::time::Instant::now();
+        engine.run_rounds(3).unwrap();
+        start.elapsed().as_secs_f64()
+    };
+    // Min-of-two per mode bounds scheduler noise.
+    let static_secs = run(DispatchMode::Static).min(run(DispatchMode::Static));
+    let steal_secs = run(DispatchMode::WorkStealing).min(run(DispatchMode::WorkStealing));
+    assert!(
+        steal_secs < static_secs,
+        "work-stealing ({steal_secs:.3}s) should beat static partitioning \
+         ({static_secs:.3}s) on a straggler-skewed cohort with {workers} workers"
+    );
+}
 
 #[test]
 fn sync_engine_reproduces_legacy_simulation_for_fedadmm() {
