@@ -1,8 +1,9 @@
 //! Micro-benchmarks of the chunked flat-vector kernels ([`vecops`]) on the
 //! hot dispatch/aggregation path: the fused multi-term `axpy` behind server
-//! aggregation and the weighted payload sum behind hierarchical folds, at
-//! the paper's logistic dimension (d = 7 850) and at an odd off-lane length
-//! that exercises the scalar remainder tail.
+//! aggregation, the weighted payload sum behind hierarchical folds, and
+//! their dequantize-accumulate twins behind the wire path's fused
+//! compressed fold, at the paper's logistic dimension (d = 7 850) and at an
+//! odd off-lane length that exercises the scalar remainder tail.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fedadmm_tensor::vecops;
@@ -49,6 +50,43 @@ fn bench_weighted_sum_into(c: &mut Criterion) {
     group.finish();
 }
 
+/// Deterministic u16 codes covering the full 8-bit range.
+fn code_ramp(n: usize, mul: usize, offset: usize) -> Vec<u16> {
+    (0..n).map(|i| ((i * mul + offset) % 256) as u16).collect()
+}
+
+fn bench_dequant_fold(c: &mut Criterion) {
+    use vecops::DequantTerm;
+    let mut group = c.benchmark_group("vecops_dequant_fold");
+    for &n in &LENGTHS {
+        let codes: Vec<Vec<u16>> = (0..8).map(|t| code_ramp(n, 3 + t, t)).collect();
+        let terms: Vec<DequantTerm<'_>> = codes
+            .iter()
+            .enumerate()
+            .map(|(t, codes)| DequantTerm {
+                alpha: 0.125 + t as f32 * 0.01,
+                min: -1.0 - t as f32 * 0.1,
+                step: 2.0 / 255.0,
+                codes,
+            })
+            .collect();
+        // The fused server fold: dequantize-accumulate 8 coded uploads into
+        // θ in one sweep — compare against `vecops_axpy_fused/terms8` to see
+        // what the affine decode costs on top of the dense fold.
+        let mut out = ramp(n, 5, 11);
+        group.bench_with_input(BenchmarkId::new("axpy_terms8", n), &n, |bench, _| {
+            bench.iter(|| vecops::dequant_axpy_fused(black_box(&terms), black_box(&mut out)))
+        });
+        // The hierarchical per-shard variant (overwrite instead of
+        // accumulate), mirroring `vecops_weighted_sum_into`.
+        let mut sum = vec![0.0f32; n];
+        group.bench_with_input(BenchmarkId::new("sum_terms8", n), &n, |bench, _| {
+            bench.iter(|| vecops::dequant_sum_into(black_box(&terms), black_box(&mut sum)))
+        });
+    }
+    group.finish();
+}
+
 fn bench_reductions(c: &mut Criterion) {
     let mut group = c.benchmark_group("vecops_reductions");
     for &n in &LENGTHS {
@@ -68,6 +106,7 @@ criterion_group!(
     benches,
     bench_axpy_fused,
     bench_weighted_sum_into,
+    bench_dequant_fold,
     bench_reductions
 );
 criterion_main!(benches);

@@ -4,8 +4,10 @@
 //! Criterion answers "did this micro-operation get slower?"; this harness
 //! answers "what does a whole federated run cost right now?". It drives a
 //! fixed scenario matrix (sync / semi-async × IID / non-IID, plus a
-//! large-population spill-store scenario and a heterogeneous-epochs
-//! straggler-skew scenario that stresses the dispatch pool) through the
+//! large-population spill-store scenario, a heterogeneous-epochs
+//! straggler-skew scenario that stresses the dispatch pool, and a fused
+//! compression + privacy wire scenario timed against its plain
+//! reference) through the
 //! [`RoundEngine`] with a [`Recorder`] installed and writes one JSON file
 //! per invocation, named `BENCH_<date>_<git-sha>.json`, containing
 //! rounds/sec, bytes moved (uploads and θ broadcasts), staleness quantiles,
@@ -25,10 +27,12 @@ use fedadmm_data::synthetic::SyntheticDataset;
 use fedadmm_data::Dataset;
 use fedadmm_experiments::common::{Scale, Setting, SUBSTRATE_RHO};
 use fedadmm_nn::models::ModelSpec;
+use fedadmm_privacy::prelude::GaussianMechanism;
 use fedadmm_system::device::{DeviceClass, DevicePopulation};
-use fedadmm_telemetry::{names, peak_rss_bytes, Histogram, Recorder};
+use fedadmm_telemetry::{names, peak_rss_bytes, Histogram, Recorder, Telemetry};
 use fedadmm_tensor::TensorResult;
 use serde_json::{json, Value};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Version of the snapshot JSON schema. Bump when renaming or removing
@@ -36,8 +40,11 @@ use std::time::Instant;
 /// rejects snapshots with any other version. v2 added the mandatory
 /// large-population spill-store scenario; v3 added the straggler-skew
 /// scenario, the per-scenario dispatch counters and the top-level
-/// `dispatch` block.
-pub const SCHEMA_VERSION: u64 = 3;
+/// `dispatch` block; v4 added the fused compression + privacy wire
+/// scenario, the per-scenario `wire_bytes` / `dense_wire_ratio` fields,
+/// and redefined `bytes_moved` as true wire bytes (quantized size when
+/// the wire path is on) instead of dense `4 · floats`.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Which scheduler a scenario drives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -146,6 +153,23 @@ fn counter(rec: &Recorder, name: &str) -> u64 {
     rec.metrics().counter_by_name(name).unwrap_or(0)
 }
 
+/// The upload-side byte fields of a finished run:
+/// `(dense_bytes, wire_bytes, dense_wire_ratio)`. `dense_bytes` is the
+/// classical `4 · floats` accounting; `wire_bytes` is the true on-the-wire
+/// size (quantized payload + per-vector header when the engine's wire path
+/// is on, identical to dense otherwise); the ratio is their quotient
+/// (1.0 dense, ≈ 4 at 8 bits).
+fn upload_fields(rec: &Recorder) -> (u64, u64, f64) {
+    let dense = counter(rec, names::UPLOAD_FLOATS_TOTAL) * 4;
+    let wire = counter(rec, names::WIRE_BYTES_TOTAL);
+    let ratio = if wire > 0 {
+        dense as f64 / wire as f64
+    } else {
+        1.0
+    };
+    (dense, wire, ratio)
+}
+
 /// The stable label of a dispatch mode in snapshot JSON.
 pub fn dispatch_mode_label(mode: DispatchMode) -> &'static str {
     match mode {
@@ -210,7 +234,7 @@ pub fn run_scenario(spec: &ScenarioSpec, scale: Scale, rounds: usize) -> TensorR
         .and_then(|a| a.downcast_ref::<Recorder>())
         .expect("scenario telemetry is a Recorder");
 
-    let upload_bytes = counter(rec, names::UPLOAD_FLOATS_TOTAL) * 4;
+    let (upload_bytes, wire_bytes, dense_wire_ratio) = upload_fields(rec);
     let broadcast_bytes = counter(rec, names::BROADCAST_FLOATS_TOTAL) * 4;
     let staleness_max = history.records.iter().map(|r| r.staleness_max).max();
     let (dispatch_chunks, dispatch_steals, dispatch_imbalance) = dispatch_fields(rec);
@@ -225,7 +249,9 @@ pub fn run_scenario(spec: &ScenarioSpec, scale: Scale, rounds: usize) -> TensorR
         "client_updates": counter(rec, names::CLIENT_UPDATES_TOTAL),
         "upload_bytes": upload_bytes,
         "broadcast_bytes": broadcast_bytes,
-        "bytes_moved": upload_bytes + broadcast_bytes,
+        "wire_bytes": wire_bytes,
+        "dense_wire_ratio": dense_wire_ratio,
+        "bytes_moved": wire_bytes + broadcast_bytes,
         "staleness": hist_json(rec.metrics().histogram_by_name(names::STALENESS_ROUNDS)),
         "staleness_max_recorded": staleness_max.unwrap_or(0),
         "client_compute_seconds": hist_json(rec.metrics().histogram_by_name(names::CLIENT_COMPUTE_SECONDS)),
@@ -303,7 +329,7 @@ pub fn run_straggler_scenario(scale: Scale, rounds: usize) -> TensorResult<Value
         .and_then(|a| a.downcast_ref::<Recorder>())
         .expect("scenario telemetry is a Recorder");
 
-    let upload_bytes = counter(rec, names::UPLOAD_FLOATS_TOTAL) * 4;
+    let (upload_bytes, wire_bytes, dense_wire_ratio) = upload_fields(rec);
     let broadcast_bytes = counter(rec, names::BROADCAST_FLOATS_TOTAL) * 4;
     let staleness_max = history.records.iter().map(|r| r.staleness_max).max();
     let (dispatch_chunks, dispatch_steals, dispatch_imbalance) = dispatch_fields(rec);
@@ -320,9 +346,137 @@ pub fn run_straggler_scenario(scale: Scale, rounds: usize) -> TensorResult<Value
         "client_updates": counter(rec, names::CLIENT_UPDATES_TOTAL),
         "upload_bytes": upload_bytes,
         "broadcast_bytes": broadcast_bytes,
-        "bytes_moved": upload_bytes + broadcast_bytes,
+        "wire_bytes": wire_bytes,
+        "dense_wire_ratio": dense_wire_ratio,
+        "bytes_moved": wire_bytes + broadcast_bytes,
         "staleness": hist_json(rec.metrics().histogram_by_name(names::STALENESS_ROUNDS)),
         "staleness_max_recorded": staleness_max.unwrap_or(0),
+        "client_compute_seconds": hist_json(rec.metrics().histogram_by_name(names::CLIENT_COMPUTE_SECONDS)),
+        "aggregate_seconds": hist_json(rec.metrics().histogram_by_name(names::AGGREGATE_SECONDS)),
+        "eval_seconds": hist_json(rec.metrics().histogram_by_name(names::EVAL_SECONDS)),
+        "dispatch_chunks": dispatch_chunks,
+        "dispatch_steals": dispatch_steals,
+        "dispatch_imbalance": dispatch_imbalance,
+    }))
+}
+
+/// Bit width of the wire scenario's quantizer.
+pub const WIRE_BITS: u8 = 8;
+
+/// Clip norm of the wire scenario's Gaussian mechanism — loose enough that
+/// the accuracy signal survives at smoke scale while still exercising the
+/// clip + noise arithmetic on every upload.
+pub const WIRE_DP_CLIP: f32 = 20.0;
+
+/// Noise multiplier of the wire scenario's Gaussian mechanism.
+pub const WIRE_DP_NOISE: f32 = 1e-3;
+
+/// Timing repetitions per wire-scenario leg. Both legs are deterministic
+/// (same seed → identical accuracy and byte counters every repetition), so
+/// only scheduler noise varies between runs; keeping each leg's fastest
+/// wall time makes the paired plain-vs-fused comparison stable on hosts
+/// where a single short run can swing by ±10 %.
+pub const WIRE_TIMING_REPS: usize = 3;
+
+/// Runs the fused compression + privacy wire scenario: the sync / non-IID
+/// matrix cell with the wire path on — [`WIRE_BITS`]-bit stochastic
+/// quantization plus Gaussian DP, both applied inside the dispatch workers,
+/// with the server folding the coded cohort in one fused
+/// dequantize-accumulate sweep — timed against a plain reference run of the
+/// identical setting (same seed, same recorder, wire path disabled). The
+/// row carries the usual scenario keys for the fused run plus the
+/// reference `plain_rounds_per_sec` / `plain_final_accuracy` and the
+/// relative `wire_overhead_pct`, the number the ≤ 15 % fused-path overhead
+/// claim is judged against; the ~4× upload shrink shows up in
+/// `dense_wire_ratio` and `bytes_moved`.
+pub fn run_wire_scenario(scale: Scale, rounds: usize) -> TensorResult<Value> {
+    let setting = base_setting(DataDistribution::NonIidShards, scale);
+    let eval_fraction = match scale {
+        Scale::Smoke => 1.0,
+        Scale::Scaled | Scale::Paper => 0.25,
+    };
+    let run_leg = |wire: &WirePathConfig| -> TensorResult<(f64, f32, Box<dyn Telemetry>)> {
+        let algorithm = FedAdmm::new(SUBSTRATE_RHO, ServerStepSize::Constant(1.0));
+        let mut engine = setting
+            .build_sim(algorithm)?
+            .with_wire_path(wire.clone())
+            .eval_subset(eval_fraction)
+            .with_telemetry(Box::new(Recorder::new()));
+        let start = Instant::now();
+        engine.run_rounds(rounds)?;
+        let wall = start.elapsed().as_secs_f64();
+        Ok((
+            wall,
+            engine.history().final_accuracy(),
+            engine.take_telemetry(),
+        ))
+    };
+    // The repetitions alternate plain/fused rather than running each leg's
+    // block back to back: on a loaded host, background activity drifts over
+    // the seconds a leg block takes, and whichever leg ran later would
+    // absorb the drift as phantom overhead. Interleaving exposes both legs
+    // to the same conditions; keeping each leg's fastest wall time then
+    // strips the symmetric noise (both legs are deterministic, so accuracy
+    // and byte counters are identical across repetitions).
+    let plain_cfg = WirePathConfig::disabled();
+    let fused_cfg = WirePathConfig::enabled(Quantizer::new(WIRE_BITS, true)).with_guard(Arc::new(
+        GaussianMechanism::new(WIRE_DP_CLIP, WIRE_DP_NOISE),
+    ));
+    let mut plain_wall = f64::INFINITY;
+    let mut wall_seconds = f64::INFINITY;
+    let mut plain_last = None;
+    let mut fused_last = None;
+    for _ in 0..WIRE_TIMING_REPS {
+        let (wall, acc, telemetry) = run_leg(&plain_cfg)?;
+        plain_wall = plain_wall.min(wall);
+        plain_last = Some((acc, telemetry));
+        let (wall, acc, telemetry) = run_leg(&fused_cfg)?;
+        wall_seconds = wall_seconds.min(wall);
+        fused_last = Some((acc, telemetry));
+    }
+    let (plain_acc, plain_telemetry) = plain_last.expect("WIRE_TIMING_REPS is nonzero");
+    let (final_accuracy, telemetry) = fused_last.expect("WIRE_TIMING_REPS is nonzero");
+    let plain_rec = plain_telemetry
+        .as_any()
+        .and_then(|a| a.downcast_ref::<Recorder>())
+        .expect("scenario telemetry is a Recorder");
+    let (plain_upload_bytes, _, _) = upload_fields(plain_rec);
+    let rec = telemetry
+        .as_any()
+        .and_then(|a| a.downcast_ref::<Recorder>())
+        .expect("scenario telemetry is a Recorder");
+
+    let (upload_bytes, wire_bytes, dense_wire_ratio) = upload_fields(rec);
+    let broadcast_bytes = counter(rec, names::BROADCAST_FLOATS_TOTAL) * 4;
+    let (dispatch_chunks, dispatch_steals, dispatch_imbalance) = dispatch_fields(rec);
+    let plain_rounds_per_sec = rounds as f64 / plain_wall.max(1e-12);
+    let rounds_per_sec = rounds as f64 / wall_seconds.max(1e-12);
+    let wire_overhead_pct =
+        (plain_rounds_per_sec - rounds_per_sec) / plain_rounds_per_sec.max(1e-12) * 100.0;
+    Ok(json!({
+        "name": format!("wire/non-IID/{WIRE_BITS}bit+dp"),
+        "scheduler": SchedulerKind::Sync.label(),
+        "distribution": DataDistribution::NonIidShards.label(),
+        "quantizer_bits": WIRE_BITS,
+        "dp_clip_norm": WIRE_DP_CLIP as f64,
+        "dp_noise_multiplier": WIRE_DP_NOISE as f64,
+        "rounds": rounds,
+        "wall_seconds": wall_seconds,
+        "rounds_per_sec": rounds_per_sec,
+        "final_accuracy": final_accuracy as f64,
+        "plain_wall_seconds": plain_wall,
+        "plain_rounds_per_sec": plain_rounds_per_sec,
+        "plain_final_accuracy": plain_acc as f64,
+        "plain_upload_bytes": plain_upload_bytes,
+        "wire_overhead_pct": wire_overhead_pct,
+        "client_updates": counter(rec, names::CLIENT_UPDATES_TOTAL),
+        "upload_bytes": upload_bytes,
+        "broadcast_bytes": broadcast_bytes,
+        "wire_bytes": wire_bytes,
+        "dense_wire_ratio": dense_wire_ratio,
+        "bytes_moved": wire_bytes + broadcast_bytes,
+        "staleness": hist_json(rec.metrics().histogram_by_name(names::STALENESS_ROUNDS)),
+        "staleness_max_recorded": 0u64,
         "client_compute_seconds": hist_json(rec.metrics().histogram_by_name(names::CLIENT_COMPUTE_SECONDS)),
         "aggregate_seconds": hist_json(rec.metrics().histogram_by_name(names::AGGREGATE_SECONDS)),
         "eval_seconds": hist_json(rec.metrics().histogram_by_name(names::EVAL_SECONDS)),
@@ -430,7 +584,7 @@ pub fn run_spill_scenario(scale: Scale, rounds: usize) -> TensorResult<Value> {
         .and_then(|a| a.downcast_ref::<Recorder>())
         .expect("scenario telemetry is a Recorder");
 
-    let upload_bytes = counter(rec, names::UPLOAD_FLOATS_TOTAL) * 4;
+    let (upload_bytes, wire_bytes, dense_wire_ratio) = upload_fields(rec);
     let broadcast_bytes = counter(rec, names::BROADCAST_FLOATS_TOTAL) * 4;
     let staleness_max = history.records.iter().map(|r| r.staleness_max).max();
     let (dispatch_chunks, dispatch_steals, dispatch_imbalance) = dispatch_fields(rec);
@@ -448,7 +602,9 @@ pub fn run_spill_scenario(scale: Scale, rounds: usize) -> TensorResult<Value> {
         "client_updates": counter(rec, names::CLIENT_UPDATES_TOTAL),
         "upload_bytes": upload_bytes,
         "broadcast_bytes": broadcast_bytes,
-        "bytes_moved": upload_bytes + broadcast_bytes,
+        "wire_bytes": wire_bytes,
+        "dense_wire_ratio": dense_wire_ratio,
+        "bytes_moved": wire_bytes + broadcast_bytes,
         "staleness": hist_json(rec.metrics().histogram_by_name(names::STALENESS_ROUNDS)),
         "staleness_max_recorded": staleness_max.unwrap_or(0),
         "client_compute_seconds": hist_json(rec.metrics().histogram_by_name(names::CLIENT_COMPUTE_SECONDS)),
@@ -513,6 +669,8 @@ pub fn build_snapshot(scale: Scale, rounds: usize) -> TensorResult<Value> {
             .to_string(),
         straggler,
     ));
+    let wire = run_wire_scenario(scale, rounds)?;
+    scenarios.push((wire["name"].as_str().unwrap_or("wire").to_string(), wire));
     let scenario_values: Vec<Value> = scenarios.into_iter().map(|(_, v)| v).collect();
     let overhead = overhead_check(scale, rounds)?;
     let dispatch_config = DispatchConfig::default();
@@ -563,11 +721,20 @@ pub fn validate_snapshot(snapshot: &Value) -> Result<(), String> {
                 .as_f64()
                 .ok_or_else(|| format!("{name}: {key} missing"))?;
         }
-        for key in ["upload_bytes", "broadcast_bytes", "bytes_moved", "rounds"] {
+        for key in [
+            "upload_bytes",
+            "broadcast_bytes",
+            "wire_bytes",
+            "bytes_moved",
+            "rounds",
+        ] {
             s[key]
                 .as_u64()
                 .ok_or_else(|| format!("{name}: {key} missing"))?;
         }
+        s["dense_wire_ratio"]
+            .as_f64()
+            .ok_or_else(|| format!("{name}: dense_wire_ratio missing"))?;
         for key in ["p50", "p90", "p99", "max"] {
             s["staleness"][key]
                 .as_f64()
@@ -594,6 +761,29 @@ pub fn validate_snapshot(snapshot: &Value) -> Result<(), String> {
         .as_u64()
         .filter(|&e| e > 1)
         .ok_or("straggler scenario: straggler_epochs missing or trivial")?;
+    let wire = scenarios
+        .iter()
+        .find(|s| s["name"].as_str().is_some_and(|n| n.starts_with("wire/")))
+        .ok_or("no wire scenario present")?;
+    wire["quantizer_bits"]
+        .as_u64()
+        .filter(|&b| (1..32).contains(&b))
+        .ok_or("wire scenario: quantizer_bits missing or out of range")?;
+    for key in [
+        "plain_rounds_per_sec",
+        "wire_overhead_pct",
+        "dense_wire_ratio",
+    ] {
+        wire[key]
+            .as_f64()
+            .ok_or_else(|| format!("wire scenario: {key} missing"))?;
+    }
+    let ratio = wire["dense_wire_ratio"].as_f64().unwrap_or(0.0);
+    if ratio < 2.0 {
+        return Err(format!(
+            "wire scenario dense/wire ratio {ratio:.2} — compression not engaged"
+        ));
+    }
     snapshot["dispatch"]["workers"]
         .as_u64()
         .ok_or("dispatch.workers missing")?;
@@ -798,8 +988,8 @@ mod tests {
         let scenarios = back["scenarios"].as_array().unwrap();
         assert_eq!(
             scenarios.len(),
-            6,
-            "4 matrix cells + the spill and straggler scenarios"
+            7,
+            "4 matrix cells + the spill, straggler and wire scenarios"
         );
         let semi = scenarios
             .iter()
@@ -833,6 +1023,25 @@ mod tests {
         assert!(straggler["dispatch_chunks"].as_u64().unwrap() > 0);
         assert!(straggler["dispatch_imbalance"].as_f64().unwrap() >= 1.0);
         assert!(back["dispatch"]["workers"].as_u64().unwrap() >= 1);
+        // The wire scenario actually compressed its uploads (~4× at 8 bits)
+        // and reports both legs of the overhead comparison.
+        let wire = scenarios
+            .iter()
+            .find(|s| s["name"].as_str().is_some_and(|n| n.starts_with("wire/")))
+            .unwrap();
+        let ratio = wire["dense_wire_ratio"].as_f64().unwrap();
+        assert!((3.5..4.5).contains(&ratio), "8-bit ratio was {ratio}");
+        assert!(wire["wire_bytes"].as_u64().unwrap() < wire["upload_bytes"].as_u64().unwrap());
+        assert!(wire["plain_rounds_per_sec"].as_f64().unwrap() > 0.0);
+        assert!(wire["wire_overhead_pct"].as_f64().unwrap().is_finite());
+        // Every dense scenario still reports wire bytes — equal to the
+        // classical 4·floats accounting when the path is off.
+        for s in scenarios.iter().filter(|s| s["dense_wire_ratio"] == 1.0) {
+            assert_eq!(
+                s["wire_bytes"].as_u64().unwrap(),
+                s["upload_bytes"].as_u64().unwrap()
+            );
+        }
     }
 
     #[test]

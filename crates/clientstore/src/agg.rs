@@ -14,6 +14,7 @@
 //! backend.
 
 use crate::param::ParamVector;
+use fedadmm_tensor::vecops::{self, DequantTerm};
 use std::time::Instant;
 
 /// Timing/shape of one shard's partial fold (for telemetry spans).
@@ -92,6 +93,70 @@ pub fn hierarchical_weighted_sum(
     (partials.pop().expect("non-empty by construction"), stats)
 }
 
+/// The compressed twin of [`hierarchical_weighted_sum`]: folds per-shard
+/// [`DequantTerm`] lists — quantized wire payloads with their fold
+/// coefficient baked into `alpha` — into `Σ αᵢ·(minᵢ + codeᵢ·stepᵢ)`
+/// without ever materializing a dense decode. Each shard's partial is one
+/// fused [`vecops::dequant_sum_into`] sweep; the combine is the same
+/// log-depth pairwise tree, so determinism and telemetry semantics match
+/// the dense fold exactly.
+pub fn hierarchical_dequant_sum(
+    dim: usize,
+    groups: &[(usize, Vec<DequantTerm<'_>>)],
+    timed: bool,
+) -> (ParamVector, Vec<ShardFoldStat>) {
+    if groups.is_empty() {
+        return (ParamVector::zeros(dim), Vec::new());
+    }
+    let fold_group = |(shard, terms): &(usize, Vec<DequantTerm<'_>>)| {
+        let start = timed.then(Instant::now);
+        let mut partial = ParamVector::zeros(dim);
+        vecops::dequant_sum_into(terms, partial.as_mut_slice());
+        let stat = ShardFoldStat {
+            shard: *shard,
+            messages: terms.len(),
+            seconds: start.map_or(0.0, |s| s.elapsed().as_secs_f64()),
+        };
+        (partial, stat)
+    };
+
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(groups.len());
+    let folded: Vec<(ParamVector, ShardFoldStat)> = if workers <= 1 {
+        groups.iter().map(fold_group).collect()
+    } else {
+        let chunk = groups.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            let fold_group = &fold_group;
+            let handles: Vec<_> = groups
+                .chunks(chunk)
+                .map(|part| scope.spawn(move || part.iter().map(fold_group).collect::<Vec<_>>()))
+                .collect();
+            let mut all = Vec::with_capacity(groups.len());
+            for handle in handles {
+                all.extend(handle.join().expect("shard fold worker panicked"));
+            }
+            all
+        })
+    };
+    let (mut partials, stats): (Vec<ParamVector>, Vec<ShardFoldStat>) = folded.into_iter().unzip();
+
+    while partials.len() > 1 {
+        let mut next = Vec::with_capacity(partials.len().div_ceil(2));
+        let mut iter = partials.into_iter();
+        while let Some(a) = iter.next() {
+            match iter.next() {
+                Some(b) => next.push(a.add(&b)),
+                None => next.push(a),
+            }
+        }
+        partials = next;
+    }
+    (partials.pop().expect("non-empty by construction"), stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,6 +196,52 @@ mod tests {
         }
         assert_eq!(stats.len(), 5);
         assert_eq!(stats.iter().map(|s| s.messages).sum::<usize>(), 13);
+    }
+
+    #[test]
+    fn dequant_sum_matches_decode_then_weighted_sum() {
+        let d = 37;
+        // Integer-valued codes with exactly representable (min, step) make
+        // the decode exact, so the two folds see identical inputs.
+        let codes: Vec<Vec<u16>> = (0..9)
+            .map(|i| (0..d).map(|j| ((i * 31 + j * 7) % 256) as u16).collect())
+            .collect();
+        let mut groups: Vec<(usize, Vec<DequantTerm<'_>>)> =
+            (0..3).map(|s| (s, Vec::new())).collect();
+        let mut decoded_terms: Vec<(f32, ParamVector)> = Vec::new();
+        for (i, c) in codes.iter().enumerate() {
+            let (alpha, min, step) = (0.25 + i as f32 * 0.125, -2.0, 0.03125);
+            groups[i % 3].1.push(DequantTerm {
+                alpha,
+                min,
+                step,
+                codes: c,
+            });
+            decoded_terms.push((
+                alpha,
+                ParamVector::from_vec(c.iter().map(|&k| min + k as f32 * step).collect()),
+            ));
+        }
+        let (fused, stats) = hierarchical_dequant_sum(d, &groups, true);
+        // Reference: decode every payload densely, then run the dense
+        // hierarchical fold over the same shard grouping.
+        let mut groups_dense: Vec<(usize, Vec<(f32, &ParamVector)>)> =
+            (0..3).map(|s| (s, Vec::new())).collect();
+        for (i, (a, p)) in decoded_terms.iter().enumerate() {
+            groups_dense[i % 3].1.push((*a, p));
+        }
+        let (reference, _) = hierarchical_weighted_sum(d, &groups_dense, false);
+        for (a, b) in fused.as_slice().iter().zip(reference.as_slice()) {
+            assert!((a - b).abs() <= 1e-4 * (1.0 + b.abs()), "{a} vs {b}");
+        }
+        assert_eq!(stats.iter().map(|s| s.messages).sum::<usize>(), 9);
+    }
+
+    #[test]
+    fn dequant_sum_of_nothing_is_zero() {
+        let (sum, stats) = hierarchical_dequant_sum(4, &[], false);
+        assert_eq!(sum, ParamVector::zeros(4));
+        assert!(stats.is_empty());
     }
 
     #[test]

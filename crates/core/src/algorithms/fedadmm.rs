@@ -182,6 +182,7 @@ impl Algorithm for FedAdmm {
             payload: vec![delta],
             epochs_run: env.epochs,
             samples_processed: result.samples_processed,
+            wire: None,
         })
     }
 
@@ -207,6 +208,7 @@ impl Algorithm for FedAdmm {
             param: old_augmented,
             dual: dual_snapshot,
             net,
+            train,
         } = scratch;
 
         // u_i^t = w_i^t + y_i^t / ρ, built in the reusable param buffer
@@ -222,7 +224,7 @@ impl Algorithm for FedAdmm {
         dual_snapshot.clear();
         dual_snapshot.extend_from_slice(client.dual.as_slice());
         let dual: &[f32] = dual_snapshot;
-        let result = local_sgd_cached(env, init, net, |w, g| {
+        let result = local_sgd_cached(env, init, net, train, |w, g| {
             for (((gi, &wi), &ti), &yi) in g
                 .iter_mut()
                 .zip(w.iter())
@@ -259,6 +261,7 @@ impl Algorithm for FedAdmm {
             payload: vec![ParamVector::from_vec(delta)],
             epochs_run: env.epochs,
             samples_processed: result.samples_processed,
+            wire: None,
         })
     }
 
@@ -414,6 +417,7 @@ mod tests {
                 payload: vec![ParamVector::from_vec(vec![2.0, 0.0])],
                 epochs_run: 1,
                 samples_processed: 1,
+                wire: None,
             },
             ClientMessage {
                 client_id: 1,
@@ -421,6 +425,7 @@ mod tests {
                 payload: vec![ParamVector::from_vec(vec![0.0, -2.0])],
                 epochs_run: 1,
                 samples_processed: 1,
+                wire: None,
             },
         ];
         alg.server_update(&mut global, &messages, 100, &mut rng);

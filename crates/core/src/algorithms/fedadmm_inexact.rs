@@ -115,6 +115,7 @@ impl Algorithm for FedAdmmInexact {
             // once, i.e. it costs the same as one epoch.
             epochs_run: result.gradient_evals,
             samples_processed: result.gradient_evals * client.num_samples(),
+            wire: None,
         })
     }
 
@@ -227,6 +228,7 @@ mod tests {
             payload: vec![ParamVector::from_vec(vec![1.0, -1.0])],
             epochs_run: 1,
             samples_processed: 1,
+            wire: None,
         }];
         alg.server_update(&mut global, &messages, 10, &mut rng);
         assert_eq!(global.as_slice(), &[1.0, -1.0]);

@@ -66,6 +66,7 @@ impl Algorithm for FedAvg {
             payload: vec![ParamVector::from_vec(result.params)],
             epochs_run: env.epochs,
             samples_processed: result.samples_processed,
+            wire: None,
         })
     }
 
@@ -139,6 +140,7 @@ mod tests {
                 payload: vec![ParamVector::from_vec(vec![1.0, 2.0, 3.0])],
                 epochs_run: 1,
                 samples_processed: 1,
+                wire: None,
             },
             ClientMessage {
                 client_id: 1,
@@ -146,6 +148,7 @@ mod tests {
                 payload: vec![ParamVector::from_vec(vec![3.0, 4.0, 5.0])],
                 epochs_run: 1,
                 samples_processed: 99,
+                wire: None,
             },
         ];
         let outcome = alg.server_update(&mut global, &messages, 10, &mut rng);
@@ -165,6 +168,7 @@ mod tests {
                 payload: vec![ParamVector::from_vec(vec![0.0])],
                 epochs_run: 1,
                 samples_processed: 3,
+                wire: None,
             },
             ClientMessage {
                 client_id: 1,
@@ -172,6 +176,7 @@ mod tests {
                 payload: vec![ParamVector::from_vec(vec![4.0])],
                 epochs_run: 1,
                 samples_processed: 1,
+                wire: None,
             },
         ];
         alg.server_update(&mut global, &messages, 2, &mut rng);

@@ -108,6 +108,7 @@ impl Algorithm for FedDyn {
             payload: vec![new_local],
             epochs_run: env.epochs,
             samples_processed: result.samples_processed,
+            wire: None,
         })
     }
 
@@ -165,6 +166,7 @@ mod tests {
             payload: vec![ParamVector::from_vec(values)],
             epochs_run: 1,
             samples_processed: 1,
+            wire: None,
         }
     }
 

@@ -102,6 +102,7 @@ impl Algorithm for FedPd {
             payload: vec![augmented],
             epochs_run: env.epochs,
             samples_processed: result.samples_processed,
+            wire: None,
         })
     }
 
@@ -160,6 +161,7 @@ mod tests {
             payload: vec![ParamVector::from_vec(vec![2.0, 4.0])],
             epochs_run: 1,
             samples_processed: 1,
+            wire: None,
         };
         let mut communicated = 0usize;
         let mut silent = 0usize;
@@ -193,6 +195,7 @@ mod tests {
                 payload: vec![ParamVector::from_vec(vec![2.0])],
                 epochs_run: 1,
                 samples_processed: 1,
+                wire: None,
             },
             ClientMessage {
                 client_id: 1,
@@ -200,6 +203,7 @@ mod tests {
                 payload: vec![ParamVector::from_vec(vec![4.0])],
                 epochs_run: 1,
                 samples_processed: 1,
+                wire: None,
             },
         ];
         let mut global = ParamVector::zeros(1);

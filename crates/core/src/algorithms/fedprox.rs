@@ -61,6 +61,7 @@ impl Algorithm for FedProx {
             payload: vec![ParamVector::from_vec(result.params)],
             epochs_run: env.epochs,
             samples_processed: result.samples_processed,
+            wire: None,
         })
     }
 
@@ -148,6 +149,7 @@ mod tests {
                 payload: vec![ParamVector::from_vec(vec![2.0, 0.0])],
                 epochs_run: 1,
                 samples_processed: 1,
+                wire: None,
             },
             ClientMessage {
                 client_id: 1,
@@ -155,6 +157,7 @@ mod tests {
                 payload: vec![ParamVector::from_vec(vec![0.0, 4.0])],
                 epochs_run: 1,
                 samples_processed: 1,
+                wire: None,
             },
         ];
         alg.server_update(&mut global, &messages, 10, &mut rng);

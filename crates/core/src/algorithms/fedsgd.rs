@@ -56,6 +56,7 @@ impl Algorithm for FedSgd {
             payload: vec![ParamVector::from_vec(grad)],
             epochs_run: 1,
             samples_processed: samples,
+            wire: None,
         })
     }
 
@@ -130,6 +131,7 @@ mod tests {
                 payload: vec![ParamVector::from_vec(vec![2.0, 0.0])],
                 epochs_run: 1,
                 samples_processed: 1,
+                wire: None,
             },
             ClientMessage {
                 client_id: 1,
@@ -137,6 +139,7 @@ mod tests {
                 payload: vec![ParamVector::from_vec(vec![0.0, 4.0])],
                 epochs_run: 1,
                 samples_processed: 1,
+                wire: None,
             },
         ];
         alg.server_update(&mut global, &messages, 2, &mut rng);

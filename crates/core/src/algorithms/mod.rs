@@ -57,12 +57,30 @@ pub struct ClientMessage {
     pub epochs_run: usize,
     /// Samples processed during local training (computation accounting).
     pub samples_processed: usize,
+    /// Compressed wire representation produced by the engine's wire path
+    /// (`None` on the dense path). When present the dense `payload` is
+    /// empty — the quantized codes *are* the upload — and the server folds
+    /// them directly through the engine's `fold_compressed` pass.
+    pub wire: Option<crate::compression::WirePayload>,
 }
 
 impl ClientMessage {
-    /// Number of floats this message uploads to the server.
+    /// Number of model coordinates this message uploads to the server
+    /// (dense floats or quantized codes — both count coordinates, so the
+    /// paper's `d`-per-client accounting is representation-independent).
     pub fn upload_floats(&self) -> usize {
-        self.payload.iter().map(|p| p.len()).sum()
+        let dense: usize = self.payload.iter().map(|p| p.len()).sum();
+        let coded = self.wire.as_ref().map_or(0, |w| w.coords());
+        dense + coded
+    }
+
+    /// Bytes this message occupies on the wire: the quantized size when the
+    /// wire path encoded it, `4 · upload_floats` for dense uploads.
+    pub fn wire_bytes(&self) -> usize {
+        match &self.wire {
+            Some(w) => w.wire_bytes(),
+            None => 4 * self.upload_floats(),
+        }
     }
 }
 
@@ -91,6 +109,9 @@ pub struct UpdateScratch {
     /// Cached local-training network, rebuilt only when the model spec
     /// changes (see [`crate::trainer::NetCache`]).
     pub net: crate::trainer::NetCache,
+    /// Per-batch SGD temporaries (flat gradient, gathered mini-batch),
+    /// reused across steps and jobs (see [`crate::trainer::TrainScratch`]).
+    pub train: crate::trainer::TrainScratch,
 }
 
 /// A linear description of an algorithm's server fold, consumed by the
@@ -347,6 +368,7 @@ mod tests {
             payload: vec![ParamVector::zeros(10), ParamVector::zeros(10)],
             epochs_run: 1,
             samples_processed: 5,
+            wire: None,
         };
         assert_eq!(msg.upload_floats(), 20);
         assert_eq!(total_upload(&[msg.clone(), msg]), 40);

@@ -120,6 +120,7 @@ impl Algorithm for Scaffold {
             payload: vec![delta_w, delta_c],
             epochs_run: env.epochs,
             samples_processed: result.samples_processed,
+            wire: None,
         })
     }
 

@@ -288,6 +288,7 @@ impl Algorithm for FedOpt {
             payload: vec![delta],
             epochs_run: env.epochs,
             samples_processed: result.samples_processed,
+            wire: None,
         })
     }
 
@@ -330,6 +331,7 @@ mod tests {
             payload: vec![ParamVector::from_vec(values)],
             epochs_run: 1,
             samples_processed: 1,
+            wire: None,
         }
     }
 

@@ -25,7 +25,7 @@ use crate::param::ParamVector;
 use crate::trainer::LocalEnv;
 use fedadmm_tensor::TensorResult;
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::{RngCore, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// Uniform `b`-bit quantizer over the range of each individual vector.
@@ -69,6 +69,35 @@ impl QuantizedVector {
     }
 }
 
+/// The compressed (and optionally privatized) representation of one client
+/// upload, attached to a `ClientMessage` by the engine's wire path.
+///
+/// Staleness damping lands in [`WirePayload::scale`] rather than in the
+/// codes: quantized coordinates cannot be scaled in place without decoding,
+/// so the schedulers multiply the scale and the server folds it into the
+/// per-message fold coefficient — the decode-scale-accumulate still happens
+/// in one pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WirePayload {
+    /// Multiplier folded into the server-side fold coefficient (1.0 for a
+    /// fresh arrival; staleness weights multiply into it).
+    pub scale: f32,
+    /// One quantized vector per dense payload vector the algorithm produced.
+    pub vectors: Vec<QuantizedVector>,
+}
+
+impl WirePayload {
+    /// Total bytes on the wire (codes + affine parameters + the scale).
+    pub fn wire_bytes(&self) -> usize {
+        4 + self.vectors.iter().map(|v| v.wire_bytes()).sum::<usize>()
+    }
+
+    /// Total coded coordinates across all vectors.
+    pub fn coords(&self) -> usize {
+        self.vectors.iter().map(|v| v.codes.len()).sum()
+    }
+}
+
 impl Quantizer {
     /// Creates a quantizer.
     ///
@@ -90,38 +119,61 @@ impl Quantizer {
     /// Quantizes `values`. The `seed` drives stochastic rounding (ignored in
     /// deterministic mode).
     pub fn quantize(&self, values: &[f32], seed: u64) -> QuantizedVector {
-        assert!(!values.is_empty(), "cannot quantize an empty vector");
-        let min = values.iter().copied().fold(f32::INFINITY, f32::min);
-        let max = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let levels = self.levels() as f32;
-        let range = (max - min).max(f32::EPSILON);
-        let step = range / (levels - 1.0);
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let codes = values
-            .iter()
-            .map(|&v| {
-                let exact = (v - min) / step;
-                let code = if self.stochastic {
-                    let floor = exact.floor();
-                    let frac = exact - floor;
-                    floor
-                        + if rng.gen_range(0.0f32..1.0) < frac {
-                            1.0
-                        } else {
-                            0.0
-                        }
-                } else {
-                    exact.round()
-                };
-                code.clamp(0.0, levels - 1.0) as u16
-            })
-            .collect();
+        let mut codes = Vec::with_capacity(values.len());
+        let (min, step) = self.quantize_into(values, seed, &mut codes);
         QuantizedVector {
             min,
             step,
             codes,
             bits: self.bits,
         }
+    }
+
+    /// Quantizes `values` into a reusable code buffer (cleared and refilled,
+    /// so steady-state callers pay no allocation), returning the affine
+    /// `(min, step)` decode parameters. Produces exactly the codes
+    /// [`Quantizer::quantize`] would for the same seed — the engine's wire
+    /// path calls this from the per-worker dispatch scratch.
+    pub fn quantize_into(&self, values: &[f32], seed: u64, codes: &mut Vec<u16>) -> (f32, f32) {
+        assert!(!values.is_empty(), "cannot quantize an empty vector");
+        let (min, max) = fedadmm_tensor::vecops::min_max(values);
+        let levels = self.levels() as f32;
+        let range = (max - min).max(f32::EPSILON);
+        let step = range / (levels - 1.0);
+        // One multiply per element instead of a divide — this loop runs per
+        // upload on the wire hot path.
+        let inv_step = 1.0 / step;
+        codes.clear();
+        if self.stochastic {
+            // Stochastic rounding as `⌊x + U⌋` with `U` uniform in [0, 1):
+            // the carry fires with probability exactly frac(x), and the
+            // whole dither is one add on top of the affine map. `x ≥ 0`
+            // (min subtracted), so the `u16` cast truncates = floors, and
+            // only the upper bound needs clamping. Each raw `u64` supplies
+            // the 24-bit dithers for two consecutive elements.
+            const U24: f32 = 1.0 / (1u32 << 24) as f32;
+            let top = levels - 1.0;
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut pairs = values.chunks_exact(2);
+            for pair in &mut pairs {
+                let bits = rng.next_u64();
+                let u0 = (bits as u32 >> 8) as f32 * U24;
+                let u1 = ((bits >> 40) as u32) as f32 * U24;
+                codes.push(((pair[0] - min) * inv_step + u0).min(top) as u16);
+                codes.push(((pair[1] - min) * inv_step + u1).min(top) as u16);
+            }
+            if let [last] = pairs.remainder() {
+                let u0 = (rng.next_u32() >> 8) as f32 * U24;
+                codes.push(((last - min) * inv_step + u0).min(top) as u16);
+            }
+        } else {
+            codes.extend(
+                values
+                    .iter()
+                    .map(|&v| ((v - min) * inv_step).round().clamp(0.0, levels - 1.0) as u16),
+            );
+        }
+        (min, step)
     }
 
     /// Worst-case absolute error per coordinate for a vector whose values

@@ -273,6 +273,7 @@ impl Scheduler for BufferedAsync {
         let staleness = self.version - job.snapshot_version;
         let weight = self.config.staleness.weight(staleness);
         core.add_upload(message.upload_floats());
+        core.add_wire_bytes(message.wire_bytes());
 
         let mut aggregated = false;
         if weight > 0.0 {
@@ -280,6 +281,11 @@ impl Scheduler for BufferedAsync {
             let mut scaled = message;
             for p in scaled.payload.iter_mut() {
                 p.scale(weight);
+            }
+            // Wire payloads carry the damping in their scale factor; the
+            // server folds it into the per-message coefficient.
+            if let Some(wire) = &mut scaled.wire {
+                wire.scale *= weight;
             }
             self.buffered_epochs += scaled.epochs_run;
             self.buffered_samples += scaled.samples_processed;
@@ -300,6 +306,8 @@ impl Scheduler for BufferedAsync {
                 upload_floats: 0,
                 total_local_epochs: std::mem::take(&mut self.buffered_epochs),
                 samples_processed: std::mem::take(&mut self.buffered_samples),
+                // Like uploads, wire bytes are accounted per event here.
+                wire_bytes: 0,
                 elapsed_ms,
             })?;
             accuracy = Some(record.test_accuracy);

@@ -132,6 +132,11 @@ pub struct DispatchScratch {
     pub indices: Vec<usize>,
     /// The algorithm's reusable O(d) buffers.
     pub update: UpdateScratch,
+    /// Staging buffer for wire-path quantization codes
+    /// ([`Quantizer::quantize_into`](crate::compression::Quantizer::quantize_into)):
+    /// sized on the worker's first encoded job and reused for every later
+    /// one.
+    pub wire_codes: Vec<u16>,
 }
 
 /// What one pool batch did, for telemetry.

@@ -79,6 +79,7 @@ pub mod dispatch;
 pub mod scheduler;
 pub mod semi_async;
 pub mod sync;
+pub mod wire;
 
 pub use buffered::{AsyncConfig, BufferedAsync};
 pub use dispatch::{DispatchBatchStats, DispatchConfig, DispatchMode, DispatchPool};
@@ -88,6 +89,7 @@ pub use scheduler::{
 };
 pub use semi_async::{SemiAsync, SemiAsyncConfig};
 pub use sync::SyncRounds;
+pub use wire::{WireGuard, WirePath, WirePathConfig};
 
 use crate::algorithms::Algorithm;
 use crate::client::ClientState;
@@ -126,6 +128,7 @@ pub struct RoundEngine<A: Algorithm, S: Scheduler> {
     events: Vec<AsyncRecord>,
     clock: f64,
     cumulative_upload: usize,
+    cumulative_wire_bytes: usize,
     round: usize,
     telemetry: Box<dyn Telemetry>,
     /// First event index not yet attributed to a round record.
@@ -136,6 +139,9 @@ pub struct RoundEngine<A: Algorithm, S: Scheduler> {
     aggregation: AggregationMode,
     /// The persistent dispatch pool every tick's client work runs on.
     pool: DispatchPool,
+    /// The resolved wire path (compression + privacy on the upload edge),
+    /// `None` when uploads stay dense.
+    wire: Option<WirePath>,
 }
 
 impl<A: Algorithm, S: Scheduler> RoundEngine<A, S> {
@@ -228,12 +234,14 @@ impl<A: Algorithm, S: Scheduler> RoundEngine<A, S> {
             events: Vec::new(),
             clock: 0.0,
             cumulative_upload: 0,
+            cumulative_wire_bytes: 0,
             round: 0,
             telemetry: Box::new(NoTelemetry),
             event_mark: 0,
             gap_rho: None,
             aggregation: AggregationMode::SinglePass,
             pool: DispatchPool::new(DispatchConfig::default()),
+            wire: WirePathConfig::default().resolve(),
         };
         let mut core = EngineCore {
             config: &engine.config,
@@ -248,11 +256,13 @@ impl<A: Algorithm, S: Scheduler> RoundEngine<A, S> {
             events: &mut engine.events,
             clock: &mut engine.clock,
             cumulative_upload: &mut engine.cumulative_upload,
+            cumulative_wire_bytes: &mut engine.cumulative_wire_bytes,
             round: &mut engine.round,
             telemetry: engine.telemetry.as_mut(),
             event_mark: &mut engine.event_mark,
             aggregation: engine.aggregation,
             pool: &engine.pool,
+            wire: engine.wire.as_ref(),
         };
         engine.scheduler.init(&mut core)?;
         Ok(engine)
@@ -290,6 +300,22 @@ impl<A: Algorithm, S: Scheduler> RoundEngine<A, S> {
     /// The dispatch pool the engine's client work runs on.
     pub fn dispatch_pool(&self) -> &DispatchPool {
         &self.pool
+    }
+
+    /// Configures the wire path (upload compression + privacy, fused into
+    /// dispatch and aggregation — see [`wire`]). The default resolves
+    /// `FEDADMM_WIRE_PATH` / `FEDADMM_WIRE_BITS` from the environment and
+    /// is otherwise off; [`WirePathConfig::disabled`] pins it off (the
+    /// dense path is byte-identical to the pre-wire engine), and
+    /// [`WirePathConfig::enabled`] pins it on with an explicit quantizer.
+    pub fn with_wire_path(mut self, config: WirePathConfig) -> Self {
+        self.wire = config.resolve();
+        self
+    }
+
+    /// The resolved wire path, if uploads are being encoded.
+    pub fn wire_path(&self) -> Option<&WirePath> {
+        self.wire.as_ref()
     }
 
     /// Caps evaluation at a fraction of the test set per round: a
@@ -435,6 +461,13 @@ impl<A: Algorithm, S: Scheduler> RoundEngine<A, S> {
         self.cumulative_upload
     }
 
+    /// Cumulative client → server traffic in true wire bytes: the
+    /// quantized size when the wire path encoded an upload, the dense
+    /// `4 · floats` size otherwise.
+    pub fn cumulative_wire_bytes(&self) -> usize {
+        self.cumulative_wire_bytes
+    }
+
     /// Evaluates the current global model on the test set, returning
     /// `(loss, accuracy)`.
     pub fn evaluate_global(&self) -> TensorResult<(f32, f32)> {
@@ -476,11 +509,13 @@ impl<A: Algorithm, S: Scheduler> RoundEngine<A, S> {
             events: &mut self.events,
             clock: &mut self.clock,
             cumulative_upload: &mut self.cumulative_upload,
+            cumulative_wire_bytes: &mut self.cumulative_wire_bytes,
             round: &mut self.round,
             telemetry: self.telemetry.as_mut(),
             event_mark: &mut self.event_mark,
             aggregation: self.aggregation,
             pool: &self.pool,
+            wire: self.wire.as_ref(),
         };
         let report = self.scheduler.tick(&mut core);
         self.telemetry.on_tick_end(scheduler_name, tick_round);

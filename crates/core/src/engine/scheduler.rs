@@ -27,6 +27,7 @@
 //!    on thread interleaving or on which scheduler issued the work.
 
 use super::dispatch::{DispatchBatchStats, DispatchMode, DispatchPool, DispatchScratch};
+use super::wire::{decode_message, WirePath};
 use crate::algorithms::{total_upload, Algorithm, ClientMessage, FoldPlan, ServerOutcome};
 use crate::client::ClientState;
 use crate::config::FedConfig;
@@ -35,7 +36,7 @@ use crate::metrics::{RoundRecord, RunHistory};
 use crate::param::ParamVector;
 use crate::selection::ClientSelector;
 use crate::trainer::{evaluate, LocalEnv};
-use fedadmm_clientstore::{hierarchical_weighted_sum, ClientStateStore};
+use fedadmm_clientstore::{hierarchical_dequant_sum, hierarchical_weighted_sum, ClientStateStore};
 use fedadmm_data::Dataset;
 use fedadmm_telemetry::{names, DispatchSummary, RoundSummary, Telemetry};
 use fedadmm_tensor::{TensorError, TensorResult};
@@ -147,6 +148,10 @@ pub struct RoundStats {
     pub total_local_epochs: usize,
     /// Total samples processed across the aggregated updates.
     pub samples_processed: usize,
+    /// True wire bytes of this record's uploads (quantized size when the
+    /// wire path is on, dense `4 · upload_floats` otherwise; 0 for
+    /// event-driven schedules, which account uploads per event).
+    pub wire_bytes: usize,
     /// Wall-clock or virtual milliseconds attributed to this record.
     pub elapsed_ms: u64,
 }
@@ -203,6 +208,7 @@ pub struct EngineCore<'a> {
     pub(super) events: &'a mut Vec<AsyncRecord>,
     pub(super) clock: &'a mut f64,
     pub(super) cumulative_upload: &'a mut usize,
+    pub(super) cumulative_wire_bytes: &'a mut usize,
     pub(super) round: &'a mut usize,
     /// Observability hooks (the engine's `with_telemetry` hook, or the
     /// no-op default). See [`EngineCore::telemetry`].
@@ -214,6 +220,9 @@ pub struct EngineCore<'a> {
     pub(super) aggregation: AggregationMode,
     /// The persistent worker pool behind [`EngineCore::dispatch`].
     pub(super) pool: &'a DispatchPool,
+    /// The wire path (upload compression + privacy), `None` when uploads
+    /// stay dense. See [`super::wire`].
+    pub(super) wire: Option<&'a WirePath>,
 }
 
 /// One dispatch job in flight on the pool: the worker that claims the job
@@ -252,6 +261,23 @@ impl EngineCore<'_> {
         self.telemetry.on_upload(floats);
     }
 
+    /// Accounts client → server communication in true wire bytes (the
+    /// quantized size for wire-path uploads, `4 · floats` dense).
+    pub fn add_wire_bytes(&mut self, bytes: usize) {
+        *self.cumulative_wire_bytes += bytes;
+        self.telemetry.on_wire_upload(bytes);
+    }
+
+    /// Cumulative wire bytes uploaded so far.
+    pub fn cumulative_wire_bytes(&self) -> usize {
+        *self.cumulative_wire_bytes
+    }
+
+    /// The active wire path, if uploads are being encoded.
+    pub fn wire_path(&self) -> Option<&WirePath> {
+        self.wire
+    }
+
     /// The observability hooks installed on the engine (the no-op default
     /// unless `RoundEngine::with_telemetry` replaced it). External
     /// schedulers use this to emit phase markers or custom gauges.
@@ -287,6 +313,7 @@ impl EngineCore<'_> {
         }
         let algorithm: &dyn Algorithm = &*self.algorithm;
         let (train, config) = (self.train, self.config);
+        let wire = self.wire;
         // Timing is gated on `enabled()` so the no-op hook costs nothing.
         let timed = self.telemetry.enabled();
         // Static mode reproduces the legacy per-call clone + plain
@@ -298,7 +325,11 @@ impl EngineCore<'_> {
             let client = &mut *states[0];
             if use_scratch {
                 pool.with_scratch(|scratch| {
-                    let DispatchScratch { indices, update } = scratch;
+                    let DispatchScratch {
+                        indices,
+                        update,
+                        wire_codes,
+                    } = scratch;
                     indices.clear();
                     indices.extend_from_slice(&client.indices);
                     let env = LocalEnv {
@@ -311,8 +342,11 @@ impl EngineCore<'_> {
                         seed: order.seed,
                     };
                     let start = timed.then(Instant::now);
-                    let result =
+                    let mut result =
                         algorithm.client_update_scratch(client, &order.snapshot, &env, update);
+                    if let (Some(wire), Ok(message)) = (wire, result.as_mut()) {
+                        wire.encode(message, order.seed, wire_codes);
+                    }
                     let seconds = start.map_or(0.0, |s| s.elapsed().as_secs_f64());
                     out = Some((result, seconds));
                 });
@@ -328,7 +362,12 @@ impl EngineCore<'_> {
                     seed: order.seed,
                 };
                 let start = timed.then(Instant::now);
-                let result = algorithm.client_update(client, &order.snapshot, &env);
+                let mut result = algorithm.client_update(client, &order.snapshot, &env);
+                if let (Some(wire), Ok(message)) = (wire, result.as_mut()) {
+                    // The legacy path allocates per job anyway; a local
+                    // codes buffer keeps its semantics unchanged.
+                    wire.encode(message, order.seed, &mut Vec::new());
+                }
                 let seconds = start.map_or(0.0, |s| s.elapsed().as_secs_f64());
                 out = Some((result, seconds));
             }
@@ -409,6 +448,7 @@ impl EngineCore<'_> {
     ) -> TensorResult<Vec<ClientMessage>> {
         let algorithm: &dyn Algorithm = &*self.algorithm;
         let (train, config) = (self.train, self.config);
+        let wire = self.wire;
         // When telemetry is off no worker reads the clock: the job tuple
         // carries 0.0 and the hot path is identical to an uninstrumented
         // build.
@@ -431,7 +471,11 @@ impl EngineCore<'_> {
             batch = pool.run(slots.len(), timed, &|_worker, job, scratch| {
                 let mut slot = slots[job].lock().expect("job slot lock");
                 let (order, client) = slot.input.take().expect("each job claimed once");
-                let DispatchScratch { indices, update } = scratch;
+                let DispatchScratch {
+                    indices,
+                    update,
+                    wire_codes,
+                } = scratch;
                 indices.clear();
                 indices.extend_from_slice(&client.indices);
                 let env = LocalEnv {
@@ -444,7 +488,13 @@ impl EngineCore<'_> {
                     seed: order.seed,
                 };
                 let start = timed.then(Instant::now);
-                let result = algorithm.client_update_scratch(client, &order.snapshot, &env, update);
+                let mut result =
+                    algorithm.client_update_scratch(client, &order.snapshot, &env, update);
+                if let (Some(wire), Ok(message)) = (wire, result.as_mut()) {
+                    // Privatize + quantize on the worker, through its
+                    // reusable code buffer — the fused client edge.
+                    wire.encode(message, order.seed, wire_codes);
+                }
                 let seconds = start.map_or(0.0, |s| s.elapsed().as_secs_f64());
                 slot.output = Some((client.id, result, seconds));
             });
@@ -470,6 +520,7 @@ impl EngineCore<'_> {
     ) -> TensorResult<Vec<ClientMessage>> {
         let algorithm: &dyn Algorithm = &*self.algorithm;
         let (train, config) = (self.train, self.config);
+        let wire = self.wire;
         let timed = self.telemetry.enabled();
         let run_job = move |order: &DispatchOrder, client: &mut ClientState| {
             let indices = client.indices.clone();
@@ -483,7 +534,11 @@ impl EngineCore<'_> {
                 seed: order.seed,
             };
             let start = timed.then(Instant::now);
-            let result = algorithm.client_update(client, &order.snapshot, &env);
+            let mut result = algorithm.client_update(client, &order.snapshot, &env);
+            if let (Some(wire), Ok(message)) = (wire, result.as_mut()) {
+                // The legacy baseline allocates per job by design.
+                wire.encode(message, order.seed, &mut Vec::new());
+            }
             let seconds = start.map_or(0.0, |s| s.elapsed().as_secs_f64());
             (client.id, result, seconds)
         };
@@ -622,12 +677,16 @@ impl EngineCore<'_> {
     ) -> ServerOutcome {
         let timed = self.telemetry.enabled();
         let start = timed.then(Instant::now);
-        let outcome = match self.try_hierarchical_fold(messages, timed) {
-            Some(outcome) => outcome,
-            None => {
-                let global = Arc::make_mut(self.global);
-                self.algorithm
-                    .server_update(global, messages, self.config.num_clients, rng)
+        let outcome = if messages.iter().any(|m| m.wire.is_some()) {
+            self.fold_compressed(messages, rng, timed)
+        } else {
+            match self.try_hierarchical_fold(messages, timed) {
+                Some(outcome) => outcome,
+                None => {
+                    let global = Arc::make_mut(self.global);
+                    self.algorithm
+                        .server_update(global, messages, self.config.num_clients, rng)
+                }
             }
         };
         if let Some(start) = start {
@@ -635,6 +694,127 @@ impl EngineCore<'_> {
                 .on_aggregate(*self.round, messages.len(), start.elapsed().as_secs_f64());
         }
         outcome
+    }
+
+    /// The fused compressed fold — the server half of the wire path.
+    ///
+    /// When every message of the batch carries a single-vector
+    /// [`WirePayload`](crate::compression::WirePayload) and the algorithm
+    /// exposes a [`FoldPlan`], the whole cohort is dequantize-accumulated
+    /// into θ in **one** 8-lane sweep
+    /// ([`vecops::dequant_axpy_fused`](fedadmm_tensor::vecops::dequant_axpy_fused)):
+    /// each message contributes the affine term
+    /// `cᵢ·sᵢ·(minᵢ + codeᵢ[j]·stepᵢ)`, where `cᵢ` is the plan coefficient
+    /// and `sᵢ` the staleness scale the scheduler folded into the payload —
+    /// no dense decompression is ever materialized. Under
+    /// [`AggregationMode::Hierarchical`] the same terms are folded per
+    /// shard ([`hierarchical_dequant_sum`]) with a log-depth combine.
+    ///
+    /// Batches the fused pass cannot express — algorithms without a plan
+    /// (stateful server updates), multi-vector uploads (SCAFFOLD), or a mix
+    /// of dense and wire messages — fall back to decoding each message
+    /// once ([`decode_message`]) and running the algorithm's own
+    /// `server_update`; correct, but with the extra O(d) sweep the fused
+    /// path exists to avoid.
+    ///
+    /// The whole fold is bracketed by the `"fuse_pass"` telemetry span, so
+    /// instrumented runs can count exactly one span per aggregation.
+    fn fold_compressed(
+        &mut self,
+        messages: &[ClientMessage],
+        rng: &mut dyn rand::RngCore,
+        timed: bool,
+    ) -> ServerOutcome {
+        let round = *self.round;
+        self.telemetry.on_phase_start("fuse_pass", round);
+        let outcome = self.fold_compressed_inner(messages, rng, timed);
+        self.telemetry.on_phase_end("fuse_pass", round);
+        outcome
+    }
+
+    fn fold_compressed_inner(
+        &mut self,
+        messages: &[ClientMessage],
+        rng: &mut dyn rand::RngCore,
+        timed: bool,
+    ) -> ServerOutcome {
+        use fedadmm_tensor::vecops::DequantTerm;
+        let fusable = messages
+            .iter()
+            .all(|m| m.wire.as_ref().is_some_and(|w| w.vectors.len() == 1));
+        let plan = if fusable {
+            self.algorithm.fold_plan(messages, self.config.num_clients)
+        } else {
+            None
+        };
+        let Some(plan) = plan else {
+            // Naive reference fallback: one dense decode per message, then
+            // the algorithm's own server update.
+            let dense: Vec<ClientMessage> = messages.iter().map(decode_message).collect();
+            let global = Arc::make_mut(self.global);
+            return self
+                .algorithm
+                .server_update(global, &dense, self.config.num_clients, rng);
+        };
+        // One affine term per message; the staleness scale folds into the
+        // plan coefficient, exactly as it would multiply a dense payload.
+        let terms: Vec<(usize, DequantTerm<'_>)> = messages
+            .iter()
+            .zip(plan.coefficients())
+            .map(|(msg, &coeff)| {
+                let wire = msg.wire.as_ref().expect("fusable batch");
+                let v = &wire.vectors[0];
+                (
+                    msg.client_id,
+                    DequantTerm {
+                        alpha: coeff * wire.scale,
+                        min: v.min,
+                        step: v.step,
+                        codes: &v.codes,
+                    },
+                )
+            })
+            .collect();
+        if self.aggregation == AggregationMode::Hierarchical {
+            let map = self.store.shard_map();
+            let mut group_of: HashMap<usize, usize> = HashMap::new();
+            let mut groups: Vec<(usize, Vec<DequantTerm<'_>>)> = Vec::new();
+            for (client_id, term) in terms {
+                let shard = map.shard_of(client_id);
+                let gi = *group_of.entry(shard).or_insert_with(|| {
+                    groups.push((shard, Vec::new()));
+                    groups.len() - 1
+                });
+                groups[gi].1.push(term);
+            }
+            groups.sort_by_key(|(shard, _)| *shard);
+            let (delta, shard_stats) = hierarchical_dequant_sum(self.global.len(), &groups, timed);
+            if timed {
+                for stat in &shard_stats {
+                    self.telemetry.on_shard_fold(
+                        *self.round,
+                        stat.shard,
+                        stat.messages,
+                        stat.seconds,
+                    );
+                }
+            }
+            let global = Arc::make_mut(self.global);
+            match plan {
+                FoldPlan::Accumulate(_) => global.axpy(1.0, &delta),
+                FoldPlan::Assign(_) => global.copy_from(&delta),
+            }
+        } else {
+            let terms: Vec<DequantTerm<'_>> = terms.into_iter().map(|(_, t)| t).collect();
+            let global = Arc::make_mut(self.global);
+            match plan {
+                FoldPlan::Accumulate(_) => global.dequant_accumulate(&terms),
+                FoldPlan::Assign(_) => global.dequant_assign(&terms),
+            }
+        }
+        ServerOutcome {
+            upload_floats: total_upload(messages),
+        }
     }
 
     /// The hierarchical aggregation path: groups the round's first payloads
@@ -704,6 +884,20 @@ impl EngineCore<'_> {
         };
         let staleness_max = window.iter().map(|e| e.staleness).max().unwrap_or(0);
         *self.event_mark = self.events.len();
+        // Dense bytes are what the uploads would have cost uncompressed;
+        // with the wire path off the schedulers report exactly that, so
+        // the ratio is 1.0 and the record is unchanged.
+        let dense_bytes = 4 * stats.upload_floats;
+        let wire_bytes = if stats.wire_bytes > 0 {
+            stats.wire_bytes
+        } else {
+            dense_bytes
+        };
+        let dense_wire_ratio = if wire_bytes > 0 {
+            dense_bytes as f64 / wire_bytes as f64
+        } else {
+            1.0
+        };
         let record = RoundRecord {
             round: *self.round,
             test_accuracy,
@@ -713,6 +907,8 @@ impl EngineCore<'_> {
             cumulative_upload_floats: *self.cumulative_upload,
             total_local_epochs: stats.total_local_epochs,
             samples_processed: stats.samples_processed,
+            wire_bytes,
+            dense_wire_ratio,
             elapsed_ms: stats.elapsed_ms,
             staleness_mean,
             staleness_max,

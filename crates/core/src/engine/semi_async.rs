@@ -271,6 +271,7 @@ impl Scheduler for SemiAsync {
             let staleness = round - pending.dispatch_round;
             let weight = self.config.staleness.weight(staleness);
             core.add_upload(message.upload_floats());
+            core.add_wire_bytes(message.wire_bytes());
             report
                 .events
                 .push(core.record_event(message.client_id, staleness, weight, None));
@@ -282,6 +283,12 @@ impl Scheduler for SemiAsync {
                     for p in scaled.payload.iter_mut() {
                         p.scale(weight);
                     }
+                    // Wire payloads carry the damping in their scale factor
+                    // (codes cannot be scaled without decoding); the server
+                    // folds it into the per-message coefficient.
+                    if let Some(wire) = &mut scaled.wire {
+                        wire.scale *= weight;
+                    }
                 }
                 kept.push(scaled);
             }
@@ -289,6 +296,7 @@ impl Scheduler for SemiAsync {
 
         // 6. Aggregate the round's arrivals in one batch and evaluate.
         let upload_floats: usize = kept.iter().map(|m| m.upload_floats()).sum();
+        let wire_bytes: usize = kept.iter().map(|m| m.wire_bytes()).sum();
         if !kept.is_empty() {
             core.telemetry().on_phase_start("aggregate", round);
             core.aggregate(&kept, &mut round_rng);
@@ -299,6 +307,7 @@ impl Scheduler for SemiAsync {
             upload_floats,
             total_local_epochs: total_epochs,
             samples_processed: total_samples,
+            wire_bytes,
             elapsed_ms: ((core.now() - round_start) * 1000.0) as u64,
         })?;
         report.record = Some(record);

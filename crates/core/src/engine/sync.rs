@@ -75,6 +75,10 @@ impl Scheduler for SyncRounds {
         core.telemetry().on_phase_start("aggregate", round);
         let outcome = core.aggregate(&messages, &mut round_rng);
         core.add_upload(outcome.upload_floats);
+        // True wire bytes: the quantized size when the wire path encoded
+        // the uploads, dense 4·floats otherwise.
+        let wire_bytes: usize = messages.iter().map(|m| m.wire_bytes()).sum();
+        core.add_wire_bytes(wire_bytes);
         core.telemetry().on_phase_end("aggregate", round);
 
         // 5. Evaluation and bookkeeping.
@@ -83,6 +87,7 @@ impl Scheduler for SyncRounds {
             upload_floats: outcome.upload_floats,
             total_local_epochs: messages.iter().map(|m| m.epochs_run).sum(),
             samples_processed: messages.iter().map(|m| m.samples_processed).sum(),
+            wire_bytes,
             elapsed_ms: start.elapsed().as_millis() as u64,
         })?;
         Ok(TickReport {

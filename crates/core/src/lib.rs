@@ -96,7 +96,7 @@ pub mod prelude {
     pub use crate::engine::{
         AggregationMode, AsyncConfig, AsyncRecord, BufferedAsync, DispatchConfig, DispatchMode,
         RoundEngine, Scheduler, SemiAsync, SemiAsyncConfig, StalenessWeight, SyncEngine,
-        SyncRounds,
+        SyncRounds, WireGuard, WirePath, WirePathConfig,
     };
     pub use crate::heterogeneity::LocalWorkSchedule;
     pub use crate::metrics::{RoundRecord, RunHistory};

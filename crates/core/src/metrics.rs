@@ -24,6 +24,15 @@ pub struct RoundRecord {
     pub total_local_epochs: usize,
     /// Total samples processed by local training this round.
     pub samples_processed: usize,
+    /// True wire bytes of this round's uploads: the quantized size when
+    /// the engine's wire path encoded them, the dense `4 · upload_floats`
+    /// otherwise. (Defaults to 0 when parsing pre-wire histories.)
+    #[serde(default)]
+    pub wire_bytes: usize,
+    /// Dense-to-wire compression ratio of this round's uploads (≈4 at
+    /// 8-bit quantization; 1.0 for dense uploads and pre-wire histories).
+    #[serde(default = "dense_ratio_one")]
+    pub dense_wire_ratio: f64,
     /// Wall-clock duration of the round in milliseconds (simulation time,
     /// reported for reference only).
     pub elapsed_ms: u64,
@@ -32,6 +41,12 @@ pub struct RoundRecord {
     pub staleness_mean: f64,
     /// Maximum staleness τ among this round's arrival events.
     pub staleness_max: usize,
+}
+
+/// Serde default for [`RoundRecord::dense_wire_ratio`]: pre-wire histories
+/// were dense, so their ratio is 1.
+fn dense_ratio_one() -> f64 {
+    1.0
 }
 
 /// The full history of a federated run.
@@ -194,10 +209,25 @@ mod tests {
             cumulative_upload_floats: 100 * (round + 1),
             total_local_epochs: 20,
             samples_processed: 1000,
+            wire_bytes: 400,
+            dense_wire_ratio: 1.0,
             elapsed_ms: 5,
             staleness_mean: 0.5,
             staleness_max: round,
         }
+    }
+
+    #[test]
+    fn pre_wire_records_parse_with_dense_defaults() {
+        // A record serialized before the wire path existed: no wire_bytes,
+        // no dense_wire_ratio.
+        let legacy = r#"{"round":0,"test_accuracy":0.5,"test_loss":0.5,
+            "num_selected":4,"upload_floats":100,"cumulative_upload_floats":100,
+            "total_local_epochs":8,"samples_processed":400,"elapsed_ms":3,
+            "staleness_mean":0.0,"staleness_max":0}"#;
+        let r: RoundRecord = serde_json::from_str(legacy).unwrap();
+        assert_eq!(r.wire_bytes, 0);
+        assert_eq!(r.dense_wire_ratio, 1.0);
     }
 
     #[test]

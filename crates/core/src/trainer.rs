@@ -21,7 +21,7 @@ use fedadmm_nn::loss::{accuracy, softmax_cross_entropy};
 use fedadmm_nn::models::ModelSpec;
 use fedadmm_nn::network::Network;
 use fedadmm_nn::optimizer::Sgd;
-use fedadmm_tensor::TensorResult;
+use fedadmm_tensor::{Tensor, TensorResult};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -71,7 +71,35 @@ pub fn local_sgd(
 ) -> TensorResult<LocalSgdResult> {
     let mut model_rng = SmallRng::seed_from_u64(env.seed ^ 0xA5A5_5A5A);
     let mut net = env.model.build(&mut model_rng);
-    sgd_epochs(env, init, &mut net, correction)
+    sgd_epochs(
+        env,
+        init,
+        &mut net,
+        &mut TrainScratch::default(),
+        correction,
+    )
+}
+
+/// Reusable buffers for the per-batch temporaries of the SGD loop: the
+/// flattened gradient and the gathered mini-batch (features + labels).
+///
+/// Without scratch every SGD step allocates three fresh vectors
+/// (`grads_flat`, the gathered feature block, the label vector); with it the
+/// same three buffers are recycled across steps, epochs, *and* jobs — the
+/// dispatch pool keeps one `TrainScratch` per worker inside its
+/// [`UpdateScratch`](crate::algorithms::UpdateScratch). Reuse is
+/// bit-identical to allocating fresh: every buffer is fully overwritten
+/// before it is read.
+#[derive(Debug, Default)]
+pub struct TrainScratch {
+    /// Flat gradient buffer (`d` floats), refilled by
+    /// [`Network::grads_flat_into`] every step.
+    pub grads: Vec<f32>,
+    /// Gathered mini-batch feature block, round-tripped through the forward
+    /// pass's input [`Tensor`] so the allocation survives across steps.
+    pub batch_data: Vec<f32>,
+    /// Gathered mini-batch labels.
+    pub batch_labels: Vec<usize>,
 }
 
 /// A reusable [`Network`] instance keyed by the [`ModelSpec`] that built it.
@@ -104,25 +132,34 @@ impl NetCache {
     }
 }
 
-/// [`local_sgd`] against a cached network (see [`NetCache`]): identical
-/// arithmetic, minus the per-call model construction.
+/// [`local_sgd`] against a cached network (see [`NetCache`]) and reusable
+/// per-batch buffers (see [`TrainScratch`]): identical arithmetic, minus
+/// the per-call model construction and the per-step allocations.
 pub fn local_sgd_cached(
     env: &LocalEnv<'_>,
     init: &[f32],
     cache: &mut NetCache,
+    scratch: &mut TrainScratch,
     correction: impl FnMut(&[f32], &mut [f32]),
 ) -> TensorResult<LocalSgdResult> {
-    sgd_epochs(env, init, cache.get(env.model), correction)
+    sgd_epochs(env, init, cache.get(env.model), scratch, correction)
 }
 
 /// The shared epoch/batch loop of [`local_sgd`] and [`local_sgd_cached`];
-/// `net`'s parameters are overwritten from `init` before the first step.
+/// `net`'s parameters are overwritten from `init` before the first step and
+/// every `scratch` buffer is overwritten before it is read.
 fn sgd_epochs(
     env: &LocalEnv<'_>,
     init: &[f32],
     net: &mut Network,
+    scratch: &mut TrainScratch,
     mut correction: impl FnMut(&[f32], &mut [f32]),
 ) -> TensorResult<LocalSgdResult> {
+    let TrainScratch {
+        grads,
+        batch_data,
+        batch_labels,
+    } = scratch;
     let mut params = init.to_vec();
     net.set_params_flat(&params)?;
     let sgd = Sgd::new(env.learning_rate);
@@ -135,14 +172,21 @@ fn sgd_epochs(
         let mut epoch_loss = 0.0f32;
         let mut epoch_batches = 0usize;
         for batch in BatchIterator::new(env.indices, env.batch_size, &mut batch_rng) {
-            let (x, labels) = env.dataset.gather(&batch)?;
+            env.dataset.gather_into(&batch, batch_data, batch_labels)?;
+            // Round-trip the feature buffer through the input tensor so its
+            // allocation survives into the next step.
+            let x = Tensor::from_vec(
+                std::mem::take(batch_data),
+                &[batch.len(), env.dataset.feature_dim()],
+            )?;
             let logits = net.forward(&x)?;
-            let (loss, grad) = softmax_cross_entropy(&logits, &labels)?;
+            let (loss, grad) = softmax_cross_entropy(&logits, batch_labels)?;
             net.zero_grads();
             net.backward(&grad)?;
-            let mut grads = net.grads_flat();
-            correction(&params, &mut grads);
-            sgd.step(&mut params, &grads);
+            *batch_data = x.into_vec();
+            net.grads_flat_into(grads);
+            correction(&params, grads);
+            sgd.step(&mut params, grads);
             net.set_params_flat(&params)?;
             steps += 1;
             samples += batch.len();
@@ -282,6 +326,33 @@ mod tests {
         let env2 = LocalEnv { seed: 43, ..env };
         let c = local_sgd(&env2, &init, |_, _| {}).unwrap();
         assert_ne!(a.params, c.params);
+    }
+
+    #[test]
+    fn cached_scratch_path_is_bit_identical_to_local_sgd() {
+        let (train, _) = SyntheticDataset::Mnist.generate(90, 10, 8);
+        let indices: Vec<usize> = (0..90).collect();
+        let env = small_env(&train, &indices);
+        let init = vec![0.02f32; env.model.num_params()];
+        let fresh = local_sgd(&env, &init, |_, _| {}).unwrap();
+
+        let mut cache = NetCache::default();
+        let mut scratch = TrainScratch::default();
+        let a = local_sgd_cached(&env, &init, &mut cache, &mut scratch, |_, _| {}).unwrap();
+        assert_eq!(fresh.params, a.params);
+        assert_eq!(fresh.final_epoch_loss, a.final_epoch_loss);
+
+        // A second job on the same worker reuses every buffer — both the
+        // network cache and the per-batch scratch — with identical results
+        // and no capacity churn.
+        let grads_cap = scratch.grads.capacity();
+        let data_cap = scratch.batch_data.capacity();
+        let labels_cap = scratch.batch_labels.capacity();
+        let b = local_sgd_cached(&env, &init, &mut cache, &mut scratch, |_, _| {}).unwrap();
+        assert_eq!(fresh.params, b.params);
+        assert_eq!(scratch.grads.capacity(), grads_cap);
+        assert_eq!(scratch.batch_data.capacity(), data_cap);
+        assert_eq!(scratch.batch_labels.capacity(), labels_cap);
     }
 
     #[test]

@@ -95,6 +95,26 @@ impl Dataset {
     pub fn gather(&self, indices: &[usize]) -> TensorResult<(Tensor, Vec<usize>)> {
         let mut data = Vec::with_capacity(indices.len() * self.feature_dim);
         let mut labels = Vec::with_capacity(indices.len());
+        self.gather_into(indices, &mut data, &mut labels)?;
+        let x = Tensor::from_vec(data, &[indices.len(), self.feature_dim])?;
+        Ok((x, labels))
+    }
+
+    /// Gathers the samples at `indices` into caller-owned buffers, reusing
+    /// their allocations — the scratch-friendly twin of [`Dataset::gather`]
+    /// for per-batch hot loops. `data` receives the row-major
+    /// `[indices.len() × feature_dim]` feature block and `labels` the
+    /// matching labels; both are cleared first.
+    pub fn gather_into(
+        &self,
+        indices: &[usize],
+        data: &mut Vec<f32>,
+        labels: &mut Vec<usize>,
+    ) -> TensorResult<()> {
+        data.clear();
+        data.reserve(indices.len() * self.feature_dim);
+        labels.clear();
+        labels.reserve(indices.len());
         for &i in indices {
             if i >= self.len() {
                 return Err(TensorError::IndexOutOfBounds {
@@ -105,8 +125,7 @@ impl Dataset {
             data.extend_from_slice(self.features_of(i));
             labels.push(self.labels[i]);
         }
-        let x = Tensor::from_vec(data, &[indices.len(), self.feature_dim])?;
-        Ok((x, labels))
+        Ok(())
     }
 
     /// Gathers the whole dataset (used for full-batch evaluation).
@@ -167,6 +186,23 @@ mod tests {
         assert_eq!(x.dims(), &[2, 2]);
         assert_eq!(x.data(), &[3.0, 3.1, 0.0, 0.1]);
         assert_eq!(labels, vec![0, 0]);
+    }
+
+    #[test]
+    fn gather_into_matches_gather_and_reuses_buffers() {
+        let d = toy();
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        d.gather_into(&[3, 0], &mut data, &mut labels).unwrap();
+        let (x, expected_labels) = d.gather(&[3, 0]).unwrap();
+        assert_eq!(data, x.data());
+        assert_eq!(labels, expected_labels);
+        let cap = data.capacity();
+        d.gather_into(&[1, 2], &mut data, &mut labels).unwrap();
+        assert_eq!(data, &[1.0, 1.1, 2.0, 2.1]);
+        assert_eq!(labels, vec![1, 2]);
+        assert_eq!(data.capacity(), cap, "gather_into must reuse the buffer");
+        assert!(d.gather_into(&[4], &mut data, &mut labels).is_err());
     }
 
     #[test]

@@ -93,10 +93,19 @@ impl Network {
     /// same order as [`Network::params_flat`].
     pub fn grads_flat(&self) -> Vec<f32> {
         let mut out = Vec::with_capacity(self.num_params());
-        for layer in &self.layers {
-            layer.write_grads(&mut out);
-        }
+        self.grads_flat_into(&mut out);
         out
+    }
+
+    /// Writes the accumulated parameter gradients into `out`, reusing its
+    /// allocation — the scratch-friendly twin of [`Network::grads_flat`]
+    /// for per-step hot loops.
+    pub fn grads_flat_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.reserve(self.num_params());
+        for layer in &self.layers {
+            layer.write_grads(out);
+        }
     }
 
     /// Clears all accumulated parameter gradients.
@@ -169,6 +178,20 @@ mod tests {
         let gx = net.backward(&Tensor::ones(&[5, 3])).unwrap();
         assert_eq!(gx.dims(), &[5, 4]);
         assert_eq!(net.grads_flat().len(), net.num_params());
+    }
+
+    #[test]
+    fn grads_flat_into_matches_grads_flat() {
+        let mut net = small_net(6);
+        let x = Tensor::ones(&[2, 4]);
+        let y = net.forward(&x).unwrap();
+        net.backward(&Tensor::ones(y.dims())).unwrap();
+        let mut buf = vec![9.9f32; 3]; // stale contents must be discarded
+        net.grads_flat_into(&mut buf);
+        assert_eq!(buf, net.grads_flat());
+        let cap = buf.capacity();
+        net.grads_flat_into(&mut buf);
+        assert_eq!(buf.capacity(), cap, "grads_flat_into must reuse the buffer");
     }
 
     #[test]

@@ -14,6 +14,19 @@
 //! reconstruction), not the key-agreement protocol itself — the simulation
 //! plays all parties, so Diffie–Hellman key exchange is out of scope and a
 //! shared seed table stands in for it.
+//!
+//! The hot-path entry points are [`SecureAggregator::mask_into`] and
+//! [`SecureAggregator::apply_mask_with`], which stream the pairwise masks
+//! straight out of the RNG into a caller-owned scratch buffer — no per-call
+//! allocation, matching the engine's per-worker
+//! [`DispatchScratch`](fedadmm_core::engine::DispatchScratch) discipline.
+//!
+//! **Future work — mask-domain fusion.** Masking currently operates on the
+//! dense `f32` update, i.e. *before* the wire path quantizes it. Fusing the
+//! two (masking the quantized codes directly, so masked uploads stay at
+//! wire width) needs integer masks over the code ring `[0, 2^bits)` with
+//! modular cancellation; the dense mechanism here is kept as the reference
+//! semantics for that follow-up.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -72,29 +85,57 @@ impl SecureAggregator {
     /// `+m_{client,j}` over higher-id partners and `−m_{j,client}` over
     /// lower-id partners.
     pub fn mask_for(&self, client: usize) -> Vec<f32> {
+        let mut mask = Vec::new();
+        self.mask_into(client, &mut mask);
+        mask
+    }
+
+    /// Writes client `client`'s total mask into `mask`, reusing its
+    /// allocation — the scratch-friendly twin of [`mask_for`]. The pairwise
+    /// masks are streamed straight out of each pair's RNG into the
+    /// accumulator, so beyond `mask` itself nothing is allocated.
+    pub fn mask_into(&self, client: usize, mask: &mut Vec<f32>) {
         assert!(
             self.participants.contains(&client),
             "client {client} is not a participant of this round"
         );
-        let mut mask = vec![0.0f32; self.dim];
+        mask.clear();
+        mask.resize(self.dim, 0.0);
         for &other in &self.participants {
             if other == client {
                 continue;
             }
-            let pair = self.pair_mask(client, other);
-            let sign = if client < other { 1.0 } else { -1.0 };
-            for (m, p) in mask.iter_mut().zip(pair.iter()) {
-                *m += sign * p;
+            let (lo, hi) = if client < other {
+                (client, other)
+            } else {
+                (other, client)
+            };
+            let seed = self
+                .round_seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((lo as u64) << 32)
+                .wrapping_add(hi as u64);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let sign = if client < other { 1.0f32 } else { -1.0 };
+            for m in mask.iter_mut() {
+                *m += sign * rng.gen_range(-1.0f32..1.0);
             }
         }
-        mask
     }
 
     /// Masks `update` in place on behalf of `client`.
     pub fn apply_mask(&self, client: usize, update: &mut [f32]) {
+        let mut scratch = Vec::new();
+        self.apply_mask_with(client, update, &mut scratch);
+    }
+
+    /// Like [`apply_mask`], but builds the mask in the caller-owned
+    /// `scratch` buffer so repeated calls (one per dispatched client, every
+    /// round) allocate nothing after the first.
+    pub fn apply_mask_with(&self, client: usize, update: &mut [f32], scratch: &mut Vec<f32>) {
         assert_eq!(update.len(), self.dim, "update dimension mismatch");
-        let mask = self.mask_for(client);
-        for (u, m) in update.iter_mut().zip(mask.iter()) {
+        self.mask_into(client, scratch);
+        for (u, m) in update.iter_mut().zip(scratch.iter()) {
             *u += m;
         }
     }
@@ -207,6 +248,33 @@ mod tests {
             .sum::<f32>()
             .sqrt();
         assert!(dist > 1.0, "masking changed the vector by only {dist}");
+    }
+
+    #[test]
+    fn mask_into_matches_mask_for_and_reuses_the_buffer() {
+        let participants = [1usize, 4, 7, 9];
+        let agg = SecureAggregator::new(55, &participants, 96);
+        let mut scratch = Vec::new();
+        for &c in &participants {
+            agg.mask_into(c, &mut scratch);
+            assert_eq!(scratch, agg.mask_for(c));
+        }
+        let cap = scratch.capacity();
+        agg.mask_into(1, &mut scratch);
+        assert_eq!(scratch.capacity(), cap, "mask_into must reuse the buffer");
+    }
+
+    #[test]
+    fn apply_mask_with_matches_apply_mask() {
+        let participants = [0usize, 2, 5];
+        let agg = SecureAggregator::new(17, &participants, 32);
+        let raw: Vec<f32> = (0..32).map(|i| i as f32 * 0.01).collect();
+        let mut a = raw.clone();
+        agg.apply_mask(2, &mut a);
+        let mut b = raw;
+        let mut scratch = Vec::with_capacity(32);
+        agg.apply_mask_with(2, &mut b, &mut scratch);
+        assert_eq!(a, b);
     }
 
     #[test]

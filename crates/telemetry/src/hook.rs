@@ -122,6 +122,12 @@ pub trait Telemetry: Send {
         let _ = floats;
     }
 
+    /// Clients uploaded `bytes` over the wire (the quantized size when the
+    /// engine's wire path is on, the dense `4 · floats` size otherwise).
+    fn on_wire_upload(&mut self, bytes: usize) {
+        let _ = bytes;
+    }
+
     /// The server folded `num_messages` payloads into θ in `seconds`
     /// (the fused single-pass aggregation).
     fn on_aggregate(&mut self, round: usize, num_messages: usize, seconds: f64) {
@@ -207,6 +213,9 @@ pub mod names {
     pub const DROPPED_ARRIVALS_TOTAL: &str = "dropped_arrivals_total";
     /// Counter: floats uploaded client → server.
     pub const UPLOAD_FLOATS_TOTAL: &str = "upload_floats_total";
+    /// Counter: true bytes uploaded client → server (quantized wire size
+    /// when the engine's wire path is on, dense `4 · floats` otherwise).
+    pub const WIRE_BYTES_TOTAL: &str = "wire_bytes_total";
     /// Counter: floats downloaded server → client (θ snapshots).
     pub const BROADCAST_FLOATS_TOTAL: &str = "broadcast_floats_total";
     /// Counter: local epochs run.
@@ -266,6 +275,7 @@ pub struct Recorder {
     c_aggregations: CounterId,
     c_dropped: CounterId,
     c_upload: CounterId,
+    c_wire_bytes: CounterId,
     c_broadcast: CounterId,
     c_epochs: CounterId,
     c_samples: CounterId,
@@ -317,6 +327,7 @@ impl Recorder {
         let c_aggregations = metrics.counter(names::AGGREGATIONS_TOTAL);
         let c_dropped = metrics.counter(names::DROPPED_ARRIVALS_TOTAL);
         let c_upload = metrics.counter(names::UPLOAD_FLOATS_TOTAL);
+        let c_wire_bytes = metrics.counter(names::WIRE_BYTES_TOTAL);
         let c_broadcast = metrics.counter(names::BROADCAST_FLOATS_TOTAL);
         let c_epochs = metrics.counter(names::LOCAL_EPOCHS_TOTAL);
         let c_samples = metrics.counter(names::SAMPLES_TOTAL);
@@ -347,6 +358,7 @@ impl Recorder {
             c_aggregations,
             c_dropped,
             c_upload,
+            c_wire_bytes,
             c_broadcast,
             c_epochs,
             c_samples,
@@ -462,6 +474,10 @@ impl Telemetry for Recorder {
 
     fn on_upload(&mut self, floats: usize) {
         self.metrics.inc(self.c_upload, floats as u64);
+    }
+
+    fn on_wire_upload(&mut self, bytes: usize) {
+        self.metrics.inc(self.c_wire_bytes, bytes as u64);
     }
 
     fn on_aggregate(&mut self, round: usize, num_messages: usize, seconds: f64) {
@@ -604,6 +620,7 @@ mod tests {
         r.on_client_update(0, 4, 0.01, 2, 30);
         r.on_phase_end("dispatch", 0);
         r.on_upload(100);
+        r.on_wire_upload(108);
         r.on_aggregate(0, 1, 0.002);
         r.on_eval(0, 0.003);
         r.on_arrival(4, 2, 0.5);
@@ -616,6 +633,7 @@ mod tests {
         assert_eq!(m.counter_by_name(names::ROUNDS_TOTAL), Some(1));
         assert_eq!(m.counter_by_name(names::CLIENT_UPDATES_TOTAL), Some(1));
         assert_eq!(m.counter_by_name(names::UPLOAD_FLOATS_TOTAL), Some(100));
+        assert_eq!(m.counter_by_name(names::WIRE_BYTES_TOTAL), Some(108));
         assert_eq!(m.counter_by_name(names::BROADCAST_FLOATS_TOTAL), Some(100));
         assert_eq!(m.counter_by_name(names::DROPPED_ARRIVALS_TOTAL), Some(1));
         assert_eq!(m.gauge_by_name(names::TEST_ACCURACY), Some(0.8));

@@ -280,6 +280,156 @@ pub fn weighted_sum_into(alphas: &[f32], xs: &[&[f32]], out: &mut [f32]) {
     }
 }
 
+/// One quantized term of a fused dequantize-accumulate: an affinely coded
+/// vector (`decoded[i] = min + codes[i] as f32 · step`) and the fold
+/// coefficient it is scaled by.
+///
+/// Borrowing the codes keeps the fold allocation-free; the engine's wire
+/// path builds one term per client message straight over the received
+/// payload.
+#[derive(Debug, Clone, Copy)]
+pub struct DequantTerm<'a> {
+    /// Fold coefficient the decoded vector is scaled by.
+    pub alpha: f32,
+    /// Affine decode offset (the quantization grid minimum).
+    pub min: f32,
+    /// Affine decode step (grid spacing).
+    pub step: f32,
+    /// Quantization codes, one per output element.
+    pub codes: &'a [u16],
+}
+
+/// `out[i] += alpha · (min + codes[i] · step)` — dequantize-accumulate one
+/// coded vector in a single pass, without materializing the decoded floats.
+///
+/// Elementwise, so bit-identical to decoding into a scratch vector and
+/// calling [`axpy`] on it.
+///
+/// # Panics
+/// Panics if `codes.len() != out.len()`.
+pub fn dequant_axpy(alpha: f32, min: f32, step: f32, codes: &[u16], out: &mut [f32]) {
+    assert_eq!(codes.len(), out.len(), "dequant_axpy length mismatch");
+    let mut cb = codes.chunks_exact(LANES);
+    let mut ob = out.chunks_exact_mut(LANES);
+    for (os, cs) in ob.by_ref().zip(cb.by_ref()) {
+        for k in 0..LANES {
+            os[k] += alpha * (min + cs[k] as f32 * step);
+        }
+    }
+    for (o, c) in ob.into_remainder().iter_mut().zip(cb.remainder()) {
+        *o += alpha * (min + *c as f32 * step);
+    }
+}
+
+/// Fused multi-message dequantize-accumulate:
+/// `out[i] += Σ_t alphas[t] · (min[t] + codes[t][i] · step[t])` in a single
+/// pass over `out` — the compressed analogue of [`axpy_fused`].
+///
+/// Each `LANES`-wide output tile is loaded once and every term streams
+/// through it; per-element term order matches the naive loop, so results
+/// are bit-identical to decoding each term and folding it scalar-wise.
+///
+/// # Panics
+/// Panics if any term's `codes.len() != out.len()`.
+pub fn dequant_axpy_fused(terms: &[DequantTerm<'_>], out: &mut [f32]) {
+    for t in terms {
+        assert_eq!(
+            t.codes.len(),
+            out.len(),
+            "dequant_axpy_fused length mismatch"
+        );
+    }
+    match terms {
+        [] => {}
+        [t] => dequant_axpy(t.alpha, t.min, t.step, t.codes, out),
+        _ => {
+            let n = out.len();
+            let mut i = 0;
+            while i + LANES <= n {
+                let mut acc = [0.0f32; LANES];
+                acc.copy_from_slice(&out[i..i + LANES]);
+                for t in terms {
+                    let ct = &t.codes[i..i + LANES];
+                    for k in 0..LANES {
+                        acc[k] += t.alpha * (t.min + ct[k] as f32 * t.step);
+                    }
+                }
+                out[i..i + LANES].copy_from_slice(&acc);
+                i += LANES;
+            }
+            for (j, o) in out.iter_mut().enumerate().skip(i) {
+                let mut acc = *o;
+                for t in terms {
+                    acc += t.alpha * (t.min + t.codes[j] as f32 * t.step);
+                }
+                *o = acc;
+            }
+        }
+    }
+}
+
+/// Fused dequantized weighted sum:
+/// `out[i] = Σ_t alphas[t] · (min[t] + codes[t][i] · step[t])`, overwriting
+/// `out` — the compressed analogue of [`weighted_sum_into`].
+///
+/// # Panics
+/// Panics if any term's `codes.len() != out.len()`.
+pub fn dequant_sum_into(terms: &[DequantTerm<'_>], out: &mut [f32]) {
+    for t in terms {
+        assert_eq!(t.codes.len(), out.len(), "dequant_sum_into length mismatch");
+    }
+    if terms.is_empty() {
+        zero(out);
+        return;
+    }
+    let n = out.len();
+    let mut i = 0;
+    while i + LANES <= n {
+        let mut acc = [0.0f32; LANES];
+        for t in terms {
+            let ct = &t.codes[i..i + LANES];
+            for k in 0..LANES {
+                acc[k] += t.alpha * (t.min + ct[k] as f32 * t.step);
+            }
+        }
+        out[i..i + LANES].copy_from_slice(&acc);
+        i += LANES;
+    }
+    for (j, o) in out.iter_mut().enumerate().skip(i) {
+        let mut acc = 0.0f32;
+        for t in terms {
+            acc += t.alpha * (t.min + t.codes[j] as f32 * t.step);
+        }
+        *o = acc;
+    }
+}
+
+/// Minimum and maximum of `x` in one pass ([`LANES`] independent
+/// accumulators per bound). Returns `(∞, −∞)` for an empty slice. Exact:
+/// min/max are associative, so lane order cannot change the result.
+///
+/// This is the quantization-grid pass of the wire path — one call per
+/// upload — which is why it is fused into a single sweep here instead of
+/// two serial `fold`s at the call site.
+pub fn min_max(x: &[f32]) -> (f32, f32) {
+    let mut lo = [f32::INFINITY; LANES];
+    let mut hi = [f32::NEG_INFINITY; LANES];
+    let mut xb = x.chunks_exact(LANES);
+    for xs in xb.by_ref() {
+        for k in 0..LANES {
+            lo[k] = lo[k].min(xs[k]);
+            hi[k] = hi[k].max(xs[k]);
+        }
+    }
+    let mut min = lo.iter().copied().fold(f32::INFINITY, f32::min);
+    let mut max = hi.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    for &v in xb.remainder() {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    (min, max)
+}
+
 /// `x.iter().sum()` of absolute values (L1 norm).
 pub fn norm_l1(x: &[f32]) -> f32 {
     x.iter().map(|v| v.abs()).sum()
@@ -321,6 +471,19 @@ pub fn mean_of(vectors: &[&[f32]]) -> Vec<f32> {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    #[test]
+    fn min_max_matches_serial_folds_at_every_remainder_shape() {
+        assert_eq!(min_max(&[]), (f32::INFINITY, f32::NEG_INFINITY));
+        for n in [1usize, 7, 8, 9, 31, 4097] {
+            let x: Vec<f32> = (0..n as i64)
+                .map(|i| ((i * 37 + 11).rem_euclid(101) - 50) as f32)
+                .collect();
+            let lo = x.iter().copied().fold(f32::INFINITY, f32::min);
+            let hi = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            assert_eq!(min_max(&x), (lo, hi), "length {n}");
+        }
+    }
 
     #[test]
     fn axpy_basic() {
@@ -488,6 +651,27 @@ mod tests {
                 *o = acc;
             }
         }
+        pub fn dequant_axpy(alpha: f32, min: f32, step: f32, codes: &[u16], out: &mut [f32]) {
+            for (o, &c) in out.iter_mut().zip(codes.iter()) {
+                *o += alpha * (min + c as f32 * step);
+            }
+        }
+        pub fn dequant_axpy_fused(terms: &[super::DequantTerm<'_>], out: &mut [f32]) {
+            for (i, o) in out.iter_mut().enumerate() {
+                for t in terms {
+                    *o += t.alpha * (t.min + t.codes[i] as f32 * t.step);
+                }
+            }
+        }
+        pub fn dequant_sum_into(terms: &[super::DequantTerm<'_>], out: &mut [f32]) {
+            for (i, o) in out.iter_mut().enumerate() {
+                let mut acc = 0.0f32;
+                for t in terms {
+                    acc += t.alpha * (t.min + t.codes[i] as f32 * t.step);
+                }
+                *o = acc;
+            }
+        }
     }
 
     /// Lengths that exercise the empty, all-tail, exact-block and
@@ -538,7 +722,104 @@ mod tests {
             weighted_sum_into(&alphas, &terms, &mut got);
             reference::weighted_sum_into(&alphas, &terms, &mut want);
             assert_eq!(got, want, "weighted_sum_into len {n}");
+
+            // Integer-valued (alpha, min, step, codes) keep every decode and
+            // partial sum exact, so the fused dequant kernels must agree
+            // with the scalar reference bit for bit.
+            let codes_a = code_ramp(n, 7, 2);
+            let codes_b = code_ramp(n, 5, 9);
+            let codes_c = code_ramp(n, 11, 4);
+            let mut got = z.clone();
+            let mut want = z.clone();
+            dequant_axpy(3.0, -8.0, 2.0, &codes_a, &mut got);
+            reference::dequant_axpy(3.0, -8.0, 2.0, &codes_a, &mut want);
+            assert_eq!(got, want, "dequant_axpy len {n}");
+
+            let dq_terms = [
+                DequantTerm {
+                    alpha: 2.0,
+                    min: -8.0,
+                    step: 2.0,
+                    codes: &codes_a,
+                },
+                DequantTerm {
+                    alpha: -3.0,
+                    min: 4.0,
+                    step: 1.0,
+                    codes: &codes_b,
+                },
+                DequantTerm {
+                    alpha: 5.0,
+                    min: -2.0,
+                    step: 3.0,
+                    codes: &codes_c,
+                },
+            ];
+            let mut got = z.clone();
+            let mut want = z.clone();
+            dequant_axpy_fused(&dq_terms, &mut got);
+            reference::dequant_axpy_fused(&dq_terms, &mut want);
+            assert_eq!(got, want, "dequant_axpy_fused len {n}");
+            dequant_sum_into(&dq_terms, &mut got);
+            reference::dequant_sum_into(&dq_terms, &mut want);
+            assert_eq!(got, want, "dequant_sum_into len {n}");
         }
+    }
+
+    /// Deterministic quantization codes in [0, 13).
+    fn code_ramp(n: usize, mul: u64, offset: u64) -> Vec<u16> {
+        (0..n as u64)
+            .map(|i| ((i * mul + offset) % 13) as u16)
+            .collect()
+    }
+
+    #[test]
+    fn dequant_axpy_matches_decode_then_axpy() {
+        // Single-term fused fold ≡ materialize the decoded vector, then axpy.
+        let codes = code_ramp(37, 3, 5);
+        let (alpha, min, step) = (0.75f32, -0.4f32, 0.05f32);
+        let decoded: Vec<f32> = codes.iter().map(|&c| min + c as f32 * step).collect();
+        let mut via_decode = ramp(37, 5, 1);
+        let mut direct = via_decode.clone();
+        axpy(alpha, &decoded, &mut via_decode);
+        dequant_axpy(alpha, min, step, &codes, &mut direct);
+        assert_eq!(direct, via_decode);
+    }
+
+    #[test]
+    fn dequant_fused_degenerate_arities() {
+        let mut out = [1.0f32, 2.0, 3.0];
+        dequant_axpy_fused(&[], &mut out);
+        assert_eq!(out, [1.0, 2.0, 3.0]);
+        dequant_sum_into(&[], &mut out);
+        assert_eq!(out, [0.0, 0.0, 0.0]);
+        let codes = [1u16, 2, 3];
+        dequant_axpy_fused(
+            &[DequantTerm {
+                alpha: 2.0,
+                min: 0.0,
+                step: 1.0,
+                codes: &codes,
+            }],
+            &mut out,
+        );
+        assert_eq!(out, [2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dequant_axpy_fused length mismatch")]
+    fn dequant_fused_mismatch_panics() {
+        let codes = [1u16, 2, 3];
+        let mut out = [0.0f32; 2];
+        dequant_axpy_fused(
+            &[DequantTerm {
+                alpha: 1.0,
+                min: 0.0,
+                step: 1.0,
+                codes: &codes,
+            }],
+            &mut out,
+        );
     }
 
     proptest! {

@@ -69,6 +69,7 @@ impl Algorithm for FedAvgM {
             payload: vec![delta],
             epochs_run: env.epochs,
             samples_processed: result.samples_processed,
+            wire: None,
         })
     }
 

@@ -20,7 +20,7 @@
 
 use fedadmm::prelude::*;
 use fedadmm::telemetry::names;
-use fedadmm_core::engine::{DispatchConfig, DispatchMode, RoundEngine};
+use fedadmm_core::engine::{DispatchConfig, DispatchMode, RoundEngine, WirePathConfig};
 use proptest::prelude::*;
 
 fn config(num_clients: usize, seed: u64, system_heterogeneity: bool) -> FedConfig {
@@ -139,6 +139,9 @@ fn in_memory_engine_matches_pre_refactor_golden_digest() {
     let cfg = config(num_clients, 93, true);
     let (train, test) = data(num_clients, 93);
     let partition = DataDistribution::NonIidShards.partition(&train, num_clients, 93);
+    // The digest is compared against a constant, so the wire path is
+    // pinned off regardless of FEDADMM_WIRE_PATH (CI re-runs this suite
+    // with the wire path forced on).
     let mut engine = RoundEngine::new(
         cfg,
         train,
@@ -147,7 +150,8 @@ fn in_memory_engine_matches_pre_refactor_golden_digest() {
         FedAdmm::paper_default(),
         SyncRounds,
     )
-    .unwrap();
+    .unwrap()
+    .with_wire_path(WirePathConfig::disabled());
     engine.run_rounds(4).unwrap();
     let digest = run_digest(engine.history(), engine.global_model());
     assert_eq!(
@@ -174,7 +178,8 @@ fn digest_with_dispatch(dispatch: DispatchConfig) -> u64 {
         SyncRounds,
     )
     .unwrap()
-    .with_dispatch(dispatch);
+    .with_dispatch(dispatch)
+    .with_wire_path(WirePathConfig::disabled());
     engine.run_rounds(4).unwrap();
     run_digest(engine.history(), engine.global_model())
 }

@@ -314,6 +314,19 @@ pub mod __private {
             .ok_or_else(|| DeError::msg(format!("missing field `{key}` for {ty}")))
     }
 
+    /// Like [`field`], but a missing key yields `None` instead of an error —
+    /// the lookup behind `#[serde(default)]` / `#[serde(default = "path")]`.
+    pub fn field_opt<'a>(
+        value: &'a Value,
+        key: &'static str,
+        ty: &'static str,
+    ) -> Result<Option<&'a Value>, DeError> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| DeError::msg(format!("expected an object for {ty}")))?;
+        Ok(obj.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+
     /// Looks up a tuple element in an array value of the expected length.
     pub fn tuple_elem<'a>(
         value: &'a Value,

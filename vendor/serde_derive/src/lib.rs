@@ -8,15 +8,29 @@
 //! named structs → objects, newtype structs → the inner value, tuple
 //! structs → arrays, unit variants → strings, data variants → single-key
 //! objects.
+//!
+//! Field attributes: `#[serde(default)]` and `#[serde(default = "path")]`
+//! are honored on named struct fields — a missing key deserializes to
+//! `Default::default()` (or `path()`), matching upstream semantics for
+//! schema evolution. All other `#[serde(...)]` attributes are rejected at
+//! compile time rather than silently ignored.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 #[derive(Debug)]
 enum Shape {
-    NamedStruct(Vec<String>),
+    NamedStruct(Vec<Field>),
     TupleStruct(usize),
     UnitStruct,
     Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    /// `None` = required; `Some(None)` = `#[serde(default)]`;
+    /// `Some(Some(path))` = `#[serde(default = "path")]`.
+    default: Option<Option<String>>,
 }
 
 #[derive(Debug)]
@@ -29,11 +43,11 @@ struct Variant {
 enum VariantKind {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<Field>),
 }
 
 /// Derives the vendored `serde::Serialize`.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     match parse_item(input) {
         Ok((name, shape)) => gen_serialize(&name, &shape)
@@ -44,7 +58,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derives the vendored `serde::Deserialize`.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     match parse_item(input) {
         Ok((name, shape)) => gen_deserialize(&name, &shape)
@@ -126,13 +140,36 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
     }
 }
 
-/// Parses `name: Type, ...` field lists, returning the field names.
-fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+/// Parses `name: Type, ...` field lists, returning the field names plus any
+/// `#[serde(default)]` / `#[serde(default = "path")]` annotations.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        skip_attrs_and_vis(&tokens, &mut i);
+        let mut default: Option<Option<String>> = None;
+        // Consume attributes and visibility, inspecting `#[serde(...)]`.
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                        if let Some(d) = parse_serde_attr(g.stream())? {
+                            default = Some(d);
+                        }
+                    }
+                    i += 2;
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1; // `pub(crate)` etc.
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
         if i >= tokens.len() {
             break;
         }
@@ -150,9 +187,50 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
             }
         }
         skip_type_until_comma(&tokens, &mut i);
-        fields.push(name);
+        fields.push(Field { name, default });
     }
     Ok(fields)
+}
+
+/// Inspects one attribute body (the tokens inside `#[...]`). Returns the
+/// default spec when it is a supported `serde(...)` attribute, `None` for
+/// non-serde attributes (doc comments etc.), and an error for serde
+/// attributes this vendored subset does not implement.
+fn parse_serde_attr(stream: TokenStream) -> Result<Option<Option<String>>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return Ok(None),
+    }
+    let Some(TokenTree::Group(args)) = tokens.get(1) else {
+        return Err("malformed #[serde] attribute".to_string());
+    };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    match args.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "default" => match args.get(1) {
+            None => Ok(Some(None)),
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => match args.get(2) {
+                Some(TokenTree::Literal(lit)) => {
+                    let raw = lit.to_string();
+                    let path = raw.trim_matches('"').to_string();
+                    if path.is_empty() || path == raw {
+                        Err(format!(
+                            "expected a string path in serde(default = …), found {raw}"
+                        ))
+                    } else {
+                        Ok(Some(Some(path)))
+                    }
+                }
+                other => Err(format!(
+                    "expected a path literal after serde(default =), found {other:?}"
+                )),
+            },
+            other => Err(format!("unsupported serde(default …) form: {other:?}")),
+        },
+        other => Err(format!(
+            "the vendored serde_derive only supports serde(default …), found {other:?}"
+        )),
+    }
 }
 
 /// Advances past a type expression up to (and past) the next top-level `,`.
@@ -237,7 +315,10 @@ fn gen_serialize(name: &str, shape: &Shape) -> String {
         Shape::NamedStruct(fields) => {
             let entries: Vec<String> = fields
                 .iter()
-                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .map(|f| {
+                    let f = &f.name;
+                    format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))")
+                })
                 .collect();
             format!("::serde::Value::Object(vec![{}])", entries.join(", "))
         }
@@ -274,10 +355,15 @@ fn gen_serialize(name: &str, shape: &Shape) -> String {
                             )
                         }
                         VariantKind::Named(fields) => {
-                            let binds = fields.join(", ");
+                            let binds = fields
+                                .iter()
+                                .map(|f| f.name.as_str())
+                                .collect::<Vec<_>>()
+                                .join(", ");
                             let entries: Vec<String> = fields
                                 .iter()
                                 .map(|f| {
+                                    let f = &f.name;
                                     format!(
                                         "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
                                     )
@@ -301,16 +387,32 @@ fn gen_serialize(name: &str, shape: &Shape) -> String {
     )
 }
 
+/// One `field: <expr>` initializer for a named field, honoring its default.
+fn named_field_init(f: &Field, value: &str, ty: &str) -> String {
+    let n = &f.name;
+    match &f.default {
+        None => format!(
+            "{n}: ::serde::Deserialize::from_value(::serde::__private::field({value}, \"{n}\", \"{ty}\")?)?"
+        ),
+        Some(fallback) => {
+            let missing = match fallback {
+                None => "::std::default::Default::default()".to_string(),
+                Some(path) => format!("{path}()"),
+            };
+            format!(
+                "{n}: match ::serde::__private::field_opt({value}, \"{n}\", \"{ty}\")? {{ \
+                 Some(__v) => ::serde::Deserialize::from_value(__v)?, None => {missing} }}"
+            )
+        }
+    }
+}
+
 fn gen_deserialize(name: &str, shape: &Shape) -> String {
     let body = match shape {
         Shape::NamedStruct(fields) => {
             let inits: Vec<String> = fields
                 .iter()
-                .map(|f| {
-                    format!(
-                        "{f}: ::serde::Deserialize::from_value(::serde::__private::field(__value, \"{f}\", \"{name}\")?)?"
-                    )
-                })
+                .map(|f| named_field_init(f, "__value", name))
                 .collect();
             format!("Ok({name} {{ {} }})", inits.join(", "))
         }
@@ -354,11 +456,7 @@ fn gen_deserialize(name: &str, shape: &Shape) -> String {
                         VariantKind::Named(fields) => {
                             let inits: Vec<String> = fields
                                 .iter()
-                                .map(|f| {
-                                    format!(
-                                        "{f}: ::serde::Deserialize::from_value(::serde::__private::field(__c, \"{f}\", \"{name}\")?)?"
-                                    )
-                                })
+                                .map(|f| named_field_init(f, "__c", name))
                                 .collect();
                             format!(
                                 "\"{vn}\" => {{ let __c = __content.ok_or_else(|| ::serde::DeError::msg(\"variant {vn} of {name} expects data\"))?; Ok({name}::{vn} {{ {} }}) }}",
