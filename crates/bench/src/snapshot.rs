@@ -5,9 +5,10 @@
 //! answers "what does a whole federated run cost right now?". It drives a
 //! fixed scenario matrix (sync / semi-async × IID / non-IID, plus a
 //! large-population spill-store scenario, a heterogeneous-epochs
-//! straggler-skew scenario that stresses the dispatch pool, and a fused
+//! straggler-skew scenario that stresses the dispatch pool, a fused
 //! compression + privacy wire scenario timed against its plain
-//! reference) through the
+//! reference, and a train-bound dense-compute scenario that stresses the
+//! local-SGD kernels) through the
 //! [`RoundEngine`] with a [`Recorder`] installed and writes one JSON file
 //! per invocation, named `BENCH_<date>_<git-sha>.json`, containing
 //! rounds/sec, bytes moved (uploads and θ broadcasts), staleness quantiles,
@@ -43,8 +44,10 @@ use std::time::Instant;
 /// `dispatch` block; v4 added the fused compression + privacy wire
 /// scenario, the per-scenario `wire_bytes` / `dense_wire_ratio` fields,
 /// and redefined `bytes_moved` as true wire bytes (quantized size when
-/// the wire path is on) instead of dense `4 · floats`.
-pub const SCHEMA_VERSION: u64 = 4;
+/// the wire path is on) instead of dense `4 · floats`; v5 added the
+/// train-bound dense-compute scenario with its `samples_per_sec` /
+/// `steps_per_sec` throughput fields.
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// Which scheduler a scenario drives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -486,6 +489,109 @@ pub fn run_wire_scenario(scale: Scale, rounds: usize) -> TensorResult<Value> {
     }))
 }
 
+/// Shape of the train-bound scenario at a scale:
+/// `(clients, samples_per_client, hidden_dim, batch)`.
+pub fn train_shape(scale: Scale) -> (usize, usize, usize, usize) {
+    match scale {
+        Scale::Smoke => (8, 64, 128, 32),
+        Scale::Scaled | Scale::Paper => (16, 128, 256, 64),
+    }
+}
+
+/// Local epochs every client of the train-bound scenario runs per round.
+pub const TRAIN_EPOCHS: usize = 2;
+
+/// Runs the train-bound dense-compute scenario: full participation of a
+/// small population over a *wide* MLP (784 → [`train_shape`] hidden units →
+/// 10) with large mini-batches, so nearly all of the round's wall time is
+/// spent inside the local-SGD forward/backward kernels rather than in
+/// dispatch, aggregation or evaluation. This is the row the compute-kernel
+/// roadmap work (blocked GEMM, fused layers, activation arena) is judged
+/// against; besides the standard keys it reports `samples_per_sec` and
+/// `steps_per_sec` — SGD-step throughput derived from the run history
+/// (every client holds exactly `samples_per_client` samples, so the step
+/// count per local epoch is `ceil(samples_per_client / batch)`).
+pub fn run_train_scenario(scale: Scale, rounds: usize) -> TensorResult<Value> {
+    const SEED: u64 = 7331;
+    let (num_clients, samples_per_client, hidden_dim, batch) = train_shape(scale);
+    let config = FedConfig {
+        num_clients,
+        participation: Participation::Fraction(1.0),
+        local_epochs: TRAIN_EPOCHS,
+        system_heterogeneity: false,
+        batch_size: BatchSize::Size(batch),
+        local_learning_rate: 0.05,
+        model: ModelSpec::Mlp {
+            input_dim: 784,
+            hidden_dim,
+            num_classes: 10,
+        },
+        seed: SEED,
+        eval_subset: usize::MAX,
+    };
+    let (train, test) =
+        SyntheticDataset::Mnist.generate(num_clients * samples_per_client, 200, SEED);
+    let partition = DataDistribution::Iid.partition(&train, num_clients, SEED);
+    let mut engine = RoundEngine::new(
+        config,
+        train,
+        test,
+        partition,
+        FedAdmm::paper_default(),
+        SyncRounds,
+    )?
+    .eval_subset(0.25)
+    .with_telemetry(Box::new(Recorder::new()));
+
+    let start = Instant::now();
+    engine.run_rounds(rounds)?;
+    let wall_seconds = start.elapsed().as_secs_f64();
+    let final_accuracy = engine.history().final_accuracy();
+    let telemetry = engine.take_telemetry();
+    let history = engine.into_history();
+    let rec = telemetry
+        .as_any()
+        .and_then(|a| a.downcast_ref::<Recorder>())
+        .expect("scenario telemetry is a Recorder");
+
+    let (upload_bytes, wire_bytes, dense_wire_ratio) = upload_fields(rec);
+    let broadcast_bytes = counter(rec, names::BROADCAST_FLOATS_TOTAL) * 4;
+    let staleness_max = history.records.iter().map(|r| r.staleness_max).max();
+    let (dispatch_chunks, dispatch_steals, dispatch_imbalance) = dispatch_fields(rec);
+    let total_samples: usize = history.records.iter().map(|r| r.samples_processed).sum();
+    let steps_per_epoch = samples_per_client.div_ceil(batch);
+    let total_steps = history.total_local_epochs() * steps_per_epoch;
+    Ok(json!({
+        "name": format!("train-bound/mlp-784x{hidden_dim}x10"),
+        "scheduler": SchedulerKind::Sync.label(),
+        "distribution": DataDistribution::Iid.label(),
+        "num_clients": num_clients,
+        "hidden_dim": hidden_dim,
+        "batch_size": batch,
+        "local_epochs": TRAIN_EPOCHS,
+        "rounds": rounds,
+        "wall_seconds": wall_seconds,
+        "rounds_per_sec": rounds as f64 / wall_seconds.max(1e-12),
+        "samples_per_sec": total_samples as f64 / wall_seconds.max(1e-12),
+        "steps_per_sec": total_steps as f64 / wall_seconds.max(1e-12),
+        "final_accuracy": final_accuracy as f64,
+        "client_updates": counter(rec, names::CLIENT_UPDATES_TOTAL),
+        "upload_bytes": upload_bytes,
+        "broadcast_bytes": broadcast_bytes,
+        "wire_bytes": wire_bytes,
+        "dense_wire_ratio": dense_wire_ratio,
+        "bytes_moved": wire_bytes + broadcast_bytes,
+        "staleness": hist_json(rec.metrics().histogram_by_name(names::STALENESS_ROUNDS)),
+        "staleness_max_recorded": staleness_max.unwrap_or(0),
+        "client_compute_seconds": hist_json(rec.metrics().histogram_by_name(names::CLIENT_COMPUTE_SECONDS)),
+        "aggregate_seconds": hist_json(rec.metrics().histogram_by_name(names::AGGREGATE_SECONDS)),
+        "eval_seconds": hist_json(rec.metrics().histogram_by_name(names::EVAL_SECONDS)),
+        "dispatch_chunks": dispatch_chunks,
+        "dispatch_steals": dispatch_steals,
+        "dispatch_imbalance": dispatch_imbalance,
+    }))
+}
+
 /// Client population of the spill-store scenario at each scale: a
 /// seconds-scale stand-in for CI at `Smoke`, the full million-client
 /// population at `Scaled` and `Paper`.
@@ -671,6 +777,8 @@ pub fn build_snapshot(scale: Scale, rounds: usize) -> TensorResult<Value> {
     ));
     let wire = run_wire_scenario(scale, rounds)?;
     scenarios.push((wire["name"].as_str().unwrap_or("wire").to_string(), wire));
+    let train = run_train_scenario(scale, rounds)?;
+    scenarios.push((train["name"].as_str().unwrap_or("train").to_string(), train));
     let scenario_values: Vec<Value> = scenarios.into_iter().map(|(_, v)| v).collect();
     let overhead = overhead_check(scale, rounds)?;
     let dispatch_config = DispatchConfig::default();
@@ -761,6 +869,24 @@ pub fn validate_snapshot(snapshot: &Value) -> Result<(), String> {
         .as_u64()
         .filter(|&e| e > 1)
         .ok_or("straggler scenario: straggler_epochs missing or trivial")?;
+    let train = scenarios
+        .iter()
+        .find(|s| {
+            s["name"]
+                .as_str()
+                .is_some_and(|n| n.starts_with("train-bound/"))
+        })
+        .ok_or("no train-bound scenario present")?;
+    for key in ["samples_per_sec", "steps_per_sec"] {
+        train[key]
+            .as_f64()
+            .filter(|v| *v > 0.0)
+            .ok_or_else(|| format!("train-bound scenario: {key} missing or zero"))?;
+    }
+    train["hidden_dim"]
+        .as_u64()
+        .filter(|&h| h >= 64)
+        .ok_or("train-bound scenario: hidden_dim missing or not train-bound")?;
     let wire = scenarios
         .iter()
         .find(|s| s["name"].as_str().is_some_and(|n| n.starts_with("wire/")))
@@ -988,8 +1114,8 @@ mod tests {
         let scenarios = back["scenarios"].as_array().unwrap();
         assert_eq!(
             scenarios.len(),
-            7,
-            "4 matrix cells + the spill, straggler and wire scenarios"
+            8,
+            "4 matrix cells + the spill, straggler, wire and train-bound scenarios"
         );
         let semi = scenarios
             .iter()
@@ -1034,6 +1160,21 @@ mod tests {
         assert!(wire["wire_bytes"].as_u64().unwrap() < wire["upload_bytes"].as_u64().unwrap());
         assert!(wire["plain_rounds_per_sec"].as_f64().unwrap() > 0.0);
         assert!(wire["wire_overhead_pct"].as_f64().unwrap().is_finite());
+        // The train-bound scenario reports live SGD-step throughput and
+        // stays consistent with its own step accounting: steps/sec exceeds
+        // rounds/sec by the per-round step count.
+        let train = scenarios
+            .iter()
+            .find(|s| {
+                s["name"]
+                    .as_str()
+                    .is_some_and(|n| n.starts_with("train-bound/"))
+            })
+            .unwrap();
+        assert!(train["samples_per_sec"].as_f64().unwrap() > 0.0);
+        let steps_per_sec = train["steps_per_sec"].as_f64().unwrap();
+        let rounds_per_sec = train["rounds_per_sec"].as_f64().unwrap();
+        assert!(steps_per_sec > rounds_per_sec);
         // Every dense scenario still reports wire bytes — equal to the
         // classical 4·floats accounting when the path is off.
         for s in scenarios.iter().filter(|s| s["dense_wire_ratio"] == 1.0) {
