@@ -1,0 +1,153 @@
+//! Micro-benchmarks of the training GEMM kernels: the naive reference
+//! kernels the repo shipped with versus the blocked, register-tiled
+//! replacements and the fused matmul+bias(+ReLU) dense-layer kernel.
+//!
+//! Shapes mirror the two training regimes:
+//! * MLP-sized — the `[32, 784]`-batch hidden-layer products of the bench
+//!   harness's train-bound scenario (forward `A·Bᵀ`, backward `Aᵀ·B` for
+//!   dW and `A·B` for dX);
+//! * conv-sized — the per-sample `[out_ch, k²·in_ch] · [k²·in_ch, h·w]`
+//!   im2col product of CNN1's second convolution.
+//!
+//! Every variant writes into a pre-allocated output so the comparison is
+//! pure kernel arithmetic, exactly as on the arena-backed hot path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedadmm_tensor::ops::{self, reference};
+use fedadmm_tensor::Tensor;
+use std::hint::black_box;
+
+/// Deterministic small-magnitude values; no RNG needed for throughput.
+fn ramp_tensor(dims: &[usize], mul: i64, offset: i64) -> Tensor {
+    let n: usize = dims.iter().product();
+    let data: Vec<f32> = (0..n)
+        .map(|i| ((i as i64 * mul + offset).rem_euclid(17) - 8) as f32 * 0.25)
+        .collect();
+    Tensor::from_vec(data, dims).unwrap()
+}
+
+/// (label, m, k, n): C[m×n] = A[m×k] · B[k×n].
+const AB_SHAPES: [(&str, usize, usize, usize); 2] = [
+    ("mlp_dx_32x128x784", 32, 128, 784),
+    ("conv_im2col_64x800x196", 64, 800, 196),
+];
+
+fn bench_gemm_ab(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_kernels");
+    for &(label, m, k, n) in &AB_SHAPES {
+        let a = ramp_tensor(&[m, k], 3, 1);
+        let b = ramp_tensor(&[k, n], 5, 2);
+        let mut out_vec = vec![0.0f32; m * n];
+        let mut out = Tensor::zeros(&[m, n]);
+        group.bench_with_input(BenchmarkId::new("naive", label), &label, |bench, _| {
+            bench.iter(|| {
+                reference::matmul_into(
+                    black_box(a.data()),
+                    black_box(b.data()),
+                    black_box(&mut out_vec),
+                    m,
+                    k,
+                    n,
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("blocked", label), &label, |bench, _| {
+            bench.iter(|| ops::gemm_into(black_box(&a), black_box(&b), black_box(&mut out)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gemm_transposes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_transpose_kernels");
+    // The MLP hidden layer's other two products: dW = Xᵀ·G and the fused
+    // forward's X·Wᵀ (weight stored `[out_features, in_features]`).
+    let (batch, in_dim, out_dim) = (32usize, 784usize, 128usize);
+    let x = ramp_tensor(&[batch, in_dim], 3, 1);
+    let g = ramp_tensor(&[batch, out_dim], 5, 2);
+    let w = ramp_tensor(&[out_dim, in_dim], 7, 3);
+    let mut dw_vec = vec![0.0f32; in_dim * out_dim];
+    let mut dw = Tensor::zeros(&[in_dim, out_dim]);
+    let mut y_vec = vec![0.0f32; batch * out_dim];
+    let mut y = Tensor::zeros(&[batch, out_dim]);
+    group.bench_function("at_b_dw_784x128/naive", |bench| {
+        bench.iter(|| {
+            reference::matmul_at_b_into(
+                black_box(x.data()),
+                black_box(g.data()),
+                black_box(&mut dw_vec),
+                batch,
+                in_dim,
+                out_dim,
+            )
+        })
+    });
+    group.bench_function("at_b_dw_784x128/blocked", |bench| {
+        bench.iter(|| ops::gemm_at_b_into(black_box(&x), black_box(&g), black_box(&mut dw)))
+    });
+    group.bench_function("a_bt_fwd_32x128/naive", |bench| {
+        bench.iter(|| {
+            reference::matmul_a_bt_into(
+                black_box(x.data()),
+                black_box(w.data()),
+                black_box(&mut y_vec),
+                batch,
+                in_dim,
+                out_dim,
+            )
+        })
+    });
+    group.bench_function("a_bt_fwd_32x128/blocked", |bench| {
+        bench.iter(|| ops::gemm_a_bt_into(black_box(&x), black_box(&w), black_box(&mut y)))
+    });
+    group.finish();
+}
+
+fn bench_fused_linear(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fused_linear");
+    let (batch, in_dim, out_dim) = (32usize, 784usize, 128usize);
+    let x = ramp_tensor(&[batch, in_dim], 3, 1);
+    let w = ramp_tensor(&[out_dim, in_dim], 5, 2);
+    let bias = ramp_tensor(&[out_dim], 7, 3);
+    let mut out = Tensor::zeros(&[batch, out_dim]);
+    // Unfused baseline: matmul into the buffer, then bias, then ReLU —
+    // three passes over the output, as the pre-fusion layer stack did.
+    group.bench_function("mlp_32x784x128/separate", |bench| {
+        bench.iter(|| {
+            ops::gemm_a_bt_into(black_box(&x), black_box(&w), black_box(&mut out)).unwrap();
+            for row in out.data_mut().chunks_mut(out_dim) {
+                for (o, &bv) in row.iter_mut().zip(bias.data().iter()) {
+                    *o += bv;
+                }
+            }
+            // Same NaN-collapsing mask test as the fused kernel.
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            for o in out.data_mut().iter_mut() {
+                if !(*o > 0.0) {
+                    *o = 0.0;
+                }
+            }
+        })
+    });
+    group.bench_function("mlp_32x784x128/fused", |bench| {
+        bench.iter(|| {
+            ops::linear_forward_into(
+                black_box(&x),
+                black_box(&w),
+                black_box(&bias),
+                black_box(&mut out),
+                true,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gemm_ab,
+    bench_gemm_transposes,
+    bench_fused_linear
+);
+criterion_main!(benches);

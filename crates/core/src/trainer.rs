@@ -15,12 +15,13 @@
 //! (FedSGD), and [`evaluate`] measures loss/accuracy of a parameter vector
 //! on a dataset.
 
-use fedadmm_data::batching::{BatchIterator, BatchSize};
+use fedadmm_data::batching::{shuffle_epoch_into, BatchSize};
 use fedadmm_data::Dataset;
-use fedadmm_nn::loss::{accuracy, softmax_cross_entropy};
+use fedadmm_nn::loss::{accuracy, softmax_cross_entropy_into};
 use fedadmm_nn::models::ModelSpec;
 use fedadmm_nn::network::Network;
 use fedadmm_nn::optimizer::Sgd;
+use fedadmm_nn::ActivationArena;
 use fedadmm_tensor::{Tensor, TensorResult};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -81,25 +82,50 @@ pub fn local_sgd(
 }
 
 /// Reusable buffers for the per-batch temporaries of the SGD loop: the
-/// flattened gradient and the gathered mini-batch (features + labels).
+/// flattened gradient, the gathered mini-batch (features + labels), the
+/// epoch shuffle order, the input tensor, and the activation arena that the
+/// forward/backward sweep writes through.
 ///
-/// Without scratch every SGD step allocates three fresh vectors
-/// (`grads_flat`, the gathered feature block, the label vector); with it the
-/// same three buffers are recycled across steps, epochs, *and* jobs — the
-/// dispatch pool keeps one `TrainScratch` per worker inside its
-/// [`UpdateScratch`](crate::algorithms::UpdateScratch). Reuse is
-/// bit-identical to allocating fresh: every buffer is fully overwritten
-/// before it is read.
-#[derive(Debug, Default)]
+/// Without scratch every SGD step allocates fresh vectors for each of these
+/// (plus one tensor per layer per pass); with it the same buffers are
+/// recycled across steps, epochs, *and* jobs — the dispatch pool keeps one
+/// `TrainScratch` per worker inside its
+/// [`UpdateScratch`](crate::algorithms::UpdateScratch), so the steady-state
+/// SGD step performs **zero** heap allocations (pinned by
+/// `tests/alloc_regression.rs`). Reuse is bit-identical to allocating
+/// fresh: every buffer is fully overwritten before it is read.
+#[derive(Debug)]
 pub struct TrainScratch {
     /// Flat gradient buffer (`d` floats), refilled by
     /// [`Network::grads_flat_into`] every step.
     pub grads: Vec<f32>,
-    /// Gathered mini-batch feature block, round-tripped through the forward
-    /// pass's input [`Tensor`] so the allocation survives across steps.
+    /// Gathered mini-batch feature block, ping-ponged with the `input`
+    /// tensor's storage so both allocations survive across steps.
     pub batch_data: Vec<f32>,
     /// Gathered mini-batch labels.
     pub batch_labels: Vec<usize>,
+    /// Shuffled sample order for the current epoch; batches are consecutive
+    /// `chunks(B)` of this permutation.
+    pub perm: Vec<usize>,
+    /// The forward pass's input tensor; its storage swaps with `batch_data`
+    /// every step via [`Tensor::replace_data`].
+    pub input: Tensor,
+    /// Per-layer activation/gradient slots for the arena-routed
+    /// forward/backward sweep.
+    pub arena: ActivationArena,
+}
+
+impl Default for TrainScratch {
+    fn default() -> Self {
+        TrainScratch {
+            grads: Vec::new(),
+            batch_data: Vec::new(),
+            batch_labels: Vec::new(),
+            perm: Vec::new(),
+            input: Tensor::zeros(&[0]),
+            arena: ActivationArena::new(),
+        }
+    }
 }
 
 /// A reusable [`Network`] instance keyed by the [`ModelSpec`] that built it.
@@ -159,31 +185,39 @@ fn sgd_epochs(
         grads,
         batch_data,
         batch_labels,
+        perm,
+        input,
+        arena,
     } = scratch;
     let mut params = init.to_vec();
     net.set_params_flat(&params)?;
     let sgd = Sgd::new(env.learning_rate);
 
     let mut batch_rng = SmallRng::seed_from_u64(env.seed);
+    let batch_len = env.batch_size.resolve(env.indices.len());
+    let feature_dim = env.dataset.feature_dim();
     let mut steps = 0usize;
     let mut samples = 0usize;
     let mut final_epoch_loss = 0.0f32;
     for epoch in 0..env.epochs.max(1) {
         let mut epoch_loss = 0.0f32;
         let mut epoch_batches = 0usize;
-        for batch in BatchIterator::new(env.indices, env.batch_size, &mut batch_rng) {
-            env.dataset.gather_into(&batch, batch_data, batch_labels)?;
-            // Round-trip the feature buffer through the input tensor so its
-            // allocation survives into the next step.
-            let x = Tensor::from_vec(
-                std::mem::take(batch_data),
-                &[batch.len(), env.dataset.feature_dim()],
-            )?;
-            let logits = net.forward(&x)?;
-            let (loss, grad) = softmax_cross_entropy(&logits, batch_labels)?;
+        // Same RNG consumption (and therefore the same batch order) as the
+        // allocating `BatchIterator` path this loop replaced.
+        shuffle_epoch_into(env.indices, &mut batch_rng, perm);
+        for batch in perm.chunks(batch_len) {
+            env.dataset.gather_into(batch, batch_data, batch_labels)?;
+            // Ping-pong the gathered feature block with the input tensor's
+            // storage so both allocations survive across steps.
+            *batch_data =
+                input.replace_data(std::mem::take(batch_data), &[batch.len(), feature_dim])?;
+            net.forward_arena(input, arena)?;
+            let loss = {
+                let (logits, loss_grad) = arena.output_and_loss_grad();
+                softmax_cross_entropy_into(logits, batch_labels, loss_grad)?
+            };
             net.zero_grads();
-            net.backward(&grad)?;
-            *batch_data = x.into_vec();
+            net.backward_arena(arena)?;
             net.grads_flat_into(grads);
             correction(&params, grads);
             sgd.step(&mut params, grads);
@@ -222,15 +256,25 @@ pub fn full_gradient(env: &LocalEnv<'_>, at: &[f32]) -> TensorResult<(Vec<f32>, 
     let mut grad_acc = vec![0.0f32; d];
     let mut loss_acc = 0.0f32;
     let mut total = 0usize;
+    let mut scratch = TrainScratch::default();
+    let feature_dim = env.dataset.feature_dim();
     for batch in env.indices.chunks(chunk) {
-        let (x, labels) = env.dataset.gather(batch)?;
-        let logits = net.forward(&x)?;
-        let (loss, grad) = softmax_cross_entropy(&logits, &labels)?;
+        env.dataset
+            .gather_into(batch, &mut scratch.batch_data, &mut scratch.batch_labels)?;
+        scratch.batch_data = scratch.input.replace_data(
+            std::mem::take(&mut scratch.batch_data),
+            &[batch.len(), feature_dim],
+        )?;
+        net.forward_arena(&scratch.input, &mut scratch.arena)?;
+        let loss = {
+            let (logits, loss_grad) = scratch.arena.output_and_loss_grad();
+            softmax_cross_entropy_into(logits, &scratch.batch_labels, loss_grad)?
+        };
         net.zero_grads();
-        net.backward(&grad)?;
-        let g = net.grads_flat();
+        net.backward_arena(&mut scratch.arena)?;
+        net.grads_flat_into(&mut scratch.grads);
         let w = batch.len() as f32;
-        for (acc, gi) in grad_acc.iter_mut().zip(g.iter()) {
+        for (acc, gi) in grad_acc.iter_mut().zip(scratch.grads.iter()) {
             *acc += gi * w;
         }
         loss_acc += loss * w;
@@ -265,11 +309,24 @@ pub fn evaluate(
     let mut correct_acc = 0.0f32;
     let chunk = 256usize;
     let indices: Vec<usize> = (0..n).collect();
+    // Route chunks through one arena and one reused gather buffer, so a
+    // whole evaluation pass performs O(1) allocations rather than O(chunks).
+    let mut scratch = TrainScratch::default();
+    let feature_dim = dataset.feature_dim();
     for batch in indices.chunks(chunk) {
-        let (x, labels) = dataset.gather(batch)?;
-        let logits = net.forward(&x)?;
-        let (loss, _) = softmax_cross_entropy(&logits, &labels)?;
-        let acc = accuracy(&logits, &labels)?;
+        dataset.gather_into(batch, &mut scratch.batch_data, &mut scratch.batch_labels)?;
+        scratch.batch_data = scratch.input.replace_data(
+            std::mem::take(&mut scratch.batch_data),
+            &[batch.len(), feature_dim],
+        )?;
+        net.forward_arena(&scratch.input, &mut scratch.arena)?;
+        let (loss, acc) = {
+            let (logits, loss_grad) = scratch.arena.output_and_loss_grad();
+            (
+                softmax_cross_entropy_into(logits, &scratch.batch_labels, loss_grad)?,
+                accuracy(logits, &scratch.batch_labels)?,
+            )
+        };
         let w = batch.len() as f32;
         loss_acc += loss * w;
         correct_acc += acc * w;

@@ -65,6 +65,18 @@ impl BatchIterator {
     }
 }
 
+/// Shuffles `indices` into `buf`, reusing its allocation — one epoch's worth
+/// of batch order for allocation-free training loops.
+///
+/// Consumes the RNG identically to [`BatchIterator::new`] (one shuffle of a
+/// same-length slice), so `buf.chunks(batch_size.resolve(indices.len()))`
+/// yields bit-identical batches to the iterator without the per-batch `Vec`s.
+pub fn shuffle_epoch_into(indices: &[usize], rng: &mut impl Rng, buf: &mut Vec<usize>) {
+    buf.clear();
+    buf.extend_from_slice(indices);
+    buf.shuffle(rng);
+}
+
 impl Iterator for BatchIterator {
     type Item = Vec<usize>;
 
@@ -151,6 +163,28 @@ mod tests {
         a_sorted.sort_unstable();
         b_sorted.sort_unstable();
         assert_eq!(a_sorted, b_sorted);
+    }
+
+    #[test]
+    fn shuffle_epoch_into_matches_batch_iterator() {
+        let indices: Vec<usize> = (5..47).collect();
+        let mut rng_iter = SmallRng::seed_from_u64(9);
+        let mut rng_into = SmallRng::seed_from_u64(9);
+        let mut buf = Vec::new();
+        // Two consecutive epochs must consume the RNG identically.
+        for _ in 0..2 {
+            let via_iter: Vec<Vec<usize>> =
+                BatchIterator::new(&indices, BatchSize::Size(8), &mut rng_iter).collect();
+            shuffle_epoch_into(&indices, &mut rng_into, &mut buf);
+            let via_into: Vec<Vec<usize>> = buf
+                .chunks(BatchSize::Size(8).resolve(indices.len()))
+                .map(|c| c.to_vec())
+                .collect();
+            assert_eq!(via_iter, via_into);
+        }
+        let cap = buf.capacity();
+        shuffle_epoch_into(&indices, &mut rng_into, &mut buf);
+        assert_eq!(buf.capacity(), cap, "epoch shuffle must reuse the buffer");
     }
 
     proptest! {

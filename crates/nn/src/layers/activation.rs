@@ -29,12 +29,30 @@ impl Layer for Tanh {
     }
 
     fn forward(&mut self, input: &Tensor) -> TensorResult<Tensor> {
-        let out = input.map(|x| x.tanh());
-        self.output = Some(out.data().to_vec());
+        let mut out = Tensor::zeros(&[0]);
+        self.forward_into(input, &mut out)?;
         Ok(out)
     }
 
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor) -> TensorResult<()> {
+        out.resize_in_place(input.dims());
+        let cache = self.output.get_or_insert_with(Vec::new);
+        cache.clear();
+        for (o, &x) in out.data_mut().iter_mut().zip(input.data().iter()) {
+            let y = x.tanh();
+            *o = y;
+            cache.push(y);
+        }
+        Ok(())
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> TensorResult<Tensor> {
+        let mut out = Tensor::zeros(&[0]);
+        self.backward_into(grad_output, &mut out)?;
+        Ok(out)
+    }
+
+    fn backward_into(&mut self, grad_output: &Tensor, grad_input: &mut Tensor) -> TensorResult<()> {
         let output = self.output.as_ref().ok_or_else(|| {
             TensorError::InvalidArgument("Tanh::backward called before forward".into())
         })?;
@@ -45,15 +63,18 @@ impl Layer for Tanh {
                 grad_output.len()
             )));
         }
-        let mut out = grad_output.clone();
-        for (g, &y) in out.data_mut().iter_mut().zip(output.iter()) {
+        grad_input.resize_in_place(grad_output.dims());
+        let data = grad_input.data_mut();
+        data.copy_from_slice(grad_output.data());
+        for (g, &y) in data.iter_mut().zip(output.iter()) {
             *g *= 1.0 - y * y;
         }
-        Ok(out)
+        Ok(())
     }
 
     fn clone_layer(&self) -> Box<dyn Layer> {
-        Box::new(self.clone())
+        // Cached outputs are per-step activation state; start the clone empty.
+        Box::new(Tanh::new())
     }
 }
 
@@ -77,12 +98,30 @@ impl Layer for Sigmoid {
     }
 
     fn forward(&mut self, input: &Tensor) -> TensorResult<Tensor> {
-        let out = input.map(|x| 1.0 / (1.0 + (-x).exp()));
-        self.output = Some(out.data().to_vec());
+        let mut out = Tensor::zeros(&[0]);
+        self.forward_into(input, &mut out)?;
         Ok(out)
     }
 
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor) -> TensorResult<()> {
+        out.resize_in_place(input.dims());
+        let cache = self.output.get_or_insert_with(Vec::new);
+        cache.clear();
+        for (o, &x) in out.data_mut().iter_mut().zip(input.data().iter()) {
+            let y = 1.0 / (1.0 + (-x).exp());
+            *o = y;
+            cache.push(y);
+        }
+        Ok(())
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> TensorResult<Tensor> {
+        let mut out = Tensor::zeros(&[0]);
+        self.backward_into(grad_output, &mut out)?;
+        Ok(out)
+    }
+
+    fn backward_into(&mut self, grad_output: &Tensor, grad_input: &mut Tensor) -> TensorResult<()> {
         let output = self.output.as_ref().ok_or_else(|| {
             TensorError::InvalidArgument("Sigmoid::backward called before forward".into())
         })?;
@@ -93,15 +132,18 @@ impl Layer for Sigmoid {
                 grad_output.len()
             )));
         }
-        let mut out = grad_output.clone();
-        for (g, &y) in out.data_mut().iter_mut().zip(output.iter()) {
+        grad_input.resize_in_place(grad_output.dims());
+        let data = grad_input.data_mut();
+        data.copy_from_slice(grad_output.data());
+        for (g, &y) in data.iter_mut().zip(output.iter()) {
             *g *= y * (1.0 - y);
         }
-        Ok(out)
+        Ok(())
     }
 
     fn clone_layer(&self) -> Box<dyn Layer> {
-        Box::new(self.clone())
+        // Cached outputs are per-step activation state; start the clone empty.
+        Box::new(Sigmoid::new())
     }
 }
 

@@ -19,6 +19,8 @@ pub struct Conv2d {
     grad_weight: Tensor,
     grad_bias: Tensor,
     cached_input: Option<Tensor>,
+    /// Reusable im2col / gradient-fold buffers for the `_into` kernels.
+    scratch: ops::Conv2dScratch,
 }
 
 impl Conv2d {
@@ -46,12 +48,24 @@ impl Conv2d {
             grad_weight: Tensor::zeros(&[out_channels, in_channels, kernel_size, kernel_size]),
             grad_bias: Tensor::zeros(&[out_channels]),
             cached_input: None,
+            scratch: ops::Conv2dScratch::default(),
         }
     }
 
     /// Output spatial size for a given input spatial size.
     pub fn output_size(&self, input: usize) -> usize {
         ops::conv2d_output_size(input, self.kernel_size, self.stride, self.padding)
+    }
+
+    /// Copies `input` into the reusable cached-input buffer.
+    fn cache_input(&mut self, input: &Tensor) {
+        match &mut self.cached_input {
+            Some(buf) => {
+                buf.resize_in_place(input.dims());
+                buf.data_mut().copy_from_slice(input.data());
+            }
+            None => self.cached_input = Some(input.clone()),
+        }
     }
 }
 
@@ -72,6 +86,26 @@ impl Layer for Conv2d {
         Ok(out)
     }
 
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor) -> TensorResult<()> {
+        if input.rank() != 4 || input.dims()[1] != self.in_channels {
+            return Err(TensorError::ShapeMismatch {
+                left: input.dims().to_vec(),
+                right: vec![0, self.in_channels, 0, 0],
+            });
+        }
+        ops::conv2d_forward_into(
+            input,
+            &self.weight,
+            &self.bias,
+            self.stride,
+            self.padding,
+            &mut self.scratch,
+            out,
+        )?;
+        self.cache_input(input);
+        Ok(())
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> TensorResult<Tensor> {
         let input = self.cached_input.as_ref().ok_or_else(|| {
             TensorError::InvalidArgument("Conv2d::backward called before forward".into())
@@ -81,6 +115,23 @@ impl Layer for Conv2d {
         self.grad_weight.add_assign(&grads.grad_weight)?;
         self.grad_bias.add_assign(&grads.grad_bias)?;
         Ok(grads.grad_input)
+    }
+
+    fn backward_into(&mut self, grad_output: &Tensor, grad_input: &mut Tensor) -> TensorResult<()> {
+        let input = self.cached_input.as_ref().ok_or_else(|| {
+            TensorError::InvalidArgument("Conv2d::backward called before forward".into())
+        })?;
+        ops::conv2d_backward_into(
+            input,
+            &self.weight,
+            grad_output,
+            self.stride,
+            self.padding,
+            &mut self.scratch,
+            &mut self.grad_weight,
+            &mut self.grad_bias,
+            grad_input,
+        )
     }
 
     fn num_params(&self) -> usize {
@@ -111,7 +162,21 @@ impl Layer for Conv2d {
     }
 
     fn clone_layer(&self) -> Box<dyn Layer> {
-        Box::new(self.clone())
+        // Parameters and gradient accumulators are copied; the cached input
+        // and im2col scratch are transient per-step state the clone would
+        // immediately overwrite, so they start empty.
+        Box::new(Conv2d {
+            in_channels: self.in_channels,
+            kernel_size: self.kernel_size,
+            stride: self.stride,
+            padding: self.padding,
+            weight: self.weight.clone(),
+            bias: self.bias.clone(),
+            grad_weight: self.grad_weight.clone(),
+            grad_bias: self.grad_bias.clone(),
+            cached_input: None,
+            scratch: ops::Conv2dScratch::default(),
+        })
     }
 }
 

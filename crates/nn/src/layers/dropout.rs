@@ -68,30 +68,41 @@ impl Layer for Dropout {
     }
 
     fn forward(&mut self, input: &Tensor) -> TensorResult<Tensor> {
-        if !self.training || self.p == 0.0 {
-            self.mask = Some(vec![1.0; input.len()]);
-            return Ok(input.clone());
-        }
-        let keep = 1.0 - self.p;
-        let scale = 1.0 / keep;
-        let mask: Vec<f32> = (0..input.len())
-            .map(|_| {
-                if self.rng.gen::<f32>() < keep {
-                    scale
-                } else {
-                    0.0
-                }
-            })
-            .collect();
-        let mut out = input.clone();
-        for (o, &m) in out.data_mut().iter_mut().zip(mask.iter()) {
-            *o *= m;
-        }
-        self.mask = Some(mask);
+        let mut out = Tensor::zeros(&[0]);
+        self.forward_into(input, &mut out)?;
         Ok(out)
     }
 
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor) -> TensorResult<()> {
+        out.resize_in_place(input.dims());
+        let mask = self.mask.get_or_insert_with(Vec::new);
+        mask.clear();
+        if !self.training || self.p == 0.0 {
+            mask.resize(input.len(), 1.0);
+            out.data_mut().copy_from_slice(input.data());
+            return Ok(());
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        for (o, &x) in out.data_mut().iter_mut().zip(input.data().iter()) {
+            let m = if self.rng.gen::<f32>() < keep {
+                scale
+            } else {
+                0.0
+            };
+            mask.push(m);
+            *o = x * m;
+        }
+        Ok(())
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> TensorResult<Tensor> {
+        let mut out = Tensor::zeros(&[0]);
+        self.backward_into(grad_output, &mut out)?;
+        Ok(out)
+    }
+
+    fn backward_into(&mut self, grad_output: &Tensor, grad_input: &mut Tensor) -> TensorResult<()> {
         let mask = self.mask.as_ref().ok_or_else(|| {
             TensorError::InvalidArgument("Dropout::backward called before forward".into())
         })?;
@@ -102,15 +113,24 @@ impl Layer for Dropout {
                 grad_output.len()
             )));
         }
-        let mut out = grad_output.clone();
-        for (g, &m) in out.data_mut().iter_mut().zip(mask.iter()) {
+        grad_input.resize_in_place(grad_output.dims());
+        let data = grad_input.data_mut();
+        data.copy_from_slice(grad_output.data());
+        for (g, &m) in data.iter_mut().zip(mask.iter()) {
             *g *= m;
         }
-        Ok(out)
+        Ok(())
     }
 
     fn clone_layer(&self) -> Box<dyn Layer> {
-        Box::new(self.clone())
+        // The RNG stream and mode are behavioural state and travel with the
+        // clone; the mask is per-step activation state and starts empty.
+        Box::new(Dropout {
+            p: self.p,
+            training: self.training,
+            rng: self.rng.clone(),
+            mask: None,
+        })
     }
 }
 

@@ -22,6 +22,12 @@ impl Layer for Flatten {
     }
 
     fn forward(&mut self, input: &Tensor) -> TensorResult<Tensor> {
+        let mut out = Tensor::zeros(&[0]);
+        self.forward_into(input, &mut out)?;
+        Ok(out)
+    }
+
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor) -> TensorResult<()> {
         if input.rank() < 2 {
             return Err(TensorError::RankMismatch {
                 expected: 2,
@@ -30,19 +36,39 @@ impl Layer for Flatten {
         }
         let batch = input.dims()[0];
         let rest: usize = input.dims()[1..].iter().product();
-        self.cached_dims = Some(input.dims().to_vec());
-        input.reshape(&[batch, rest])
+        let dims = self.cached_dims.get_or_insert_with(Vec::new);
+        dims.clear();
+        dims.extend_from_slice(input.dims());
+        out.resize_in_place(&[batch, rest]);
+        out.data_mut().copy_from_slice(input.data());
+        Ok(())
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> TensorResult<Tensor> {
+        let mut out = Tensor::zeros(&[0]);
+        self.backward_into(grad_output, &mut out)?;
+        Ok(out)
+    }
+
+    fn backward_into(&mut self, grad_output: &Tensor, grad_input: &mut Tensor) -> TensorResult<()> {
         let dims = self.cached_dims.as_ref().ok_or_else(|| {
             TensorError::InvalidArgument("Flatten::backward called before forward".into())
         })?;
-        grad_output.reshape(dims)
+        let expected: usize = dims.iter().product();
+        if expected != grad_output.len() {
+            return Err(TensorError::InvalidReshape {
+                from: grad_output.len(),
+                to: expected,
+            });
+        }
+        grad_input.resize_in_place(dims);
+        grad_input.data_mut().copy_from_slice(grad_output.data());
+        Ok(())
     }
 
     fn clone_layer(&self) -> Box<dyn Layer> {
-        Box::new(self.clone())
+        // Cached input dims are per-step activation state; start them empty.
+        Box::new(Flatten::new())
     }
 }
 

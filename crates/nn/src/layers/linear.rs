@@ -4,21 +4,33 @@ use super::Layer;
 use fedadmm_tensor::{init, ops, Tensor, TensorError, TensorResult};
 use rand::Rng;
 
-/// A fully connected layer: `y = x·Wᵀ + b`.
+/// A fully connected layer: `y = x·Wᵀ + b`, optionally fused with a
+/// trailing ReLU (`y = max(x·Wᵀ + b, 0)`).
 ///
 /// * input:  `[batch, in_features]`
 /// * weight: `[out_features, in_features]`
 /// * bias:   `[out_features]`
 /// * output: `[batch, out_features]`
+///
+/// The fused variant ([`Linear::new_fused_relu`]) computes matmul, bias and
+/// activation in a single kernel pass and is bit-identical to a `Linear`
+/// followed by a separate `Relu` layer.
 #[derive(Clone)]
 pub struct Linear {
     in_features: usize,
     out_features: usize,
+    fused_relu: bool,
     weight: Tensor,
     bias: Tensor,
     grad_weight: Tensor,
     grad_bias: Tensor,
     cached_input: Option<Tensor>,
+    /// Positive-preactivation mask of the last forward pass (fused ReLU only).
+    relu_mask: Vec<bool>,
+    /// Reusable buffer for `gᵀ·x` before it is accumulated into `grad_weight`.
+    dw_scratch: Tensor,
+    /// Reusable buffer for the ReLU-masked upstream gradient.
+    masked_grad: Tensor,
 }
 
 impl Linear {
@@ -27,12 +39,27 @@ impl Linear {
         Linear {
             in_features,
             out_features,
+            fused_relu: false,
             weight: init::kaiming_uniform(&[out_features, in_features], in_features, rng),
             bias: Tensor::zeros(&[out_features]),
             grad_weight: Tensor::zeros(&[out_features, in_features]),
             grad_bias: Tensor::zeros(&[out_features]),
             cached_input: None,
+            relu_mask: Vec::new(),
+            dw_scratch: Tensor::zeros(&[0]),
+            masked_grad: Tensor::zeros(&[0]),
         }
+    }
+
+    /// Creates a linear layer whose forward pass applies a fused ReLU.
+    ///
+    /// Draws exactly the same RNG values as [`Linear::new`] (a `Relu` layer
+    /// consumes none), so swapping a `Linear + Relu` pair for this fused
+    /// layer leaves model initialisation bit-identical.
+    pub fn new_fused_relu(in_features: usize, out_features: usize, rng: &mut impl Rng) -> Self {
+        let mut layer = Linear::new(in_features, out_features, rng);
+        layer.fused_relu = true;
+        layer
     }
 
     /// Number of input features.
@@ -45,55 +72,107 @@ impl Linear {
         self.out_features
     }
 
+    /// Whether a ReLU is fused into the forward pass.
+    pub fn has_fused_relu(&self) -> bool {
+        self.fused_relu
+    }
+
     /// Immutable access to the weight matrix (used by tests).
     pub fn weight(&self) -> &Tensor {
         &self.weight
+    }
+
+    /// Copies `input` into the reusable cached-input buffer.
+    fn cache_input(&mut self, input: &Tensor) {
+        match &mut self.cached_input {
+            Some(buf) => {
+                buf.resize_in_place(input.dims());
+                buf.data_mut().copy_from_slice(input.data());
+            }
+            None => self.cached_input = Some(input.clone()),
+        }
     }
 }
 
 impl Layer for Linear {
     fn name(&self) -> &'static str {
-        "Linear"
+        if self.fused_relu {
+            "Linear+ReLU"
+        } else {
+            "Linear"
+        }
     }
 
     fn forward(&mut self, input: &Tensor) -> TensorResult<Tensor> {
+        let mut out = Tensor::zeros(&[0]);
+        self.forward_into(input, &mut out)?;
+        Ok(out)
+    }
+
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor) -> TensorResult<()> {
         if input.rank() != 2 || input.dims()[1] != self.in_features {
             return Err(TensorError::ShapeMismatch {
                 left: input.dims().to_vec(),
                 right: vec![0, self.in_features],
             });
         }
-        // y[batch, out] = x[batch, in] · Wᵀ[in, out]
-        let mut out = ops::matmul_a_bt(input, &self.weight)?;
-        let batch = input.dims()[0];
-        let bias = self.bias.data();
-        for b in 0..batch {
-            let row = &mut out.data_mut()[b * self.out_features..(b + 1) * self.out_features];
-            for (v, &bv) in row.iter_mut().zip(bias.iter()) {
-                *v += bv;
-            }
+        // y[batch, out] = x[batch, in] · Wᵀ[in, out] + b (fused bias, and
+        // fused ReLU when enabled).
+        ops::linear_forward_into(input, &self.weight, &self.bias, out, self.fused_relu)?;
+        if self.fused_relu {
+            // ReLU fixes every non-positive preactivation to exactly 0.0 and
+            // keeps positives unchanged, so the positive-preactivation mask
+            // can be read back off the activation itself.
+            self.relu_mask.clear();
+            self.relu_mask.extend(out.data().iter().map(|&v| v > 0.0));
         }
-        self.cached_input = Some(input.clone());
-        Ok(out)
+        self.cache_input(input);
+        Ok(())
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> TensorResult<Tensor> {
+        let mut grad_input = Tensor::zeros(&[0]);
+        self.backward_into(grad_output, &mut grad_input)?;
+        Ok(grad_input)
+    }
+
+    fn backward_into(&mut self, grad_output: &Tensor, grad_input: &mut Tensor) -> TensorResult<()> {
         let input = self.cached_input.as_ref().ok_or_else(|| {
             TensorError::InvalidArgument("Linear::backward called before forward".into())
         })?;
+        let g: &Tensor = if self.fused_relu {
+            if self.relu_mask.len() != grad_output.len() {
+                return Err(TensorError::InvalidArgument(format!(
+                    "fused ReLU mask has {} elements but grad_output has {}",
+                    self.relu_mask.len(),
+                    grad_output.len()
+                )));
+            }
+            self.masked_grad.resize_in_place(grad_output.dims());
+            let data = self.masked_grad.data_mut();
+            data.copy_from_slice(grad_output.data());
+            for (gv, &m) in data.iter_mut().zip(self.relu_mask.iter()) {
+                if !m {
+                    *gv = 0.0;
+                }
+            }
+            &self.masked_grad
+        } else {
+            grad_output
+        };
         // dW[out, in] += gᵀ[out, batch] · x[batch, in]
-        let dw = ops::matmul_at_b(grad_output, input)?;
-        self.grad_weight.add_assign(&dw)?;
+        ops::gemm_at_b_into(g, input, &mut self.dw_scratch)?;
+        self.grad_weight.add_assign(&self.dw_scratch)?;
         // db[out] += column sums of g
-        let batch = grad_output.dims()[0];
+        let batch = g.dims()[0];
         for b in 0..batch {
-            let row = &grad_output.data()[b * self.out_features..(b + 1) * self.out_features];
-            for (gb, &g) in self.grad_bias.data_mut().iter_mut().zip(row.iter()) {
-                *gb += g;
+            let row = &g.data()[b * self.out_features..(b + 1) * self.out_features];
+            for (gb, &gv) in self.grad_bias.data_mut().iter_mut().zip(row.iter()) {
+                *gb += gv;
             }
         }
         // dx[batch, in] = g[batch, out] · W[out, in]
-        ops::matmul(grad_output, &self.weight)
+        ops::gemm_into(g, &self.weight, grad_input)
     }
 
     fn num_params(&self) -> usize {
@@ -124,7 +203,22 @@ impl Layer for Linear {
     }
 
     fn clone_layer(&self) -> Box<dyn Layer> {
-        Box::new(self.clone())
+        // Parameters and gradient accumulators are copied; activation caches
+        // and scratch buffers are transient per-step state the clone would
+        // immediately overwrite, so they start empty.
+        Box::new(Linear {
+            in_features: self.in_features,
+            out_features: self.out_features,
+            fused_relu: self.fused_relu,
+            weight: self.weight.clone(),
+            bias: self.bias.clone(),
+            grad_weight: self.grad_weight.clone(),
+            grad_bias: self.grad_bias.clone(),
+            cached_input: None,
+            relu_mask: Vec::new(),
+            dw_scratch: Tensor::zeros(&[0]),
+            masked_grad: Tensor::zeros(&[0]),
+        })
     }
 }
 
@@ -190,6 +284,69 @@ mod tests {
         let x = fedadmm_tensor::init::randn(&[3, 6], 0.0, 1.0, &mut rng);
         gradcheck::check_param_gradients(&mut l, &x, &[0, 5, 13, 27], 5e-2);
         gradcheck::check_input_gradients(&mut l, &x, &[0, 4, 11, 17], 5e-2);
+    }
+
+    /// The fused Linear+ReLU layer must be bit-identical to a `Linear`
+    /// followed by a separate `Relu`, forward and backward.
+    #[test]
+    fn fused_relu_matches_separate_layers_exactly() {
+        use super::super::Relu;
+        let mut rng = SmallRng::seed_from_u64(21);
+        let mut fused = Linear::new_fused_relu(6, 5, &mut rng);
+        let mut rng2 = SmallRng::seed_from_u64(21);
+        let mut plain = Linear::new(6, 5, &mut rng2);
+        let mut relu = Relu::new();
+        assert_eq!(fused.weight().data(), plain.weight().data());
+        assert!(fused.has_fused_relu());
+
+        let x = fedadmm_tensor::init::randn(&[4, 6], 0.0, 1.0, &mut rng);
+        let y_fused = fused.forward(&x).unwrap();
+        let y_plain = relu.forward(&plain.forward(&x).unwrap()).unwrap();
+        for (a, b) in y_fused.data().iter().zip(y_plain.data().iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        let go = fedadmm_tensor::init::randn(&[4, 5], 0.0, 1.0, &mut rng);
+        let gx_fused = fused.backward(&go).unwrap();
+        let gx_plain = plain.backward(&relu.backward(&go).unwrap()).unwrap();
+        for (a, b) in gx_fused.data().iter().zip(gx_plain.data().iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let (mut gf, mut gp) = (Vec::new(), Vec::new());
+        fused.write_grads(&mut gf);
+        plain.write_grads(&mut gp);
+        assert_eq!(gf.len(), gp.len());
+        for (a, b) in gf.iter().zip(gp.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// `forward_into`/`backward_into` reuse caller buffers and match the
+    /// allocating path.
+    #[test]
+    fn into_path_matches_allocating_path() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut l = Linear::new(4, 3, &mut rng);
+        let x = fedadmm_tensor::init::randn(&[2, 4], 0.0, 1.0, &mut rng);
+        let go = fedadmm_tensor::init::randn(&[2, 3], 0.0, 1.0, &mut rng);
+        let mut out = Tensor::zeros(&[0]);
+        let mut gi = Tensor::zeros(&[0]);
+        l.forward_into(&x, &mut out).unwrap();
+        l.zero_grads();
+        l.backward_into(&go, &mut gi).unwrap();
+        let grads_into = {
+            let mut g = Vec::new();
+            l.write_grads(&mut g);
+            g
+        };
+        let y = l.forward(&x).unwrap();
+        l.zero_grads();
+        let gx = l.backward(&go).unwrap();
+        let mut grads_alloc = Vec::new();
+        l.write_grads(&mut grads_alloc);
+        assert_eq!(out.data(), y.data());
+        assert_eq!(gi.data(), gx.data());
+        assert_eq!(grads_into, grads_alloc);
     }
 
     #[test]

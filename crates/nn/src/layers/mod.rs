@@ -46,6 +46,32 @@ pub trait Layer: Send {
     /// Backward pass: accumulates parameter gradients, returns `dL/d(input)`.
     fn backward(&mut self, grad_output: &Tensor) -> TensorResult<Tensor>;
 
+    /// Forward pass writing into a caller-owned output tensor.
+    ///
+    /// `out` is resized (reusing its capacity) and fully overwritten, so a
+    /// training loop that re-presents the same batch shape performs no
+    /// allocation. Values are bit-identical to [`Layer::forward`]. The
+    /// default implementation falls back to the allocating forward pass.
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor) -> TensorResult<()> {
+        let result = self.forward(input)?;
+        out.resize_in_place(result.dims());
+        out.data_mut().copy_from_slice(result.data());
+        Ok(())
+    }
+
+    /// Backward pass writing `dL/d(input)` into a caller-owned tensor.
+    ///
+    /// Same contract as [`Layer::backward`] (parameter gradients are
+    /// *accumulated*), but the input gradient lands in `grad_input`, resized
+    /// in place. The default implementation falls back to the allocating
+    /// backward pass.
+    fn backward_into(&mut self, grad_output: &Tensor, grad_input: &mut Tensor) -> TensorResult<()> {
+        let result = self.backward(grad_output)?;
+        grad_input.resize_in_place(result.dims());
+        grad_input.data_mut().copy_from_slice(result.data());
+        Ok(())
+    }
+
     /// Number of trainable parameters in this layer.
     fn num_params(&self) -> usize {
         0

@@ -30,13 +30,27 @@ impl Layer for MaxPool2d {
     }
 
     fn forward(&mut self, input: &Tensor) -> TensorResult<Tensor> {
-        let result = ops::max_pool2d_forward(input, self.size, self.stride)?;
-        self.cached_argmax = Some(result.argmax);
-        self.cached_input_dims = Some(input.dims().to_vec());
-        Ok(result.output)
+        let mut out = Tensor::zeros(&[0]);
+        self.forward_into(input, &mut out)?;
+        Ok(out)
+    }
+
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor) -> TensorResult<()> {
+        let argmax = self.cached_argmax.get_or_insert_with(Vec::new);
+        ops::max_pool2d_forward_into(input, self.size, self.stride, out, argmax)?;
+        let dims = self.cached_input_dims.get_or_insert_with(Vec::new);
+        dims.clear();
+        dims.extend_from_slice(input.dims());
+        Ok(())
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> TensorResult<Tensor> {
+        let mut out = Tensor::zeros(&[0]);
+        self.backward_into(grad_output, &mut out)?;
+        Ok(out)
+    }
+
+    fn backward_into(&mut self, grad_output: &Tensor, grad_input: &mut Tensor) -> TensorResult<()> {
         let argmax = self.cached_argmax.as_ref().ok_or_else(|| {
             TensorError::InvalidArgument("MaxPool2d::backward called before forward".into())
         })?;
@@ -44,11 +58,12 @@ impl Layer for MaxPool2d {
             .cached_input_dims
             .as_ref()
             .expect("dims cached with argmax");
-        ops::max_pool2d_backward(grad_output, argmax, dims)
+        ops::max_pool2d_backward_into(grad_output, argmax, dims, grad_input)
     }
 
     fn clone_layer(&self) -> Box<dyn Layer> {
-        Box::new(self.clone())
+        // Argmax bookkeeping is per-step activation state; start it empty.
+        Box::new(MaxPool2d::new(self.size, self.stride))
     }
 }
 

@@ -23,13 +23,29 @@ impl Layer for Relu {
     }
 
     fn forward(&mut self, input: &Tensor) -> TensorResult<Tensor> {
-        let mask: Vec<bool> = input.data().iter().map(|&x| x > 0.0).collect();
-        let out = input.map(|x| if x > 0.0 { x } else { 0.0 });
-        self.mask = Some(mask);
+        let mut out = Tensor::zeros(&[0]);
+        self.forward_into(input, &mut out)?;
         Ok(out)
     }
 
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor) -> TensorResult<()> {
+        out.resize_in_place(input.dims());
+        let mask = self.mask.get_or_insert_with(Vec::new);
+        mask.clear();
+        for (o, &x) in out.data_mut().iter_mut().zip(input.data().iter()) {
+            mask.push(x > 0.0);
+            *o = if x > 0.0 { x } else { 0.0 };
+        }
+        Ok(())
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> TensorResult<Tensor> {
+        let mut out = Tensor::zeros(&[0]);
+        self.backward_into(grad_output, &mut out)?;
+        Ok(out)
+    }
+
+    fn backward_into(&mut self, grad_output: &Tensor, grad_input: &mut Tensor) -> TensorResult<()> {
         let mask = self.mask.as_ref().ok_or_else(|| {
             TensorError::InvalidArgument("Relu::backward called before forward".into())
         })?;
@@ -40,17 +56,21 @@ impl Layer for Relu {
                 grad_output.len()
             )));
         }
-        let mut out = grad_output.clone();
-        for (g, &m) in out.data_mut().iter_mut().zip(mask.iter()) {
+        grad_input.resize_in_place(grad_output.dims());
+        let data = grad_input.data_mut();
+        data.copy_from_slice(grad_output.data());
+        for (g, &m) in data.iter_mut().zip(mask.iter()) {
             if !m {
                 *g = 0.0;
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     fn clone_layer(&self) -> Box<dyn Layer> {
-        Box::new(self.clone())
+        // The mask is per-step activation state the clone will overwrite on
+        // its first forward pass; don't copy it.
+        Box::new(Relu::new())
     }
 }
 

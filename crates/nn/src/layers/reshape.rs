@@ -13,6 +13,8 @@ use fedadmm_tensor::{Tensor, TensorError, TensorResult};
 pub struct Reshape {
     target: Vec<usize>,
     cached_dims: Option<Vec<usize>>,
+    /// Reusable `[batch, target...]` dimension buffer.
+    full_dims: Vec<usize>,
 }
 
 impl Reshape {
@@ -21,6 +23,7 @@ impl Reshape {
         Reshape {
             target: target.to_vec(),
             cached_dims: None,
+            full_dims: Vec::new(),
         }
     }
 }
@@ -31,6 +34,12 @@ impl Layer for Reshape {
     }
 
     fn forward(&mut self, input: &Tensor) -> TensorResult<Tensor> {
+        let mut out = Tensor::zeros(&[0]);
+        self.forward_into(input, &mut out)?;
+        Ok(out)
+    }
+
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor) -> TensorResult<()> {
         if input.rank() < 1 {
             return Err(TensorError::RankMismatch {
                 expected: 2,
@@ -46,21 +55,42 @@ impl Layer for Reshape {
                 to: expected,
             });
         }
-        self.cached_dims = Some(input.dims().to_vec());
-        let mut dims = vec![batch];
-        dims.extend_from_slice(&self.target);
-        input.reshape(&dims)
+        let cached = self.cached_dims.get_or_insert_with(Vec::new);
+        cached.clear();
+        cached.extend_from_slice(input.dims());
+        self.full_dims.clear();
+        self.full_dims.push(batch);
+        self.full_dims.extend_from_slice(&self.target);
+        out.resize_in_place(&self.full_dims);
+        out.data_mut().copy_from_slice(input.data());
+        Ok(())
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> TensorResult<Tensor> {
+        let mut out = Tensor::zeros(&[0]);
+        self.backward_into(grad_output, &mut out)?;
+        Ok(out)
+    }
+
+    fn backward_into(&mut self, grad_output: &Tensor, grad_input: &mut Tensor) -> TensorResult<()> {
         let dims = self.cached_dims.as_ref().ok_or_else(|| {
             TensorError::InvalidArgument("Reshape::backward called before forward".into())
         })?;
-        grad_output.reshape(dims)
+        let expected: usize = dims.iter().product();
+        if expected != grad_output.len() {
+            return Err(TensorError::InvalidReshape {
+                from: grad_output.len(),
+                to: expected,
+            });
+        }
+        grad_input.resize_in_place(dims);
+        grad_input.data_mut().copy_from_slice(grad_output.data());
+        Ok(())
     }
 
     fn clone_layer(&self) -> Box<dyn Layer> {
-        Box::new(self.clone())
+        // Cached input dims are per-step activation state; start them empty.
+        Box::new(Reshape::new(&self.target))
     }
 }
 

@@ -38,12 +38,14 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod arena;
 pub mod layers;
 pub mod loss;
 pub mod models;
 pub mod network;
 pub mod optimizer;
 
+pub use arena::ActivationArena;
 pub use layers::Layer;
 pub use models::ModelSpec;
 pub use network::Network;

@@ -44,6 +44,22 @@ pub fn softmax(logits: &Tensor) -> TensorResult<Tensor> {
 /// as `logits` and is already divided by the batch size (so the network's
 /// accumulated gradients are the gradient of the *mean* loss).
 pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> TensorResult<(f32, Tensor)> {
+    let mut grad = Tensor::zeros(&[0]);
+    let loss = softmax_cross_entropy_into(logits, labels, &mut grad)?;
+    Ok((loss, grad))
+}
+
+/// [`softmax_cross_entropy`] writing the gradient into a caller-owned
+/// tensor — the scratch-friendly twin for per-step hot loops.
+///
+/// `grad` is resized to the logits shape (reusing capacity) and fully
+/// overwritten; the returned loss and the gradient are bit-identical to the
+/// allocating variant.
+pub fn softmax_cross_entropy_into(
+    logits: &Tensor,
+    labels: &[usize],
+    grad: &mut Tensor,
+) -> TensorResult<f32> {
     if logits.rank() != 2 {
         return Err(TensorError::RankMismatch {
             expected: 2,
@@ -63,17 +79,32 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> TensorResult<
             "label {bad} out of range for {classes} classes"
         )));
     }
-    let probs = softmax(logits)?;
-    let mut grad = probs.clone();
+    grad.resize_in_place(logits.dims());
+    grad.data_mut().copy_from_slice(logits.data());
+    // Numerically stable softmax in place, row by row (same arithmetic as
+    // [`softmax`], so the result is bit-identical).
+    for b in 0..batch {
+        let row = &mut grad.data_mut()[b * classes..(b + 1) * classes];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
     let mut loss = 0.0f32;
     let inv_batch = 1.0 / batch as f32;
     for (b, &label) in labels.iter().enumerate() {
-        let p = probs.data()[b * classes + label].max(1e-12);
+        let p = grad.data()[b * classes + label].max(1e-12);
         loss -= p.ln();
         grad.data_mut()[b * classes + label] -= 1.0;
     }
     grad.scale_in_place(inv_batch);
-    Ok((loss * inv_batch, grad))
+    Ok(loss * inv_batch)
 }
 
 /// Fraction of samples whose argmax prediction matches the label.

@@ -16,6 +16,11 @@
 //! and scaled-down benchmark configurations.
 
 use crate::layers::{Conv2d, Flatten, Layer, Linear, MaxPool2d, Relu, Reshape};
+// Dense hidden layers use `Linear::new_fused_relu`, which computes
+// matmul+bias+ReLU in one kernel pass; it draws the same RNG values and
+// produces bit-identical outputs to the unfused `Linear` + `Relu` pair it
+// replaces, so swapping it in changes neither initialisation nor training
+// trajectories.
 use crate::network::Network;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -70,8 +75,7 @@ impl ModelSpec {
                 Box::new(Relu::new()),
                 Box::new(MaxPool2d::new(2, 2)),
                 Box::new(Flatten::new()),
-                Box::new(Linear::new(64 * 7 * 7, 512, rng)),
-                Box::new(Relu::new()),
+                Box::new(Linear::new_fused_relu(64 * 7 * 7, 512, rng)),
                 Box::new(Linear::new(512, 10, rng)),
             ]),
             ModelSpec::Cnn2 => Network::new(vec![
@@ -83,8 +87,7 @@ impl ModelSpec {
                 Box::new(Relu::new()),
                 Box::new(MaxPool2d::new(2, 2)),
                 Box::new(Flatten::new()),
-                Box::new(Linear::new(64 * 8 * 8, 256, rng)),
-                Box::new(Relu::new()),
+                Box::new(Linear::new_fused_relu(64 * 8 * 8, 256, rng)),
                 Box::new(Linear::new(256, 10, rng)),
             ]),
             ModelSpec::Mlp {
@@ -92,8 +95,7 @@ impl ModelSpec {
                 hidden_dim,
                 num_classes,
             } => Network::new(vec![
-                Box::new(Linear::new(input_dim, hidden_dim, rng)) as Box<dyn Layer>,
-                Box::new(Relu::new()),
+                Box::new(Linear::new_fused_relu(input_dim, hidden_dim, rng)) as Box<dyn Layer>,
                 Box::new(Linear::new(hidden_dim, num_classes, rng)),
             ]),
             ModelSpec::Logistic {

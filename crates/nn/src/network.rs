@@ -1,5 +1,6 @@
 //! A sequential network with flat parameter access.
 
+use crate::arena::ActivationArena;
 use crate::layers::Layer;
 use fedadmm_tensor::{Tensor, TensorError, TensorResult};
 
@@ -57,6 +58,56 @@ impl Network {
             g = layer.backward(&g)?;
         }
         Ok(g)
+    }
+
+    /// Forward pass routing every layer's output through `arena` slots.
+    ///
+    /// Bit-identical to [`Network::forward`]; the output lands in
+    /// [`ActivationArena::output`]. After the first call at a given batch
+    /// shape, repeated calls allocate nothing.
+    pub fn forward_arena(
+        &mut self,
+        input: &Tensor,
+        arena: &mut ActivationArena,
+    ) -> TensorResult<()> {
+        if self.layers.is_empty() {
+            return Err(TensorError::InvalidArgument(
+                "forward_arena on an empty network".into(),
+            ));
+        }
+        arena.ensure_layers(self.layers.len());
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            let (prev, rest) = arena.acts.split_at_mut(i);
+            let src: &Tensor = if i == 0 { input } else { &prev[i - 1] };
+            layer.forward_into(src, &mut rest[0])?;
+        }
+        Ok(())
+    }
+
+    /// Backward pass seeded from [`ActivationArena`]'s loss-gradient slot
+    /// (fill it via `loss::softmax_cross_entropy_into` after the forward
+    /// pass), accumulating parameter gradients.
+    ///
+    /// Bit-identical to [`Network::backward`]; the input gradient lands in
+    /// [`ActivationArena::input_grad`].
+    pub fn backward_arena(&mut self, arena: &mut ActivationArena) -> TensorResult<()> {
+        let n = self.layers.len();
+        if arena.acts.len() < n || n == 0 {
+            return Err(TensorError::InvalidArgument(
+                "backward_arena called before forward_arena".into(),
+            ));
+        }
+        arena.ensure_layers(n);
+        for i in (0..n).rev() {
+            let (head, tail) = arena.grads.split_at_mut(i + 1);
+            let g_src: &Tensor = if i == n - 1 {
+                &arena.loss_grad
+            } else {
+                &tail[0]
+            };
+            self.layers[i].backward_into(g_src, &mut head[i])?;
+        }
+        Ok(())
     }
 
     /// Returns all parameters as a single flat vector of length
@@ -203,6 +254,51 @@ mod tests {
         assert!(net.grads_flat().iter().any(|&g| g != 0.0));
         net.zero_grads();
         assert!(net.grads_flat().iter().all(|&g| g == 0.0));
+    }
+
+    /// The arena-routed forward/backward must be bit-identical to the
+    /// allocating path, and repeat passes must reuse the arena slots.
+    #[test]
+    fn arena_path_matches_allocating_path() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let mut net = small_net(17);
+        let mut reference = net.clone();
+        let x = fedadmm_tensor::init::randn(&[3, 4], 0.0, 1.0, &mut rng);
+
+        let y_ref = reference.forward(&x).unwrap();
+        let loss_grad = fedadmm_tensor::init::randn(y_ref.dims(), 0.0, 1.0, &mut rng);
+        reference.zero_grads();
+        let gx_ref = reference.backward(&loss_grad).unwrap();
+
+        let mut arena = ActivationArena::new();
+        net.forward_arena(&x, &mut arena).unwrap();
+        for (a, b) in arena.output().data().iter().zip(y_ref.data().iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        {
+            let (_, lg) = arena.output_and_loss_grad();
+            lg.resize_in_place(loss_grad.dims());
+            lg.data_mut().copy_from_slice(loss_grad.data());
+        }
+        net.zero_grads();
+        net.backward_arena(&mut arena).unwrap();
+        for (a, b) in arena.input_grad().data().iter().zip(gx_ref.data().iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(net.grads_flat(), reference.grads_flat());
+
+        // A second pass through the same arena must agree as well.
+        net.forward_arena(&x, &mut arena).unwrap();
+        for (a, b) in arena.output().data().iter().zip(y_ref.data().iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn backward_arena_before_forward_errors() {
+        let mut net = small_net(0);
+        let mut arena = ActivationArena::new();
+        assert!(net.backward_arena(&mut arena).is_err());
     }
 
     #[test]

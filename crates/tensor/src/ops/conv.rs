@@ -32,6 +32,33 @@ pub fn conv2d_output_size(input: usize, kernel: usize, stride: usize, padding: u
     (input + 2 * padding - kernel) / stride + 1
 }
 
+/// Reusable scratch buffers for the `_into` convolution kernels.
+///
+/// One scratch serves any sequence of forward/backward calls; each buffer is
+/// resized on demand and reuses its capacity across steps, so steady-state
+/// training performs no per-step allocation in the convolution layers.
+#[derive(Debug, Clone, Default)]
+pub struct Conv2dScratch {
+    /// im2col matrix, `[in_c*kh*kw, out_h*out_w]`, reused per sample.
+    col: Vec<f32>,
+    /// Gradient of the im2col matrix, same shape as `col`.
+    grad_col: Vec<f32>,
+    /// Per-sample weight-gradient contribution, `[out_c, in_c*kh*kw]`.
+    gw_sample: Vec<f32>,
+    /// Per-sample bias-gradient contribution, `[out_c]`.
+    gb_sample: Vec<f32>,
+    /// Weight gradient folded over the batch before it is added to the
+    /// caller's accumulator (preserves the fold order of [`conv2d_backward`]).
+    gw_total: Vec<f32>,
+    /// Bias gradient folded over the batch.
+    gb_total: Vec<f32>,
+}
+
+fn resize_scratch(buf: &mut Vec<f32>, len: usize) {
+    buf.clear();
+    buf.resize(len, 0.0);
+}
+
 /// Validates shapes shared by the forward and backward passes.
 fn check_shapes(
     input: &Tensor,
@@ -217,6 +244,220 @@ pub fn conv2d_forward(
         process_sample(0, &mut output);
     }
     Tensor::from_vec(output, &[batch, out_c, out_h, out_w])
+}
+
+/// Forward pass of a batched 2-D convolution into a caller-owned tensor.
+///
+/// Bit-identical to [`conv2d_forward`]: samples are processed with the same
+/// per-sample kernel, and `out` is resized (reusing capacity) to
+/// `[batch, out_c, out_h, out_w]` and fully overwritten. The im2col matrix
+/// lives in `scratch` and is reused across calls.
+pub fn conv2d_forward_into(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    stride: usize,
+    padding: usize,
+    scratch: &mut Conv2dScratch,
+    out: &mut Tensor,
+) -> TensorResult<()> {
+    let (batch, in_c, h, w, out_c, kh, kw) = check_shapes(input, weight, bias)?;
+    if stride == 0 {
+        return Err(TensorError::InvalidArgument(
+            "stride must be positive".into(),
+        ));
+    }
+    let out_h = conv2d_output_size(h, kh, stride, padding);
+    let out_w = conv2d_output_size(w, kw, stride, padding);
+    let out_hw = out_h * out_w;
+    let col_rows = in_c * kh * kw;
+
+    let input_data = input.data();
+    let weight_data = weight.data();
+    let bias_data = bias.data();
+    let sample_in = in_c * h * w;
+    let sample_out = out_c * out_hw;
+
+    out.resize_in_place(&[batch, out_c, out_h, out_w]);
+    let output = out.data_mut();
+    resize_scratch(&mut scratch.col, col_rows * out_hw);
+    for b in 0..batch {
+        let out_sample = &mut output[b * sample_out..(b + 1) * sample_out];
+        let sample = &input_data[b * sample_in..(b + 1) * sample_in];
+        im2col(
+            sample,
+            &mut scratch.col,
+            in_c,
+            h,
+            w,
+            kh,
+            kw,
+            stride,
+            padding,
+            out_h,
+            out_w,
+        );
+        matmul_into(
+            weight_data,
+            &scratch.col,
+            out_sample,
+            out_c,
+            col_rows,
+            out_hw,
+        );
+        for oc in 0..out_c {
+            let bias_v = bias_data[oc];
+            for v in &mut out_sample[oc * out_hw..(oc + 1) * out_hw] {
+                *v += bias_v;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Backward pass of a batched 2-D convolution into caller-owned tensors.
+///
+/// `grad_weight` / `grad_bias` are **accumulated into** (`+=`), matching the
+/// layer-level contract of adding [`conv2d_backward`]'s result to a running
+/// gradient; `grad_input` is resized and fully overwritten. To keep values
+/// bit-identical to the allocating path, per-sample contributions are first
+/// folded into a batch total (in sample order, as [`conv2d_backward`] folds
+/// its partials) and the total is added to the accumulators once.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_backward_into(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_output: &Tensor,
+    stride: usize,
+    padding: usize,
+    scratch: &mut Conv2dScratch,
+    grad_weight: &mut Tensor,
+    grad_bias: &mut Tensor,
+    grad_input: &mut Tensor,
+) -> TensorResult<()> {
+    let bias_placeholder = Tensor::zeros(&[weight.dims()[0]]);
+    let (batch, in_c, h, w, out_c, kh, kw) = check_shapes(input, weight, &bias_placeholder)?;
+    let out_h = conv2d_output_size(h, kh, stride, padding);
+    let out_w = conv2d_output_size(w, kw, stride, padding);
+    let out_hw = out_h * out_w;
+    if grad_output.dims() != [batch, out_c, out_h, out_w] {
+        return Err(TensorError::ShapeMismatch {
+            left: vec![batch, out_c, out_h, out_w],
+            right: grad_output.dims().to_vec(),
+        });
+    }
+    let col_rows = in_c * kh * kw;
+    if grad_weight.dims() != weight.dims() {
+        return Err(TensorError::ShapeMismatch {
+            left: weight.dims().to_vec(),
+            right: grad_weight.dims().to_vec(),
+        });
+    }
+    if grad_bias.len() != out_c {
+        return Err(TensorError::ShapeMismatch {
+            left: vec![out_c],
+            right: grad_bias.dims().to_vec(),
+        });
+    }
+    let input_data = input.data();
+    let weight_data = weight.data();
+    let grad_out_data = grad_output.data();
+    let sample_in = in_c * h * w;
+    let sample_out = out_c * out_hw;
+
+    resize_scratch(&mut scratch.col, col_rows * out_hw);
+    resize_scratch(&mut scratch.grad_col, col_rows * out_hw);
+    resize_scratch(&mut scratch.gw_sample, out_c * col_rows);
+    resize_scratch(&mut scratch.gb_sample, out_c);
+    resize_scratch(&mut scratch.gw_total, out_c * col_rows);
+    resize_scratch(&mut scratch.gb_total, out_c);
+
+    grad_input.resize_in_place(input.dims());
+    let gi_all = grad_input.data_mut();
+    gi_all.iter_mut().for_each(|g| *g = 0.0);
+
+    for b in 0..batch {
+        let sample = &input_data[b * sample_in..(b + 1) * sample_in];
+        im2col(
+            sample,
+            &mut scratch.col,
+            in_c,
+            h,
+            w,
+            kh,
+            kw,
+            stride,
+            padding,
+            out_h,
+            out_w,
+        );
+        let go = &grad_out_data[b * sample_out..(b + 1) * sample_out];
+
+        // gw_sample[out_c × col_rows] = go[out_c × out_hw] · colᵀ[out_hw × col_rows]
+        for oc in 0..out_c {
+            let go_row = &go[oc * out_hw..(oc + 1) * out_hw];
+            let gw_row = &mut scratch.gw_sample[oc * col_rows..(oc + 1) * col_rows];
+            for (r, gw_v) in gw_row.iter_mut().enumerate() {
+                let col_row = &scratch.col[r * out_hw..(r + 1) * out_hw];
+                let mut acc = 0.0f32;
+                for (a, c) in go_row.iter().zip(col_row.iter()) {
+                    acc += a * c;
+                }
+                *gw_v = acc;
+            }
+        }
+        for oc in 0..out_c {
+            scratch.gb_sample[oc] = go[oc * out_hw..(oc + 1) * out_hw].iter().sum();
+        }
+        for (a, b) in scratch.gw_total.iter_mut().zip(scratch.gw_sample.iter()) {
+            *a += b;
+        }
+        for (a, b) in scratch.gb_total.iter_mut().zip(scratch.gb_sample.iter()) {
+            *a += b;
+        }
+
+        // grad_col[col_rows × out_hw] = weightᵀ[col_rows × out_c] · go[out_c × out_hw]
+        scratch.grad_col.iter_mut().for_each(|g| *g = 0.0);
+        for oc in 0..out_c {
+            let w_row = &weight_data[oc * col_rows..(oc + 1) * col_rows];
+            let go_row = &go[oc * out_hw..(oc + 1) * out_hw];
+            for (r, &w_v) in w_row.iter().enumerate() {
+                if w_v == 0.0 {
+                    continue;
+                }
+                let gc_row = &mut scratch.grad_col[r * out_hw..(r + 1) * out_hw];
+                for (g, &go_v) in gc_row.iter_mut().zip(go_row.iter()) {
+                    *g += w_v * go_v;
+                }
+            }
+        }
+        let gi = &mut gi_all[b * sample_in..(b + 1) * sample_in];
+        col2im(
+            &scratch.grad_col,
+            gi,
+            in_c,
+            h,
+            w,
+            kh,
+            kw,
+            stride,
+            padding,
+            out_h,
+            out_w,
+        );
+    }
+
+    for (a, b) in grad_weight
+        .data_mut()
+        .iter_mut()
+        .zip(scratch.gw_total.iter())
+    {
+        *a += b;
+    }
+    for (a, b) in grad_bias.data_mut().iter_mut().zip(scratch.gb_total.iter()) {
+        *a += b;
+    }
+    Ok(())
 }
 
 /// Backward pass of a batched 2-D convolution.
@@ -485,6 +726,75 @@ mod tests {
                 (numeric - analytic).abs() < 2e-1 * (1.0 + analytic.abs()),
                 "idx {idx}: numeric {numeric} vs analytic {analytic}"
             );
+        }
+    }
+
+    /// The `_into` variants must be bit-identical to the allocating kernels
+    /// and reuse one scratch across differently shaped calls.
+    #[test]
+    fn into_variants_bit_identical_to_allocating_path() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(77);
+        let mut scratch = Conv2dScratch::default();
+        let mut out = Tensor::zeros(&[0]);
+        let mut gi = Tensor::zeros(&[0]);
+        for &(batch, in_c, hw, out_c, k, stride, padding) in &[
+            (1usize, 1usize, 4usize, 1usize, 2usize, 1usize, 0usize),
+            (3, 2, 8, 4, 5, 1, 2),
+            (2, 3, 6, 2, 3, 2, 1),
+        ] {
+            let input = crate::init::randn(&[batch, in_c, hw, hw], 0.0, 1.0, &mut rng);
+            let weight = crate::init::randn(&[out_c, in_c, k, k], 0.0, 0.5, &mut rng);
+            let bias = crate::init::randn(&[out_c], 0.0, 0.5, &mut rng);
+
+            let expected = conv2d_forward(&input, &weight, &bias, stride, padding).unwrap();
+            conv2d_forward_into(
+                &input,
+                &weight,
+                &bias,
+                stride,
+                padding,
+                &mut scratch,
+                &mut out,
+            )
+            .unwrap();
+            assert_eq!(out.dims(), expected.dims());
+            for (a, b) in out.data().iter().zip(expected.data().iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+
+            let grad_out = crate::init::randn(expected.dims(), 0.0, 1.0, &mut rng);
+            let grads = conv2d_backward(&input, &weight, &grad_out, stride, padding).unwrap();
+            // Seed the accumulators to verify `+=` semantics.
+            let mut gw = crate::init::randn(weight.dims(), 0.0, 0.1, &mut rng);
+            let mut gb = crate::init::randn(&[out_c], 0.0, 0.1, &mut rng);
+            let mut expected_gw = gw.clone();
+            let mut expected_gb = gb.clone();
+            expected_gw.add_assign(&grads.grad_weight).unwrap();
+            expected_gb.add_assign(&grads.grad_bias).unwrap();
+            conv2d_backward_into(
+                &input,
+                &weight,
+                &grad_out,
+                stride,
+                padding,
+                &mut scratch,
+                &mut gw,
+                &mut gb,
+                &mut gi,
+            )
+            .unwrap();
+            for (a, b) in gw.data().iter().zip(expected_gw.data().iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            for (a, b) in gb.data().iter().zip(expected_gb.data().iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            assert_eq!(gi.dims(), input.dims());
+            for (a, b) in gi.data().iter().zip(grads.grad_input.data().iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
         }
     }
 

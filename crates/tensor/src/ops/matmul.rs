@@ -8,6 +8,22 @@
 //! * [`matmul_at_b`] — `C = Aᵀ·B`
 //! * [`matmul_a_bt`] — `C = A·Bᵀ`
 //!
+//! Each has a `gemm_*_into` twin writing into a caller-owned tensor (the
+//! zero-allocation training path), and [`linear_forward_into`] fuses the
+//! dense-layer bias add (and optionally ReLU) into the `A·Bᵀ` sweep.
+//!
+//! The kernels are blocked and register-tiled: inner loops keep a small
+//! tile of output accumulators in registers and stream the operands once
+//! per tile, in the style of the 8-lane chunked [`crate::vecops`] kernels.
+//! **Bit-identity contract:** for every output element the floating-point
+//! accumulation order is exactly the naive kernel's — contributions are
+//! added in increasing `l` (the contracted index) with a single accumulator
+//! per element, and the naive kernels' zero-skip rules are preserved — so
+//! blocked results are bit-identical to the unblocked [`reference`]
+//! kernels (pinned by exactness tests, and end-to-end by the engine-parity
+//! golden digest). Tiling may only regroup *which outputs* advance
+//! together, never the order of adds within one output.
+//!
 //! The kernels parallelise over output rows with rayon once the work is
 //! large enough to amortise the fork/join overhead.
 
@@ -17,6 +33,14 @@ use rayon::prelude::*;
 
 /// Below this many multiply-adds the kernels stay single-threaded.
 const PARALLEL_THRESHOLD: usize = 64 * 64 * 64;
+
+/// Register-tile width of the blocked kernels: 8 accumulators per tile,
+/// matching the `vecops` lane count.
+const TILE: usize = 8;
+
+/// Column-tile width of the `A·Bᵀ` kernel: independent dot-product
+/// accumulators streamed against one `A` row.
+const BT_TILE: usize = 4;
 
 /// Computes `C = A·B` for rank-2 tensors `A: (m,k)` and `B: (k,n)`.
 pub fn matmul(a: &Tensor, b: &Tensor) -> TensorResult<Tensor> {
@@ -33,6 +57,23 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> TensorResult<Tensor> {
     Tensor::from_vec(out, &[m, n])
 }
 
+/// Computes `C = A·B` into a caller-owned tensor, resizing it to `(m,n)`.
+///
+/// Allocation-free once `out` has capacity for the result.
+pub fn gemm_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> TensorResult<()> {
+    let (m, k) = a.shape().as_matrix()?;
+    let (k2, n) = b.shape().as_matrix()?;
+    if k != k2 {
+        return Err(TensorError::MatmulDimMismatch {
+            left: (m, k),
+            right: (k2, n),
+        });
+    }
+    out.resize_in_place(&[m, n]);
+    matmul_into(a.data(), b.data(), out.data_mut(), m, k, n);
+    Ok(())
+}
+
 /// Computes `C = Aᵀ·B` for `A: (k,m)` and `B: (k,n)`, yielding `(m,n)`.
 pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> TensorResult<Tensor> {
     let (k, m) = a.shape().as_matrix()?;
@@ -43,27 +84,24 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> TensorResult<Tensor> {
             right: (k2, n),
         });
     }
-    let a_data = a.data();
-    let b_data = b.data();
     let mut out = vec![0.0f32; m * n];
-    // C[i][j] = sum_l A[l][i] * B[l][j]; iterate l outermost for sequential reads.
-    let compute_row_block = |out: &mut [f32]| {
-        for l in 0..k {
-            let a_row = &a_data[l * m..(l + 1) * m];
-            let b_row = &b_data[l * n..(l + 1) * n];
-            for (i, &a_li) in a_row.iter().enumerate() {
-                if a_li == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out[i * n..(i + 1) * n];
-                for (o, &b_lj) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a_li * b_lj;
-                }
-            }
-        }
-    };
-    compute_row_block(&mut out);
+    matmul_at_b_into(a.data(), b.data(), &mut out, k, m, n);
     Tensor::from_vec(out, &[m, n])
+}
+
+/// Computes `C = Aᵀ·B` into a caller-owned tensor, resizing it to `(m,n)`.
+pub fn gemm_at_b_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> TensorResult<()> {
+    let (k, m) = a.shape().as_matrix()?;
+    let (k2, n) = b.shape().as_matrix()?;
+    if k != k2 {
+        return Err(TensorError::MatmulDimMismatch {
+            left: (m, k),
+            right: (k2, n),
+        });
+    }
+    out.resize_in_place(&[m, n]);
+    matmul_at_b_into(a.data(), b.data(), out.data_mut(), k, m, n);
+    Ok(())
 }
 
 /// Computes `C = A·Bᵀ` for `A: (m,k)` and `B: (n,k)`, yielding `(m,n)`.
@@ -76,22 +114,77 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> TensorResult<Tensor> {
             right: (n, k2),
         });
     }
-    let a_data = a.data();
-    let b_data = b.data();
     let mut out = vec![0.0f32; m * n];
-    let work = m * n * k;
+    matmul_a_bt_into(a.data(), b.data(), &mut out, m, k, n);
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Computes `C = A·Bᵀ` into a caller-owned tensor, resizing it to `(m,n)`.
+pub fn gemm_a_bt_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> TensorResult<()> {
+    let (m, k) = a.shape().as_matrix()?;
+    let (n, k2) = b.shape().as_matrix()?;
+    if k != k2 {
+        return Err(TensorError::MatmulDimMismatch {
+            left: (m, k),
+            right: (n, k2),
+        });
+    }
+    out.resize_in_place(&[m, n]);
+    matmul_a_bt_into(a.data(), b.data(), out.data_mut(), m, k, n);
+    Ok(())
+}
+
+/// The fused dense-layer forward kernel: `out = input·weightᵀ + bias`,
+/// optionally through ReLU, in one sweep per output row.
+///
+/// `input: (m,k)`, `weight: (n,k)` (PyTorch `[out_features, in_features]`
+/// layout), `bias: (n)`; `out` is resized to `(m,n)`. Bit-identical to
+/// `matmul_a_bt` followed by a row-wise bias add (and a separate ReLU map):
+/// each output's dot product accumulates in the same order, the bias is a
+/// single add after it, and the ReLU mask test is the same `v > 0.0`.
+pub fn linear_forward_into(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    out: &mut Tensor,
+    relu: bool,
+) -> TensorResult<()> {
+    let (m, k) = input.shape().as_matrix()?;
+    let (n, k2) = weight.shape().as_matrix()?;
+    if k != k2 {
+        return Err(TensorError::MatmulDimMismatch {
+            left: (m, k),
+            right: (n, k2),
+        });
+    }
+    if bias.len() != n {
+        return Err(TensorError::ShapeMismatch {
+            left: vec![n],
+            right: bias.dims().to_vec(),
+        });
+    }
+    out.resize_in_place(&[m, n]);
+    let a = input.data();
+    let b = weight.data();
+    let bias = bias.data();
+    let out = out.data_mut();
     let row_job = |i: usize, out_row: &mut [f32]| {
-        let a_row = &a_data[i * k..(i + 1) * k];
-        for (j, o) in out_row.iter_mut().enumerate() {
-            let b_row = &b_data[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (x, y) in a_row.iter().zip(b_row.iter()) {
-                acc += x * y;
+        a_bt_row(&a[i * k..(i + 1) * k], b, out_row, k);
+        for (o, &bias_v) in out_row.iter_mut().zip(bias.iter()) {
+            *o += bias_v;
+        }
+        if relu {
+            // `!(v > 0.0)` (not `v <= 0.0`): NaN must also collapse to 0.0,
+            // exactly as the standalone ReLU layer's mask test does.
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            for o in out_row.iter_mut() {
+                if !(*o > 0.0) {
+                    *o = 0.0;
+                }
             }
-            *o = acc;
         }
     };
-    if work >= PARALLEL_THRESHOLD {
+    if m * n * k >= PARALLEL_THRESHOLD {
         out.par_chunks_mut(n)
             .enumerate()
             .for_each(|(i, row)| row_job(i, row));
@@ -100,12 +193,19 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> TensorResult<Tensor> {
             row_job(i, row);
         }
     }
-    Tensor::from_vec(out, &[m, n])
+    Ok(())
 }
 
 /// Raw kernel: `out[m×n] = a[m×k] · b[k×n]`, overwriting `out`.
 ///
-/// Exposed for the im2col convolution which already has flat buffers.
+/// Streaming axpy form with an explicitly 8-lane-chunked inner loop: for
+/// each `l` the whole contiguous `b` row is folded into the output row in
+/// fixed-width lane groups, so the `a_il == 0` skip is amortised over `n`
+/// multiply-adds and every memory access is sequential. (A column-tiled
+/// variant that keeps output tiles in registers was measured slower here:
+/// it moves the zero-skip branch inside the tile loop and turns the `b`
+/// stream into strided 32-byte reads.) Exposed for the im2col convolution
+/// which already has flat buffers.
 pub(crate) fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
@@ -117,10 +217,7 @@ pub(crate) fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: us
             if a_il == 0.0 {
                 continue;
             }
-            let b_row = &b[l * n..(l + 1) * n];
-            for (o, &b_lj) in out_row.iter_mut().zip(b_row.iter()) {
-                *o += a_il * b_lj;
-            }
+            axpy_lanes(a_il, &b[l * n..(l + 1) * n], out_row);
         }
     };
     if m * k * n >= PARALLEL_THRESHOLD {
@@ -130,6 +227,185 @@ pub(crate) fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: us
     } else {
         for (i, row) in out.chunks_mut(n).enumerate() {
             row_job(i, row);
+        }
+    }
+}
+
+/// Raw kernel: `out[m×n] = aᵀ[m×k] · b[k×n]` for `a: (k,m)`, overwriting
+/// `out`.
+///
+/// Streaming form with an explicitly 8-lane-chunked inner loop: `l` stays
+/// outermost (each `b` row is loaded once per `l` and folded into every
+/// output row it contributes to), preserving increasing-`l` accumulation
+/// per element and the per-element `a_li == 0` skip, so results match the
+/// naive kernel bit for bit. Stays single-threaded like its predecessor
+/// (the backward pass calls it at gradient shapes where fork/join overhead
+/// dominates).
+pub(crate) fn matmul_at_b_into(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    k: usize,
+    m: usize,
+    n: usize,
+) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    out.iter_mut().for_each(|o| *o = 0.0);
+    for l in 0..k {
+        let a_row = &a[l * m..(l + 1) * m];
+        let b_row = &b[l * n..(l + 1) * n];
+        for (i, &a_li) in a_row.iter().enumerate() {
+            if a_li == 0.0 {
+                continue;
+            }
+            axpy_lanes(a_li, b_row, &mut out[i * n..(i + 1) * n]);
+        }
+    }
+}
+
+/// `out += alpha * x` in explicit 8-lane chunks, scalar remainder tail.
+///
+/// The lane grouping changes neither the order nor the association of any
+/// accumulation — each output element still receives exactly one
+/// `alpha * x[j]` add — so callers stay bit-identical to a plain loop.
+#[inline]
+fn axpy_lanes(alpha: f32, x: &[f32], out: &mut [f32]) {
+    let mut out_chunks = out.chunks_exact_mut(TILE);
+    let mut x_chunks = x.chunks_exact(TILE);
+    for (o, xs) in (&mut out_chunks).zip(&mut x_chunks) {
+        let o: &mut [f32; TILE] = o.try_into().expect("exact lane chunk");
+        let xs: &[f32; TILE] = xs.try_into().expect("exact lane chunk");
+        for s in 0..TILE {
+            o[s] += alpha * xs[s];
+        }
+    }
+    for (o, &xv) in out_chunks
+        .into_remainder()
+        .iter_mut()
+        .zip(x_chunks.remainder().iter())
+    {
+        *o += alpha * xv;
+    }
+}
+
+/// One output row of the `A·Bᵀ` kernel: `out_row[j] = a_row · b[j]`.
+///
+/// Tiled over `BT_TILE` columns: the tile's dot products run as independent
+/// single accumulators against one streaming pass of `a_row`, so `a_row`
+/// is read once per tile instead of once per column. Each accumulator sums
+/// in increasing `l` — the same order as a scalar dot product.
+fn a_bt_row(a_row: &[f32], b: &[f32], out_row: &mut [f32], k: usize) {
+    let n = out_row.len();
+    let mut j = 0;
+    while j + BT_TILE <= n {
+        let rows = [
+            &b[j * k..(j + 1) * k],
+            &b[(j + 1) * k..(j + 2) * k],
+            &b[(j + 2) * k..(j + 3) * k],
+            &b[(j + 3) * k..(j + 4) * k],
+        ];
+        let mut acc = [0.0f32; BT_TILE];
+        for (l, &x) in a_row.iter().enumerate() {
+            for (s, row) in acc.iter_mut().zip(rows.iter()) {
+                *s += x * row[l];
+            }
+        }
+        out_row[j..j + BT_TILE].copy_from_slice(&acc);
+        j += BT_TILE;
+    }
+    for (o, b_row) in out_row[j..].iter_mut().zip(b[j * k..].chunks_exact(k)) {
+        let mut acc = 0.0f32;
+        for (x, y) in a_row.iter().zip(b_row.iter()) {
+            acc += x * y;
+        }
+        *o = acc;
+    }
+}
+
+/// Raw kernel: `out[m×n] = a[m×k] · bᵀ[k×n]` for `b: (n,k)`, overwriting
+/// `out`.
+pub(crate) fn matmul_a_bt_into(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(out.len(), m * n);
+    let row_job = |i: usize, out_row: &mut [f32]| {
+        a_bt_row(&a[i * k..(i + 1) * k], b, out_row, k);
+    };
+    if m * n * k >= PARALLEL_THRESHOLD {
+        out.par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, row)| row_job(i, row));
+    } else {
+        for (i, row) in out.chunks_mut(n).enumerate() {
+            row_job(i, row);
+        }
+    }
+}
+
+/// The unblocked reference kernels the blocked family is pinned against.
+///
+/// These are the original naive loops, kept verbatim: exactness tests
+/// assert exact `f32` equality between each blocked kernel and its
+/// reference at adversarial shapes, and the `gemm_kernels` criterion group
+/// measures the blocked kernels' speedup over them. Not used on any hot
+/// path.
+pub mod reference {
+    /// Naive `out[m×n] = a[m×k] · b[k×n]`.
+    pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], _m: usize, k: usize, n: usize) {
+        for (i, out_row) in out.chunks_mut(n).enumerate() {
+            out_row.iter_mut().for_each(|o| *o = 0.0);
+            let a_row = &a[i * k..(i + 1) * k];
+            for (l, &a_il) in a_row.iter().enumerate() {
+                if a_il == 0.0 {
+                    continue;
+                }
+                let b_row = &b[l * n..(l + 1) * n];
+                for (o, &b_lj) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a_il * b_lj;
+                }
+            }
+        }
+    }
+
+    /// Naive `out[m×n] = aᵀ · b` for `a: (k,m)`, `b: (k,n)`.
+    pub fn matmul_at_b_into(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize, n: usize) {
+        out.iter_mut().for_each(|o| *o = 0.0);
+        for l in 0..k {
+            let a_row = &a[l * m..(l + 1) * m];
+            let b_row = &b[l * n..(l + 1) * n];
+            for (i, &a_li) in a_row.iter().enumerate() {
+                if a_li == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out[i * n..(i + 1) * n];
+                for (o, &b_lj) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a_li * b_lj;
+                }
+            }
+        }
+    }
+
+    /// Naive `out[m×n] = a · bᵀ` for `a: (m,k)`, `b: (n,k)`.
+    pub fn matmul_a_bt_into(a: &[f32], b: &[f32], out: &mut [f32], _m: usize, k: usize, n: usize) {
+        for (i, out_row) in out.chunks_mut(n).enumerate() {
+            let a_row = &a[i * k..(i + 1) * k];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (x, y) in a_row.iter().zip(b_row.iter()) {
+                    acc += x * y;
+                }
+                *o = acc;
+            }
         }
     }
 }
@@ -196,6 +472,110 @@ mod tests {
         assert_eq!(got, expected);
     }
 
+    #[test]
+    fn gemm_into_reuses_buffer_across_shapes() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = t(&[7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let mut out = Tensor::zeros(&[4, 4]);
+        gemm_into(&a, &b, &mut out).unwrap();
+        assert_eq!(out.dims(), &[2, 2]);
+        assert_eq!(out.data(), &[58.0, 64.0, 139.0, 154.0]);
+        // Shrinking reuses the same buffer; the result is identical to the
+        // allocating kernel.
+        gemm_a_bt_into(&a, &a, &mut out).unwrap();
+        assert_eq!(out, matmul_a_bt(&a, &a).unwrap());
+        gemm_at_b_into(&a, &a, &mut out).unwrap();
+        assert_eq!(out, matmul_at_b(&a, &a).unwrap());
+    }
+
+    #[test]
+    fn linear_forward_matches_separate_ops() {
+        let x = t(&[1.0, -2.0, 0.5, 3.0, 0.0, -1.0], &[2, 3]);
+        let w = t(&[0.5, 1.0, -1.0, 2.0, -0.5, 0.25], &[2, 3]);
+        let bias = t(&[0.1, -0.2], &[2]);
+        let mut fused = Tensor::zeros(&[1]);
+        linear_forward_into(&x, &w, &bias, &mut fused, false).unwrap();
+        let mut expected = matmul_a_bt(&x, &w).unwrap();
+        for row in 0..2 {
+            for col in 0..2 {
+                let v = expected.get(&[row, col]).unwrap() + bias.data()[col];
+                expected.set(&[row, col], v).unwrap();
+            }
+        }
+        assert_eq!(fused, expected);
+        // The fused ReLU applies the same `v > 0` mask as a separate map.
+        let mut fused_relu = Tensor::zeros(&[1]);
+        linear_forward_into(&x, &w, &bias, &mut fused_relu, true).unwrap();
+        let relu_expected = expected.map(|v| if v > 0.0 { v } else { 0.0 });
+        assert_eq!(fused_relu, relu_expected);
+    }
+
+    /// Deterministic operand data with embedded exact zeros, so the
+    /// blocked kernels' zero-skip paths run.
+    fn pattern(len: usize, mul: i64, offset: i64) -> Vec<f32> {
+        (0..len)
+            .map(|i| {
+                let v = (i as i64 * mul + offset).rem_euclid(23) - 11;
+                // Roughly 1 in 8 entries is exactly zero.
+                if (i as i64 + offset).rem_euclid(8) == 0 {
+                    0.0
+                } else {
+                    v as f32 * 0.37
+                }
+            })
+            .collect()
+    }
+
+    /// The blocked kernels are *exactly* equal to the naive reference at
+    /// adversarial shapes: below, at and just past the 8-wide register
+    /// tile, odd primes, and strongly non-square m/k/n.
+    #[test]
+    fn blocked_kernels_bit_identical_to_reference() {
+        let sizes = [1usize, 7, 8, 9, 17, 33];
+        let mut shapes: Vec<(usize, usize, usize)> = Vec::new();
+        for &m in &sizes {
+            for &k in &sizes {
+                for &n in &sizes {
+                    shapes.push((m, k, n));
+                }
+            }
+        }
+        // Strongly non-square shapes, including the paper's dense layers.
+        shapes.extend([(1, 784, 10), (16, 784, 10), (3, 129, 65), (65, 3, 129)]);
+        for (m, k, n) in shapes {
+            let a_mk = pattern(m * k, 3, 1);
+            let b_kn = pattern(k * n, 5, 2);
+            let a_km = pattern(k * m, 7, 3);
+            let b_nk = pattern(n * k, 11, 4);
+            let mut got = vec![f32::NAN; m * n];
+            let mut want = vec![f32::NAN; m * n];
+
+            matmul_into(&a_mk, &b_kn, &mut got, m, k, n);
+            reference::matmul_into(&a_mk, &b_kn, &mut want, m, k, n);
+            assert_eq!(
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "matmul_into diverged at ({m},{k},{n})"
+            );
+
+            matmul_at_b_into(&a_km, &b_kn, &mut got, k, m, n);
+            reference::matmul_at_b_into(&a_km, &b_kn, &mut want, k, m, n);
+            assert_eq!(
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "matmul_at_b_into diverged at ({m},{k},{n})"
+            );
+
+            matmul_a_bt_into(&a_mk, &b_nk, &mut got, m, k, n);
+            reference::matmul_a_bt_into(&a_mk, &b_nk, &mut want, m, k, n);
+            assert_eq!(
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "matmul_a_bt_into diverged at ({m},{k},{n})"
+            );
+        }
+    }
+
     proptest! {
         /// (A·B)·C == A·(B·C) within floating-point tolerance.
         #[test]
@@ -234,6 +614,18 @@ mod tests {
             for (x, y) in expected.data().iter().zip(got.data().iter()) {
                 prop_assert!((x - y).abs() < 1e-4);
             }
+        }
+
+        /// Blocked == reference at random shapes (exact equality).
+        #[test]
+        fn prop_blocked_matches_reference(m in 1usize..20, k in 1usize..20, n in 1usize..20) {
+            let a: Vec<f32> = pattern(m * k, 13, 5);
+            let b: Vec<f32> = pattern(k * n, 17, 9);
+            let mut got = vec![0.0f32; m * n];
+            let mut want = vec![0.0f32; m * n];
+            matmul_into(&a, &b, &mut got, m, k, n);
+            reference::matmul_into(&a, &b, &mut want, m, k, n);
+            prop_assert_eq!(&got, &want);
         }
     }
 }

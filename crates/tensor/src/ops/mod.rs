@@ -9,6 +9,15 @@ mod conv;
 mod matmul;
 mod pool;
 
-pub use conv::{conv2d_backward, conv2d_forward, conv2d_output_size, Conv2dGrads};
-pub use matmul::{matmul, matmul_a_bt, matmul_at_b};
-pub use pool::{max_pool2d_backward, max_pool2d_forward, MaxPoolOutput};
+pub use conv::{
+    conv2d_backward, conv2d_backward_into, conv2d_forward, conv2d_forward_into, conv2d_output_size,
+    Conv2dGrads, Conv2dScratch,
+};
+pub use matmul::{
+    gemm_a_bt_into, gemm_at_b_into, gemm_into, linear_forward_into, matmul, matmul_a_bt,
+    matmul_at_b, reference,
+};
+pub use pool::{
+    max_pool2d_backward, max_pool2d_backward_into, max_pool2d_forward, max_pool2d_forward_into,
+    MaxPoolOutput,
+};

@@ -28,6 +28,24 @@ pub fn max_pool2d_forward(
     size: usize,
     stride: usize,
 ) -> TensorResult<MaxPoolOutput> {
+    let mut output = Tensor::zeros(&[0]);
+    let mut argmax = Vec::new();
+    max_pool2d_forward_into(input, size, stride, &mut output, &mut argmax)?;
+    Ok(MaxPoolOutput { output, argmax })
+}
+
+/// Forward pass of batched 2-D max pooling into caller-owned buffers.
+///
+/// `out` is resized to the pooled shape and `argmax` to the output element
+/// count; both reuse their existing capacity, so steady-state calls are
+/// allocation-free. Identical values to [`max_pool2d_forward`].
+pub fn max_pool2d_forward_into(
+    input: &Tensor,
+    size: usize,
+    stride: usize,
+    out: &mut Tensor,
+    argmax: &mut Vec<usize>,
+) -> TensorResult<()> {
     if input.rank() != 4 {
         return Err(TensorError::RankMismatch {
             expected: 4,
@@ -53,8 +71,10 @@ pub fn max_pool2d_forward(
     let out_h = (h - size) / stride + 1;
     let out_w = (w - size) / stride + 1;
     let data = input.data();
-    let mut output = vec![0.0f32; batch * channels * out_h * out_w];
-    let mut argmax = vec![0usize; output.len()];
+    out.resize_in_place(&[batch, channels, out_h, out_w]);
+    let output = out.data_mut();
+    argmax.clear();
+    argmax.resize(output.len(), 0);
 
     let mut out_idx = 0usize;
     for b in 0..batch {
@@ -83,10 +103,7 @@ pub fn max_pool2d_forward(
             }
         }
     }
-    Ok(MaxPoolOutput {
-        output: Tensor::from_vec(output, &[batch, channels, out_h, out_w])?,
-        argmax,
-    })
+    Ok(())
 }
 
 /// Backward pass of batched 2-D max pooling.
@@ -98,6 +115,21 @@ pub fn max_pool2d_backward(
     argmax: &[usize],
     input_dims: &[usize],
 ) -> TensorResult<Tensor> {
+    let mut grad_input = Tensor::zeros(&[0]);
+    max_pool2d_backward_into(grad_output, argmax, input_dims, &mut grad_input)?;
+    Ok(grad_input)
+}
+
+/// Backward pass of batched 2-D max pooling into a caller-owned tensor.
+///
+/// `grad_input` is resized to `input_dims` (reusing capacity) and fully
+/// overwritten. Identical values to [`max_pool2d_backward`].
+pub fn max_pool2d_backward_into(
+    grad_output: &Tensor,
+    argmax: &[usize],
+    input_dims: &[usize],
+    grad_input: &mut Tensor,
+) -> TensorResult<()> {
     if grad_output.len() != argmax.len() {
         return Err(TensorError::InvalidArgument(format!(
             "grad_output has {} elements but argmax has {}",
@@ -106,16 +138,18 @@ pub fn max_pool2d_backward(
         )));
     }
     let input_len: usize = input_dims.iter().product();
-    let mut grad_input = vec![0.0f32; input_len];
+    grad_input.resize_in_place(input_dims);
+    let grad = grad_input.data_mut();
+    grad.iter_mut().for_each(|g| *g = 0.0);
     for (&idx, &g) in argmax.iter().zip(grad_output.data().iter()) {
         if idx >= input_len {
             return Err(TensorError::InvalidArgument(format!(
                 "argmax index {idx} out of bounds for input of {input_len} elements"
             )));
         }
-        grad_input[idx] += g;
+        grad[idx] += g;
     }
-    Tensor::from_vec(grad_input, input_dims)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -182,6 +216,35 @@ mod tests {
         assert!(max_pool2d_forward(&input, 5, 1).is_err());
         let rank3 = Tensor::zeros(&[1, 4, 4]);
         assert!(max_pool2d_forward(&rank3, 2, 2).is_err());
+    }
+
+    /// The `_into` variants must match the allocating path exactly and reuse
+    /// their buffers across differently shaped calls.
+    #[test]
+    fn into_variants_match_allocating_path() {
+        let mut out = Tensor::zeros(&[0]);
+        let mut argmax = Vec::new();
+        let mut grad_in = Tensor::zeros(&[0]);
+        for &(batch, channels, hw) in &[(1usize, 1usize, 4usize), (2, 3, 6), (1, 2, 5)] {
+            let input = Tensor::from_vec(
+                (0..batch * channels * hw * hw)
+                    .map(|x| ((x * 37 + 11) % 23) as f32 - 11.0)
+                    .collect(),
+                &[batch, channels, hw, hw],
+            )
+            .unwrap();
+            let expected = max_pool2d_forward(&input, 2, 2).unwrap();
+            max_pool2d_forward_into(&input, 2, 2, &mut out, &mut argmax).unwrap();
+            assert_eq!(out.dims(), expected.output.dims());
+            assert_eq!(out.data(), expected.output.data());
+            assert_eq!(argmax, expected.argmax);
+
+            let grad_out = Tensor::ones(out.dims());
+            let expected_gi = max_pool2d_backward(&grad_out, &argmax, input.dims()).unwrap();
+            max_pool2d_backward_into(&grad_out, &argmax, input.dims(), &mut grad_in).unwrap();
+            assert_eq!(grad_in.dims(), expected_gi.dims());
+            assert_eq!(grad_in.data(), expected_gi.data());
+        }
     }
 
     #[test]

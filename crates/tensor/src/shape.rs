@@ -28,6 +28,13 @@ impl Shape {
         &self.dims
     }
 
+    /// Overwrites the dimension sizes in place, reusing the existing
+    /// allocation when its capacity suffices.
+    pub fn set_dims(&mut self, dims: &[usize]) {
+        self.dims.clear();
+        self.dims.extend_from_slice(dims);
+    }
+
     /// Returns the number of dimensions (the rank).
     pub fn rank(&self) -> usize {
         self.dims.len()

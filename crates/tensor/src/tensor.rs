@@ -138,16 +138,49 @@ impl Tensor {
     }
 
     /// Reshapes in place (same element count required).
+    ///
+    /// Allocation-free once the shape's dimension list has capacity for
+    /// `dims`.
     pub fn reshape_in_place(&mut self, dims: &[usize]) -> TensorResult<()> {
-        let new_shape = Shape::new(dims);
-        if new_shape.num_elements() != self.len() {
+        let elements: usize = dims.iter().product();
+        if elements != self.len() {
             return Err(TensorError::InvalidReshape {
                 from: self.len(),
-                to: new_shape.num_elements(),
+                to: elements,
             });
         }
-        self.shape = new_shape;
+        self.shape.set_dims(dims);
         Ok(())
+    }
+
+    /// Resizes the tensor to `dims`, keeping and reusing the existing
+    /// buffer. New elements (if the tensor grows) are zero; existing
+    /// element values are *not* meaningful after a resize — this is a
+    /// scratch-buffer primitive for callers about to overwrite the
+    /// contents. Allocation-free once the buffer has capacity for the
+    /// largest shape it has seen.
+    pub fn resize_in_place(&mut self, dims: &[usize]) {
+        let elements: usize = dims.iter().product();
+        self.data.resize(elements, 0.0);
+        self.shape.set_dims(dims);
+    }
+
+    /// Swaps in `data` as the tensor's buffer under shape `dims` and
+    /// returns the previous buffer.
+    ///
+    /// This lets a caller move an external `Vec<f32>` into tensor form and
+    /// back without copying — the round-trip partner of [`Tensor::into_vec`]
+    /// for reusable scratch buffers.
+    pub fn replace_data(&mut self, data: Vec<f32>, dims: &[usize]) -> TensorResult<Vec<f32>> {
+        let elements: usize = dims.iter().product();
+        if data.len() != elements {
+            return Err(TensorError::DataShapeMismatch {
+                data_len: data.len(),
+                shape_len: elements,
+            });
+        }
+        self.shape.set_dims(dims);
+        Ok(std::mem::replace(&mut self.data, data))
     }
 
     /// Elementwise addition, producing a new tensor.

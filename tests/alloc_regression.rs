@@ -1,0 +1,126 @@
+//! Pins the zero-allocation guarantee of the training hot path.
+//!
+//! A counting global allocator measures the *marginal* allocation cost of
+//! extra SGD epochs on a warmed [`fedadmm_core::trainer::local_sgd_cached`]
+//! worker (cached network + `TrainScratch` with its activation arena).
+//! Steady-state mini-batch steps must perform **zero** heap allocations:
+//! every buffer — gathered batch, input tensor, per-layer activations and
+//! gradients, loss gradient, flat gradient — is recycled across steps and
+//! epochs. A second check bounds a whole evaluation pass to O(1)
+//! allocations regardless of how many 256-sample chunks it spans.
+//!
+//! This file intentionally holds a single `#[test]` so no sibling test
+//! thread pollutes the allocation counter mid-measurement.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use fedadmm_core::trainer::{evaluate, local_sgd_cached, LocalEnv, NetCache, TrainScratch};
+use fedadmm_data::batching::BatchSize;
+use fedadmm_data::synthetic::SyntheticDataset;
+use fedadmm_nn::models::ModelSpec;
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn alloc_count() -> u64 {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn steady_state_sgd_step_allocates_nothing() {
+    let (train, _) = SyntheticDataset::Mnist.generate(96, 256, 5);
+    let indices: Vec<usize> = (0..96).collect();
+    let model = ModelSpec::Logistic {
+        input_dim: train.feature_dim(),
+        num_classes: 10,
+    };
+    let init = vec![0.01f32; model.num_params()];
+    let env = |epochs: usize| LocalEnv {
+        dataset: &train,
+        indices: &indices,
+        model,
+        epochs,
+        batch_size: BatchSize::Size(16),
+        learning_rate: 0.1,
+        seed: 77,
+        // 96 samples / B=16 → six full batches per epoch, so every epoch
+        // revisits exactly the shapes the warm-up pass grew buffers for.
+    };
+
+    let mut cache = NetCache::default();
+    let mut scratch = TrainScratch::default();
+    // Warm-up: grows the network cache, the gather/ping-pong buffers and
+    // every arena slot to their steady-state capacities.
+    local_sgd_cached(&env(1), &init, &mut cache, &mut scratch, |_, _| {}).unwrap();
+
+    let before_short = alloc_count();
+    local_sgd_cached(&env(2), &init, &mut cache, &mut scratch, |_, _| {}).unwrap();
+    let short_run = alloc_count() - before_short;
+
+    let extra_epochs = 6u64;
+    let before_long = alloc_count();
+    local_sgd_cached(
+        &env(2 + extra_epochs as usize),
+        &init,
+        &mut cache,
+        &mut scratch,
+        |_, _| {},
+    )
+    .unwrap();
+    let long_run = alloc_count() - before_long;
+
+    // Both runs share the same fixed per-call cost (cloning `init` into the
+    // working parameter vector and moving it into the result); the six
+    // additional epochs — 36 additional SGD steps — must add zero
+    // allocations on top of it.
+    assert_eq!(
+        long_run,
+        short_run,
+        "steady-state SGD steps must not allocate: {extra_epochs} extra epochs \
+         cost {} allocations",
+        long_run as i64 - short_run as i64
+    );
+
+    // An evaluation pass reuses one arena and one gather buffer across its
+    // 256-sample chunks, so the only per-chunk allocations left are the
+    // vendored rayon shim's partitioning scaffolding (the eval GEMM sits
+    // above the kernels' parallel threshold). Bound that marginal cost
+    // tightly: a regression back to per-chunk tensor allocation costs 10+
+    // calls per chunk and trips this immediately.
+    let (eval_set, _) = SyntheticDataset::Mnist.generate(1024, 10, 6);
+    let params = vec![0.0f32; model.num_params()];
+    evaluate(model, &params, &eval_set, 256).unwrap(); // warm the allocator pools
+    let before_one = alloc_count();
+    evaluate(model, &params, &eval_set, 256).unwrap();
+    let one_chunk = alloc_count() - before_one;
+    let before_four = alloc_count();
+    evaluate(model, &params, &eval_set, 1024).unwrap();
+    let four_chunks = alloc_count() - before_four;
+    let extra_chunks = 3;
+    assert!(
+        four_chunks <= one_chunk + extra_chunks * 7,
+        "evaluation allocations grew too fast with chunk count: \
+         1 chunk → {one_chunk}, 4 chunks → {four_chunks}"
+    );
+}
